@@ -1,0 +1,68 @@
+"""Ablation — dataset hardness explains accuracy (§VI-B3).
+
+The paper attributes NUS's inferior accuracy across *all* methods to its
+"intrinsically complex distribution (that can be quantified by relative
+contrast and local intrinsic dimensionality)".  This bench makes that
+explanation falsifiable: it measures both quantifiers on each stand-in
+(``repro.data.analysis``) alongside DB-LSH's recall and asserts the
+correlation — the lowest-contrast dataset must be among the hardest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from helpers import format_table, load_workload, record
+
+from repro import DBLSH
+from repro.data.analysis import hardness_report
+from repro.data.groundtruth import exact_knn
+from repro.eval.metrics import recall
+
+DATASETS = ["audio", "nus", "deep1m", "mnist"]
+K = 20
+
+
+def _hardness_vs_recall(n_queries: int):
+    rows = []
+    for name in DATASETS:
+        dataset = load_workload(name, n_queries=n_queries, scale=0.3)
+        report = hardness_report(dataset.data, sample=60)
+        index = DBLSH(
+            c=1.5, l_spaces=5, k_per_space=10, t=16, seed=0,
+            auto_initial_radius=True,
+        ).fit(dataset.data)
+        gt_ids, _ = exact_knn(dataset.queries, dataset.data, K)
+        recalls = [
+            recall(index.query(q, k=K).ids, gt_ids[qi])
+            for qi, q in enumerate(dataset.queries)
+        ]
+        rows.append(
+            {
+                "dataset": name,
+                "relative_contrast": round(report.relative_contrast, 3),
+                "lid": round(report.lid, 2),
+                "recall": round(float(np.mean(recalls)), 3),
+            }
+        )
+    return rows
+
+
+def test_hardness_explains_recall(benchmark, results_dir, n_queries):
+    rows = benchmark.pedantic(
+        _hardness_vs_recall, args=(n_queries,), rounds=1, iterations=1
+    )
+    record(
+        results_dir,
+        "ablation_hardness.txt",
+        format_table(rows, title="Ablation: hardness quantifiers vs recall (§VI-B3)"),
+    )
+    by_contrast = sorted(rows, key=lambda r: r["relative_contrast"])
+    by_recall = sorted(rows, key=lambda r: r["recall"])
+    # The lowest-contrast stand-in (nus-like) is among the two hardest.
+    hardest_two = {by_recall[0]["dataset"], by_recall[1]["dataset"]}
+    assert by_contrast[0]["dataset"] in hardest_two
+    # And recall correlates positively with contrast overall.
+    contrasts = np.array([r["relative_contrast"] for r in rows])
+    recalls = np.array([r["recall"] for r in rows])
+    correlation = float(np.corrcoef(contrasts, recalls)[0, 1])
+    assert correlation > 0.0

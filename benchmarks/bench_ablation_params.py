@@ -1,0 +1,109 @@
+"""Ablation — sensitivity to the bucket width w0 and the budget knob t.
+
+Two design choices DESIGN.md calls out:
+
+* **w0 (Lemma 3)** — larger base widths shrink ``rho*`` (fewer tables
+  needed) but admit more false positives per window, demanding larger K;
+  the paper fixes ``w0 = 4 c^2``.  The sweep shows the accuracy/work
+  trade-off around that choice.
+* **t (Remark 2)** — the candidate budget ``2tL + k``.  Larger t buys
+  recall with more verification work; the paper argues a moderate t makes
+  small K/L practical.
+"""
+
+from __future__ import annotations
+
+import pytest
+from helpers import format_table, load_workload, record, run_table
+
+from repro import DBLSH
+
+K = 20
+
+
+def _w0_variants(c: float = 1.5):
+    factors = [0.4, 1.0, 4.0, 8.0]
+    return {
+        f"w0={f}c^2": DBLSH(
+            c=c, w0=f * c * c, l_spaces=5, k_per_space=10, t=16, seed=0,
+            auto_initial_radius=True,
+        )
+        for f in factors
+    }
+
+
+def _t_variants(c: float = 1.5):
+    return {
+        f"t={t}": DBLSH(
+            c=c, l_spaces=5, k_per_space=10, t=t, seed=0, auto_initial_radius=True
+        )
+        for t in [1, 4, 16, 64]
+    }
+
+
+def test_w0_sensitivity(benchmark, results_dir, n_queries):
+    dataset = load_workload("audio", n_queries=n_queries, scale=0.5)
+    results = benchmark.pedantic(
+        run_table, args=(dataset, _w0_variants(), K), rounds=1, iterations=1
+    )
+    record(
+        results_dir,
+        "ablation_params.txt",
+        format_table(
+            [r.row() for r in results],
+            title="Ablation: bucket width w0 (audio)",
+        ),
+    )
+    by_name = {r.method: r for r in results}
+    # The paper's default sits on the efficient frontier: recall at
+    # w0=4c^2 must be within a whisker of the best of all widths.
+    best = max(r.recall for r in results)
+    assert by_name["w0=4.0c^2"].recall >= best - 0.1
+
+
+def test_t_sensitivity(benchmark, results_dir, n_queries):
+    dataset = load_workload("audio", n_queries=n_queries, scale=0.5)
+    results = benchmark.pedantic(
+        run_table, args=(dataset, _t_variants(), K), rounds=1, iterations=1
+    )
+    record(
+        results_dir,
+        "ablation_params.txt",
+        format_table(
+            [r.row() for r in results],
+            title="Ablation: budget knob t (audio)",
+        ),
+    )
+    ordered = [r for r in results]  # t = 1, 4, 16, 64
+    # Remark 2: work grows with t...
+    cands = [r.candidates_per_query for r in ordered]
+    assert cands[0] <= cands[-1]
+    # ...and so does recall (more candidates can only help).
+    assert ordered[-1].recall >= ordered[0].recall - 0.02
+
+
+def test_patience_extension(benchmark, results_dir, n_queries):
+    """§VII future work: early termination via a patience counter."""
+    dataset = load_workload("audio", n_queries=n_queries, scale=0.5)
+    methods = {
+        "no-patience": DBLSH(c=1.5, l_spaces=5, k_per_space=10, t=64, seed=0,
+                             auto_initial_radius=True),
+        "patience=64": DBLSH(c=1.5, l_spaces=5, k_per_space=10, t=64, seed=0,
+                             auto_initial_radius=True, patience=64),
+    }
+    results = benchmark.pedantic(
+        run_table, args=(dataset, methods, K), rounds=1, iterations=1
+    )
+    record(
+        results_dir,
+        "ablation_params.txt",
+        format_table(
+            [r.row() for r in results],
+            title="Extension: early-termination patience (audio)",
+        ),
+    )
+    by_name = {r.method: r for r in results}
+    assert (
+        by_name["patience=64"].candidates_per_query
+        <= by_name["no-patience"].candidates_per_query
+    )

@@ -1,0 +1,100 @@
+"""Figure 2 — the search regions of DB-LSH vs E2LSH vs C2 vs MQ, quantified.
+
+The paper's Fig. 2 is a qualitative sketch in one projected space: the
+query-oblivious grid cell (E2LSH) can cut off a near neighbor, the
+collision-counting cross (C2) is unbounded, the metric ball (MQ) is
+bounded but costly to enumerate, and DB-LSH's query-centric square is
+both bounded and boundary-free.  This bench makes the sketch numeric on
+a real projected space (K = 2, matching the figure):
+
+* probability that the *true nearest neighbor* lies in each region, and
+* expected number of *all* points captured by each region
+
+at matched region scale.  Shape expectations (asserted): the
+query-centric square never loses the NN to a boundary more often than
+the static cell does, and the C2 cross captures the most far points
+(the "arbitrarily large worst case" the paper criticises).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from helpers import format_table, record
+
+from repro.data.generators import gaussian_mixture
+from repro.hashing.families import GaussianProjectionFamily
+
+
+def _region_stats(n_trials: int = 200):
+    rng = np.random.default_rng(0)
+    data = gaussian_mixture(2000, 32, n_clusters=12, cluster_std=1.0,
+                            center_spread=6.0, seed=1)
+    family = GaussianProjectionFamily(32, 2, seed=0)
+    projected = family.project(data)  # (n, 2)
+
+    nn_in = {"DB-LSH square": 0, "E2LSH cell": 0, "C2 cross": 0, "MQ ball": 0}
+    captured = {name: 0.0 for name in nn_in}
+
+    for trial in range(n_trials):
+        target = rng.integers(0, 2000)
+        query = data[target] + 0.2 * rng.standard_normal(32)
+        dists = np.linalg.norm(data - query, axis=1)
+        nn = int(np.argmin(dists))
+        width = 2.0 * dists[nn]  # region scale tied to the NN distance
+        q_proj = family.project_one(query)
+        delta = np.abs(projected - q_proj)  # (n, 2)
+
+        in_square = np.all(delta <= width / 2.0, axis=1)
+        # Static cell: the grid cell of width `width` containing q.
+        cell_q = np.floor(q_proj / width)
+        cell_pts = np.floor(projected / width)
+        in_cell = np.all(cell_pts == cell_q, axis=1)
+        # C2 cross: collision in at least one dimension (1-D slabs).
+        in_cross = np.any(delta <= width / 2.0, axis=1)
+        # MQ ball: Euclidean ball in the projected space.
+        in_ball = np.linalg.norm(projected - q_proj, axis=1) <= width / 2.0
+
+        for name, mask in [
+            ("DB-LSH square", in_square),
+            ("E2LSH cell", in_cell),
+            ("C2 cross", in_cross),
+            ("MQ ball", in_ball),
+        ]:
+            nn_in[name] += bool(mask[nn])
+            captured[name] += float(mask.sum())
+
+    rows = [
+        {
+            "region": name,
+            "P(NN in region)": round(nn_in[name] / n_trials, 3),
+            "E[points captured]": round(captured[name] / n_trials, 1),
+        }
+        for name in nn_in
+    ]
+    return rows
+
+
+def test_fig2_search_regions(benchmark, results_dir):
+    rows = benchmark.pedantic(_region_stats, rounds=1, iterations=1)
+    record(
+        results_dir,
+        "fig2_regions.txt",
+        format_table(rows, title="Fig. 2 quantified: search regions (K=2)"),
+    )
+    by_name = {r["region"]: r for r in rows}
+    # Query-centric square never loses the NN to a boundary more often
+    # than the static cell (the hash-boundary problem).
+    assert by_name["DB-LSH square"]["P(NN in region)"] >= by_name["E2LSH cell"][
+        "P(NN in region)"
+    ]
+    # The cross is the largest region (C2's unbounded worst case).
+    assert by_name["C2 cross"]["E[points captured]"] >= max(
+        by_name["DB-LSH square"]["E[points captured]"],
+        by_name["E2LSH cell"]["E[points captured]"],
+        by_name["MQ ball"]["E[points captured]"],
+    )
+    # The ball is contained in the square (both query-centric).
+    assert (
+        by_name["MQ ball"]["E[points captured]"]
+        <= by_name["DB-LSH square"]["E[points captured]"]
+    )

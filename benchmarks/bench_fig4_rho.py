@@ -1,0 +1,64 @@
+"""Figure 4 — rho* vs rho curves at w = 0.4 c^2 and w = 4 c^2.
+
+Regenerates both panels as numeric series over c in [1.05, 4]:
+
+* Fig. 4(a), w = 0.4 c^2 (gamma = 0.2): the static ``rho`` *exceeds* the
+  1/c bound for small c, while ``rho*`` stays below both;
+* Fig. 4(b), w = 4 c^2 (gamma = 2): ``rho`` hugs 1/c while ``rho*``
+  plunges toward 0 — the paper's headline advantage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from helpers import format_series, record
+
+from repro.hashing.probability import optimal_rho_curves
+
+C_VALUES = np.round(np.arange(1.05, 4.01, 0.25), 2)
+
+
+def _series(w_factor: float):
+    rho_star, rho, inv_c = optimal_rho_curves(C_VALUES, w_factor)
+    return rho_star, rho, inv_c
+
+
+def test_fig4a_small_width(benchmark, results_dir):
+    rho_star, rho, inv_c = benchmark(_series, 0.4)
+    text = format_series(
+        "c",
+        C_VALUES.tolist(),
+        {
+            "rho*": np.round(rho_star, 4).tolist(),
+            "rho": np.round(rho, 4).tolist(),
+            "1/c": np.round(inv_c, 4).tolist(),
+        },
+        title="Fig. 4(a) - w = 0.4c^2",
+    )
+    record(results_dir, "fig4_rho.txt", text)
+    # Paper claim: rho is NOT bounded by 1/c at this width for small c...
+    assert np.any(rho > inv_c)
+    # ...while rho* stays below rho everywhere.
+    assert np.all(rho_star < rho)
+
+
+def test_fig4b_paper_width(benchmark, results_dir):
+    rho_star, rho, inv_c = benchmark(_series, 4.0)
+    text = format_series(
+        "c",
+        C_VALUES.tolist(),
+        {
+            "rho*": np.round(rho_star, 6).tolist(),
+            "rho": np.round(rho, 4).tolist(),
+            "1/c": np.round(inv_c, 4).tolist(),
+        },
+        title="Fig. 4(b) - w = 4c^2",
+    )
+    record(results_dir, "fig4_rho.txt", text)
+    # Paper claims at w = 4c^2: rho close to 1/c; rho* far below and
+    # rapidly approaching 0.
+    assert np.all(rho_star < inv_c)
+    assert np.all(rho_star < rho)
+    assert rho_star[-1] < 1e-6  # "decreases rapidly to 0"
+    gap_rho = np.abs(rho - inv_c)[C_VALUES >= 2.0]
+    assert np.all(gap_rho < 0.25)  # "rho is very close to 1/c"

@@ -1,0 +1,82 @@
+"""Figure 8 — recall and overall ratio when varying k.
+
+The paper sweeps k in {1, 10, 20, ..., 100} on Gist and TinyImages80M.
+This bench sweeps a thinned grid on the ``gist`` stand-in (full grid with
+``REPRO_BENCH_FULL=1``), building each method once and querying at every
+k — exactly how the paper's experiment amortises index construction.
+
+Shape expectations (asserted):
+* accuracy degrades (at most mildly) as k grows — the paper explains the
+  candidate budget per requested neighbor shrinks;
+* DB-LSH stays at or above FB-LSH's recall for every k.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from helpers import format_series, load_workload, record
+
+from repro import DBLSH
+from repro.baselines import FBLSH, PMLSH, QALSH
+from repro.data.groundtruth import exact_knn
+from repro.eval.metrics import overall_ratio, recall
+
+K_GRID_DEFAULT = [1, 10, 20, 50, 100]
+K_GRID_FULL = [1, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+
+
+def _methods():
+    return {
+        "DB-LSH": DBLSH(c=1.5, l_spaces=5, k_per_space=10, t=16, seed=0,
+                        auto_initial_radius=True),
+        "FB-LSH": FBLSH(c=1.5, k_per_space=5, l_spaces=10, t=16, seed=0,
+                        auto_initial_radius=True),
+        "QALSH": QALSH(c=1.5, m=40, w=2.719, beta=0.05, seed=0,
+                       auto_initial_radius=True),
+        "PM-LSH": PMLSH(m=15, beta=0.08, seed=0),
+    }
+
+
+def _sweep(k_grid, n_queries):
+    dataset = load_workload("gist", n_queries=n_queries, scale=0.5)
+    gt_ids, gt_dists = exact_knn(dataset.queries, dataset.data, max(k_grid))
+    methods = _methods()
+    for method in methods.values():
+        method.fit(dataset.data)
+    recalls = {name: [] for name in methods}
+    ratios = {name: [] for name in methods}
+    for k in k_grid:
+        for name, method in methods.items():
+            r_vals, q_vals = [], []
+            for qi, q in enumerate(dataset.queries):
+                result = method.query(q, k=k)
+                r_vals.append(recall(result.ids, gt_ids[qi][:k]))
+                q_vals.append(overall_ratio(result.distances, gt_dists[qi][:k]))
+            recalls[name].append(round(float(np.mean(r_vals)), 3))
+            finite = [v for v in q_vals if np.isfinite(v)]
+            ratios[name].append(round(float(np.mean(finite)), 4) if finite else None)
+    return recalls, ratios
+
+
+def test_fig8_vary_k(benchmark, results_dir, full_mode, n_queries):
+    k_grid = K_GRID_FULL if full_mode else K_GRID_DEFAULT
+    recalls, ratios = benchmark.pedantic(
+        _sweep, args=(k_grid, n_queries), rounds=1, iterations=1
+    )
+    record(
+        results_dir,
+        "fig8_vary_k.txt",
+        format_series("k", k_grid, recalls, title="Fig. 8(a/c): recall vs k (gist)"),
+    )
+    record(
+        results_dir,
+        "fig8_vary_k.txt",
+        format_series("k", k_grid, ratios, title="Fig. 8(b/d): ratio vs k (gist)"),
+    )
+    db = recalls["DB-LSH"]
+    # Mild degradation: k=100 recall within 0.45 of k=1 recall.
+    assert db[0] >= db[-1] - 0.05 or db[-1] >= 0.5
+    # DB-LSH >= FB-LSH at every k.
+    for db_r, fb_r in zip(recalls["DB-LSH"], recalls["FB-LSH"]):
+        assert db_r >= fb_r - 0.05

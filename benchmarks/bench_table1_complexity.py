@@ -1,0 +1,144 @@
+"""Table I — complexity comparison of typical LSH methods.
+
+The paper's Table I is analytic: query/index complexities and the bound
+on the quality exponent.  This benchmark regenerates the quantitative
+half: for a reference configuration it derives each method's
+hash-function count (the index-size driver) and the exponents
+``rho* <= 1/c^alpha`` vs ``rho <= 1/c``, timing the derivation itself
+with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+
+from helpers import format_table, record
+
+from repro.core.params import derive_parameters
+from repro.hashing.probability import (
+    alpha_for_gamma,
+    rho_dynamic,
+    rho_star_bound,
+    rho_static,
+)
+
+
+def _table1_rows(n: int = 1_000_000, c: float = 1.5, t: int = 16):
+    w0 = 4.0 * c * c
+    params = derive_parameters(n, c=c, w0=w0, t=t)
+    rho_star = params.rho_star
+    rho = rho_static(c, w0)
+    alpha = alpha_for_gamma(2.0)
+    rows = [
+        {
+            "method": "DB-LSH",
+            "indexing": "Dynamic",
+            "query": "Query-centric",
+            "index_size": f"O(n^(1+{rho_star:.4f}) d log n)",
+            "query_cost": f"O(n^{rho_star:.4f} d log n)",
+            "bound": f"rho* <= 1/c^{alpha:.3f} = {rho_star_bound(c, w0):.4f}",
+        },
+        {
+            "method": "E2LSH",
+            "indexing": "Static",
+            "query": "Query-oblivious",
+            "index_size": f"O(M n^(1+{rho:.4f}) d log n)",
+            "query_cost": f"O(n^{rho:.4f} d log n)",
+            "bound": f"rho <= 1/c = {1 / c:.4f}",
+        },
+        {
+            "method": "LSB-Forest",
+            "indexing": "Static",
+            "query": "Query-oblivious",
+            "index_size": f"O(n^(1+{rho:.4f}) d log n)",
+            "query_cost": f"O(n^{rho:.4f} d log n)",
+            "bound": "rho <= 1/c, c >= 2",
+        },
+        {
+            "method": "QALSH",
+            "indexing": "Dynamic",
+            "query": "Query-centric",
+            "index_size": "O(n K), K = O(log n)",
+            "query_cost": "O(n K + d)",
+            "bound": "-",
+        },
+        {
+            "method": "VHP / R2LSH",
+            "indexing": "Dynamic",
+            "query": "Query-centric",
+            "index_size": "O(n K), K = O(1)",
+            "query_cost": "O(n (K + d))",
+            "bound": "-",
+        },
+        {
+            "method": "SRS / PM-LSH",
+            "indexing": "Dynamic",
+            "query": "Query-centric",
+            "index_size": "O(n)",
+            "query_cost": "O(beta n (log n + d))",
+            "bound": "beta << 1",
+        },
+    ]
+    derived = [
+        {
+            "quantity": "K = ceil(log_{1/p2}(n/t))",
+            "value": params.k_per_space,
+        },
+        {"quantity": "L = ceil((n/t)^rho*)", "value": params.l_spaces},
+        {"quantity": "p1 = p(1; w0)", "value": round(params.p1, 6)},
+        {"quantity": "p2 = p(c; w0)", "value": round(params.p2, 6)},
+        {"quantity": "rho* (dynamic family)", "value": round(rho_star, 6)},
+        {"quantity": "rho (static family, same width)", "value": round(rho, 6)},
+        {"quantity": "alpha = xi(2) (Lemma 3)", "value": round(alpha, 4)},
+        {
+            "quantity": "bound 1/c^alpha",
+            "value": round(rho_star_bound(c, w0), 6),
+        },
+        {"quantity": "classical bound 1/c", "value": round(1 / c, 6)},
+        {
+            "quantity": "candidate budget 2tL",
+            "value": params.candidate_budget_base,
+        },
+    ]
+    return rows, derived
+
+
+def test_table1_complexity(benchmark, results_dir):
+    rows, derived = benchmark(_table1_rows)
+    text = format_table(rows, title="Table I - complexity comparison (c=1.5, n=1e6)")
+    text += "\n\n" + format_table(
+        derived, title="Derived DB-LSH parameters (Lemma 1 / Lemma 3)"
+    )
+    record(results_dir, "table1_complexity.txt", text)
+    # Shape check: the paper's headline inequality.
+    rho_star = [r for r in derived if r["quantity"].startswith("rho* ")][0]["value"]
+    rho = [r for r in derived if r["quantity"].startswith("rho (")][0]["value"]
+    assert rho_star < rho < 1.0
+
+
+def test_rho_star_beats_one_over_c_for_all_c(benchmark):
+    """rho* < 1/c^alpha < 1/c over the full c range used in Fig. 4(b)."""
+
+    def sweep():
+        results = []
+        for c in [1.1, 1.25, 1.5, 2.0, 2.5]:
+            w0 = 4.0 * c * c
+            results.append((c, rho_dynamic(c, w0), rho_star_bound(c, w0), 1.0 / c))
+        return results
+
+    for c, rho_star, bound, inv_c in benchmark(sweep):
+        assert rho_star <= bound + 1e-12 <= inv_c + 1e-12, f"violated at c={c}"
+
+
+def test_k_l_growth_is_logarithmic(benchmark):
+    """K = O(log n): doubling n adds a constant number of hash functions."""
+
+    def derive_many():
+        return {n: derive_parameters(n, c=1.5, t=16).k_per_space
+                for n in [10**4, 10**5, 10**6, 10**7]}
+
+    ks = benchmark(derive_many)
+    deltas = [b - a for a, b in zip(list(ks.values()), list(ks.values())[1:])]
+    # Equal multiplicative steps in n give (near-)equal additive steps in K.
+    assert max(deltas) - min(deltas) <= 1
+    assert math.isclose(deltas[0], deltas[-1], abs_tol=1.0)

@@ -1,0 +1,90 @@
+"""Table IV — performance overview across methods and datasets.
+
+For each dataset stand-in, runs every §VI-A method at the paper's default
+configuration and reports query time, overall ratio, recall and indexing
+time (plus this reproduction's work counters).  Table III (the dataset
+summary) is printed alongside.
+
+Default mode covers four representative stand-ins (small/clustered,
+complex/heavy-tailed, mid-size descriptor, large descriptor);
+``REPRO_BENCH_FULL=1`` runs all ten.
+
+Shape expectations from the paper (asserted):
+* DB-LSH beats FB-LSH on recall at equal hash-function budget;
+* DB-LSH's recall is at or near the best among LSH methods;
+* every LSH method verifies far fewer candidates than a linear scan.
+"""
+
+from __future__ import annotations
+
+import pytest
+from helpers import format_table, load_workload, paper_methods, record, rows_for, run_table
+
+from repro.data.datasets import registry_table
+
+DEFAULT_DATASETS = ["audio", "nus", "deep1m", "sift10m"]
+FULL_DATASETS = [
+    "audio", "mnist", "cifar", "trevi", "nus",
+    "deep1m", "gist", "sift10m", "tiny80m", "sift100m",
+]
+HIGH_DIM = {"trevi", "cifar", "gist"}
+K = 50
+
+
+def test_table3_dataset_summary(benchmark, results_dir):
+    text = benchmark(registry_table)
+    record(results_dir, "table3_datasets.txt", text)
+    assert "sift100m" in text
+
+
+@pytest.mark.parametrize("name", DEFAULT_DATASETS)
+def test_table4_overview(benchmark, results_dir, full_mode, n_queries, name):
+    dataset = load_workload(name, n_queries=n_queries, scale=0.5)
+    methods = paper_methods(high_dim=name in HIGH_DIM, n=dataset.n)
+
+    results = benchmark.pedantic(
+        run_table, args=(dataset, methods, K), rounds=1, iterations=1
+    )
+    text = format_table(
+        rows_for(results),
+        title=f"Table IV ({name}): n={dataset.n}, d={dataset.dim}, k={K}",
+    )
+    record(results_dir, "table4_overview.txt", text)
+
+    by_name = {r.method: r for r in results}
+    db, fb = by_name["DB-LSH"], by_name["FB-LSH"]
+    scan = by_name["LinearScan"]
+
+    # §VI-B1: dynamic bucketing beats fixed bucketing on accuracy.
+    assert db.recall >= fb.recall - 0.02
+    # DB-LSH is at or near the top of the recall ranking (the paper's
+    # NUS-like hard dataset allows the widest slack: §VI-B3 notes every
+    # method degrades there and our heavy-tailed stand-in is harder than
+    # the original).
+    best_lsh_recall = max(
+        r.recall for r in results if r.method not in ("LinearScan",)
+    )
+    slack = 0.30 if name == "nus" else 0.15
+    assert db.recall >= best_lsh_recall - slack
+    # Sub-scan candidate counts for every hashing method.
+    for r in results:
+        if r.method != "LinearScan":
+            assert r.distance_computations_per_query < scan.distance_computations_per_query
+
+
+def test_table4_full_registry(benchmark, results_dir, full_mode, n_queries):
+    if not full_mode:
+        pytest.skip("set REPRO_BENCH_FULL=1 for the all-ten-datasets table")
+    all_results = []
+
+    def run_all():
+        for name in FULL_DATASETS:
+            dataset = load_workload(name, n_queries=n_queries, scale=0.5)
+            methods = paper_methods(high_dim=name in HIGH_DIM, n=dataset.n)
+            all_results.extend(run_table(dataset, methods, K))
+        return all_results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = format_table(rows_for(results), title="Table IV - full registry")
+    record(results_dir, "table4_overview_full.txt", text)
+    assert len(results) == len(FULL_DATASETS) * len(paper_methods())

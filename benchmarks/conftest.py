@@ -1,0 +1,40 @@
+"""Shared infrastructure for the benchmark suite.
+
+Each ``bench_*.py`` module regenerates one table or figure of the paper.
+Benchmarks print their tables to stdout (visible with ``pytest -s``) and
+always append them to ``benchmarks/results/*.txt`` so a plain
+``pytest benchmarks/ --benchmark-only`` leaves a full record on disk.
+
+Environment knobs:
+
+* ``REPRO_BENCH_FULL=1`` — run every registry dataset / full sweeps
+  (default: a representative subset sized for minutes, not hours);
+* ``REPRO_BENCH_QUERIES`` — queries per dataset (default 15).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def full_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def n_queries() -> int:
+    return int(os.environ.get("REPRO_BENCH_QUERIES", "15"))

@@ -1,0 +1,66 @@
+"""Compare every LSH method in the library on one workload.
+
+A miniature Table IV: builds all twelve methods plus the exact scan on a
+DEEP-like descriptor workload and prints the paper's metrics side by
+side.  Useful as a template for benchmarking your own data — swap
+``make_dataset`` for your (n, d) array.
+
+Run:  python examples/compare_methods.py
+"""
+
+from __future__ import annotations
+
+from repro import DBLSH
+from repro.baselines import (
+    C2LSH,
+    E2LSH,
+    FBLSH,
+    ILSH,
+    LCCSLSH,
+    LSBForest,
+    LinearScan,
+    MultiProbeLSH,
+    PMLSH,
+    QALSH,
+    R2LSH,
+    SRS,
+    VHP,
+)
+from repro.data.datasets import make_dataset
+from repro.eval.report import format_table
+from repro.eval.runner import run_comparison
+
+
+def main() -> None:
+    dataset = make_dataset("deep1m", n_queries=20, seed=0, scale=0.4)
+    print(f"workload: {dataset.name}, n={dataset.n}, d={dataset.dim}\n")
+
+    methods = [
+        DBLSH(c=1.5, l_spaces=5, k_per_space=10, t=16, seed=0,
+              auto_initial_radius=True),
+        FBLSH(c=1.5, k_per_space=5, l_spaces=10, t=16, seed=0,
+              auto_initial_radius=True),
+        E2LSH(c=1.5, w=4.0, k_per_table=10, l_tables=5, num_radii=10, seed=0,
+              auto_initial_radius=True),
+        MultiProbeLSH(k_per_table=10, l_tables=5, num_probes=32,
+                      max_candidates=400, seed=0),
+        QALSH(c=1.5, m=40, w=2.719, beta=0.05, seed=0, auto_initial_radius=True),
+        ILSH(c=1.5, m=40, beta=0.05, seed=0),
+        C2LSH(c=2, m=40, w=1.0, beta=0.05, seed=0, auto_scale=True),
+        VHP(c=1.5, m=60, t0=1.4, beta=0.05, seed=0, auto_initial_radius=True),
+        R2LSH(c=1.5, m=40, beta=0.05, seed=0, auto_initial_radius=True),
+        PMLSH(m=15, beta=0.08, seed=0),
+        SRS(c=1.5, m=6, beta=0.05, seed=0),
+        LSBForest(c=2.0, l_trees=6, m=8, bits_per_dim=10, candidate_factor=60,
+                  seed=0),
+        LCCSLSH(m=16, probes=256, seed=0),
+        LinearScan(),
+    ]
+    results = run_comparison(methods, dataset.data, dataset.queries, k=20,
+                             dataset_name=dataset.name)
+    print(format_table([r.row() for r in results],
+                       title=f"Method comparison on {dataset.name} (k=20)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""DB-LSH reproduction: dynamic query-centric bucketing for c-ANN search.
+
+A complete, pure-Python implementation of *DB-LSH: Locality-Sensitive
+Hashing with Query-based Dynamic Bucketing* (Tian, Zhao, Zhou; ICDE 2022),
+including every substrate the paper depends on (R*-tree, KD-tree, B+-tree,
+Z-order curves, M-tree, two LSH families) and every baseline it compares
+against (E2LSH, FB-LSH, LSB-Forest, C2LSH, QALSH, R2LSH, VHP, PM-LSH, SRS,
+LCCS-LSH, Multi-Probe).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import DBLSH
+>>> rng = np.random.default_rng(0)
+>>> data = rng.standard_normal((1000, 32))
+>>> index = DBLSH(c=1.5, l_spaces=5, k_per_space=8, seed=0).fit(data)
+>>> result = index.query(data[0], k=5)
+>>> result.neighbors[0].id
+0
+"""
+
+from repro.core import DBLSH, DBLSHParams, Neighbor, QueryResult, QueryStats, derive_parameters
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DBLSH",
+    "DBLSHParams",
+    "Neighbor",
+    "QueryResult",
+    "QueryStats",
+    "derive_parameters",
+    "__version__",
+]

@@ -1,0 +1,57 @@
+"""Every LSH method the paper compares against, plus a linear-scan oracle.
+
+All classes satisfy the shared protocol (``fit``, ``query``,
+``num_hash_functions``, ``build_seconds``) used by
+:mod:`repro.eval.runner`, so any of them can be dropped into the
+benchmark harnesses interchangeably with :class:`repro.core.DBLSH`.
+
+===============  ====================================================
+Class            Paper / family
+===============  ====================================================
+LinearScan       exact brute force (ground-truth oracle)
+FBLSH            the paper's own fixed-bucketing ablation (§VI-A)
+E2LSH            classic static (K, L)-index, one suit per radius [3]
+MultiProbeLSH    query-directed probing over one static suit [28]
+LSBForest        Z-order + B-trees, bucket merging by LLCP [35]
+C2LSH            collision counting + virtual rehashing [9]
+QALSH            query-aware 1-D buckets over B+-trees [14]
+ILSH             incremental expansion + EI-LSH early stop [23], [24]
+R2LSH            2-D projected spaces with query-centric balls [26]
+VHP              virtual hypersphere partitioning [27]
+PMLSH            projected-space kNN + chi-square estimation [38]
+SRS              incremental projected NN with early stopping [34]
+LCCSLSH          longest circular co-substring search [20]
+===============  ====================================================
+"""
+
+from repro.baselines.base import BaseANN
+from repro.baselines.c2lsh import C2LSH
+from repro.baselines.e2lsh import E2LSH
+from repro.baselines.fblsh import FBLSH
+from repro.baselines.ilsh import ILSH
+from repro.baselines.lccs import LCCSLSH
+from repro.baselines.linear import LinearScan
+from repro.baselines.lsbforest import LSBForest
+from repro.baselines.multiprobe import MultiProbeLSH
+from repro.baselines.pmlsh import PMLSH
+from repro.baselines.qalsh import QALSH
+from repro.baselines.r2lsh import R2LSH
+from repro.baselines.srs import SRS
+from repro.baselines.vhp import VHP
+
+__all__ = [
+    "BaseANN",
+    "C2LSH",
+    "E2LSH",
+    "FBLSH",
+    "ILSH",
+    "LCCSLSH",
+    "LinearScan",
+    "LSBForest",
+    "MultiProbeLSH",
+    "PMLSH",
+    "QALSH",
+    "R2LSH",
+    "SRS",
+    "VHP",
+]

@@ -1,0 +1,119 @@
+"""Shared skeleton for all ANN methods in the benchmark suite.
+
+:class:`BaseANN` handles validation, build timing, query timing and result
+assembly so each baseline only implements ``_build`` (index construction)
+and ``_search`` (filling a bounded heap of candidates while updating the
+work counters).  The verification helper :meth:`BaseANN._verify` is the
+single place where true distances are computed — every method pays the
+same per-candidate cost, which keeps the cross-method comparisons honest.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.core.result import Neighbor, QueryResult, QueryStats
+from repro.utils.heaps import BoundedMaxHeap
+from repro.utils.validation import check_dataset, check_query
+
+
+class BaseANN(abc.ABC):
+    """Common fit/query plumbing for every baseline."""
+
+    #: Display name used in reports; subclasses override.
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self.data: Optional[np.ndarray] = None
+        self.dim: int = 0
+        self.build_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+
+    def fit(self, data: np.ndarray) -> "BaseANN":
+        """Validate, time, and delegate index construction to ``_build``."""
+        started = time.perf_counter()
+        data = check_dataset(data)
+        self.data = data
+        self.dim = int(data.shape[1])
+        self._build(data)
+        self.build_seconds = time.perf_counter() - started
+        return self
+
+    def query(self, query: np.ndarray, k: int = 1) -> QueryResult:
+        """Run a (c, k)-ANN query and package results with work counters."""
+        if self.data is None:
+            raise RuntimeError("fit() must be called before querying")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        query = check_query(query, self.dim)
+        stats = QueryStats()
+        heap = BoundedMaxHeap(k)
+        started = time.perf_counter()
+        self._search(query, k, heap, stats)
+        stats.elapsed_seconds = time.perf_counter() - started
+        neighbors = [Neighbor(int(i), float(d)) for d, i in heap.items()]
+        return QueryResult(neighbors=neighbors, stats=stats)
+
+    @property
+    def num_points(self) -> int:
+        return 0 if self.data is None else int(self.data.shape[0])
+
+    @property
+    def num_hash_functions(self) -> int:
+        """Index-size proxy (§VI-B2); 0 for non-hashing methods."""
+        return 0
+
+    # ------------------------------------------------------------------
+    # Subclass interface
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _build(self, data: np.ndarray) -> None:
+        """Construct the index over validated ``data``."""
+
+    @abc.abstractmethod
+    def _search(
+        self, query: np.ndarray, k: int, heap: BoundedMaxHeap, stats: QueryStats
+    ) -> None:
+        """Fill ``heap`` with candidates, updating ``stats`` counters."""
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _verify(
+        self,
+        candidate_ids: Iterable[int],
+        query: np.ndarray,
+        heap: BoundedMaxHeap,
+        stats: QueryStats,
+        seen: Optional[np.ndarray] = None,
+    ) -> int:
+        """Compute true distances for candidates and push them into ``heap``.
+
+        ``seen`` (a boolean mask) deduplicates across calls.  Returns the
+        number of *new* candidates verified in this call.
+        """
+        assert self.data is not None
+        ids = np.asarray(list(candidate_ids) if not isinstance(candidate_ids, np.ndarray)
+                         else candidate_ids, dtype=np.int64)
+        if ids.size == 0:
+            return 0
+        if seen is not None:
+            ids = ids[~seen[ids]]
+            if ids.size == 0:
+                return 0
+            seen[ids] = True
+        dists = np.linalg.norm(self.data[ids] - query, axis=1)
+        stats.distance_computations += int(ids.size)
+        stats.candidates_verified += int(ids.size)
+        for point_id, dist in zip(ids, dists):
+            heap.push(float(dist), int(point_id))
+        return int(ids.size)

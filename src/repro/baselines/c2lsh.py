@@ -1,0 +1,151 @@
+"""C2LSH [9]: collision counting over static buckets with virtual rehashing.
+
+C2LSH keeps ``m`` *one-dimensional* static hash functions (Eq. 1 family)
+instead of ``L`` K-dimensional compound hashes.  A point is a candidate
+once it shares a bucket with the query in at least ``l`` of the ``m``
+functions.  Enlarging the search radius never re-projects: "virtual
+rehashing" merges ``c`` adjacent width-``w`` buckets into one width-``cw``
+bucket, which on integer bucket ids is a floor division — hence C2LSH
+requires an *integer* approximation ratio (its known limitation; the
+default here is ``c = 2``).
+
+The paper classifies C2's weakness as the unbounded cross-shaped search
+region and the per-dimension counting cost; both are visible in this
+implementation's counters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.base import BaseANN
+from repro.core.result import QueryStats
+from repro.hashing.families import PStableHashFamily
+from repro.utils.heaps import BoundedMaxHeap
+from repro.utils.rng import SeedLike
+from repro.utils.scale import estimate_nn_distance
+from repro.utils.validation import check_positive
+
+
+class C2LSH(BaseANN):
+    """Static collision counting with virtual rehashing (integer ``c``)."""
+
+    name = "C2LSH"
+
+    def __init__(
+        self,
+        c: int = 2,
+        m: int = 40,
+        w: float = 1.0,
+        collision_ratio: float = 0.4,
+        beta: float = 0.05,
+        max_rounds: int = 40,
+        auto_scale: bool = False,
+        seed: SeedLike = 0,
+    ) -> None:
+        """``auto_scale=True`` anchors the radius unit (and with it the base
+        bucket width ``w * r0``) to the sampled typical NN distance, two
+        c-steps below it — the counterpart of DB-LSH's auto radius for a
+        method whose buckets are static."""
+        super().__init__()
+        if int(c) != c or c < 2:
+            raise ValueError(f"C2LSH requires an integer c >= 2, got {c}")
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        if not 0.0 < collision_ratio <= 1.0:
+            raise ValueError(f"collision_ratio must be in (0, 1], got {collision_ratio}")
+        self.c = int(c)
+        self.m = int(m)
+        self.w = check_positive("w", w)
+        self.collision_ratio = float(collision_ratio)
+        self.l_threshold = max(1, int(np.ceil(self.collision_ratio * self.m)))
+        self.beta = check_positive("beta", beta)
+        self.max_rounds = int(max_rounds)
+        self.auto_scale = bool(auto_scale)
+        self.initial_radius = 1.0
+        self.seed = seed
+        self._family: Optional[PStableHashFamily] = None
+        self._base_buckets: Optional[np.ndarray] = None  # (n, m) int64
+
+    @property
+    def num_hash_functions(self) -> int:
+        return self.m
+
+    def _build(self, data: np.ndarray) -> None:
+        if self.auto_scale:
+            base = estimate_nn_distance(data)
+            if base > 0:
+                self.initial_radius = max(base / (self.c**2), np.finfo(np.float64).tiny)
+        effective_w = self.w * self.initial_radius
+        self._family = PStableHashFamily(self.dim, self.m, effective_w, seed=self.seed)
+        self._base_buckets = self._family.hash(data)
+        # Per-function: ids sorted by base bucket, plus the sorted bucket key
+        # of every id.  A merged bucket at level s is the contiguous run of
+        # base keys in [q_merged * c^s, (q_merged + 1) * c^s), located with
+        # two binary searches — no per-base-bucket enumeration, so high
+        # levels (huge merge factors) stay O(log n + hits).
+        self._sorted_ids: List[np.ndarray] = []
+        self._sorted_keys: List[np.ndarray] = []
+        for j in range(self.m):
+            order = np.argsort(self._base_buckets[:, j], kind="stable")
+            self._sorted_ids.append(order.astype(np.int64))
+            self._sorted_keys.append(self._base_buckets[order, j])
+
+    def _search(
+        self, query: np.ndarray, k: int, heap: BoundedMaxHeap, stats: QueryStats
+    ) -> None:
+        assert self.data is not None and self._family is not None
+        assert self._base_buckets is not None
+        n = self.data.shape[0]
+        q_buckets = self._family.hash_one(query)
+        stats.hash_evaluations = self.m
+        budget = int(np.ceil(self.beta * n)) + k
+        counts = np.zeros(n, dtype=np.int32)
+        # At level s the bucket of id b is b // c^s; a point newly collides
+        # at the first level where its merged id matches the query's.
+        collided = np.zeros((n, self.m), dtype=bool)
+        verified = np.zeros(n, dtype=bool)
+        radius = self.initial_radius
+
+        for level in range(self.max_rounds):
+            stats.rounds += 1
+            stats.final_radius = radius
+            cutoff = float(self.c) * radius
+            factor = self.c**level
+            for j in range(self.m):
+                q_merged = int(q_buckets[j]) // factor
+                base_lo = q_merged * factor
+                keys = self._sorted_keys[j]
+                start = int(np.searchsorted(keys, base_lo, side="left"))
+                stop = int(np.searchsorted(keys, base_lo + factor, side="left"))
+                if start == stop:
+                    continue
+                members = self._sorted_ids[j][start:stop]
+                fresh = members[~collided[members, j]]
+                if fresh.size == 0:
+                    continue
+                collided[fresh, j] = True
+                counts[fresh] += 1
+                ready = fresh[(counts[fresh] >= self.l_threshold) & ~verified[fresh]]
+                if ready.size == 0:
+                    continue
+                remaining = budget - stats.candidates_verified
+                if ready.size > remaining:
+                    ready = ready[:remaining]
+                verified[ready] = True
+                self._verify(ready, query, heap, stats)
+                if stats.candidates_verified >= budget:
+                    stats.terminated_by = "budget"
+                    return
+            # Per-round radius stop: finish the round's counting first so
+            # every point that crossed the threshold this round is verified.
+            if heap.full and heap.bound <= cutoff:
+                stats.terminated_by = "radius"
+                return
+            if bool(verified.all()):
+                stats.terminated_by = "exhausted"
+                return
+            radius *= self.c
+        stats.terminated_by = "max_rounds"

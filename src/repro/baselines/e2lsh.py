@@ -1,0 +1,136 @@
+"""E2LSH: the classic static (K, L)-index [3], [8].
+
+E2LSH answers c-ANN by preparing a *separate* (K, L)-index for every
+radius in the geometric schedule ``r = r0, c r0, c^2 r0, ...`` — this is
+the ``M`` in its ``O(M n^{1+rho} d log n)`` index size (Table I of the
+paper) and the storage-cost weakness DB-LSH removes.  Each suit hashes
+with the p-stable functions of Eq. 1 at width ``w * r`` and stores points
+in hash tables keyed by the K-dimensional bucket vector; a query probes
+its own bucket in each of the ``L`` tables per radius and verifies the
+collisions, stopping per the standard (r, c)-NN conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.baselines.base import BaseANN
+from repro.core.result import QueryStats
+from repro.hashing.families import PStableHashFamily
+from repro.utils.heaps import BoundedMaxHeap
+from repro.utils.rng import SeedLike, derive_seed
+from repro.utils.scale import estimate_nn_distance
+from repro.utils.validation import check_positive
+
+
+class E2LSH(BaseANN):
+    """Static (K, L)-index with one independent suit per radius.
+
+    Parameters
+    ----------
+    c:
+        Approximation ratio; also the radius growth factor.
+    w:
+        Base bucket width at radius 1 (suit ``j`` uses ``w * c^j``).
+    k_per_table, l_tables:
+        The (K, L) shape of every suit.
+    num_radii:
+        ``M``: how many radius suits to materialise at build time.
+    budget_per_table:
+        Candidates verified before giving up are capped at
+        ``2 * budget_per_table * l_tables + k`` (mirrors DB-LSH's ``t``).
+    initial_radius:
+        Radius of the first suit.
+    """
+
+    name = "E2LSH"
+
+    def __init__(
+        self,
+        c: float = 1.5,
+        w: float = 4.0,
+        k_per_table: int = 8,
+        l_tables: int = 5,
+        num_radii: int = 12,
+        budget_per_table: int = 16,
+        initial_radius: float = 1.0,
+        auto_initial_radius: bool = False,
+        seed: SeedLike = 0,
+    ) -> None:
+        super().__init__()
+        if c <= 1.0:
+            raise ValueError(f"approximation ratio c must be > 1, got {c}")
+        self.c = float(c)
+        self.w = check_positive("w", w)
+        self.k_per_table = int(k_per_table)
+        self.l_tables = int(l_tables)
+        self.num_radii = int(num_radii)
+        self.budget_per_table = int(budget_per_table)
+        self.initial_radius = check_positive("initial_radius", initial_radius)
+        self.auto_initial_radius = bool(auto_initial_radius)
+        self.seed = seed
+        self._suits: List[List[Tuple[PStableHashFamily, Dict[Tuple[int, ...], np.ndarray]]]] = []
+
+    @property
+    def num_hash_functions(self) -> int:
+        """M * L * K functions — the Table I storage blow-up, made visible."""
+        return self.num_radii * self.l_tables * self.k_per_table
+
+    def _build(self, data: np.ndarray) -> None:
+        if self.auto_initial_radius:
+            base = estimate_nn_distance(data)
+            if base > 0:
+                self.initial_radius = max(base / (self.c**2), np.finfo(np.float64).tiny)
+        self._suits = []
+        for j in range(self.num_radii):
+            width = self.w * self.initial_radius * (self.c**j)
+            suit = []
+            for i in range(self.l_tables):
+                family = PStableHashFamily(
+                    self.dim, self.k_per_table, width, seed=derive_seed(self.seed, j, i)
+                )
+                keys = family.hash(data)
+                table: Dict[Tuple[int, ...], List[int]] = {}
+                for point_id, key in enumerate(keys):
+                    table.setdefault(tuple(key.tolist()), []).append(point_id)
+                suit.append(
+                    (family, {k: np.asarray(v, dtype=np.int64) for k, v in table.items()})
+                )
+            self._suits.append(suit)
+
+    def _search(
+        self, query: np.ndarray, k: int, heap: BoundedMaxHeap, stats: QueryStats
+    ) -> None:
+        assert self.data is not None
+        budget = 2 * self.budget_per_table * self.l_tables + k
+        seen = np.zeros(self.data.shape[0], dtype=bool)
+        radius = self.initial_radius
+        for suit in self._suits:
+            stats.rounds += 1
+            stats.final_radius = radius
+            cutoff = self.c * radius
+            for family, table in suit:
+                key = tuple(family.hash_one(query).tolist())
+                stats.hash_evaluations += family.size
+                bucket = table.get(key)
+                if bucket is None:
+                    continue
+                fresh = bucket[~seen[bucket]]
+                if fresh.size == 0:
+                    continue
+                seen[fresh] = True
+                dists = np.linalg.norm(self.data[fresh] - query, axis=1)
+                stats.distance_computations += int(fresh.size)
+                for point_id, dist in zip(fresh, dists):
+                    stats.candidates_verified += 1
+                    heap.push(float(dist), int(point_id))
+                    if stats.candidates_verified >= budget:
+                        stats.terminated_by = "budget"
+                        return
+                    if heap.full and heap.bound <= cutoff:
+                        stats.terminated_by = "radius"
+                        return
+            radius *= self.c
+        stats.terminated_by = "schedule_exhausted"

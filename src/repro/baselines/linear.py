@@ -1,0 +1,39 @@
+"""Exact linear scan: the correctness oracle and the cost yardstick.
+
+The paper uses linear scan implicitly — ground truth for recall/ratio and
+the "as long as linear scan" remark about VHP on the largest datasets both
+reference it.  It is also the natural upper bound on per-query distance
+computations (``n``), against which every LSH method's candidate counts
+are compared in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaseANN
+from repro.core.result import QueryStats
+from repro.utils.heaps import BoundedMaxHeap
+
+
+class LinearScan(BaseANN):
+    """Brute-force exact k-NN."""
+
+    name = "LinearScan"
+
+    def _build(self, data: np.ndarray) -> None:
+        # Pre-computed squared norms accelerate the scan's distance kernel.
+        self._norms_sq = np.einsum("ij,ij->i", data, data)
+
+    def _search(
+        self, query: np.ndarray, k: int, heap: BoundedMaxHeap, stats: QueryStats
+    ) -> None:
+        assert self.data is not None
+        sq = self._norms_sq - 2.0 * (self.data @ query) + float(query @ query)
+        np.maximum(sq, 0.0, out=sq)
+        dists = np.sqrt(sq)
+        stats.distance_computations += int(dists.shape[0])
+        stats.candidates_verified += int(dists.shape[0])
+        top = np.argpartition(dists, min(k, dists.shape[0]) - 1)[:k]
+        for point_id in top:
+            heap.push(float(dists[point_id]), int(point_id))

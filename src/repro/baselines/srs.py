@@ -1,0 +1,89 @@
+"""SRS [34]: tiny-index projected search with incremental NN and early stop.
+
+SRS is the minimal dynamic metric-query method: project into only
+``m ~ 6`` dimensions, index the projected points with any exact
+low-dimensional structure (the original uses an R-tree; a KD-tree is used
+here — both provide the identical best-first incremental NN stream), and
+verify projected neighbors in ascending projected distance.  Its index is
+``O(n)`` — by far the smallest of all methods (Table I's "tiny index").
+
+Early termination follows the original's chi-square test: for a point at
+true distance ``tau`` the projected squared distance is
+``tau^2 * chi2_m``; once the next projected distance ``pi`` satisfies
+``P[chi2_m <= m_quantile] >= p_tau`` with ``pi > d_k / c *
+sqrt(quantile)``, a better-than-``d_k / c`` point would already have
+surfaced with probability ``p_tau``, so scanning stops.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.baselines.base import BaseANN
+from repro.core.result import QueryStats
+from repro.hashing.families import GaussianProjectionFamily
+from repro.index.kdtree import KDTree
+from repro.utils.heaps import BoundedMaxHeap
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_positive, check_probability
+
+
+class SRS(BaseANN):
+    """c-ANN via incremental NN in a 6-dimensional projected space."""
+
+    name = "SRS"
+
+    def __init__(
+        self,
+        c: float = 1.5,
+        m: int = 6,
+        beta: float = 0.05,
+        p_tau: float = 0.95,
+        seed: SeedLike = 0,
+    ) -> None:
+        super().__init__()
+        if c <= 1.0:
+            raise ValueError(f"approximation ratio c must be > 1, got {c}")
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        self.c = float(c)
+        self.m = int(m)
+        self.beta = check_positive("beta", beta)
+        self.p_tau = check_probability("p_tau", p_tau)
+        self.seed = seed
+        self._family: Optional[GaussianProjectionFamily] = None
+        self._tree: Optional[KDTree] = None
+        self._chi2_quantile = float(scipy_stats.chi2.ppf(self.p_tau, self.m))
+
+    @property
+    def num_hash_functions(self) -> int:
+        return self.m
+
+    def _build(self, data: np.ndarray) -> None:
+        self._family = GaussianProjectionFamily(self.dim, self.m, seed=self.seed)
+        self._tree = KDTree(self._family.project(data))
+
+    def _search(
+        self, query: np.ndarray, k: int, heap: BoundedMaxHeap, stats: QueryStats
+    ) -> None:
+        assert self.data is not None and self._family is not None and self._tree is not None
+        n = self.data.shape[0]
+        q_proj = self._family.project_one(query)
+        stats.hash_evaluations = self.m
+        budget = int(np.ceil(self.beta * n)) + k
+        stats.rounds = 1
+        stop_scale = np.sqrt(self._chi2_quantile) / self.c
+
+        for proj_dist, point_id in self._tree.nearest_iter(q_proj):
+            stats.index_node_visits = self._tree.node_visits
+            self._verify([point_id], query, heap, stats)
+            if stats.candidates_verified >= budget:
+                stats.terminated_by = "budget"
+                return
+            if heap.full and proj_dist > heap.bound * stop_scale:
+                stats.terminated_by = "chi2_stop"
+                return
+        stats.terminated_by = "exhausted"

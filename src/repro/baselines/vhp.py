@@ -1,0 +1,147 @@
+"""VHP [27]: virtual hypersphere partitioning.
+
+VHP starts from QALSH's setup — ``m`` 1-D projections with query-centred
+intervals over B+-trees — but observes that requiring ``l`` independent
+slab collisions is equivalent to intersecting hyper-*planes*, and replaces
+the acceptance test with membership in a virtual hyper-*sphere* in the
+projected space: a point qualifies when its projected squared distance
+``sum_j (h_j(o) - h_j(q))^2`` is at most ``(t0 * r)^2 * m``.  The slab
+counting is kept as a cheap prefilter (a point inside the sphere must
+collide in many slabs), so B+-tree work is unchanged while the candidate
+set shrinks — the smaller space the VHP paper claims over QALSH.
+
+The paper's §VI-A uses ``t0 = 1.4`` and ``m = 60`` (80 for the very
+high-dimensional datasets); those are the defaults here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.base import BaseANN
+from repro.core.result import QueryStats
+from repro.hashing.families import GaussianProjectionFamily
+from repro.index.bplustree import BPlusTree
+from repro.utils.heaps import BoundedMaxHeap
+from repro.utils.rng import SeedLike
+from repro.utils.scale import estimate_nn_distance
+from repro.utils.validation import check_positive
+
+
+class VHP(BaseANN):
+    """Hypersphere-filtered collision counting over B+-trees."""
+
+    name = "VHP"
+
+    def __init__(
+        self,
+        c: float = 1.5,
+        m: int = 60,
+        t0: float = 1.4,
+        collision_ratio: float = 0.3,
+        beta: float = 0.05,
+        initial_radius: float = 1.0,
+        auto_initial_radius: bool = False,
+        max_rounds: int = 64,
+        seed: SeedLike = 0,
+    ) -> None:
+        super().__init__()
+        if c <= 1.0:
+            raise ValueError(f"approximation ratio c must be > 1, got {c}")
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        if not 0.0 < collision_ratio <= 1.0:
+            raise ValueError(f"collision_ratio must be in (0, 1], got {collision_ratio}")
+        self.c = float(c)
+        self.m = int(m)
+        self.t0 = check_positive("t0", t0)
+        self.collision_ratio = float(collision_ratio)
+        self.l_threshold = max(1, int(np.ceil(self.collision_ratio * self.m)))
+        self.beta = check_positive("beta", beta)
+        self.initial_radius = check_positive("initial_radius", initial_radius)
+        self.auto_initial_radius = bool(auto_initial_radius)
+        self.max_rounds = int(max_rounds)
+        self.seed = seed
+        self._family: Optional[GaussianProjectionFamily] = None
+        self._projections: Optional[np.ndarray] = None  # (n, m)
+        self._trees: List[BPlusTree] = []
+
+    @property
+    def num_hash_functions(self) -> int:
+        return self.m
+
+    def _build(self, data: np.ndarray) -> None:
+        if self.auto_initial_radius:
+            base = estimate_nn_distance(data)
+            if base > 0:
+                self.initial_radius = max(base / (self.c**2), np.finfo(np.float64).tiny)
+        self._family = GaussianProjectionFamily(self.dim, self.m, seed=self.seed)
+        self._projections = self._family.project(data)
+        self._trees = [BPlusTree(self._projections[:, j]) for j in range(self.m)]
+
+    def _search(
+        self, query: np.ndarray, k: int, heap: BoundedMaxHeap, stats: QueryStats
+    ) -> None:
+        assert self.data is not None and self._family is not None
+        assert self._projections is not None
+        n = self.data.shape[0]
+        q_proj = self._family.project_one(query)
+        stats.hash_evaluations = self.m
+        budget = int(np.ceil(self.beta * n)) + k
+        counts = np.zeros(n, dtype=np.int32)
+        verified = np.zeros(n, dtype=bool)
+        rejected = np.zeros(n, dtype=bool)  # failed the sphere test this round
+        radius = self.initial_radius
+        prev_half = np.zeros(self.m)
+
+        for _ in range(self.max_rounds):
+            stats.rounds += 1
+            stats.final_radius = radius
+            cutoff = self.c * radius
+            half = self.t0 * radius
+            sphere_sq = (self.t0 * radius) ** 2 * self.m
+            rejected[:] = False  # the sphere grows; re-test this round
+            for j, tree in enumerate(self._trees):
+                center = q_proj[j]
+                if prev_half[j] == 0.0:
+                    new_ids = tree.range_query(center - half, center + half)
+                else:
+                    left = tree.range_query(center - half, center - prev_half[j])
+                    right = tree.range_query(center + prev_half[j], center + half)
+                    new_ids = np.concatenate([left, right])
+                stats.index_node_visits = tree.node_visits
+                if new_ids.size:
+                    counts[new_ids] += 1
+                # Prefilter: enough slab collisions, not yet verified.
+                pending = np.flatnonzero(
+                    (counts >= self.l_threshold) & ~verified & ~rejected
+                )
+                if pending.size == 0:
+                    continue
+                # Hypersphere test in the projected space.
+                proj_delta = self._projections[pending] - q_proj
+                proj_sq = np.einsum("ij,ij->i", proj_delta, proj_delta)
+                inside = pending[proj_sq <= sphere_sq]
+                rejected[pending[proj_sq > sphere_sq]] = True
+                if inside.size == 0:
+                    continue
+                remaining = budget - stats.candidates_verified
+                if inside.size > remaining:
+                    inside = inside[:remaining]
+                verified[inside] = True
+                self._verify(inside, query, heap, stats)
+                if stats.candidates_verified >= budget:
+                    stats.terminated_by = "budget"
+                    return
+            # Per-round radius stop (see QALSH): count the full round first.
+            if heap.full and heap.bound <= cutoff:
+                stats.terminated_by = "radius"
+                return
+            prev_half[:] = half
+            if bool(verified.all()):
+                stats.terminated_by = "exhausted"
+                return
+            radius *= self.c
+        stats.terminated_by = "max_rounds"

@@ -1,0 +1,138 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the practitioner loop without writing code:
+
+* ``info``     — dataset hardness diagnostics + derived DB-LSH parameters;
+* ``bench``    — a miniature Table IV on a registry stand-in or fvecs file;
+* ``tune``     — sweep the budget knob ``t`` for a target recall.
+
+Data sources: a registry stand-in name (``--dataset audio``) or an
+``.fvecs`` file (``--fvecs path``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+import numpy as np
+
+from repro import DBLSH, derive_parameters
+from repro.baselines import FBLSH, LinearScan, PMLSH, QALSH
+from repro.data.analysis import hardness_report
+from repro.data.datasets import DATASET_REGISTRY, make_dataset
+from repro.data.loaders import read_fvecs
+from repro.eval.report import format_table
+from repro.eval.runner import run_comparison
+from repro.eval.tuning import tune_budget
+
+
+def _load_points(args: argparse.Namespace) -> tuple:
+    """Resolve (data, queries, label) from --dataset or --fvecs."""
+    if args.fvecs:
+        points = read_fvecs(args.fvecs, limit=args.limit)
+        rng = np.random.default_rng(args.seed)
+        query_ids = rng.choice(points.shape[0], size=args.queries, replace=False)
+        mask = np.zeros(points.shape[0], dtype=bool)
+        mask[query_ids] = True
+        return points[~mask], points[mask], args.fvecs
+    dataset = make_dataset(args.dataset, n_queries=args.queries, seed=args.seed,
+                           scale=args.scale)
+    return dataset.data, dataset.queries, dataset.name
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    data, _, label = _load_points(args)
+    report = hardness_report(data, sample=min(100, data.shape[0]))
+    params = derive_parameters(data.shape[0], c=args.c)
+    rows = [
+        {"quantity": "points", "value": data.shape[0]},
+        {"quantity": "dimensions", "value": data.shape[1]},
+        {"quantity": "relative contrast", "value": round(report.relative_contrast, 3)},
+        {"quantity": "local intrinsic dim", "value": round(report.lid, 2)},
+        {"quantity": "mean NN distance", "value": round(report.mean_nn_distance, 4)},
+        {"quantity": "derived K (Lemma 1)", "value": params.k_per_space},
+        {"quantity": "derived L (Lemma 1)", "value": params.l_spaces},
+        {"quantity": "rho*", "value": round(params.rho_star, 6)},
+    ]
+    print(format_table(rows, title=f"Dataset info: {label}"))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    data, queries, label = _load_points(args)
+    methods = [
+        DBLSH(c=args.c, l_spaces=5, k_per_space=10, t=args.t, seed=args.seed,
+              auto_initial_radius=True),
+        FBLSH(c=args.c, k_per_space=5, l_spaces=10, t=args.t, seed=args.seed,
+              auto_initial_radius=True),
+        QALSH(c=args.c, m=40, w=2.719, beta=0.05, seed=args.seed,
+              auto_initial_radius=True),
+        PMLSH(m=15, beta=0.08, seed=args.seed),
+        LinearScan(),
+    ]
+    results = run_comparison(methods, data, queries, k=args.k, dataset_name=label)
+    print(format_table([r.row() for r in results],
+                       title=f"Benchmark: {label} (k={args.k})"))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    data, _, label = _load_points(args)
+    outcome = tune_budget(
+        data, target_recall=args.target_recall, k=args.k, c=args.c, seed=args.seed
+    )
+    rows = [
+        {"t": t, "recall": r, "candidates": c} for t, r, c in outcome.trace
+    ]
+    print(format_table(rows, title=f"Budget sweep on {label}"))
+    status = "reached" if outcome.reached_target else "NOT reached (best shown)"
+    print(
+        f"\ntarget recall {outcome.target_recall} {status}: "
+        f"t = {outcome.best_t} -> recall {outcome.achieved_recall:.3f} "
+        f"at {outcome.candidates_per_query:.0f} candidates/query"
+    )
+    return 0 if outcome.reached_target else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="DB-LSH reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, handler, description in [
+        ("info", _cmd_info, "dataset diagnostics + derived parameters"),
+        ("bench", _cmd_bench, "miniature Table IV on one workload"),
+        ("tune", _cmd_tune, "sweep the budget knob t for a target recall"),
+    ]:
+        cmd = sub.add_parser(name, help=description)
+        cmd.set_defaults(handler=handler)
+        source = cmd.add_mutually_exclusive_group()
+        source.add_argument(
+            "--dataset", default="audio",
+            choices=sorted(DATASET_REGISTRY), help="registry stand-in name",
+        )
+        source.add_argument("--fvecs", help="path to an .fvecs file")
+        cmd.add_argument("--limit", type=int, default=None,
+                         help="max vectors to read from --fvecs")
+        cmd.add_argument("--scale", type=float, default=0.5,
+                         help="registry stand-in scale factor")
+        cmd.add_argument("--queries", type=int, default=20)
+        cmd.add_argument("--k", type=int, default=10)
+        cmd.add_argument("--c", type=float, default=1.5)
+        cmd.add_argument("--t", type=int, default=16)
+        cmd.add_argument("--seed", type=int, default=0)
+        if name == "tune":
+            cmd.add_argument("--target-recall", type=float, default=0.9)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

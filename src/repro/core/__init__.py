@@ -1,0 +1,21 @@
+"""The paper's primary contribution: the DB-LSH index.
+
+:class:`~repro.core.dblsh.DBLSH` implements the indexing phase (§IV-B: L
+K-dimensional projected spaces indexed by R*-trees) and the query phase
+(§IV-C: query-centric dynamic bucketing via window queries, Algorithms 1
+and 2, and their (c, k)-ANN adaptation).  Parameter derivation following
+Lemma 1 / Remark 2 lives in :mod:`repro.core.params`.
+"""
+
+from repro.core.dblsh import DBLSH
+from repro.core.params import DBLSHParams, derive_parameters
+from repro.core.result import Neighbor, QueryResult, QueryStats
+
+__all__ = [
+    "DBLSH",
+    "DBLSHParams",
+    "derive_parameters",
+    "Neighbor",
+    "QueryResult",
+    "QueryStats",
+]

@@ -1,0 +1,454 @@
+"""DB-LSH: dynamic query-centric bucketing over a (K, L)-index (§IV).
+
+Indexing phase (§IV-B)
+    Each data point is projected into ``L`` independent ``K``-dimensional
+    spaces by ``L x K`` Gaussian LSH functions (Eq. 7) and the projected
+    points of each space are stored in a multi-dimensional index — by
+    default a bulk-loaded R*-tree.
+
+Query phase (§IV-C)
+    An ``(r, c)``-NN query builds, per space, the query-centric hypercubic
+    bucket ``W(G_i(q), w0 * r)`` (Eq. 8) as an index window query and
+    verifies the points streaming out of it.  A ``c``-ANN (or
+    ``(c, k)``-ANN) query issues ``(r, c)``-NN queries at radii
+    ``r = r0, c r0, c^2 r0, ...`` until either
+
+    * ``2tL + k`` distinct candidates have been verified, or
+    * the k-th nearest neighbor found so far is within ``c * r``
+
+    (the two termination conditions of Algorithm 1 / §IV-C).  Observation 1
+    guarantees the single set of indexes serves every radius.
+
+The implementation keeps a per-query *seen set* so a point is verified at
+most once even though windows at successive radii nest; this matches the
+paper's accounting of "points accessed".
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.core.params import DBLSHParams, derive_parameters
+from repro.core.result import Neighbor, QueryResult, QueryStats
+from repro.hashing.compound import CompoundHasher
+from repro.index.grid import GridIndex
+from repro.index.kdtree import KDTree
+from repro.index.rstar import RStarTree
+from repro.utils.heaps import BoundedMaxHeap
+from repro.utils.rng import SeedLike
+from repro.utils.scale import estimate_nn_distance
+from repro.utils.validation import check_dataset, check_positive, check_query
+
+_BACKENDS = ("rstar", "rstar-insert", "kdtree", "grid")
+
+
+class DBLSH:
+    """The DB-LSH index.
+
+    Parameters
+    ----------
+    c:
+        Approximation ratio ``c > 1`` (paper default 1.5).  Theorem 1
+        guarantees a ``c^2``-ANN with constant probability.
+    w0:
+        Base bucket width; defaults to the paper's ``4 c^2``.
+    k_per_space, l_spaces:
+        The (K, L)-index shape.  ``None`` derives them from Lemma 1 at
+        ``fit`` time; the paper's experiments pin ``l_spaces = 5`` and
+        ``k_per_space = 10..12``.
+    t:
+        Remark 2's budget constant; a query verifies at most ``2tL + k``
+        candidates.
+    backend:
+        ``"rstar"`` (STR bulk-loaded R*-tree, the paper's choice),
+        ``"rstar-insert"`` (same tree built by repeated R* insertion, for
+        the bulk-loading ablation), ``"kdtree"`` or ``"grid"`` (backend
+        ablation).
+    max_entries:
+        R*-tree node capacity.
+    initial_radius:
+        The starting radius ``r0`` of Algorithm 2 (paper assumes 1).
+        ``auto_initial_radius=True`` instead estimates ``r0`` from a data
+        sample at fit time, useful when feature scales are far from 1.
+    patience:
+        Optional early-termination extension (§VII future work): stop a
+        query after this many consecutive verified candidates fail to
+        improve the current k-th distance.  ``None`` disables it.
+    seed:
+        Seed for the projection tensor.
+    """
+
+    def __init__(
+        self,
+        c: float = 1.5,
+        w0: Optional[float] = None,
+        k_per_space: Optional[int] = None,
+        l_spaces: Optional[int] = None,
+        t: int = 16,
+        backend: str = "rstar",
+        max_entries: int = 32,
+        initial_radius: float = 1.0,
+        auto_initial_radius: bool = False,
+        patience: Optional[int] = None,
+        seed: SeedLike = 0,
+    ) -> None:
+        if c <= 1.0:
+            raise ValueError(f"approximation ratio c must be > 1, got {c}")
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        if patience is not None and patience < 1:
+            raise ValueError(f"patience must be >= 1 or None, got {patience}")
+        self.c = float(c)
+        self._w0_arg = w0
+        self._k_arg = k_per_space
+        self._l_arg = l_spaces
+        self.t = int(t)
+        self.backend = backend
+        self.max_entries = int(max_entries)
+        self.initial_radius = check_positive("initial_radius", initial_radius)
+        self.auto_initial_radius = bool(auto_initial_radius)
+        self.patience = patience
+        self.seed = seed
+
+        self.params: Optional[DBLSHParams] = None
+        self.data: Optional[np.ndarray] = None
+        self.dim: int = 0
+        self._hasher: Optional[CompoundHasher] = None
+        self._tables: list = []
+        self._table_low: list = []
+        self._table_high: list = []
+        self.build_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Indexing phase
+    # ------------------------------------------------------------------
+
+    def fit(self, data: np.ndarray) -> "DBLSH":
+        """Build the (K, L)-index over ``data`` (n, d)."""
+        started = time.perf_counter()
+        data = check_dataset(data)
+        n, dim = data.shape
+        self.data = data
+        self.dim = dim
+        self.params = derive_parameters(
+            n,
+            c=self.c,
+            w0=self._w0_arg,
+            t=self.t,
+            k_per_space=self._k_arg,
+            l_spaces=self._l_arg,
+        )
+        self._hasher = CompoundHasher(
+            dim, self.params.l_spaces, self.params.k_per_space, self.seed
+        )
+        projections = self._hasher.project_all(data)  # (L, n, K)
+        self._tables = [self._build_table(projections[i]) for i in range(self.params.l_spaces)]
+        self._table_low = [proj.min(axis=0) for proj in projections]
+        self._table_high = [proj.max(axis=0) for proj in projections]
+        if self.auto_initial_radius:
+            self.initial_radius = self._estimate_initial_radius(data)
+        self.build_seconds = time.perf_counter() - started
+        return self
+
+    def _build_table(self, projected: np.ndarray):
+        if self.backend == "rstar":
+            return RStarTree.bulk_load(projected, max_entries=self.max_entries)
+        if self.backend == "rstar-insert":
+            tree = RStarTree(projected.shape[1], max_entries=self.max_entries)
+            for point_id, point in enumerate(projected):
+                tree.insert(point_id, point)
+            return tree
+        if self.backend == "kdtree":
+            return KDTree(projected, leaf_size=self.max_entries)
+        if self.backend == "grid":
+            assert self.params is not None
+            return GridIndex(projected, cell_width=self.params.w0)
+        raise AssertionError(f"unknown backend {self.backend!r}")
+
+    def _estimate_initial_radius(self, data: np.ndarray) -> float:
+        """Anchor the radius schedule two c-steps below the typical NN distance.
+
+        The paper assumes data scaled so ``r0 = 1`` is meaningful; for
+        arbitrary feature scales the shared sampled-NN estimator provides
+        the anchor (every method in this library uses the same estimator,
+        so auto-scaling never favours one of them).
+        """
+        base = estimate_nn_distance(data)
+        if base <= 0:
+            return self.initial_radius
+        return max(base / (self.c**2), np.finfo(np.float64).tiny)
+
+    def add(self, points: np.ndarray) -> None:
+        """Incrementally index new points (R*-tree backends only).
+
+        Not part of the paper's evaluation but a natural capability of the
+        decoupled design: the dynamic bucketing never looks at bucket
+        boundaries, so insertion is a plain R*-tree insert per space.
+        """
+        if self.data is None or self.params is None or self._hasher is None:
+            raise RuntimeError("fit() must be called before add()")
+        if self.backend not in ("rstar", "rstar-insert"):
+            raise NotImplementedError("add() requires an R*-tree backend")
+        points = check_dataset(points)
+        if points.shape[1] != self.dim:
+            raise ValueError(f"points have dimension {points.shape[1]}, expected {self.dim}")
+        start_id = self.data.shape[0]
+        projections = self._hasher.project_all(points)  # (L, m, K)
+        for i, tree in enumerate(self._tables):
+            for offset, projected in enumerate(projections[i]):
+                tree.insert(start_id + offset, projected)
+            self._table_low[i] = np.minimum(self._table_low[i], projections[i].min(axis=0))
+            self._table_high[i] = np.maximum(self._table_high[i], projections[i].max(axis=0))
+        self.data = np.vstack([self.data, points])
+
+    # ------------------------------------------------------------------
+    # Query phase
+    # ------------------------------------------------------------------
+
+    def query(self, query: np.ndarray, k: int = 1) -> QueryResult:
+        """(c, k)-ANN search (Algorithm 2 with the §IV-C adaptation)."""
+        self._require_fitted()
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        assert self.params is not None and self.data is not None and self._hasher is not None
+        started = time.perf_counter()
+        query = check_query(query, self.dim)
+        stats = QueryStats()
+        q_proj = self._hasher.project_query(query)
+        stats.hash_evaluations = self._hasher.num_functions
+
+        heap = BoundedMaxHeap(k)
+        seen = np.zeros(self.data.shape[0], dtype=bool)
+        budget = self.params.budget(k)
+        radius = self.initial_radius
+        no_improve = 0
+
+        while True:
+            stats.rounds += 1
+            stats.final_radius = radius
+            reason = self._probe_round(
+                query, q_proj, radius, heap, seen, budget, stats, no_improve_box=[no_improve]
+            )
+            if reason is not None:
+                stats.terminated_by = reason
+                break
+            if self._window_covers_all(q_proj, self.params.w0 * radius):
+                stats.terminated_by = "exhausted"
+                break
+            radius *= self.c
+
+        stats.elapsed_seconds = time.perf_counter() - started
+        neighbors = [Neighbor(int(i), float(d)) for d, i in heap.items()]
+        return QueryResult(neighbors=neighbors, stats=stats)
+
+    def query_batch(self, queries: np.ndarray, k: int = 1) -> list:
+        """(c, k)-ANN for each row of ``queries``; returns a list of results.
+
+        Convenience wrapper — queries are independent, so this is a loop
+        over :meth:`query` (the per-query radius schedules diverge too
+        early for useful cross-query vectorisation).
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        return [self.query(q, k=k) for q in queries]
+
+    def range_query(self, query: np.ndarray, radius: float, k: int = 1) -> QueryResult:
+        """A single (r, c)-NN query (Algorithm 1) at the given radius.
+
+        Returns up to ``k`` points within ``c * radius`` of the query, or
+        an empty result when Algorithm 1 would return nothing.
+        """
+        self._require_fitted()
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        check_positive("radius", radius)
+        assert self.params is not None and self.data is not None and self._hasher is not None
+        started = time.perf_counter()
+        query = check_query(query, self.dim)
+        stats = QueryStats()
+        stats.rounds = 1
+        stats.final_radius = radius
+        q_proj = self._hasher.project_query(query)
+        stats.hash_evaluations = self._hasher.num_functions
+
+        heap = BoundedMaxHeap(k)
+        seen = np.zeros(self.data.shape[0], dtype=bool)
+        budget = self.params.budget(k)
+        reason = self._probe_round(query, q_proj, radius, heap, seen, budget, stats)
+        stats.terminated_by = reason if reason is not None else "no_result"
+        stats.elapsed_seconds = time.perf_counter() - started
+
+        # Algorithm 1 only *returns* points when a termination condition
+        # fired; points farther than c*r found along the way are dropped.
+        cutoff = self.params.c * radius
+        neighbors = [
+            Neighbor(int(i), float(d)) for d, i in heap.items() if d <= cutoff
+        ]
+        if reason == "budget":
+            # Budget exhaustion returns the current best found so far even
+            # if beyond c*r (Lemma 2 shows that under E2 it cannot be).
+            neighbors = [Neighbor(int(i), float(d)) for d, i in heap.items()]
+        return QueryResult(neighbors=neighbors, stats=stats)
+
+    def _probe_round(
+        self,
+        query: np.ndarray,
+        q_proj: np.ndarray,
+        radius: float,
+        heap: BoundedMaxHeap,
+        seen: np.ndarray,
+        budget: int,
+        stats: QueryStats,
+        no_improve_box: Optional[list] = None,
+    ) -> Optional[str]:
+        """Run the L window queries of one (r, c)-NN round.
+
+        Returns the termination reason (``"budget"``, ``"radius"``,
+        ``"patience"``) or ``None`` when the round finished without
+        triggering Algorithm 1's conditions.
+        """
+        assert self.params is not None and self.data is not None
+        width = self.params.w0 * radius
+        cutoff = self.params.c * radius
+        no_improve = no_improve_box[0] if no_improve_box is not None else 0
+        for i, table in enumerate(self._tables):
+            w_low = q_proj[i] - width / 2.0
+            w_high = q_proj[i] + width / 2.0
+            stats.window_queries += 1
+            for chunk in self._iter_window(table, w_low, w_high):
+                fresh = chunk[~seen[chunk]]
+                if fresh.shape[0] == 0:
+                    continue
+                seen[fresh] = True
+                dists = np.linalg.norm(self.data[fresh] - query, axis=1)
+                stats.distance_computations += int(fresh.shape[0])
+                for point_id, dist in zip(fresh, dists):
+                    stats.candidates_verified += 1
+                    improved = heap.push(float(dist), int(point_id))
+                    if improved:
+                        no_improve = 0
+                    else:
+                        no_improve += 1
+                    if stats.candidates_verified >= budget:
+                        return "budget"
+                    if heap.full and heap.bound <= cutoff:
+                        return "radius"
+                    if self.patience is not None and no_improve >= self.patience:
+                        return "patience"
+        if no_improve_box is not None:
+            no_improve_box[0] = no_improve
+        return None
+
+    def _iter_window(self, table, w_low: np.ndarray, w_high: np.ndarray) -> Iterator[np.ndarray]:
+        return table.window_query_iter(w_low, w_high)
+
+    def _window_covers_all(self, q_proj: np.ndarray, width: float) -> bool:
+        """True when every space's window already contains all points.
+
+        At that radius each window query enumerates the full dataset, so
+        every point has been verified and further enlargement is futile.
+        One covering space suffices (its window returns everything).
+        """
+        half = width / 2.0
+        for i in range(len(self._tables)):
+            if np.all(q_proj[i] - half <= self._table_low[i]) and np.all(
+                q_proj[i] + half >= self._table_high[i]
+            ):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def _require_fitted(self) -> None:
+        if self.data is None:
+            raise RuntimeError("fit() must be called before querying")
+
+    @property
+    def num_points(self) -> int:
+        return 0 if self.data is None else int(self.data.shape[0])
+
+    @property
+    def num_hash_functions(self) -> int:
+        """Index-size proxy used by the paper's §VI-B2 comparison."""
+        if self.params is None:
+            return 0
+        return self.params.k_per_space * self.params.l_spaces
+
+    def index_size_floats(self) -> int:
+        """Stored projected coordinates: ``n * K * L`` floats."""
+        if self.params is None or self.data is None:
+            return 0
+        return self.num_points * self.num_hash_functions
+
+    def save(self, path: str) -> None:
+        """Persist the fitted index to an ``.npz`` archive.
+
+        Stores the data, the projection tensor and the scalar parameters;
+        the per-space trees are *rebuilt* on load (STR bulk loading makes
+        reconstruction cheaper than serialising node graphs — the same
+        trade disk-based systems make with their bulk-load paths).
+        """
+        if self.data is None or self.params is None or self._hasher is None:
+            raise RuntimeError("fit() must be called before save()")
+        np.savez_compressed(
+            path,
+            data=self.data,
+            tensor=self._hasher.tensor,
+            c=self.params.c,
+            w0=self.params.w0,
+            k_per_space=self.params.k_per_space,
+            l_spaces=self.params.l_spaces,
+            t=self.params.t,
+            max_entries=self.max_entries,
+            initial_radius=self.initial_radius,
+            backend=np.bytes_(self.backend.encode()),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "DBLSH":
+        """Rebuild an index persisted with :meth:`save`."""
+        archive = np.load(path, allow_pickle=False)
+        index = cls(
+            c=float(archive["c"]),
+            w0=float(archive["w0"]),
+            k_per_space=int(archive["k_per_space"]),
+            l_spaces=int(archive["l_spaces"]),
+            t=int(archive["t"]),
+            backend=bytes(archive["backend"]).decode(),
+            max_entries=int(archive["max_entries"]),
+            initial_radius=float(archive["initial_radius"]),
+        )
+        data = archive["data"]
+        tensor = archive["tensor"]
+        index.fit(data)
+        # Restore the exact projection tensor (fit drew a fresh one).
+        assert index._hasher is not None
+        if tensor.shape != index._hasher.tensor.shape:
+            raise ValueError("archive tensor shape does not match parameters")
+        index._hasher.tensor = tensor
+        index._hasher._flat = tensor.reshape(
+            index._hasher.l_spaces * index._hasher.k_per_space, index._hasher.dim
+        )
+        projections = index._hasher.project_all(data)
+        index._tables = [
+            index._build_table(projections[i]) for i in range(index.params.l_spaces)  # type: ignore[union-attr]
+        ]
+        index._table_low = [proj.min(axis=0) for proj in projections]
+        index._table_high = [proj.max(axis=0) for proj in projections]
+        return index
+
+    def describe(self) -> str:
+        """One-line human-readable parameter summary."""
+        if self.params is None:
+            return "DBLSH(unfitted)"
+        p = self.params
+        return (
+            f"DBLSH(n={self.num_points}, d={self.dim}, c={p.c}, w0={p.w0:.3g}, "
+            f"K={p.k_per_space}, L={p.l_spaces}, t={p.t}, rho*={p.rho_star:.4f}, "
+            f"backend={self.backend})"
+        )

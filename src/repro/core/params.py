@@ -1,0 +1,117 @@
+"""Parameter derivation for DB-LSH (Lemma 1, Remark 2, §VI-A defaults).
+
+The theory sets, for a ``(1, c, p1, p2)``-sensitive dynamic family with
+base width ``w0``:
+
+* ``K = ceil(log_{1/p2}(n / t))``  — so that far points collide in a given
+  space with probability at most ``t / n`` (Lemma 1's E2 event);
+* ``L = ceil((n / t)^{rho*})`` with ``rho* = ln(1/p1) / ln(1/p2)`` — so
+  that a near point is found with probability at least ``1 - 1/e``
+  (Lemma 1's E1 event);
+* candidate budget ``2tL + k`` (Algorithm 1 / §IV-C).
+
+The experiments (§VI-A) instead pin ``L = 5`` and ``K = 10..12`` with
+``c = 1.5`` and ``w0 = 4 c^2`` — Remark 2 explains the ``t`` knob exists
+precisely to make such small, practical values sound.  Both modes are
+supported: :func:`derive_parameters` computes the theory-faithful values,
+and :class:`DBLSHParams` accepts explicit overrides.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hashing.probability import collision_probability_dynamic, rho_dynamic
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DBLSHParams:
+    """Resolved DB-LSH parameters (all values concrete and validated)."""
+
+    c: float
+    w0: float
+    k_per_space: int
+    l_spaces: int
+    t: int
+    p1: float
+    p2: float
+    rho_star: float
+
+    @property
+    def candidate_budget_base(self) -> int:
+        """The ``2tL`` part of the budget; callers add ``k`` per §IV-C."""
+        return 2 * self.t * self.l_spaces
+
+    def budget(self, k: int) -> int:
+        """Total candidate budget ``2tL + k`` for a (c, k)-ANN query."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        return self.candidate_budget_base + k
+
+
+def default_w0(c: float) -> float:
+    """The paper's default bucket width ``w0 = 4 c^2`` (gamma = 2)."""
+    check_positive("c", c)
+    return 4.0 * c * c
+
+
+def derive_parameters(
+    n: int,
+    c: float = 1.5,
+    w0: Optional[float] = None,
+    t: int = 16,
+    k_per_space: Optional[int] = None,
+    l_spaces: Optional[int] = None,
+) -> DBLSHParams:
+    """Resolve DB-LSH parameters for a dataset of cardinality ``n``.
+
+    ``k_per_space`` / ``l_spaces`` override the theory-derived ``K`` / ``L``
+    (the paper itself pins ``L = 5``, ``K = 10`` or ``12`` in §VI-A).
+    ``t`` trades index size against the per-query candidate budget
+    (Remark 2).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if c <= 1.0:
+        raise ValueError(f"approximation ratio c must be > 1, got {c}")
+    if t < 1:
+        raise ValueError(f"t must be >= 1, got {t}")
+    w0 = default_w0(c) if w0 is None else check_positive("w0", w0)
+
+    p1 = float(collision_probability_dynamic(1.0, w0))
+    p2 = float(collision_probability_dynamic(c, w0))
+    rho_star = rho_dynamic(c, w0)
+
+    ratio = max(2.0, n / t)
+    if k_per_space is None:
+        k_per_space = max(1, math.ceil(math.log(ratio) / math.log(1.0 / p2)))
+    elif k_per_space < 1:
+        raise ValueError(f"k_per_space must be >= 1, got {k_per_space}")
+    if l_spaces is None:
+        l_spaces = max(1, math.ceil(ratio**rho_star))
+    elif l_spaces < 1:
+        raise ValueError(f"l_spaces must be >= 1, got {l_spaces}")
+
+    return DBLSHParams(
+        c=float(c),
+        w0=float(w0),
+        k_per_space=int(k_per_space),
+        l_spaces=int(l_spaces),
+        t=int(t),
+        p1=p1,
+        p2=p2,
+        rho_star=rho_star,
+    )
+
+
+def paper_default_parameters(n: int, c: float = 1.5, t: int = 16) -> DBLSHParams:
+    """The exact §VI-A experimental configuration for cardinality ``n``.
+
+    ``L = 5`` always; ``K = 12`` for datasets above one million points and
+    ``K = 10`` otherwise; ``w0 = 4 c^2``.
+    """
+    k_per_space = 12 if n > 1_000_000 else 10
+    return derive_parameters(n, c=c, t=t, k_per_space=k_per_space, l_spaces=5)

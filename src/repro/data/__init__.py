@@ -1,0 +1,38 @@
+"""Datasets, generators, loaders and exact ground truth.
+
+The paper evaluates on 10 real datasets (Table III).  Those corpora are
+not redistributable and no network is available here, so
+:mod:`repro.data.datasets` provides a registry of *synthetic stand-ins*
+that mirror each dataset's dimensionality and clusteredness at laptop
+scale; :mod:`repro.data.loaders` reads the standard fvecs/ivecs formats
+for users who do have the originals.
+"""
+
+from repro.data.datasets import DATASET_REGISTRY, Dataset, DatasetSpec, make_dataset
+from repro.data.generators import (
+    gaussian_mixture,
+    low_intrinsic_dim,
+    planted_neighbors,
+    scaled_heavy_tailed,
+    uniform_hypercube,
+)
+from repro.data.groundtruth import exact_knn, pairwise_distances_blocked
+from repro.data.loaders import read_fvecs, read_ivecs, write_fvecs, write_ivecs
+
+__all__ = [
+    "DATASET_REGISTRY",
+    "Dataset",
+    "DatasetSpec",
+    "make_dataset",
+    "gaussian_mixture",
+    "low_intrinsic_dim",
+    "planted_neighbors",
+    "scaled_heavy_tailed",
+    "uniform_hypercube",
+    "exact_knn",
+    "pairwise_distances_blocked",
+    "read_fvecs",
+    "read_ivecs",
+    "write_fvecs",
+    "write_ivecs",
+]

@@ -1,0 +1,130 @@
+"""Dataset hardness diagnostics: relative contrast and intrinsic dimension.
+
+§VI-B3 of the paper explains accuracy differences across datasets by
+"intrinsically complex distribution (that can be quantified by relative
+contrast and local intrinsic dimensionality [12], [22], [38])".  This
+module implements both quantifiers so the benchmark suite can *verify*
+that explanation on the stand-ins:
+
+* **relative contrast** (He et al. [12]): ``Cr = E[d_mean] / E[d_nn]`` —
+  the mean distance to a random point over the distance to the nearest
+  neighbor.  Close to 1 means queries cannot distinguish their NN from
+  noise (hard); large means easy.
+* **local intrinsic dimensionality** (LID, Amsaleg et al. / [22]): the
+  maximum-likelihood estimator from the k nearest distances,
+  ``LID = -(1/k * sum_i ln(d_i / d_k))^{-1}``, averaged over sample
+  points.  Higher LID means locally higher-dimensional, i.e. harder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.groundtruth import exact_knn
+from repro.utils.rng import SeedLike, default_rng
+from repro.utils.validation import check_dataset
+
+
+@dataclass(frozen=True)
+class HardnessReport:
+    """Summary hardness diagnostics of a dataset sample."""
+
+    relative_contrast: float
+    lid: float
+    mean_distance: float
+    mean_nn_distance: float
+    sample_size: int
+
+    def row(self) -> dict:
+        return {
+            "relative_contrast": round(self.relative_contrast, 3),
+            "lid": round(self.lid, 2),
+            "mean_dist": round(self.mean_distance, 3),
+            "mean_nn_dist": round(self.mean_nn_distance, 3),
+        }
+
+
+def relative_contrast(
+    data: np.ndarray, sample: int = 100, seed: SeedLike = 0
+) -> float:
+    """He et al.'s relative contrast ``Cr`` on a sampled query set.
+
+    ``Cr -> 1`` is the hardest regime (the paper's NUS); well-clustered
+    descriptor sets score far above 1.
+    """
+    data = check_dataset(data)
+    n = data.shape[0]
+    if n < 3:
+        raise ValueError("relative contrast needs at least 3 points")
+    rng = default_rng(seed)
+    idx = rng.choice(n, size=min(sample, n), replace=False)
+    queries = data[idx]
+    _, dists = exact_knn(queries, data, k=2)
+    # Column 0 is the point itself (distance 0); column 1 the true NN.
+    nn = dists[:, 1]
+    mean_all = np.array(
+        [np.linalg.norm(data - q, axis=1).mean() for q in queries]
+    )
+    valid = nn > 0
+    if not valid.any():
+        raise ValueError("all sampled points are duplicates")
+    return float(np.mean(mean_all[valid] / nn[valid]))
+
+
+def local_intrinsic_dimensionality(
+    data: np.ndarray, k: int = 20, sample: int = 100, seed: SeedLike = 0
+) -> float:
+    """Mean MLE-of-LID over a sample of points.
+
+    Uses the Hill/MLE estimator on each sampled point's k-NN distances;
+    degenerate neighborhoods (zero distances) are skipped.
+    """
+    data = check_dataset(data)
+    n = data.shape[0]
+    if k < 2:
+        raise ValueError(f"k must be >= 2, got {k}")
+    if n <= k:
+        raise ValueError(f"need more than k={k} points, got {n}")
+    rng = default_rng(seed)
+    idx = rng.choice(n, size=min(sample, n), replace=False)
+    _, dists = exact_knn(data[idx], data, k=k + 1)
+    # Drop the self column, keep the k genuine neighbors.
+    neighbor_dists = dists[:, 1:]
+    estimates = []
+    for row in neighbor_dists:
+        d_k = row[-1]
+        if d_k <= 0 or np.any(row <= 0):
+            continue
+        log_ratios = np.log(row / d_k)
+        denom = log_ratios.mean()
+        if denom >= 0:
+            continue
+        estimates.append(-1.0 / denom)
+    if not estimates:
+        raise ValueError("no valid neighborhoods for LID estimation")
+    return float(np.mean(estimates))
+
+
+def hardness_report(
+    data: np.ndarray, k: int = 20, sample: int = 100, seed: SeedLike = 0
+) -> HardnessReport:
+    """Both diagnostics plus the raw distance scales, in one pass-friendly call."""
+    data = check_dataset(data)
+    rng = default_rng(seed)
+    n = data.shape[0]
+    idx = rng.choice(n, size=min(sample, n), replace=False)
+    queries = data[idx]
+    _, dists = exact_knn(queries, data, k=2)
+    nn = dists[:, 1]
+    mean_all = np.array([np.linalg.norm(data - q, axis=1).mean() for q in queries])
+    valid = nn > 0
+    contrast = float(np.mean(mean_all[valid] / nn[valid])) if valid.any() else float("inf")
+    return HardnessReport(
+        relative_contrast=contrast,
+        lid=local_intrinsic_dimensionality(data, k=k, sample=sample, seed=seed),
+        mean_distance=float(mean_all.mean()),
+        mean_nn_distance=float(nn[valid].mean()) if valid.any() else 0.0,
+        sample_size=int(idx.shape[0]),
+    )

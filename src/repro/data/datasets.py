@@ -1,0 +1,189 @@
+"""Registry of synthetic stand-ins for the paper's Table III datasets.
+
+Each entry mirrors one of the 10 real corpora: the *ambient
+dimensionality is kept exactly* (it drives hash-evaluation and distance
+costs) while cardinality is scaled down to laptop size (recorded next to
+the paper's original so reports can show both).  The generator family and
+its knobs are chosen to match what is known about each corpus:
+descriptor datasets (SIFT/DEEP/GIST/Audio) are clustered mixtures, image
+datasets (MNIST/Cifar/Trevi) have low intrinsic dimension, and NUS is
+heavy-tailed with poor relative contrast (the paper's own explanation of
+why every method does worst there).
+
+Queries follow §VI-A: ``n_queries`` points are generated jointly with the
+data and *removed* from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.data import generators
+from repro.utils.rng import SeedLike, default_rng, derive_seed
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Description of one stand-in and its real counterpart."""
+
+    name: str
+    paper_cardinality: int
+    paper_dim: int
+    kind: str
+    cardinality: int
+    dim: int
+    generator: str
+    params: Tuple[Tuple[str, float], ...] = ()
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: paper n={self.paper_cardinality:,} d={self.paper_dim} "
+            f"({self.kind}); stand-in n={self.cardinality:,} d={self.dim} "
+            f"via {self.generator}"
+        )
+
+
+@dataclass
+class Dataset:
+    """A materialised dataset: points, held-out queries, and its spec."""
+
+    spec: DatasetSpec
+    data: np.ndarray
+    queries: np.ndarray
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def n(self) -> int:
+        return int(self.data.shape[0])
+
+    @property
+    def dim(self) -> int:
+        return int(self.data.shape[1])
+
+
+def _spec(
+    name: str,
+    paper_n: int,
+    paper_d: int,
+    kind: str,
+    n: int,
+    d: int,
+    generator: str,
+    **params: float,
+) -> DatasetSpec:
+    return DatasetSpec(
+        name=name,
+        paper_cardinality=paper_n,
+        paper_dim=paper_d,
+        kind=kind,
+        cardinality=n,
+        dim=d,
+        generator=generator,
+        params=tuple(sorted(params.items())),
+    )
+
+
+#: Table III of the paper, mapped to synthetic stand-ins.
+DATASET_REGISTRY: Dict[str, DatasetSpec] = {
+    "audio": _spec(
+        "audio", 54_387, 192, "Audio", 6_000, 192, "gaussian_mixture",
+        n_clusters=30, cluster_std=1.0, center_spread=6.0,
+    ),
+    "mnist": _spec(
+        "mnist", 60_000, 784, "Image", 6_000, 784, "low_intrinsic_dim",
+        intrinsic_dim=12, noise=0.05, scale=5.0,
+    ),
+    "cifar": _spec(
+        "cifar", 60_000, 1024, "Image", 6_000, 1024, "low_intrinsic_dim",
+        intrinsic_dim=16, noise=0.05, scale=5.0,
+    ),
+    "trevi": _spec(
+        "trevi", 101_120, 4096, "Image", 2_000, 4096, "low_intrinsic_dim",
+        intrinsic_dim=24, noise=0.02, scale=4.0,
+    ),
+    "nus": _spec(
+        "nus", 269_648, 500, "SIFT Description", 8_000, 500, "scaled_heavy_tailed",
+        tail=1.0, n_clusters=40,
+    ),
+    "deep1m": _spec(
+        "deep1m", 1_000_000, 256, "DEEP Description", 12_000, 256, "gaussian_mixture",
+        n_clusters=64, cluster_std=1.0, center_spread=5.0,
+    ),
+    "gist": _spec(
+        "gist", 1_000_000, 960, "GIST Description", 8_000, 960, "low_intrinsic_dim",
+        intrinsic_dim=20, noise=0.05, scale=4.0,
+    ),
+    "sift10m": _spec(
+        "sift10m", 10_000_000, 128, "SIFT Description", 20_000, 128, "gaussian_mixture",
+        n_clusters=100, cluster_std=1.0, center_spread=6.0,
+    ),
+    "tiny80m": _spec(
+        "tiny80m", 79_302_017, 384, "GIST Description", 24_000, 384, "gaussian_mixture",
+        n_clusters=120, cluster_std=1.0, center_spread=5.0,
+    ),
+    "sift100m": _spec(
+        "sift100m", 100_000_000, 128, "SIFT Description", 30_000, 128, "gaussian_mixture",
+        n_clusters=150, cluster_std=1.0, center_spread=6.0,
+    ),
+}
+
+_GENERATORS: Dict[str, Callable[..., np.ndarray]] = {
+    "gaussian_mixture": generators.gaussian_mixture,
+    "low_intrinsic_dim": generators.low_intrinsic_dim,
+    "scaled_heavy_tailed": generators.scaled_heavy_tailed,
+    "uniform_hypercube": generators.uniform_hypercube,
+}
+
+
+def make_dataset(
+    name: str,
+    n_queries: int = 100,
+    seed: SeedLike = 0,
+    scale: float = 1.0,
+) -> Dataset:
+    """Materialise a registered stand-in (or a custom spec by name).
+
+    ``scale`` multiplies the stand-in cardinality (used by the vary-``n``
+    experiments of Fig. 5-7, which subsample 0.2n .. n).  Queries are
+    drawn jointly and removed from the data, following §VI-A.
+    """
+    try:
+        spec = DATASET_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(DATASET_REGISTRY))
+        raise KeyError(f"unknown dataset {name!r}; known: {known}") from None
+    if n_queries < 1:
+        raise ValueError(f"n_queries must be >= 1, got {n_queries}")
+    if scale <= 0:
+        raise ValueError(f"scale must be > 0, got {scale}")
+    n_total = max(n_queries + 1, int(round(spec.cardinality * scale)) + n_queries)
+    generator = _GENERATORS[spec.generator]
+    points = generator(n_total, spec.dim, seed=seed, **dict(spec.params))
+    # Query selection derives a child seed from ``seed`` (never Python's
+    # process-salted ``hash``) so datasets are identical across processes.
+    rng = default_rng(seed if seed is None else derive_seed(seed, 17))
+    query_ids = rng.choice(n_total, size=n_queries, replace=False)
+    mask = np.zeros(n_total, dtype=bool)
+    mask[query_ids] = True
+    return Dataset(spec=spec, data=points[~mask], queries=points[mask])
+
+
+def registry_table() -> str:
+    """Render the stand-in registry as an ASCII table (Table III analogue)."""
+    header = (
+        f"{'Dataset':<10} {'Paper n':>12} {'Paper d':>8} {'Stand-in n':>11} "
+        f"{'d':>6} {'Generator':<20} {'Type'}"
+    )
+    lines = [header, "-" * len(header)]
+    for spec in DATASET_REGISTRY.values():
+        lines.append(
+            f"{spec.name:<10} {spec.paper_cardinality:>12,} {spec.paper_dim:>8} "
+            f"{spec.cardinality:>11,} {spec.dim:>6} {spec.generator:<20} {spec.kind}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Readers/writers for the fvecs / ivecs formats of the TEXMEX corpora.
+
+The paper's SIFT datasets ship in these formats (each vector is stored as
+a little-endian int32 dimension header followed by the components).  The
+stand-in registry does not need them, but users holding the real corpora
+can load them and run every benchmark unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+
+def _read_vecs(path: str, dtype: np.dtype, limit: Optional[int]) -> np.ndarray:
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    raw = np.fromfile(path, dtype=np.int32)
+    if raw.size == 0:
+        raise ValueError(f"{path} is empty")
+    dim = int(raw[0])
+    if dim <= 0:
+        raise ValueError(f"{path}: invalid leading dimension {dim}")
+    record = dim + 1
+    if raw.size % record != 0:
+        raise ValueError(f"{path}: size {raw.size} not a multiple of record {record}")
+    count = raw.size // record
+    if limit is not None:
+        count = min(count, limit)
+    table = raw[: count * record].reshape(count, record)
+    headers = table[:, 0]
+    if not np.all(headers == dim):
+        raise ValueError(f"{path}: inconsistent per-vector dimensions")
+    body = np.ascontiguousarray(table[:, 1:])
+    if dtype == np.int32:
+        return body.astype(np.int64)
+    return body.view(np.float32).astype(np.float64)
+
+
+def read_fvecs(path: str, limit: Optional[int] = None) -> np.ndarray:
+    """Read an .fvecs file into an (n, d) float64 array (optionally first ``limit``)."""
+    return _read_vecs(path, np.float32, limit)
+
+
+def read_ivecs(path: str, limit: Optional[int] = None) -> np.ndarray:
+    """Read an .ivecs file into an (n, d) int64 array (optionally first ``limit``)."""
+    return _read_vecs(path, np.int32, limit)
+
+
+def write_fvecs(path: str, vectors: np.ndarray) -> None:
+    """Write an (n, d) array as .fvecs."""
+    vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
+    n, d = vectors.shape
+    table = np.empty((n, d + 1), dtype=np.int32)
+    table[:, 0] = d
+    table[:, 1:] = vectors.view(np.int32)
+    table.tofile(path)
+
+
+def write_ivecs(path: str, vectors: np.ndarray) -> None:
+    """Write an (n, d) int array as .ivecs."""
+    vectors = np.atleast_2d(np.asarray(vectors, dtype=np.int32))
+    n, d = vectors.shape
+    table = np.empty((n, d + 1), dtype=np.int32)
+    table[:, 0] = d
+    table[:, 1:] = vectors
+    table.tofile(path)

@@ -1,0 +1,14 @@
+"""Evaluation: the paper's metrics, the experiment runner, table reports."""
+
+from repro.eval.metrics import overall_ratio, recall
+from repro.eval.report import format_table
+from repro.eval.runner import MethodResult, evaluate_method, run_comparison
+
+__all__ = [
+    "overall_ratio",
+    "recall",
+    "format_table",
+    "MethodResult",
+    "evaluate_method",
+    "run_comparison",
+]

@@ -1,0 +1,59 @@
+"""The paper's two accuracy metrics (Eq. 11 and Eq. 12).
+
+For a (c, k)-ANN query returning ``R = {o_1 .. o_k}`` (ascending by
+distance) against exact k-NN ``R* = {o*_1 .. o*_k}``:
+
+* overall ratio ``= (1/k) * sum_i ||q, o_i|| / ||q, o*_i||`` — how much
+  farther the i-th returned point is than the true i-th neighbor (1.0 is
+  perfect, values close to 1 are good);
+* recall ``= |R intersect R*| / k``.
+
+Methods occasionally return fewer than ``k`` points (tiny datasets,
+exhausted budgets); recall's denominator stays ``k`` (missing positions
+are misses), while the ratio is computed over the returned *prefix* —
+position ``i`` of the result is always compared against position ``i`` of
+the exact answer, never against a padded placeholder (padding can push
+the ratio below 1, which is meaningless).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def overall_ratio(
+    returned_distances: Sequence[float], true_distances: Sequence[float]
+) -> float:
+    """Eq. 11 with guards for short results and zero true distances."""
+    true = np.asarray(true_distances, dtype=np.float64)
+    got = np.asarray(returned_distances, dtype=np.float64)
+    k = true.shape[0]
+    if k == 0:
+        raise ValueError("true_distances must be non-empty")
+    if got.shape[0] > k:
+        got = got[:k]
+    if got.shape[0] == 0:
+        return float("inf")
+    ratios = []
+    for returned, exact in zip(got, true):
+        if exact <= 0.0:
+            # Query coincides with its true neighbor: perfect iff matched.
+            ratios.append(1.0 if returned <= 0.0 else np.nan)
+        else:
+            ratios.append(returned / exact)
+    ratios_arr = np.asarray(ratios)
+    valid = ~np.isnan(ratios_arr)
+    if not valid.any():
+        return float("inf")
+    return float(ratios_arr[valid].mean())
+
+
+def recall(returned_ids: Sequence[int], true_ids: Sequence[int]) -> float:
+    """Eq. 12: fraction of the exact k-NN set that was returned."""
+    true_set = set(int(i) for i in true_ids)
+    if not true_set:
+        raise ValueError("true_ids must be non-empty")
+    got_set = set(int(i) for i in returned_ids)
+    return len(got_set & true_set) / len(true_set)

@@ -1,0 +1,59 @@
+"""ASCII table rendering for benchmark output.
+
+The benchmarks print tables shaped like the paper's (Table IV rows per
+method per dataset, figure series as columns over a swept parameter);
+:func:`format_table` is the single formatter they share.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict rows as a fixed-width ASCII table.
+
+    Column order follows ``columns`` when given, else the key order of the
+    first row.  Values are stringified with ``str``; callers pre-round.
+    """
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {col: len(str(col)) for col in columns}
+    for row in rows:
+        for col in columns:
+            widths[col] = max(widths[col], len(str(row.get(col, ""))))
+    header = "  ".join(str(col).ljust(widths[col]) for col in columns)
+    separator = "-" * len(header)
+    body = [
+        "  ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns)
+        for row in rows
+    ]
+    lines = []
+    if title:
+        lines.extend([title, "=" * len(title)])
+    lines.extend([header, separator])
+    lines.extend(body)
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render figure-style data: one row per x value, one column per series."""
+    rows: List[Dict[str, object]] = []
+    for i, x in enumerate(x_values):
+        row: Dict[str, object] = {x_label: x}
+        for name, values in series.items():
+            row[name] = values[i] if i < len(values) else ""
+        rows.append(row)
+    return format_table(rows, columns=[x_label, *series.keys()], title=title)

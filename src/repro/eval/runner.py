@@ -1,0 +1,142 @@
+"""Experiment runner: build an index, run the query set, aggregate metrics.
+
+Every method in this library (DB-LSH and all baselines) satisfies the same
+informal protocol:
+
+* ``fit(data) -> self`` building the index (records ``build_seconds``);
+* ``query(q, k) -> QueryResult``;
+* ``name`` attribute and ``num_hash_functions`` property (the paper's
+  index-size proxy, §VI-B2).
+
+:func:`evaluate_method` runs a full query set and reports the same
+aggregates as Table IV: mean query time, overall ratio, recall, indexing
+time — plus the hardware-independent work counters this reproduction adds
+(mean candidates verified, distance computations, index node work).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.groundtruth import exact_knn
+from repro.eval.metrics import overall_ratio, recall
+
+
+@dataclass
+class MethodResult:
+    """Aggregated evaluation of one method on one workload."""
+
+    method: str
+    dataset: str
+    k: int
+    n: int
+    dim: int
+    build_seconds: float
+    num_hash_functions: int
+    query_time_ms: float
+    ratio: float
+    recall: float
+    candidates_per_query: float
+    distance_computations_per_query: float
+    rounds_per_query: float = 0.0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def row(self) -> Dict[str, object]:
+        """Flat dict for table rendering."""
+        return {
+            "method": self.method,
+            "dataset": self.dataset,
+            "k": self.k,
+            "query_ms": round(self.query_time_ms, 3),
+            "ratio": round(self.ratio, 4),
+            "recall": round(self.recall, 4),
+            "build_s": round(self.build_seconds, 3),
+            "hash_fns": self.num_hash_functions,
+            "cands": round(self.candidates_per_query, 1),
+            "dists": round(self.distance_computations_per_query, 1),
+        }
+
+
+def evaluate_method(
+    method,
+    data: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    dataset_name: str = "dataset",
+    gt_ids: Optional[np.ndarray] = None,
+    gt_dists: Optional[np.ndarray] = None,
+    fit: bool = True,
+) -> MethodResult:
+    """Build ``method`` on ``data`` (unless pre-fitted) and run all queries."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    data = np.asarray(data, dtype=np.float64)
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    if gt_ids is None or gt_dists is None:
+        gt_ids, gt_dists = exact_knn(queries, data, k)
+
+    if fit:
+        method.fit(data)
+
+    total_time = 0.0
+    ratios: List[float] = []
+    recalls: List[float] = []
+    candidates = 0.0
+    dist_comps = 0.0
+    rounds = 0.0
+    for qi, query in enumerate(queries):
+        started = time.perf_counter()
+        result = method.query(query, k=k)
+        total_time += time.perf_counter() - started
+        ratios.append(overall_ratio(result.distances, gt_dists[qi]))
+        recalls.append(recall(result.ids, gt_ids[qi]))
+        candidates += result.stats.candidates_verified
+        dist_comps += result.stats.distance_computations
+        rounds += result.stats.rounds
+
+    m = queries.shape[0]
+    finite_ratios = [r for r in ratios if np.isfinite(r)]
+    return MethodResult(
+        method=getattr(method, "name", type(method).__name__),
+        dataset=dataset_name,
+        k=k,
+        n=int(data.shape[0]),
+        dim=int(data.shape[1]),
+        build_seconds=float(getattr(method, "build_seconds", 0.0)),
+        num_hash_functions=int(getattr(method, "num_hash_functions", 0)),
+        query_time_ms=total_time / m * 1e3,
+        ratio=float(np.mean(finite_ratios)) if finite_ratios else float("inf"),
+        recall=float(np.mean(recalls)),
+        candidates_per_query=candidates / m,
+        distance_computations_per_query=dist_comps / m,
+        rounds_per_query=rounds / m,
+    )
+
+
+def run_comparison(
+    methods: Iterable,
+    data: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    dataset_name: str = "dataset",
+) -> List[MethodResult]:
+    """Evaluate several methods on one workload with shared ground truth."""
+    data = np.asarray(data, dtype=np.float64)
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    gt_ids, gt_dists = exact_knn(queries, data, k)
+    return [
+        evaluate_method(
+            method,
+            data,
+            queries,
+            k,
+            dataset_name=dataset_name,
+            gt_ids=gt_ids,
+            gt_dists=gt_dists,
+        )
+        for method in methods
+    ]

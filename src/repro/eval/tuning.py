@@ -1,0 +1,106 @@
+"""Parameter tuning: pick DB-LSH's budget knob for a target recall.
+
+Remark 2 leaves ``t`` as the practical dial between work and accuracy.
+:func:`tune_budget` automates the choice a practitioner would make by
+hand: hold out a small validation query set, sweep ``t`` over a
+geometric grid, and return the smallest budget reaching the requested
+recall.  The sweep reuses one fitted index per ``t`` (the projections
+could in principle be shared; rebuilding keeps the code obvious and the
+grids are small).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.dblsh import DBLSH
+from repro.data.groundtruth import exact_knn
+from repro.eval.metrics import recall as recall_metric
+from repro.utils.rng import SeedLike, default_rng
+from repro.utils.validation import check_dataset
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of a budget sweep."""
+
+    best_t: int
+    achieved_recall: float
+    target_recall: float
+    candidates_per_query: float
+    trace: tuple  # ((t, recall, candidates), ...) over the sweep
+
+    @property
+    def reached_target(self) -> bool:
+        return self.achieved_recall >= self.target_recall
+
+
+def tune_budget(
+    data: np.ndarray,
+    target_recall: float = 0.9,
+    k: int = 10,
+    t_grid: Optional[Sequence[int]] = None,
+    n_validation: int = 30,
+    c: float = 1.5,
+    l_spaces: int = 5,
+    k_per_space: int = 10,
+    seed: SeedLike = 0,
+) -> TuningResult:
+    """Smallest ``t`` in ``t_grid`` whose validation recall meets the target.
+
+    Validation queries are dataset points perturbed by a fraction of the
+    local NN distance, evaluated against exact ground truth on the full
+    data.  If no grid point reaches the target, the best-performing ``t``
+    is returned with ``reached_target == False``.
+    """
+    data = check_dataset(data)
+    if not 0.0 < target_recall <= 1.0:
+        raise ValueError(f"target_recall must be in (0, 1], got {target_recall}")
+    if t_grid is None:
+        t_grid = [4, 8, 16, 32, 64, 128]
+    t_grid = sorted(set(int(t) for t in t_grid))
+    if any(t < 1 for t in t_grid):
+        raise ValueError("all t values must be >= 1")
+
+    rng = default_rng(seed)
+    n = data.shape[0]
+    picks = rng.choice(n, size=min(n_validation, n), replace=False)
+    queries = data[picks] + 0.05 * rng.standard_normal((len(picks), data.shape[1]))
+    gt_ids, _ = exact_knn(queries, data, k)
+
+    trace: List[tuple] = []
+    best: Optional[tuple] = None
+    for t in t_grid:
+        index = DBLSH(
+            c=c, l_spaces=l_spaces, k_per_space=k_per_space, t=t, seed=seed,
+            auto_initial_radius=True,
+        ).fit(data)
+        recalls, candidates = [], 0
+        for qi, q in enumerate(queries):
+            result = index.query(q, k=k)
+            recalls.append(recall_metric(result.ids, gt_ids[qi]))
+            candidates += result.stats.candidates_verified
+        mean_recall = float(np.mean(recalls))
+        mean_candidates = candidates / len(queries)
+        trace.append((t, round(mean_recall, 4), round(mean_candidates, 1)))
+        if best is None or mean_recall > best[1]:
+            best = (t, mean_recall, mean_candidates)
+        if mean_recall >= target_recall:
+            return TuningResult(
+                best_t=t,
+                achieved_recall=mean_recall,
+                target_recall=target_recall,
+                candidates_per_query=mean_candidates,
+                trace=tuple(trace),
+            )
+    assert best is not None
+    return TuningResult(
+        best_t=best[0],
+        achieved_recall=best[1],
+        target_recall=target_recall,
+        candidates_per_query=best[2],
+        trace=tuple(trace),
+    )

@@ -1,0 +1,39 @@
+"""LSH substrate: hash families, compound hashes, collision probabilities.
+
+The paper uses two families of locality-sensitive hash functions for
+Euclidean space:
+
+* the *static* p-stable family of E2LSH (Eq. 1),
+  ``h(o) = floor((a . o + b) / w)``, whose collision probability is Eq. 2;
+* the *dynamic* projection family of QALSH / DB-LSH (Eq. 3),
+  ``h(o) = a . o``, where collision means ``|h(o1) - h(o2)| <= w / 2``
+  and the collision probability is Eq. 4.
+
+`repro.hashing.probability` implements both probabilities, the exponents
+``rho`` and ``rho*``, and Lemma 3's bound ``alpha = xi(gamma)``.
+"""
+
+from repro.hashing.compound import CompoundHasher
+from repro.hashing.families import GaussianProjectionFamily, PStableHashFamily
+from repro.hashing.probability import (
+    alpha_for_gamma,
+    collision_probability_dynamic,
+    collision_probability_static,
+    optimal_rho_curves,
+    rho_dynamic,
+    rho_static,
+    rho_star_bound,
+)
+
+__all__ = [
+    "CompoundHasher",
+    "GaussianProjectionFamily",
+    "PStableHashFamily",
+    "alpha_for_gamma",
+    "collision_probability_dynamic",
+    "collision_probability_static",
+    "optimal_rho_curves",
+    "rho_dynamic",
+    "rho_static",
+    "rho_star_bound",
+]

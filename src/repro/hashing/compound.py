@@ -1,0 +1,62 @@
+"""Compound hashes ``G_i(o) = (h_{i1}(o), ..., h_{iK}(o))`` (Eq. 6/7).
+
+A :class:`CompoundHasher` owns the full ``(L, K, d)`` projection tensor of
+a (K, L)-index and evaluates all ``L * K`` hash functions of a point in a
+single matrix product — the ``O(KLd)`` cost accounted for in Theorem 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.families import projection_tensor
+from repro.utils.rng import SeedLike
+
+
+class CompoundHasher:
+    """Evaluates ``L`` compound hashes of ``K`` Gaussian projections each.
+
+    Parameters
+    ----------
+    dim:
+        Data dimensionality ``d``.
+    l_spaces:
+        Number of projected spaces ``L``.
+    k_per_space:
+        Functions per space ``K``.
+    seed:
+        Seed for the projection tensor.
+    """
+
+    def __init__(self, dim: int, l_spaces: int, k_per_space: int, seed: SeedLike = None) -> None:
+        self.dim = int(dim)
+        self.l_spaces = int(l_spaces)
+        self.k_per_space = int(k_per_space)
+        self.tensor = projection_tensor(dim, l_spaces, k_per_space, seed)
+        # Flattened (L*K, d) view for single-matmul evaluation.
+        self._flat = self.tensor.reshape(self.l_spaces * self.k_per_space, self.dim)
+
+    @property
+    def num_functions(self) -> int:
+        """Total number of hash functions ``L * K``."""
+        return self.l_spaces * self.k_per_space
+
+    def project_all(self, points: np.ndarray) -> np.ndarray:
+        """Project (n, d) points into all spaces; returns shape (L, n, K).
+
+        ``result[i]`` is the i-th projected space ``G_i`` applied to every
+        point, ready for bulk loading into the i-th multi-dimensional index.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[1] != self.dim:
+            raise ValueError(f"points have dimension {points.shape[1]}, expected {self.dim}")
+        flat = points @ self._flat.T  # (n, L*K)
+        stacked = flat.reshape(points.shape[0], self.l_spaces, self.k_per_space)
+        return np.ascontiguousarray(np.transpose(stacked, (1, 0, 2)))
+
+    def project_query(self, query: np.ndarray) -> np.ndarray:
+        """Compute ``G_1(q) .. G_L(q)``; returns shape (L, K)."""
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query.shape[0] != self.dim:
+            raise ValueError(f"query has dimension {query.shape[0]}, expected {self.dim}")
+        return (self._flat @ query).reshape(self.l_spaces, self.k_per_space)

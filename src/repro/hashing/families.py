@@ -1,0 +1,148 @@
+"""The two Euclidean LSH function families used throughout the paper.
+
+Both families draw projection vectors ``a`` from the standard normal
+(2-stable) distribution, so for points at Euclidean distance ``tau`` the
+projected difference ``a . (o1 - o2)`` is ``N(0, tau^2)`` — the property
+every probability formula in :mod:`repro.hashing.probability` rests on.
+
+:class:`GaussianProjectionFamily` is the *dynamic* family of Eq. 3:
+``h(o) = a . o``, no quantisation; bucketing happens at query time.
+DB-LSH, QALSH, PM-LSH, SRS, VHP and R2LSH all build on it.
+
+:class:`PStableHashFamily` is the *static* family of Eq. 1:
+``h(o) = floor((a . o + b) / w)``; buckets are fixed at indexing time.
+E2LSH, FB-LSH, LSB-Forest, C2LSH, LCCS-LSH and Multi-Probe build on it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, salted_rng
+from repro.utils.validation import check_positive
+
+# Component tags keeping each family's stream disjoint from user streams
+# (see repro.utils.rng.salted_rng).
+_GAUSSIAN_TAG = 0x6A01
+_PSTABLE_TAG = 0x6A02
+_TENSOR_TAG = 0x6A03
+
+
+class GaussianProjectionFamily:
+    """Dynamic LSH family ``h(o) = a . o`` (Eq. 3).
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality ``d`` of the data space.
+    size:
+        Number of independent functions drawn from the family.
+    seed:
+        Seed for the projection vectors.
+
+    The family is ``(r, cr, p(1; w0), p(c; w0))``-locality-sensitive for
+    *any* radius ``r`` with width ``w = r * w0`` (Observation 1), which is
+    exactly what lets DB-LSH keep a single suit of indexes.
+    """
+
+    def __init__(self, dim: int, size: int, seed: SeedLike = None) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self.dim = int(dim)
+        self.size = int(size)
+        rng = salted_rng(seed, _GAUSSIAN_TAG)
+        # Rows are the projection vectors a_1 .. a_size.
+        self.vectors = rng.standard_normal((self.size, self.dim))
+
+    def project(self, points: np.ndarray) -> np.ndarray:
+        """Project ``points`` of shape (n, d) to shape (n, size)."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[1] != self.dim:
+            raise ValueError(f"points have dimension {points.shape[1]}, expected {self.dim}")
+        return points @ self.vectors.T
+
+    def project_one(self, point: np.ndarray) -> np.ndarray:
+        """Project a single point of shape (d,) to shape (size,)."""
+        point = np.asarray(point, dtype=np.float64).reshape(-1)
+        if point.shape[0] != self.dim:
+            raise ValueError(f"point has dimension {point.shape[0]}, expected {self.dim}")
+        return self.vectors @ point
+
+    def collides(self, h1: np.ndarray, h2: np.ndarray, w: float) -> np.ndarray:
+        """Dynamic collision predicate ``|h1 - h2| <= w / 2`` (elementwise)."""
+        w = check_positive("w", w)
+        return np.abs(np.asarray(h1) - np.asarray(h2)) <= w / 2.0
+
+
+class PStableHashFamily:
+    """Static p-stable LSH family ``h(o) = floor((a . o + b) / w)`` (Eq. 1).
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality ``d`` of the data space.
+    size:
+        Number of independent functions.
+    w:
+        Fixed bucket width (the paper's ``w``; an "integer" in the original
+        E2LSH description but any positive real works).
+    seed:
+        Seed for projection vectors and offsets ``b ~ U[0, w)``.
+    """
+
+    def __init__(self, dim: int, size: int, w: float, seed: SeedLike = None) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self.dim = int(dim)
+        self.size = int(size)
+        self.w = check_positive("w", w)
+        rng = salted_rng(seed, _PSTABLE_TAG)
+        self.vectors = rng.standard_normal((self.size, self.dim))
+        self.offsets = rng.uniform(0.0, self.w, size=self.size)
+
+    def raw_project(self, points: np.ndarray) -> np.ndarray:
+        """Un-quantised projections ``a . o + b`` of shape (n, size)."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[1] != self.dim:
+            raise ValueError(f"points have dimension {points.shape[1]}, expected {self.dim}")
+        return points @ self.vectors.T + self.offsets
+
+    def hash(self, points: np.ndarray) -> np.ndarray:
+        """Bucket ids ``floor((a . o + b) / w)`` of shape (n, size), int64."""
+        return np.floor(self.raw_project(points) / self.w).astype(np.int64)
+
+    def hash_one(self, point: np.ndarray) -> np.ndarray:
+        """Bucket ids for a single point, shape (size,)."""
+        point = np.asarray(point, dtype=np.float64).reshape(1, -1)
+        return self.hash(point)[0]
+
+    def rehash(self, bucket_ids: np.ndarray, factor: int) -> np.ndarray:
+        """Virtual rehashing (C2LSH): merge ``factor`` adjacent buckets.
+
+        Enlarging the radius from ``r`` to ``c * r`` in C2LSH is equivalent
+        to re-bucketing with width ``factor * w``; on integer bucket ids
+        this is floor-division by ``factor`` — no re-projection needed.
+        """
+        if factor < 1:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        return np.floor_divide(np.asarray(bucket_ids, dtype=np.int64), factor)
+
+
+def projection_tensor(
+    dim: int, l_spaces: int, k_per_space: int, seed: SeedLike = None
+) -> np.ndarray:
+    """Sample the full ``(L, K, d)`` Gaussian projection tensor of Eq. 7.
+
+    Convenience used by (K, L)-index style methods; row ``[i, j]`` is the
+    vector of hash function ``h_{ij}``.
+    """
+    if l_spaces < 1 or k_per_space < 1:
+        raise ValueError("l_spaces and k_per_space must be >= 1")
+    rng = salted_rng(seed, _TENSOR_TAG)
+    return rng.standard_normal((l_spaces, k_per_space, dim))

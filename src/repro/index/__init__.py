@@ -1,0 +1,29 @@
+"""Multi-dimensional and one-dimensional index substrates.
+
+The paper's only requirement on the per-space index is that it "can
+efficiently answer a window query in the low-dimensional space" (§IV-B).
+We provide the R*-tree the paper uses plus two alternative backends
+(KD-tree, uniform grid) for the backend ablation, and the one-dimensional
+/ metric structures the baselines need (B+-tree, Z-order utilities,
+M-tree).
+"""
+
+from repro.index.bplustree import BPlusTree
+from repro.index.grid import GridIndex
+from repro.index.kdtree import KDTree
+from repro.index.mbr import MBR
+from repro.index.mtree import MTree
+from repro.index.rstar import RStarTree
+from repro.index.zorder import llcp, zorder_encode, zorder_encode_many
+
+__all__ = [
+    "BPlusTree",
+    "GridIndex",
+    "KDTree",
+    "MBR",
+    "MTree",
+    "RStarTree",
+    "llcp",
+    "zorder_encode",
+    "zorder_encode_many",
+]

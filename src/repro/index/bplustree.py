@@ -1,0 +1,202 @@
+"""A B+-tree over one-dimensional float keys.
+
+QALSH, C2LSH (its dynamic variants), VHP and R2LSH all locate points whose
+*single* projection falls inside a query-centric interval; the cited
+implementations use B+-trees for this.  This module provides an in-memory
+B+-tree with:
+
+* bulk construction from (possibly unsorted) key/value arrays;
+* ``range_query(lo, hi)`` — all values whose keys fall in the closed
+  interval;
+* ``closest_iter(key)`` — bidirectional expansion outward from ``key``,
+  yielding ``(abs_offset, key, value)`` in ascending offset order.  This
+  is the access pattern of QALSH's "virtual rehashing": the bucket grows
+  symmetrically around the query's projection.
+
+Leaves are doubly linked so both operations walk sibling pointers rather
+than re-descending.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+
+class _BLeaf:
+    __slots__ = ("keys", "values", "prev", "next")
+
+    def __init__(self, keys: List[float], values: List[int]) -> None:
+        self.keys = keys
+        self.values = values
+        self.prev: Optional["_BLeaf"] = None
+        self.next: Optional["_BLeaf"] = None
+
+
+class _BInternal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self, keys: List[float], children: List[object]) -> None:
+        # keys[i] is the smallest key in children[i + 1].
+        self.keys = keys
+        self.children = children
+
+
+class BPlusTree:
+    """Immutable bulk-built B+-tree over float keys with int payloads."""
+
+    def __init__(self, keys: np.ndarray, values: Optional[np.ndarray] = None, order: int = 64):
+        keys = np.asarray(keys, dtype=np.float64).reshape(-1)
+        if keys.shape[0] == 0:
+            raise ValueError("BPlusTree requires at least one key")
+        if order < 4:
+            raise ValueError(f"order must be >= 4, got {order}")
+        if values is None:
+            values = np.arange(keys.shape[0], dtype=np.int64)
+        else:
+            values = np.asarray(values, dtype=np.int64).reshape(-1)
+            if values.shape[0] != keys.shape[0]:
+                raise ValueError("values length must match keys length")
+        self.order = int(order)
+        sort = np.argsort(keys, kind="stable")
+        sorted_keys = keys[sort]
+        sorted_values = values[sort]
+
+        # Build the leaf level.
+        leaves: List[_BLeaf] = []
+        for start in range(0, len(sorted_keys), self.order):
+            leaf = _BLeaf(
+                sorted_keys[start : start + self.order].tolist(),
+                sorted_values[start : start + self.order].tolist(),
+            )
+            if leaves:
+                leaves[-1].next = leaf
+                leaf.prev = leaves[-1]
+            leaves.append(leaf)
+        self._first_leaf = leaves[0]
+
+        # Build internal levels bottom-up.
+        level: List[object] = list(leaves)
+        level_min_keys = [leaf.keys[0] for leaf in leaves]
+        while len(level) > 1:
+            parents: List[object] = []
+            parent_min_keys: List[float] = []
+            for start in range(0, len(level), self.order):
+                children = level[start : start + self.order]
+                child_mins = level_min_keys[start : start + self.order]
+                parents.append(_BInternal(child_mins[1:], children))
+                parent_min_keys.append(child_mins[0])
+            level = parents
+            level_min_keys = parent_min_keys
+        self.root = level[0]
+        self.count = int(keys.shape[0])
+        self.node_visits = 0
+
+    def __len__(self) -> int:
+        return self.count
+
+    # ------------------------------------------------------------------
+    # Search primitives
+    # ------------------------------------------------------------------
+
+    def _find_leaf(self, key: float) -> Tuple[_BLeaf, int]:
+        """Leaf and in-leaf position of the first key >= ``key``.
+
+        Descends with ``bisect_left`` so that when duplicates of ``key``
+        straddle a separator (separator == key), the walk lands on the
+        *leftmost* leaf that can hold the first occurrence.
+        """
+        node = self.root
+        while isinstance(node, _BInternal):
+            self.node_visits += 1
+            node = node.children[bisect.bisect_left(node.keys, key)]
+        assert isinstance(node, _BLeaf)
+        self.node_visits += 1
+        return node, bisect.bisect_left(node.keys, key)
+
+    def range_query(self, lo: float, hi: float) -> np.ndarray:
+        """Values with keys in the closed interval ``[lo, hi]``."""
+        if lo > hi:
+            return np.empty(0, dtype=np.int64)
+        leaf, pos = self._find_leaf(lo)
+        out: List[int] = []
+        node: Optional[_BLeaf] = leaf
+        while node is not None:
+            keys = node.keys
+            for i in range(pos, len(keys)):
+                if keys[i] > hi:
+                    return np.asarray(out, dtype=np.int64)
+                out.append(node.values[i])
+            pos = 0
+            node = node.next
+            if node is not None:
+                self.node_visits += 1
+        return np.asarray(out, dtype=np.int64)
+
+    def range_count(self, lo: float, hi: float) -> int:
+        """Number of keys in the closed interval."""
+        return int(self.range_query(lo, hi).shape[0])
+
+    def closest_iter(self, key: float) -> Iterator[Tuple[float, float, int]]:
+        """Yield ``(offset, key, value)`` ordered by ``offset = |key - q|``.
+
+        The bidirectional leaf walk QALSH/C2LSH use to grow query-centric
+        buckets: two cursors start at the query's position and step outward,
+        always advancing the nearer side.
+        """
+        leaf, pos = self._find_leaf(key)
+
+        # Right cursor at (leaf, pos); left cursor just before it.
+        right_leaf: Optional[_BLeaf] = leaf
+        right_pos = pos
+        if right_leaf is not None and right_pos >= len(right_leaf.keys):
+            right_leaf, right_pos = right_leaf.next, 0
+        left_leaf: Optional[_BLeaf] = leaf
+        left_pos = pos - 1
+        while left_leaf is not None and left_pos < 0:
+            left_leaf = left_leaf.prev
+            if left_leaf is not None:
+                left_pos = len(left_leaf.keys) - 1
+
+        while left_leaf is not None or right_leaf is not None:
+            left_off = (
+                key - left_leaf.keys[left_pos] if left_leaf is not None else float("inf")
+            )
+            right_off = (
+                right_leaf.keys[right_pos] - key if right_leaf is not None else float("inf")
+            )
+            if left_off <= right_off:
+                assert left_leaf is not None
+                yield left_off, left_leaf.keys[left_pos], left_leaf.values[left_pos]
+                left_pos -= 1
+                while left_leaf is not None and left_pos < 0:
+                    left_leaf = left_leaf.prev
+                    if left_leaf is not None:
+                        left_pos = len(left_leaf.keys) - 1
+            else:
+                assert right_leaf is not None
+                yield right_off, right_leaf.keys[right_pos], right_leaf.values[right_pos]
+                right_pos += 1
+                if right_pos >= len(right_leaf.keys):
+                    right_leaf, right_pos = right_leaf.next, 0
+
+    def min_key(self) -> float:
+        return self._first_leaf.keys[0]
+
+    def max_key(self) -> float:
+        leaf = self._first_leaf
+        while leaf.next is not None:
+            leaf = leaf.next
+        return leaf.keys[-1]
+
+    @property
+    def height(self) -> int:
+        """Number of levels from root to leaves."""
+        height = 1
+        node = self.root
+        while isinstance(node, _BInternal):
+            height += 1
+            node = node.children[0]
+        return height

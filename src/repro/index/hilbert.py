@@ -1,0 +1,114 @@
+"""Hilbert curve encoding as an alternative to Z-order for LSB-Forest.
+
+LSB-Tree interleaves hash coordinates with the Z-order (Morton) curve;
+the Hilbert curve is the classic drop-in with strictly better locality
+(no long diagonal jumps), at the price of a more intricate encoding.
+This module implements the standard Butz/Hamilton iterative algorithm
+for arbitrary dimension ``m`` and precision ``bits_per_dim``, operating
+on Python ints so widths beyond 64 bits work (as with the Z-order
+module).
+
+``LSBForest(curve="hilbert")`` uses it; the curve ablation in the test
+suite checks that Hilbert ordering never separates neighbors more than
+Z-order does on average.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def hilbert_encode(coords: np.ndarray, bits_per_dim: int) -> int:
+    """Map non-negative integer ``coords`` to their Hilbert curve index.
+
+    Implements the transpose-based algorithm (Skilling, 2004): the
+    coordinates are Gray-decoded axis by axis from the most significant
+    bit down, then the transposed bit matrix is flattened.
+    """
+    coords = np.asarray(coords, dtype=np.int64).reshape(-1)
+    if bits_per_dim < 1:
+        raise ValueError(f"bits_per_dim must be >= 1, got {bits_per_dim}")
+    if np.any(coords < 0):
+        raise ValueError("coordinates must be non-negative")
+    if np.any(coords >= (1 << bits_per_dim)):
+        raise ValueError("coordinate exceeds bits_per_dim capacity")
+    x: List[int] = [int(v) for v in coords]
+    m = len(x)
+
+    # Inverse undo excess work (Skilling's transform, applied in reverse).
+    q = 1 << (bits_per_dim - 1)
+    while q > 1:
+        p = q - 1
+        for i in range(m):
+            if x[i] & q:
+                x[0] ^= p  # invert
+            else:
+                t = (x[0] ^ x[i]) & p
+                x[0] ^= t
+                x[i] ^= t
+        q >>= 1
+
+    # Gray encode.
+    for i in range(1, m):
+        x[i] ^= x[i - 1]
+    t = 0
+    q = 1 << (bits_per_dim - 1)
+    while q > 1:
+        if x[m - 1] & q:
+            t ^= q - 1
+        q >>= 1
+    for i in range(m):
+        x[i] ^= t
+
+    # Interleave the transposed bits into the final index.
+    value = 0
+    for bit in range(bits_per_dim - 1, -1, -1):
+        for i in range(m):
+            value = (value << 1) | ((x[i] >> bit) & 1)
+    return value
+
+
+def hilbert_decode(index: int, m: int, bits_per_dim: int) -> np.ndarray:
+    """Invert :func:`hilbert_encode`; returns the (m,) coordinate array."""
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if bits_per_dim < 1:
+        raise ValueError(f"bits_per_dim must be >= 1, got {bits_per_dim}")
+    if index < 0 or index >= (1 << (m * bits_per_dim)):
+        raise ValueError("index out of range for given m and bits_per_dim")
+
+    # De-interleave into the transposed form.
+    x = [0] * m
+    pos = m * bits_per_dim - 1
+    for bit in range(bits_per_dim - 1, -1, -1):
+        for i in range(m):
+            x[i] |= ((index >> pos) & 1) << bit
+            pos -= 1
+
+    # Gray decode.
+    t = x[m - 1] >> 1
+    for i in range(m - 1, 0, -1):
+        x[i] ^= x[i - 1]
+    x[0] ^= t
+
+    # Undo excess work.
+    q = 2
+    while q != (1 << bits_per_dim):
+        p = q - 1
+        for i in range(m - 1, -1, -1):
+            if x[i] & q:
+                x[0] ^= p
+            else:
+                t = (x[0] ^ x[i]) & p
+                x[0] ^= t
+                x[i] ^= t
+        q <<= 1
+    return np.asarray(x, dtype=np.int64)
+
+
+def hilbert_encode_many(points: np.ndarray, bits_per_dim: int) -> List[int]:
+    """Encode each row of an (n, m) non-negative integer array."""
+    points = np.atleast_2d(np.asarray(points, dtype=np.int64))
+    return [hilbert_encode(row, bits_per_dim) for row in points]

@@ -1,0 +1,167 @@
+"""A KD-tree over low-dimensional points.
+
+Serves three roles in the reproduction:
+
+* an alternative window-query backend for DB-LSH (the backend ablation —
+  §IV-B notes any index answering window queries efficiently works);
+* exact kNN in the projected space for PM-LSH;
+* *incremental* nearest-neighbor enumeration (best-first with a priority
+  queue) for SRS, which consumes projected neighbors one at a time.
+
+The tree is built once over a static point set (median splits, bounded
+leaf size) — all the LSH methods here index an immutable dataset.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+
+class _KDNode:
+    __slots__ = ("axis", "threshold", "left", "right", "ids", "low", "high")
+
+    def __init__(self) -> None:
+        self.axis: int = -1
+        self.threshold: float = 0.0
+        self.left: Optional["_KDNode"] = None
+        self.right: Optional["_KDNode"] = None
+        self.ids: Optional[np.ndarray] = None  # leaf payload
+        self.low: np.ndarray = np.empty(0)
+        self.high: np.ndarray = np.empty(0)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.ids is not None
+
+
+class KDTree:
+    """Static KD-tree with window, kNN and incremental-NN queries."""
+
+    def __init__(self, points: np.ndarray, leaf_size: int = 32) -> None:
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[0] == 0:
+            raise ValueError("KDTree requires at least one point")
+        if leaf_size < 1:
+            raise ValueError(f"leaf_size must be >= 1, got {leaf_size}")
+        self.points = points
+        self.dim = points.shape[1]
+        self.leaf_size = int(leaf_size)
+        self.node_visits = 0
+        self.root = self._build(np.arange(points.shape[0], dtype=np.int64))
+
+    def _build(self, ids: np.ndarray) -> _KDNode:
+        node = _KDNode()
+        coords = self.points[ids]
+        node.low = coords.min(axis=0)
+        node.high = coords.max(axis=0)
+        if len(ids) <= self.leaf_size:
+            node.ids = ids
+            return node
+        spreads = node.high - node.low
+        axis = int(np.argmax(spreads))
+        if spreads[axis] <= 0.0:
+            # All points identical: keep as (possibly oversized) leaf.
+            node.ids = ids
+            return node
+        values = coords[:, axis]
+        median = float(np.median(values))
+        left_mask = values <= median
+        # Guard against degenerate splits when many points share the median.
+        if left_mask.all() or not left_mask.any():
+            order = np.argsort(values, kind="stable")
+            half = len(ids) // 2
+            left_mask = np.zeros(len(ids), dtype=bool)
+            left_mask[order[:half]] = True
+            median = float(values[order[half - 1]])
+        node.axis = axis
+        node.threshold = median
+        node.left = self._build(ids[left_mask])
+        node.right = self._build(ids[~left_mask])
+        return node
+
+    # ------------------------------------------------------------------
+    # Window queries
+    # ------------------------------------------------------------------
+
+    def window_query(self, w_low: np.ndarray, w_high: np.ndarray) -> np.ndarray:
+        """All point ids inside the inclusive window."""
+        chunks = list(self.window_query_iter(w_low, w_high))
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(chunks)
+
+    def window_query_iter(self, w_low: np.ndarray, w_high: np.ndarray) -> Iterator[np.ndarray]:
+        """Stream ids inside the window leaf-by-leaf (early-termination friendly)."""
+        w_low = np.asarray(w_low, dtype=np.float64).reshape(-1)
+        w_high = np.asarray(w_high, dtype=np.float64).reshape(-1)
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            self.node_visits += 1
+            if np.any(node.low > w_high) or np.any(node.high < w_low):
+                continue
+            if node.is_leaf:
+                coords = self.points[node.ids]
+                mask = np.all(coords >= w_low, axis=1) & np.all(coords <= w_high, axis=1)
+                if mask.any():
+                    yield node.ids[mask]
+            else:
+                stack.append(node.left)  # type: ignore[arg-type]
+                stack.append(node.right)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # Nearest neighbors
+    # ------------------------------------------------------------------
+
+    def knn(self, query: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact k nearest neighbors: returns (distances, ids) ascending."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        pairs = list(itertools.islice(self.nearest_iter(query), k))
+        if not pairs:
+            return np.empty(0), np.empty(0, dtype=np.int64)
+        dists = np.array([p[0] for p in pairs])
+        ids = np.array([p[1] for p in pairs], dtype=np.int64)
+        return dists, ids
+
+    def nearest_iter(self, query: np.ndarray) -> Iterator[Tuple[float, int]]:
+        """Best-first enumeration of ``(distance, id)`` in ascending order.
+
+        The classic priority-queue incremental NN algorithm: the heap mixes
+        nodes (keyed by min distance to their box) and points (keyed by
+        exact distance); whenever a point surfaces it is guaranteed to be
+        the next nearest.  SRS consumes this stream one projected neighbor
+        at a time.
+        """
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query.shape[0] != self.dim:
+            raise ValueError(f"query has dimension {query.shape[0]}, expected {self.dim}")
+        counter = itertools.count()
+        heap: List[Tuple[float, int, object]] = []
+
+        def box_dist(node: _KDNode) -> float:
+            delta = np.maximum(node.low - query, 0.0) + np.maximum(query - node.high, 0.0)
+            return float(np.sqrt(delta @ delta))
+
+        heapq.heappush(heap, (box_dist(self.root), next(counter), self.root))
+        while heap:
+            dist, _, entry = heapq.heappop(heap)
+            if isinstance(entry, _KDNode):
+                self.node_visits += 1
+                if entry.is_leaf:
+                    coords = self.points[entry.ids]
+                    dists = np.linalg.norm(coords - query, axis=1)
+                    for point_dist, point_id in zip(dists, entry.ids):
+                        heapq.heappush(
+                            heap, (float(point_dist), next(counter), int(point_id))
+                        )
+                else:
+                    for child in (entry.left, entry.right):
+                        assert child is not None
+                        heapq.heappush(heap, (box_dist(child), next(counter), child))
+            else:
+                yield dist, entry  # type: ignore[misc]

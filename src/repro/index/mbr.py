@@ -1,0 +1,114 @@
+"""Minimum bounding rectangles (MBRs) for the R*-tree.
+
+An MBR is the axis-aligned box ``[low, high]`` in K-dimensional space.
+These operations implement exactly the geometric predicates the R*-tree
+split and insertion heuristics need: area, margin, enlargement, overlap,
+and intersection with query windows.  All functions are numpy-vectorised
+so the tree can evaluate a node's children in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+import numpy as np
+
+
+@dataclass
+class MBR:
+    """Axis-aligned bounding box with inclusive bounds."""
+
+    low: np.ndarray
+    high: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.low = np.asarray(self.low, dtype=np.float64)
+        self.high = np.asarray(self.high, dtype=np.float64)
+        if self.low.shape != self.high.shape:
+            raise ValueError("low and high must have the same shape")
+        if np.any(self.low > self.high):
+            raise ValueError("MBR low bound exceeds high bound")
+
+    @classmethod
+    def of_points(cls, points: np.ndarray) -> "MBR":
+        """Tight MBR of a non-empty (n, K) point set."""
+        points = np.atleast_2d(points)
+        if points.shape[0] == 0:
+            raise ValueError("cannot bound an empty point set")
+        return cls(points.min(axis=0), points.max(axis=0))
+
+    @classmethod
+    def union_of(cls, boxes: Iterable["MBR"]) -> "MBR":
+        """Smallest MBR containing every box in ``boxes``."""
+        boxes = list(boxes)
+        if not boxes:
+            raise ValueError("cannot union zero boxes")
+        low = np.min(np.stack([b.low for b in boxes]), axis=0)
+        high = np.max(np.stack([b.high for b in boxes]), axis=0)
+        return cls(low, high)
+
+    @property
+    def dim(self) -> int:
+        return self.low.shape[0]
+
+    @property
+    def center(self) -> np.ndarray:
+        return 0.5 * (self.low + self.high)
+
+    def area(self) -> float:
+        """Hyper-volume of the box (0 for degenerate boxes)."""
+        return float(np.prod(self.high - self.low))
+
+    def margin(self) -> float:
+        """Sum of edge lengths (the R* split's perimeter surrogate)."""
+        return float(np.sum(self.high - self.low))
+
+    def union(self, other: "MBR") -> "MBR":
+        return MBR(np.minimum(self.low, other.low), np.maximum(self.high, other.high))
+
+    def enlargement(self, other: "MBR") -> float:
+        """Area increase needed to absorb ``other`` (ChooseSubtree metric)."""
+        low = np.minimum(self.low, other.low)
+        high = np.maximum(self.high, other.high)
+        return float(np.prod(high - low)) - self.area()
+
+    def overlap(self, other: "MBR") -> float:
+        """Hyper-volume of the intersection (0 when disjoint)."""
+        low = np.maximum(self.low, other.low)
+        high = np.minimum(self.high, other.high)
+        extent = high - low
+        if np.any(extent < 0):
+            return 0.0
+        return float(np.prod(extent))
+
+    def intersects_window(self, w_low: np.ndarray, w_high: np.ndarray) -> bool:
+        """True when the box meets the window ``[w_low, w_high]``."""
+        return bool(np.all(self.low <= w_high) and np.all(self.high >= w_low))
+
+    def contained_in_window(self, w_low: np.ndarray, w_high: np.ndarray) -> bool:
+        """True when the box lies entirely inside the window."""
+        return bool(np.all(self.low >= w_low) and np.all(self.high <= w_high))
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        return bool(np.all(point >= self.low) and np.all(point <= self.high))
+
+    def min_distance2(self, point: np.ndarray) -> float:
+        """Squared Euclidean distance from ``point`` to the box (0 inside)."""
+        delta = np.maximum(self.low - point, 0.0) + np.maximum(point - self.high, 0.0)
+        return float(delta @ delta)
+
+
+def stack_bounds(boxes: Iterable[MBR]) -> Tuple[np.ndarray, np.ndarray]:
+    """Stack child boxes into ``(lows, highs)`` matrices for vector tests."""
+    boxes = list(boxes)
+    lows = np.stack([b.low for b in boxes])
+    highs = np.stack([b.high for b in boxes])
+    return lows, highs
+
+
+def windows_intersect_mask(
+    lows: np.ndarray, highs: np.ndarray, w_low: np.ndarray, w_high: np.ndarray
+) -> np.ndarray:
+    """Vectorised window-intersection test over stacked child bounds."""
+    return np.all(lows <= w_high, axis=1) & np.all(highs >= w_low, axis=1)

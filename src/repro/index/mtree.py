@@ -1,0 +1,198 @@
+"""An M-tree metric index over low-dimensional Euclidean points.
+
+PM-LSH (Zheng et al., PVLDB 2020) indexes the m-dimensional projected
+space with a PM-tree — an M-tree whose nodes additionally keep distances
+to a set of global pivots ("pivot rings").  This module implements the
+M-tree core (routing objects with covering radii, triangle-inequality
+pruning for range and kNN queries) plus the PM-tree pivot-ring filter as
+an optional extra, so the PM-LSH baseline runs on the same structure the
+original paper used.
+
+The tree is bulk-built top-down by recursive balanced 2-means-style
+partitioning (a standard M-tree loading strategy); all LSH baselines
+index immutable datasets so no dynamic insertion is needed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, default_rng
+
+
+class _MNode:
+    __slots__ = ("router", "radius", "children", "ids", "pivot_lo", "pivot_hi")
+
+    def __init__(self) -> None:
+        self.router: np.ndarray = np.empty(0)
+        self.radius: float = 0.0
+        self.children: List["_MNode"] = []
+        self.ids: Optional[np.ndarray] = None  # leaf payload
+        # Pivot rings: min/max distance of subtree points to each pivot.
+        self.pivot_lo: np.ndarray = np.empty(0)
+        self.pivot_hi: np.ndarray = np.empty(0)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.ids is not None
+
+
+class MTree:
+    """Bulk-built M-tree with optional PM-tree pivot-ring pruning."""
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        leaf_size: int = 32,
+        fanout: int = 8,
+        num_pivots: int = 0,
+        seed: SeedLike = 0,
+    ) -> None:
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[0] == 0:
+            raise ValueError("MTree requires at least one point")
+        if leaf_size < 1 or fanout < 2:
+            raise ValueError("leaf_size must be >= 1 and fanout >= 2")
+        self.points = points
+        self.dim = points.shape[1]
+        self.leaf_size = int(leaf_size)
+        self.fanout = int(fanout)
+        self.node_visits = 0
+        self.distance_computations = 0
+        rng = default_rng(seed)
+        if num_pivots > 0:
+            pivot_ids = rng.choice(points.shape[0], size=min(num_pivots, points.shape[0]),
+                                   replace=False)
+            self.pivots = points[pivot_ids].copy()
+            self._pivot_dists = np.linalg.norm(
+                points[:, None, :] - self.pivots[None, :, :], axis=2
+            )
+        else:
+            self.pivots = np.empty((0, self.dim))
+            self._pivot_dists = np.empty((points.shape[0], 0))
+        self.root = self._build(np.arange(points.shape[0], dtype=np.int64), rng)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build(self, ids: np.ndarray, rng: np.random.Generator) -> _MNode:
+        node = _MNode()
+        coords = self.points[ids]
+        centroid = coords.mean(axis=0)
+        router_pos = int(np.argmin(np.linalg.norm(coords - centroid, axis=1)))
+        node.router = coords[router_pos].copy()
+        node.radius = float(np.linalg.norm(coords - node.router, axis=1).max())
+        if self._pivot_dists.shape[1]:
+            node.pivot_lo = self._pivot_dists[ids].min(axis=0)
+            node.pivot_hi = self._pivot_dists[ids].max(axis=0)
+        if len(ids) <= self.leaf_size:
+            node.ids = ids
+            return node
+        # Partition into up to ``fanout`` groups around sampled seeds,
+        # assigning each point to its nearest seed (generalised hyperplane).
+        k = min(self.fanout, max(2, len(ids) // self.leaf_size))
+        seed_pos = rng.choice(len(ids), size=k, replace=False)
+        seeds = coords[seed_pos]
+        assign = np.argmin(
+            np.linalg.norm(coords[:, None, :] - seeds[None, :, :], axis=2), axis=1
+        )
+        groups = [ids[assign == g] for g in range(k)]
+        groups = [g for g in groups if len(g) > 0]
+        if len(groups) < 2:
+            # Degenerate partition (duplicate/collinear points): keep a leaf
+            # instead of recursing on the same id set forever.
+            node.ids = ids
+            return node
+        node.children = [self._build(group, rng) for group in groups]
+        return node
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _pivot_prune(self, node: _MNode, q_pivot_dists: np.ndarray, radius: float) -> bool:
+        """True when pivot rings prove the subtree cannot intersect the ball."""
+        if node.pivot_lo.shape[0] == 0 or q_pivot_dists.shape[0] == 0:
+            return False
+        # For any pivot p: d(q, o) >= |d(q, p) - d(o, p)|.  If the minimum
+        # attainable value over the ring [lo, hi] exceeds radius, prune.
+        below = q_pivot_dists - node.pivot_hi
+        above = node.pivot_lo - q_pivot_dists
+        lower_bounds = np.maximum(np.maximum(below, above), 0.0)
+        return bool(np.any(lower_bounds > radius))
+
+    def range_query(self, query: np.ndarray, radius: float) -> np.ndarray:
+        """Ids of all points within ``radius`` of ``query``."""
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        q_pivot = (
+            np.linalg.norm(self.pivots - query, axis=1) if self.pivots.shape[0] else np.empty(0)
+        )
+        out: List[np.ndarray] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            self.node_visits += 1
+            self.distance_computations += 1
+            router_dist = float(np.linalg.norm(node.router - query))
+            if router_dist > node.radius + radius:
+                continue
+            if self._pivot_prune(node, q_pivot, radius):
+                continue
+            if node.is_leaf:
+                coords = self.points[node.ids]
+                dists = np.linalg.norm(coords - query, axis=1)
+                self.distance_computations += len(node.ids)  # type: ignore[arg-type]
+                mask = dists <= radius
+                if mask.any():
+                    out.append(node.ids[mask])  # type: ignore[index]
+            else:
+                stack.extend(node.children)
+        if not out:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(out)
+
+    def knn(self, query: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact k nearest neighbors as ``(distances, ids)`` ascending."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        pairs = list(itertools.islice(self.nearest_iter(query), k))
+        if not pairs:
+            return np.empty(0), np.empty(0, dtype=np.int64)
+        return (
+            np.array([p[0] for p in pairs]),
+            np.array([p[1] for p in pairs], dtype=np.int64),
+        )
+
+    def nearest_iter(self, query: np.ndarray) -> Iterator[Tuple[float, int]]:
+        """Best-first incremental NN enumeration (heap over nodes + points)."""
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        counter = itertools.count()
+        heap: List[Tuple[float, int, object]] = []
+
+        def node_bound(node: _MNode) -> float:
+            self.distance_computations += 1
+            return max(0.0, float(np.linalg.norm(node.router - query)) - node.radius)
+
+        heapq.heappush(heap, (node_bound(self.root), next(counter), self.root))
+        while heap:
+            bound, _, entry = heapq.heappop(heap)
+            if isinstance(entry, _MNode):
+                self.node_visits += 1
+                if entry.is_leaf:
+                    coords = self.points[entry.ids]
+                    dists = np.linalg.norm(coords - query, axis=1)
+                    self.distance_computations += len(entry.ids)  # type: ignore[arg-type]
+                    for dist, point_id in zip(dists, entry.ids):  # type: ignore[arg-type]
+                        heapq.heappush(heap, (float(dist), next(counter), int(point_id)))
+                else:
+                    for child in entry.children:
+                        heapq.heappush(heap, (node_bound(child), next(counter), child))
+            else:
+                yield bound, entry  # type: ignore[misc]

@@ -1,0 +1,80 @@
+"""Z-order (Morton) curve utilities for the LSB-Forest baseline.
+
+LSB-Tree (Tao et al., SIGMOD 2009) maps each point's ``m`` p-stable hash
+values to an m-dimensional integer grid, interleaves the coordinate bits
+into a single Z-order value, and stores the values in a B-tree.  Bucket
+merging at query time ("enlarging r") corresponds to comparing *prefixes*
+of the Z-order values: the longer the length of the longest common prefix
+(LLCP) between the query's Z-value and a point's, the smaller the grid
+cell both share.
+
+Functions here implement the encoding and LLCP arithmetic on arbitrary-
+precision Python ints (``m * bits_per_dim`` can exceed 64 bits).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def zorder_encode(coords: np.ndarray, bits_per_dim: int) -> int:
+    """Interleave the bits of non-negative integer ``coords`` into one int.
+
+    Bit ``b`` of dimension ``j`` lands at position ``b * m + j`` counting
+    from the least-significant end, so the *most* significant interleaved
+    bits come from the most significant coordinate bits — prefix sharing
+    then corresponds to coarse-grid co-location.
+    """
+    coords = np.asarray(coords, dtype=np.int64).reshape(-1)
+    if bits_per_dim < 1:
+        raise ValueError(f"bits_per_dim must be >= 1, got {bits_per_dim}")
+    if np.any(coords < 0):
+        raise ValueError("coordinates must be non-negative")
+    if np.any(coords >= (1 << bits_per_dim)):
+        raise ValueError("coordinate exceeds bits_per_dim capacity")
+    m = coords.shape[0]
+    value = 0
+    for bit in range(bits_per_dim):
+        for j in range(m):
+            if (int(coords[j]) >> bit) & 1:
+                value |= 1 << (bit * m + j)
+    return value
+
+
+def zorder_encode_many(points: np.ndarray, bits_per_dim: int) -> List[int]:
+    """Encode each row of an (n, m) non-negative integer array."""
+    points = np.atleast_2d(np.asarray(points, dtype=np.int64))
+    return [zorder_encode(row, bits_per_dim) for row in points]
+
+
+def llcp(z1: int, z2: int, total_bits: int) -> int:
+    """Length of the longest common prefix of two Z-values.
+
+    Measured in bits from the most-significant end of ``total_bits``-wide
+    representations.  LSB-Tree uses ``llcp // m`` as the number of grid
+    levels two points share.
+    """
+    if total_bits < 1:
+        raise ValueError(f"total_bits must be >= 1, got {total_bits}")
+    if z1 < 0 or z2 < 0:
+        raise ValueError("Z-values must be non-negative")
+    diff = z1 ^ z2
+    if diff == 0:
+        return total_bits
+    highest = diff.bit_length() - 1
+    if highest >= total_bits:
+        raise ValueError("Z-value wider than total_bits")
+    return total_bits - 1 - highest
+
+
+def shared_levels(z1: int, z2: int, m: int, bits_per_dim: int) -> int:
+    """Number of complete grid levels (coarsest-first) two Z-values share.
+
+    Each level consumes ``m`` interleaved bits; sharing ``u`` levels means
+    the points fall in the same cell of the grid whose cells have side
+    ``2^(bits_per_dim - u)`` base cells.
+    """
+    total = m * bits_per_dim
+    return llcp(z1, z2, total) // m

@@ -1,0 +1,28 @@
+"""Shared utilities: seeded RNG, timing, bounded result heaps, validation.
+
+These helpers are deliberately small and dependency-free so that every
+subsystem (hashing, indexes, baselines, evaluation) can rely on them
+without import cycles.
+"""
+
+from repro.utils.heaps import BoundedMaxHeap
+from repro.utils.rng import SeedSequence, default_rng, spawn_rngs
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_dataset,
+    check_positive,
+    check_probability,
+    check_query,
+)
+
+__all__ = [
+    "BoundedMaxHeap",
+    "SeedSequence",
+    "default_rng",
+    "spawn_rngs",
+    "Timer",
+    "check_dataset",
+    "check_positive",
+    "check_probability",
+    "check_query",
+]

@@ -1,0 +1,64 @@
+"""Bounded max-heap for maintaining the best-k candidates of a query.
+
+Every ANN method in this library streams candidates and keeps the ``k``
+nearest seen so far; the natural structure is a max-heap bounded at ``k``
+whose root is the current k-th nearest distance (the pruning bound used in
+the (c,k)-ANN termination test of the paper, Section IV-C).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Iterator, List, Tuple
+
+
+class BoundedMaxHeap:
+    """A max-heap over ``(distance, item)`` pairs holding at most ``k`` entries.
+
+    ``push`` keeps the ``k`` smallest distances seen.  ``bound`` is the
+    largest retained distance (``inf`` until the heap is full), which is
+    exactly the "distance of the k-th nearest neighbor found so far" used
+    by the termination conditions in the paper.
+    """
+
+    __slots__ = ("k", "_heap")
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        # Store negated distances so heapq's min-heap acts as a max-heap.
+        self._heap: List[Tuple[float, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def full(self) -> bool:
+        """True once ``k`` entries are held."""
+        return len(self._heap) >= self.k
+
+    @property
+    def bound(self) -> float:
+        """Current k-th smallest distance, ``inf`` while fewer than k held."""
+        if not self.full:
+            return math.inf
+        return -self._heap[0][0]
+
+    def push(self, distance: float, item: int) -> bool:
+        """Offer a candidate; returns True if it was retained."""
+        if not self.full:
+            heapq.heappush(self._heap, (-distance, item))
+            return True
+        if distance < self.bound:
+            heapq.heapreplace(self._heap, (-distance, item))
+            return True
+        return False
+
+    def items(self) -> List[Tuple[float, int]]:
+        """Retained ``(distance, item)`` pairs sorted by ascending distance."""
+        return sorted((-neg, item) for neg, item in self._heap)
+
+    def __iter__(self) -> Iterator[Tuple[float, int]]:
+        return iter(self.items())

@@ -1,0 +1,56 @@
+"""Lightweight wall-clock timing used by the experiment runner.
+
+The paper reports average query time over 10 repetitions of 100 queries;
+:class:`Timer` accumulates elapsed time across repeated ``with`` blocks so
+the runner can do the same without juggling raw ``perf_counter`` values.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Accumulating context-manager timer.
+
+    Example
+    -------
+    >>> timer = Timer()
+    >>> with timer:
+    ...     _ = sum(range(1000))
+    >>> timer.elapsed >= 0.0
+    True
+    >>> timer.count
+    1
+    """
+
+    elapsed: float = 0.0
+    count: int = 0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed += time.perf_counter() - self._start
+        self.count += 1
+
+    def reset(self) -> None:
+        """Zero the accumulated time and invocation count."""
+        self.elapsed = 0.0
+        self.count = 0
+
+    @property
+    def mean(self) -> float:
+        """Mean elapsed seconds per ``with`` block (0.0 before first use)."""
+        if self.count == 0:
+            return 0.0
+        return self.elapsed / self.count
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean elapsed milliseconds per ``with`` block."""
+        return self.mean * 1e3

@@ -1,0 +1,51 @@
+"""Argument validation shared across the public API surface.
+
+All user-facing constructors and query methods funnel through these
+checks so error messages are consistent and tests can assert on them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Ensure ``value`` is positive (or non-negative when ``strict=False``)."""
+    value = float(value)
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Ensure ``value`` is a probability in the open interval (0, 1)."""
+    value = float(value)
+    if not 0.0 < value < 1.0:
+        raise ValueError(f"{name} must lie strictly between 0 and 1, got {value}")
+    return value
+
+
+def check_dataset(data: np.ndarray) -> np.ndarray:
+    """Validate and normalise a dataset to a C-contiguous float64 (n, d) array."""
+    array = np.ascontiguousarray(data, dtype=np.float64)
+    if array.ndim != 2:
+        raise ValueError(f"dataset must be 2-D (n, d), got shape {array.shape}")
+    if array.shape[0] == 0:
+        raise ValueError("dataset must contain at least one point")
+    if array.shape[1] == 0:
+        raise ValueError("dataset must have at least one dimension")
+    if not np.isfinite(array).all():
+        raise ValueError("dataset contains NaN or infinite values")
+    return array
+
+
+def check_query(query: np.ndarray, dim: int) -> np.ndarray:
+    """Validate a single query point against the indexed dimensionality."""
+    vector = np.ascontiguousarray(query, dtype=np.float64).reshape(-1)
+    if vector.shape[0] != dim:
+        raise ValueError(f"query has dimension {vector.shape[0]}, index expects {dim}")
+    if not np.isfinite(vector).all():
+        raise ValueError("query contains NaN or infinite values")
+    return vector

@@ -1,0 +1,45 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# One profile for the whole suite: numpy-heavy properties are fast per
+# example but function-scoped fixtures would trip the health check.
+settings.register_profile(
+    "repro",
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for tests that need ad-hoc randomness."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_clustered(rng: np.random.Generator) -> np.ndarray:
+    """A small, well-clustered dataset where ANN methods should do well."""
+    from repro.data.generators import gaussian_mixture
+
+    return gaussian_mixture(
+        600, 24, n_clusters=8, cluster_std=1.0, center_spread=8.0, seed=rng
+    )
+
+
+@pytest.fixture
+def tiny_points() -> np.ndarray:
+    """Twelve 2-D points echoing the paper's running example (Fig. 1/3)."""
+    return np.array(
+        [
+            [1.0, 8.5], [2.0, 9.0], [2.5, 7.0], [4.3, 5.2], [1.5, 4.0],
+            [5.0, 6.0], [2.0, 2.0], [6.5, 8.0], [5.5, 4.5], [8.0, 7.5],
+            [6.0, 3.5], [8.5, 2.0],
+        ]
+    )

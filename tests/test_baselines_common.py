@@ -1,0 +1,144 @@
+"""Protocol-compliance tests parametrized over every ANN method.
+
+Every method must: find a point's own row on a self-query, return sorted
+unique results, be deterministic under a fixed seed, validate inputs, and
+populate the work counters.  These are the invariants the evaluation
+harness relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+import pytest
+
+from repro import DBLSH
+from repro.baselines import (
+    C2LSH,
+    E2LSH,
+    FBLSH,
+    LCCSLSH,
+    LSBForest,
+    LinearScan,
+    MultiProbeLSH,
+    PMLSH,
+    QALSH,
+    R2LSH,
+    SRS,
+    VHP,
+)
+from repro.data.generators import gaussian_mixture
+
+#: Factories with smoke-scale parameters (fast builds, decent recall).
+METHOD_FACTORIES: Dict[str, Callable] = {
+    "DBLSH": lambda: DBLSH(
+        c=1.5, l_spaces=4, k_per_space=6, t=16, seed=0, auto_initial_radius=True
+    ),
+    "LinearScan": LinearScan,
+    "FBLSH": lambda: FBLSH(
+        c=1.5, k_per_space=4, l_spaces=6, t=16, seed=0, auto_initial_radius=True
+    ),
+    "E2LSH": lambda: E2LSH(
+        c=1.5, w=4.0, k_per_table=6, l_tables=4, num_radii=8, seed=0,
+        auto_initial_radius=True,
+    ),
+    "MultiProbeLSH": lambda: MultiProbeLSH(
+        k_per_table=6, l_tables=3, num_probes=12, max_candidates=200, seed=0
+    ),
+    "QALSH": lambda: QALSH(c=1.5, m=20, w=2.0, beta=0.1, seed=0,
+                           auto_initial_radius=True),
+    "C2LSH": lambda: C2LSH(c=2, m=20, w=1.0, beta=0.1, seed=0, auto_scale=True),
+    "VHP": lambda: VHP(c=1.5, m=20, t0=1.4, beta=0.1, seed=0,
+                       auto_initial_radius=True),
+    "R2LSH": lambda: R2LSH(c=1.5, m=20, beta=0.1, seed=0, auto_initial_radius=True),
+    "PMLSH": lambda: PMLSH(m=12, beta=0.1, seed=0),
+    "SRS": lambda: SRS(c=1.5, m=6, beta=0.1, seed=0),
+    "LSBForest": lambda: LSBForest(
+        c=2.0, l_trees=4, m=6, bits_per_dim=8, candidate_factor=40, seed=0
+    ),
+    "LCCSLSH": lambda: LCCSLSH(m=10, probes=150, seed=0),
+}
+
+_DATASET = gaussian_mixture(
+    500, 24, n_clusters=8, cluster_std=1.0, center_spread=8.0, seed=7
+)
+_FITTED_CACHE: Dict[str, object] = {}
+
+
+@pytest.fixture(scope="module")
+def dataset() -> np.ndarray:
+    return _DATASET
+
+
+def fitted(name: str):
+    """Build-once cache of fitted methods (fitting is the slow part)."""
+    if name not in _FITTED_CACHE:
+        _FITTED_CACHE[name] = METHOD_FACTORIES[name]().fit(_DATASET)
+    return _FITTED_CACHE[name]
+
+
+@pytest.mark.parametrize("name", list(METHOD_FACTORIES))
+class TestProtocol:
+    def test_self_query_finds_itself(self, name, dataset):
+        result = fitted(name).query(dataset[17], k=1)
+        assert len(result) >= 1
+        assert result.neighbors[0].id == 17
+        assert result.neighbors[0].distance == pytest.approx(0.0, abs=1e-9)
+
+    def test_results_sorted_and_unique(self, name, dataset):
+        result = fitted(name).query(dataset[3] + 0.01, k=8)
+        assert result.distances == sorted(result.distances)
+        assert len(set(result.ids)) == len(result.ids)
+
+    def test_k_validation(self, name, dataset):
+        with pytest.raises(ValueError, match="k must be >= 1"):
+            fitted(name).query(dataset[0], k=0)
+
+    def test_query_dim_validation(self, name, dataset):
+        with pytest.raises(ValueError, match="dimension"):
+            fitted(name).query(np.zeros(dataset.shape[1] + 1), k=1)
+
+    def test_query_before_fit(self, name, dataset):
+        fresh = METHOD_FACTORIES[name]()
+        with pytest.raises(RuntimeError, match="fit"):
+            fresh.query(dataset[0], k=1)
+
+    def test_stats_counters(self, name, dataset):
+        result = fitted(name).query(dataset[0], k=3)
+        assert result.stats.candidates_verified >= 1
+        assert result.stats.distance_computations >= result.stats.candidates_verified
+        assert result.stats.elapsed_seconds > 0.0
+
+    def test_build_seconds_recorded(self, name, dataset):
+        assert fitted(name).build_seconds > 0.0
+
+    def test_ids_within_dataset(self, name, dataset):
+        result = fitted(name).query(dataset[0] + 0.2, k=10)
+        assert all(0 <= i < dataset.shape[0] for i in result.ids)
+
+
+@pytest.mark.parametrize("name", ["DBLSH", "FBLSH", "QALSH", "PMLSH", "SRS"])
+def test_seed_determinism(name, dataset):
+    """Same seed, same data => identical neighbor lists."""
+    q = dataset[0] + 0.05
+    a = METHOD_FACTORIES[name]().fit(dataset).query(q, k=5)
+    b = METHOD_FACTORIES[name]().fit(dataset).query(q, k=5)
+    assert a.ids == b.ids
+    assert a.distances == pytest.approx(b.distances)
+
+
+def test_dblsh_recall_on_clustered_data(dataset):
+    """DB-LSH must be near-perfect on easy, well-clustered data."""
+    from repro.data.groundtruth import exact_knn
+    from repro.eval.metrics import recall
+
+    rng = np.random.default_rng(0)
+    queries = dataset[rng.choice(500, 8, replace=False)] + 0.05
+    gt_ids, _ = exact_knn(queries, dataset, 10)
+    method = fitted("DBLSH")
+    values = []
+    for qi, q in enumerate(queries):
+        result = method.query(q, k=10)
+        values.append(recall(result.ids, gt_ids[qi]))
+    assert float(np.mean(values)) >= 0.8

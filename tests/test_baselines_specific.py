@@ -1,0 +1,285 @@
+"""Method-specific behaviour tests for each baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    C2LSH,
+    E2LSH,
+    FBLSH,
+    LCCSLSH,
+    LSBForest,
+    MultiProbeLSH,
+    PMLSH,
+    QALSH,
+    R2LSH,
+    SRS,
+    VHP,
+)
+from repro.baselines.multiprobe import perturbation_sets
+from repro.data.generators import gaussian_mixture
+
+
+@pytest.fixture(scope="module")
+def data():
+    return gaussian_mixture(
+        400, 16, n_clusters=6, cluster_std=1.0, center_spread=8.0, seed=11
+    )
+
+
+class TestFBLSH:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="c must be > 1"):
+            FBLSH(c=1.0)
+
+    def test_index_size_matches_kl(self, data):
+        method = FBLSH(k_per_space=4, l_spaces=6, seed=0).fit(data)
+        assert method.num_hash_functions == 24
+
+    def test_round_tables_cached(self, data):
+        method = FBLSH(
+            k_per_space=4, l_spaces=3, seed=0, auto_initial_radius=True
+        ).fit(data)
+        first = method._round_tables(0)
+        assert method._round_tables(0) is first
+
+    def test_hash_boundary_misses_relative_to_dblsh(self, data):
+        """The point of the ablation: with the same K*L budget FB-LSH's
+        fixed buckets cannot beat DB-LSH's query-centric ones on recall."""
+        from repro import DBLSH
+        from repro.data.groundtruth import exact_knn
+        from repro.eval.metrics import recall
+
+        rng = np.random.default_rng(3)
+        queries = data[rng.choice(400, 12, replace=False)] + 0.2 * rng.standard_normal(
+            (12, 16)
+        )
+        gt_ids, _ = exact_knn(queries, data, 10)
+
+        def mean_recall(method):
+            method.fit(data)
+            return float(
+                np.mean(
+                    [
+                        recall(method.query(q, k=10).ids, gt_ids[i])
+                        for i, q in enumerate(queries)
+                    ]
+                )
+            )
+
+        db = mean_recall(
+            DBLSH(c=1.5, l_spaces=4, k_per_space=6, t=8, seed=0,
+                  auto_initial_radius=True)
+        )
+        fb = mean_recall(
+            FBLSH(c=1.5, k_per_space=6, l_spaces=4, t=8, seed=0,
+                  auto_initial_radius=True)
+        )
+        assert db >= fb - 0.05  # dynamic bucketing never loses meaningfully
+
+
+class TestE2LSH:
+    def test_suits_are_materialised(self, data):
+        method = E2LSH(num_radii=4, l_tables=3, k_per_table=5, seed=0).fit(data)
+        assert len(method._suits) == 4
+        assert len(method._suits[0]) == 3
+        assert method.num_hash_functions == 4 * 3 * 5
+
+    def test_index_larger_than_fblsh(self, data):
+        """Table I: E2LSH pays M suits; FB-LSH's single suit is M x smaller."""
+        e2 = E2LSH(num_radii=8, l_tables=4, k_per_table=5, seed=0).fit(data)
+        fb = FBLSH(k_per_space=5, l_spaces=4, seed=0).fit(data)
+        assert e2.num_hash_functions == 8 * fb.num_hash_functions
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="c must be > 1"):
+            E2LSH(c=0.5)
+
+
+class TestMultiProbe:
+    def test_perturbation_sets_sorted_by_cost(self):
+        costs = np.array([0.1, 0.2, 0.5, 0.9])
+        sets = perturbation_sets(costs, 10)
+        scores = [sum(costs[list(s)]) for s in sets]
+        assert scores == sorted(scores)
+
+    def test_perturbation_sets_unique(self):
+        costs = np.array([0.1, 0.3, 0.4])
+        sets = perturbation_sets(costs, 20)
+        assert len(sets) == len(set(sets))
+
+    def test_perturbation_sets_limit(self):
+        costs = np.linspace(0.1, 1.0, 6)
+        assert len(perturbation_sets(costs, 3)) == 3
+
+    def test_empty_inputs(self):
+        assert perturbation_sets(np.array([]), 5) == []
+        assert perturbation_sets(np.array([0.1]), 0) == []
+
+    def test_more_probes_more_candidates(self, data):
+        few = MultiProbeLSH(l_tables=3, k_per_table=6, num_probes=2,
+                            max_candidates=10_000, seed=0).fit(data)
+        many = MultiProbeLSH(l_tables=3, k_per_table=6, num_probes=40,
+                             max_candidates=10_000, seed=0).fit(data)
+        q = data[0] + 0.1
+        assert (
+            many.query(q, k=5).stats.candidates_verified
+            >= few.query(q, k=5).stats.candidates_verified
+        )
+
+
+class TestQALSH:
+    def test_collision_threshold_derived(self):
+        method = QALSH(c=2.0, m=40, w=2.719)
+        assert 1 <= method.l_threshold <= 40
+
+    def test_explicit_collision_ratio(self):
+        method = QALSH(m=10, collision_ratio=0.5)
+        assert method.l_threshold == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="c must be > 1"):
+            QALSH(c=1.0)
+        with pytest.raises(ValueError, match="m must be >= 1"):
+            QALSH(m=0)
+        with pytest.raises(ValueError, match="collision_ratio"):
+            QALSH(collision_ratio=1.5)
+
+    def test_budget_bounds_candidates(self, data):
+        method = QALSH(m=16, beta=0.02, seed=0, auto_initial_radius=True).fit(data)
+        result = method.query(data[0] + 0.05, k=3)
+        assert result.stats.candidates_verified <= int(np.ceil(0.02 * 400)) + 3
+
+
+class TestC2LSH:
+    def test_requires_integer_c(self):
+        with pytest.raises(ValueError, match="integer c"):
+            C2LSH(c=1.5)
+
+    def test_merged_bucket_lookup_matches_rehash(self, data):
+        """The searchsorted merge must agree with re-bucketing at width c^s w."""
+        method = C2LSH(c=2, m=4, w=1.0, seed=0).fit(data)
+        assert method._family is not None and method._base_buckets is not None
+        level = 3
+        factor = 2**level
+        q = data[7] + 0.3
+        q_buckets = method._family.hash_one(q)
+        for j in range(4):
+            q_merged = int(q_buckets[j]) // factor
+            keys = method._sorted_keys[j]
+            start = int(np.searchsorted(keys, q_merged * factor, side="left"))
+            stop = int(np.searchsorted(keys, (q_merged + 1) * factor, side="left"))
+            got = set(method._sorted_ids[j][start:stop].tolist())
+            expected = set(
+                np.flatnonzero(
+                    method._base_buckets[:, j] // factor == q_merged
+                ).tolist()
+            )
+            assert got == expected
+
+
+class TestVHP:
+    def test_sphere_filter_tightens_candidates(self, data):
+        """VHP's hypersphere must admit no more candidates than pure slab
+        counting at the same threshold (QALSH-like behaviour)."""
+        q = data[0] + 0.1
+        vhp = VHP(m=20, t0=1.4, beta=0.5, collision_ratio=0.3, seed=0,
+                  auto_initial_radius=True).fit(data)
+        qalsh = QALSH(m=20, w=2.8, beta=0.5, collision_ratio=0.3, seed=0,
+                      auto_initial_radius=True).fit(data)
+        assert (
+            vhp.query(q, k=5).stats.candidates_verified
+            <= qalsh.query(q, k=5).stats.candidates_verified + 50
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="t0"):
+            VHP(t0=0.0)
+
+
+class TestR2LSH:
+    def test_requires_even_m(self):
+        with pytest.raises(ValueError, match="even"):
+            R2LSH(m=7)
+
+    def test_spaces_shape(self, data):
+        method = R2LSH(m=12, seed=0).fit(data)
+        assert method._spaces is not None
+        assert method._spaces.shape == (6, 400, 2)
+
+
+class TestPMLSH:
+    def test_budget_bounds_candidates(self, data):
+        method = PMLSH(m=10, beta=0.05, seed=0).fit(data)
+        result = method.query(data[0] + 500.0, k=2)  # far query: no chi2 stop
+        assert result.stats.candidates_verified <= int(np.ceil(0.05 * 400)) + 2
+
+    def test_higher_confidence_means_more_work(self, data):
+        q = data[0] + 0.05
+        lo = PMLSH(m=10, beta=0.9, confidence=0.5, seed=0).fit(data).query(q, k=5)
+        hi = PMLSH(m=10, beta=0.9, confidence=0.999, seed=0).fit(data).query(q, k=5)
+        assert hi.stats.candidates_verified >= lo.stats.candidates_verified
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="m must be >= 1"):
+            PMLSH(m=0)
+        with pytest.raises(ValueError, match="strictly between"):
+            PMLSH(confidence=1.0)
+
+
+class TestSRS:
+    def test_tiny_index(self, data):
+        method = SRS(m=6, seed=0).fit(data)
+        assert method.num_hash_functions == 6  # Table I: the smallest index
+
+    def test_chi2_stop_fires_on_easy_query(self, data):
+        method = SRS(m=6, beta=0.9, seed=0).fit(data)
+        result = method.query(data[0], k=1)
+        assert result.stats.terminated_by in {"chi2_stop", "budget", "exhausted"}
+        # A self-query should stop long before scanning beta * n points.
+        assert result.stats.candidates_verified < 360
+
+
+class TestLSBForest:
+    def test_zvalues_sorted(self, data):
+        method = LSBForest(l_trees=2, m=4, bits_per_dim=8, seed=0).fit(data)
+        for tree in method._trees:
+            assert tree.zvalues == sorted(tree.zvalues)
+            assert len(tree.zvalues) == 400
+
+    def test_more_trees_do_not_reduce_candidates(self, data):
+        q = data[0] + 0.1
+        few = LSBForest(l_trees=2, m=4, bits_per_dim=8, candidate_factor=30,
+                        seed=0).fit(data)
+        many = LSBForest(l_trees=6, m=4, bits_per_dim=8, candidate_factor=30,
+                         seed=0).fit(data)
+        assert (
+            many.query(q, k=5).stats.candidates_verified
+            >= few.query(q, k=5).stats.candidates_verified
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="bits_per_dim"):
+            LSBForest(bits_per_dim=1)
+
+
+class TestLCCS:
+    def test_rotations_built(self, data):
+        method = LCCSLSH(m=8, probes=50, seed=0).fit(data)
+        assert len(method._rotations) == 8
+        for order in method._rotations:
+            assert len(order) == 400
+            assert order == sorted(order)
+
+    def test_probe_budget(self, data):
+        method = LCCSLSH(m=8, probes=60, seed=0).fit(data)
+        result = method.query(data[0] + 0.2, k=5)
+        assert result.stats.candidates_verified <= 60 + 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="m must be >= 2"):
+            LCCSLSH(m=1)
+        with pytest.raises(ValueError, match="probes"):
+            LCCSLSH(probes=0)

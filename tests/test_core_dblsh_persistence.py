@@ -1,0 +1,69 @@
+"""Tests for DBLSH.query_batch and save/load persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DBLSH
+from repro.data.generators import gaussian_mixture
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    data = gaussian_mixture(300, 16, n_clusters=6, seed=0)
+    index = DBLSH(
+        c=1.5, l_spaces=3, k_per_space=5, t=16, seed=0, auto_initial_radius=True
+    ).fit(data)
+    return data, index
+
+
+class TestQueryBatch:
+    def test_matches_single_queries(self, fitted):
+        data, index = fitted
+        queries = data[:4] + 0.05
+        batch = index.query_batch(queries, k=5)
+        singles = [index.query(q, k=5) for q in queries]
+        assert [r.ids for r in batch] == [r.ids for r in singles]
+
+    def test_single_row_input(self, fitted):
+        data, index = fitted
+        results = index.query_batch(data[0], k=3)
+        assert len(results) == 1
+        assert results[0].neighbors[0].id == 0
+
+
+class TestPersistence:
+    def test_roundtrip_identical_answers(self, fitted, tmp_path):
+        data, index = fitted
+        path = str(tmp_path / "index.npz")
+        index.save(path)
+        restored = DBLSH.load(path)
+        assert restored.describe() == index.describe()
+        for q in (data[:5] + 0.1):
+            assert restored.query(q, k=5).ids == index.query(q, k=5).ids
+
+    def test_save_requires_fit(self, tmp_path):
+        with pytest.raises(RuntimeError, match="fit"):
+            DBLSH().save(str(tmp_path / "x.npz"))
+
+    def test_restored_index_supports_add(self, fitted, tmp_path):
+        data, index = fitted
+        path = str(tmp_path / "index.npz")
+        index.save(path)
+        restored = DBLSH.load(path)
+        isolated = data.mean(axis=0) + 300.0
+        restored.add(isolated[None, :])
+        result = restored.query(isolated, k=1)
+        assert result.neighbors[0].id == data.shape[0]
+
+    def test_parameters_preserved(self, fitted, tmp_path):
+        data, index = fitted
+        path = str(tmp_path / "index.npz")
+        index.save(path)
+        restored = DBLSH.load(path)
+        assert restored.params is not None and index.params is not None
+        assert restored.params.w0 == index.params.w0
+        assert restored.params.k_per_space == index.params.k_per_space
+        assert restored.params.l_spaces == index.params.l_spaces
+        assert restored.initial_radius == pytest.approx(index.initial_radius)

@@ -1,0 +1,99 @@
+"""Tests for parameter derivation (Lemma 1, Remark 2, §VI-A defaults)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.params import (
+    DBLSHParams,
+    default_w0,
+    derive_parameters,
+    paper_default_parameters,
+)
+from repro.hashing.probability import collision_probability_dynamic
+
+
+class TestDefaultW0:
+    def test_is_four_c_squared(self):
+        assert default_w0(1.5) == pytest.approx(9.0)
+        assert default_w0(2.0) == pytest.approx(16.0)
+
+    def test_lsb_equivalence_remark(self):
+        # §V-B: with c = 2 the default width matches LSB's bucket size 16.
+        assert default_w0(2.0) == pytest.approx(16.0)
+
+
+class TestDeriveParameters:
+    def test_theory_formulas(self):
+        n, c, t = 100_000, 1.5, 16
+        params = derive_parameters(n, c=c, t=t)
+        p2 = float(collision_probability_dynamic(c, params.w0))
+        expected_k = math.ceil(math.log(n / t) / math.log(1.0 / p2))
+        assert params.k_per_space == expected_k
+        expected_l = math.ceil((n / t) ** params.rho_star)
+        assert params.l_spaces == expected_l
+
+    def test_probabilities_ordered(self):
+        params = derive_parameters(10_000)
+        assert 0.0 < params.p2 < params.p1 < 1.0
+        assert 0.0 < params.rho_star < 1.0
+
+    def test_overrides_respected(self):
+        params = derive_parameters(10_000, k_per_space=7, l_spaces=3)
+        assert params.k_per_space == 7
+        assert params.l_spaces == 3
+
+    def test_candidate_budget(self):
+        params = derive_parameters(10_000, t=16, l_spaces=5, k_per_space=10)
+        assert params.candidate_budget_base == 2 * 16 * 5
+        assert params.budget(50) == 2 * 16 * 5 + 50
+
+    def test_budget_rejects_bad_k(self):
+        params = derive_parameters(1_000)
+        with pytest.raises(ValueError, match="k must be >= 1"):
+            params.budget(0)
+
+    def test_larger_t_means_smaller_index(self):
+        small_t = derive_parameters(100_000, t=1)
+        large_t = derive_parameters(100_000, t=64)
+        assert large_t.k_per_space <= small_t.k_per_space
+        assert large_t.l_spaces <= small_t.l_spaces
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            (dict(n=0), "n must be >= 1"),
+            (dict(n=10, c=1.0), "c must be > 1"),
+            (dict(n=10, t=0), "t must be >= 1"),
+            (dict(n=10, w0=-1.0), "w0"),
+            (dict(n=10, k_per_space=0), "k_per_space"),
+            (dict(n=10, l_spaces=0), "l_spaces"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            derive_parameters(**kwargs)
+
+    def test_frozen(self):
+        params = derive_parameters(1_000)
+        with pytest.raises(AttributeError):
+            params.c = 2.0  # type: ignore[misc]
+
+
+class TestPaperDefaults:
+    def test_small_dataset_k10(self):
+        params = paper_default_parameters(60_000)
+        assert params.k_per_space == 10
+        assert params.l_spaces == 5
+        assert params.w0 == pytest.approx(9.0)
+
+    def test_large_dataset_k12(self):
+        params = paper_default_parameters(10_000_000)
+        assert params.k_per_space == 12
+        assert params.l_spaces == 5
+
+    def test_boundary_at_one_million(self):
+        assert paper_default_parameters(1_000_000).k_per_space == 10
+        assert paper_default_parameters(1_000_001).k_per_space == 12

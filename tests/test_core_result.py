@@ -1,0 +1,63 @@
+"""Tests for the result/statistics dataclasses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.result import Neighbor, QueryResult, QueryStats
+
+
+class TestNeighbor:
+    def test_unpacking(self):
+        point_id, dist = Neighbor(3, 1.5)
+        assert point_id == 3
+        assert dist == 1.5
+
+    def test_frozen(self):
+        n = Neighbor(1, 2.0)
+        with pytest.raises(AttributeError):
+            n.distance = 3.0  # type: ignore[misc]
+
+    def test_equality(self):
+        assert Neighbor(1, 2.0) == Neighbor(1, 2.0)
+        assert Neighbor(1, 2.0) != Neighbor(2, 2.0)
+
+
+class TestQueryResult:
+    def test_empty(self):
+        result = QueryResult()
+        assert len(result) == 0
+        assert result.is_empty()
+        assert result.ids == []
+        assert result.distances == []
+
+    def test_accessors(self):
+        result = QueryResult(neighbors=[Neighbor(5, 0.1), Neighbor(2, 0.4)])
+        assert result.ids == [5, 2]
+        assert result.distances == [0.1, 0.4]
+        assert [n.id for n in result] == [5, 2]
+        assert not result.is_empty()
+
+
+class TestQueryStats:
+    def test_defaults_zero(self):
+        stats = QueryStats()
+        assert stats.candidates_verified == 0
+        assert stats.rounds == 0
+        assert stats.terminated_by == ""
+
+    def test_merge_accumulates(self):
+        a = QueryStats(candidates_verified=3, distance_computations=4, rounds=1,
+                       hash_evaluations=10, window_queries=2, index_node_visits=7,
+                       elapsed_seconds=0.5)
+        b = QueryStats(candidates_verified=2, distance_computations=1, rounds=2,
+                       hash_evaluations=10, window_queries=3, index_node_visits=1,
+                       elapsed_seconds=0.25)
+        a.merge(b)
+        assert a.candidates_verified == 5
+        assert a.distance_computations == 5
+        assert a.rounds == 3
+        assert a.hash_evaluations == 20
+        assert a.window_queries == 5
+        assert a.index_node_visits == 8
+        assert a.elapsed_seconds == pytest.approx(0.75)

@@ -1,0 +1,95 @@
+"""Tests for the dataset hardness diagnostics (§VI-B3 quantifiers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.analysis import (
+    hardness_report,
+    local_intrinsic_dimensionality,
+    relative_contrast,
+)
+from repro.data.generators import (
+    gaussian_mixture,
+    low_intrinsic_dim,
+    scaled_heavy_tailed,
+    uniform_hypercube,
+)
+
+
+class TestRelativeContrast:
+    def test_clustered_beats_uniform(self):
+        """Clustered data has far higher contrast than uniform data."""
+        clustered = gaussian_mixture(
+            1500, 32, n_clusters=10, cluster_std=0.5, center_spread=20.0, seed=0
+        )
+        uniform = uniform_hypercube(1500, 32, seed=0)
+        assert relative_contrast(clustered) > relative_contrast(uniform)
+
+    def test_uniform_high_dim_approaches_one(self):
+        """The curse of dimensionality: contrast shrinks as d grows."""
+        low_d = uniform_hypercube(1200, 4, seed=1)
+        high_d = uniform_hypercube(1200, 256, seed=1)
+        assert relative_contrast(high_d) < relative_contrast(low_d)
+
+    def test_contrast_at_least_one(self):
+        data = gaussian_mixture(500, 16, seed=2)
+        assert relative_contrast(data) >= 1.0
+
+    def test_scale_invariant(self):
+        data = gaussian_mixture(500, 16, seed=3)
+        a = relative_contrast(data)
+        b = relative_contrast(data * 100.0)
+        assert a == pytest.approx(b, rel=1e-9)
+
+    def test_needs_three_points(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            relative_contrast(np.zeros((2, 4)))
+
+    def test_all_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="duplicates"):
+            relative_contrast(np.ones((50, 4)))
+
+
+class TestLID:
+    def test_recovers_low_intrinsic_dimension(self):
+        """LID of a noiseless 5-flat in R^64 is ~5, not 64."""
+        data = low_intrinsic_dim(2000, 64, intrinsic_dim=5, noise=0.0, seed=0)
+        lid = local_intrinsic_dimensionality(data, k=20)
+        assert 2.0 < lid < 12.0
+
+    def test_full_dimensional_gaussian_has_higher_lid(self):
+        flat = low_intrinsic_dim(1500, 32, intrinsic_dim=4, noise=0.0, seed=1)
+        full = np.random.default_rng(1).standard_normal((1500, 32))
+        assert local_intrinsic_dimensionality(full, k=20) > (
+            local_intrinsic_dimensionality(flat, k=20)
+        )
+
+    def test_validation(self):
+        data = np.random.default_rng(0).standard_normal((30, 4))
+        with pytest.raises(ValueError, match="k must be >= 2"):
+            local_intrinsic_dimensionality(data, k=1)
+        with pytest.raises(ValueError, match="need more than"):
+            local_intrinsic_dimensionality(data, k=30)
+
+
+class TestHardnessReport:
+    def test_nus_standin_is_hardest(self):
+        """The paper's §VI-B3 explanation: NUS's complex distribution has
+        the worst relative contrast among descriptor stand-ins."""
+        easy = gaussian_mixture(
+            1200, 64, n_clusters=20, cluster_std=1.0, center_spread=8.0, seed=0
+        )
+        hard = scaled_heavy_tailed(1200, 64, tail=1.2, seed=0)
+        easy_report = hardness_report(easy)
+        hard_report = hardness_report(hard)
+        assert hard_report.relative_contrast < easy_report.relative_contrast
+
+    def test_report_fields(self):
+        data = gaussian_mixture(400, 16, seed=4)
+        report = hardness_report(data, sample=50)
+        assert report.sample_size == 50
+        assert report.mean_distance > report.mean_nn_distance > 0
+        row = report.row()
+        assert set(row) == {"relative_contrast", "lid", "mean_dist", "mean_nn_dist"}

@@ -1,0 +1,85 @@
+"""Tests for the dataset registry and its Table III correspondence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import DATASET_REGISTRY, make_dataset, registry_table
+
+#: The paper's Table III, used to pin the registry's real-counterpart data.
+PAPER_TABLE_III = {
+    "audio": (54_387, 192),
+    "mnist": (60_000, 784),
+    "cifar": (60_000, 1024),
+    "trevi": (101_120, 4096),
+    "nus": (269_648, 500),
+    "deep1m": (1_000_000, 256),
+    "gist": (1_000_000, 960),
+    "sift10m": (10_000_000, 128),
+    "tiny80m": (79_302_017, 384),
+    "sift100m": (100_000_000, 128),
+}
+
+
+class TestRegistry:
+    def test_all_ten_paper_datasets_present(self):
+        assert set(DATASET_REGISTRY) == set(PAPER_TABLE_III)
+
+    @pytest.mark.parametrize("name", sorted(PAPER_TABLE_III))
+    def test_paper_counts_recorded(self, name):
+        spec = DATASET_REGISTRY[name]
+        paper_n, paper_d = PAPER_TABLE_III[name]
+        assert spec.paper_cardinality == paper_n
+        assert spec.paper_dim == paper_d
+        # The stand-in keeps the exact ambient dimensionality.
+        assert spec.dim == paper_d
+
+    def test_stand_in_sizes_are_laptop_scale(self):
+        for spec in DATASET_REGISTRY.values():
+            assert 1_000 <= spec.cardinality <= 50_000
+
+    def test_registry_table_renders(self):
+        table = registry_table()
+        assert "audio" in table and "sift100m" in table
+        assert "Paper n" in table
+
+    def test_describe(self):
+        text = DATASET_REGISTRY["gist"].describe()
+        assert "gist" in text and "960" in text
+
+
+class TestMakeDataset:
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            make_dataset("imagenet")
+
+    def test_shapes_and_query_removal(self):
+        ds = make_dataset("audio", n_queries=50, seed=0)
+        assert ds.queries.shape == (50, 192)
+        assert ds.data.shape[0] == DATASET_REGISTRY["audio"].cardinality
+        assert ds.dim == 192
+        assert ds.name == "audio"
+
+    def test_determinism(self):
+        a = make_dataset("audio", n_queries=10, seed=0)
+        b = make_dataset("audio", n_queries=10, seed=0)
+        np.testing.assert_array_equal(a.data, b.data)
+        np.testing.assert_array_equal(a.queries, b.queries)
+
+    def test_scale_factor(self):
+        full = make_dataset("audio", n_queries=10, seed=0)
+        half = make_dataset("audio", n_queries=10, seed=0, scale=0.5)
+        assert half.n == pytest.approx(full.n * 0.5, rel=0.01)
+
+    def test_queries_not_in_data(self):
+        ds = make_dataset("audio", n_queries=20, seed=0)
+        # Exact row matches between queries and data must not exist.
+        for q in ds.queries[:5]:
+            assert not np.any(np.all(ds.data == q, axis=1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_queries"):
+            make_dataset("audio", n_queries=0)
+        with pytest.raises(ValueError, match="scale"):
+            make_dataset("audio", scale=0.0)

@@ -1,0 +1,126 @@
+"""Tests for the synthetic data generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generators import (
+    gaussian_mixture,
+    low_intrinsic_dim,
+    planted_neighbors,
+    scaled_heavy_tailed,
+    uniform_hypercube,
+)
+
+
+class TestGaussianMixture:
+    def test_shape_and_determinism(self):
+        a = gaussian_mixture(100, 16, seed=0)
+        b = gaussian_mixture(100, 16, seed=0)
+        assert a.shape == (100, 16)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = gaussian_mixture(50, 8, seed=0)
+        b = gaussian_mixture(50, 8, seed=1)
+        assert not np.allclose(a, b)
+
+    def test_clusteredness(self):
+        # High center spread vs small std: sampled NN distance must be far
+        # below the typical inter-point distance.
+        data = gaussian_mixture(
+            500, 16, n_clusters=5, cluster_std=0.5, center_spread=50.0, seed=2
+        )
+        from repro.utils.scale import estimate_nn_distance
+
+        nn = estimate_nn_distance(data)
+        mean_pair = np.linalg.norm(data[:100] - data[100:200], axis=1).mean()
+        assert nn < mean_pair / 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_mixture(0, 4)
+        with pytest.raises(ValueError):
+            gaussian_mixture(4, 0)
+        with pytest.raises(ValueError, match="n_clusters"):
+            gaussian_mixture(4, 4, n_clusters=0)
+
+
+class TestUniformHypercube:
+    def test_range(self):
+        data = uniform_hypercube(200, 4, low=-2.0, high=3.0, seed=0)
+        assert data.min() >= -2.0
+        assert data.max() <= 3.0
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError, match="high must exceed low"):
+            uniform_hypercube(10, 2, low=1.0, high=1.0)
+
+
+class TestLowIntrinsicDim:
+    def test_shape(self):
+        data = low_intrinsic_dim(100, 64, intrinsic_dim=4, seed=0)
+        assert data.shape == (100, 64)
+
+    def test_effective_rank_is_low(self):
+        data = low_intrinsic_dim(300, 64, intrinsic_dim=4, noise=0.0, seed=1)
+        singular_values = np.linalg.svd(data - data.mean(axis=0), compute_uv=False)
+        # With zero noise, only ~intrinsic_dim singular values are non-zero.
+        assert singular_values[4] < 1e-8 * singular_values[0]
+
+    def test_noise_raises_rank(self):
+        data = low_intrinsic_dim(300, 64, intrinsic_dim=4, noise=0.5, seed=1)
+        singular_values = np.linalg.svd(data - data.mean(axis=0), compute_uv=False)
+        assert singular_values[4] > 1e-3 * singular_values[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="intrinsic_dim"):
+            low_intrinsic_dim(10, 4, intrinsic_dim=5)
+
+
+class TestScaledHeavyTailed:
+    def test_shape_and_determinism(self):
+        a = scaled_heavy_tailed(100, 8, seed=3)
+        b = scaled_heavy_tailed(100, 8, seed=3)
+        assert a.shape == (100, 8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_norms_are_skewed(self):
+        data = scaled_heavy_tailed(2000, 8, tail=1.5, seed=4)
+        norms = np.linalg.norm(data, axis=1)
+        assert norms.max() / np.median(norms) > 5.0
+
+
+class TestPlantedNeighbors:
+    def test_planted_geometry(self):
+        data, queries = planted_neighbors(
+            200, 16, n_queries=5, planted_distance=1.0, background_distance=20.0, seed=0
+        )
+        assert data.shape == (205, 16)
+        assert queries.shape == (5, 16)
+        for i, q in enumerate(queries):
+            assert np.linalg.norm(data[i] - q) == pytest.approx(1.0)
+
+    def test_background_is_far(self):
+        data, queries = planted_neighbors(
+            200, 16, n_queries=5, planted_distance=1.0, background_distance=20.0, seed=0
+        )
+        background = data[5:]
+        for q in queries:
+            dists = np.linalg.norm(background - q, axis=1)
+            assert dists.min() > 5.0  # well beyond the planted distance
+
+    def test_planted_is_exact_nn(self):
+        data, queries = planted_neighbors(
+            300, 8, n_queries=6, planted_distance=0.5, background_distance=30.0, seed=1
+        )
+        for i, q in enumerate(queries):
+            nn = int(np.argmin(np.linalg.norm(data - q, axis=1)))
+            assert nn == i
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="planted_distance"):
+            planted_neighbors(10, 4, 1, planted_distance=2.0, background_distance=1.0)
+        with pytest.raises(ValueError, match="n_queries"):
+            planted_neighbors(10, 4, 0)

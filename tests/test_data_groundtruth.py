@@ -1,0 +1,83 @@
+"""Tests for blocked exact k-NN ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.groundtruth import exact_knn, pairwise_distances_blocked
+
+
+class TestPairwiseDistances:
+    def test_matches_naive(self, rng):
+        data = rng.standard_normal((50, 8))
+        queries = rng.standard_normal((7, 8))
+        got = pairwise_distances_blocked(queries, data, block=3)
+        naive = np.linalg.norm(queries[:, None, :] - data[None, :, :], axis=2)
+        np.testing.assert_allclose(got, naive, atol=1e-9)
+
+    def test_block_size_irrelevant(self, rng):
+        data = rng.standard_normal((40, 4))
+        queries = rng.standard_normal((11, 4))
+        a = pairwise_distances_blocked(queries, data, block=1)
+        b = pairwise_distances_blocked(queries, data, block=1000)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_zero_distance_clamped(self):
+        data = np.array([[1.0, 1.0]])
+        got = pairwise_distances_blocked(data, data)
+        assert got[0, 0] == 0.0
+
+    def test_dim_mismatch(self, rng):
+        with pytest.raises(ValueError, match="dimension"):
+            pairwise_distances_blocked(rng.standard_normal((2, 3)),
+                                       rng.standard_normal((4, 5)))
+
+    def test_bad_block(self, rng):
+        with pytest.raises(ValueError, match="block"):
+            pairwise_distances_blocked(np.zeros((1, 2)), np.zeros((1, 2)), block=0)
+
+
+class TestExactKnn:
+    def test_matches_argsort(self, rng):
+        data = rng.standard_normal((80, 6))
+        queries = rng.standard_normal((9, 6))
+        ids, dists = exact_knn(queries, data, k=5)
+        assert ids.shape == (9, 5)
+        for qi in range(9):
+            brute = np.linalg.norm(data - queries[qi], axis=1)
+            expected = np.argsort(brute, kind="stable")[:5]
+            np.testing.assert_allclose(dists[qi], np.sort(brute)[:5], atol=1e-9)
+            assert set(ids[qi].tolist()) == set(expected.tolist())
+
+    def test_distances_ascending(self, rng):
+        data = rng.standard_normal((60, 4))
+        queries = rng.standard_normal((5, 4))
+        _, dists = exact_knn(queries, data, k=10)
+        assert np.all(np.diff(dists, axis=1) >= 0)
+
+    def test_k_clamped_to_n(self, rng):
+        data = rng.standard_normal((3, 4))
+        ids, dists = exact_knn(rng.standard_normal((2, 4)), data, k=10)
+        assert ids.shape == (2, 3)
+
+    def test_k_must_be_positive(self, rng):
+        with pytest.raises(ValueError, match="k must be >= 1"):
+            exact_knn(np.zeros((1, 2)), np.zeros((2, 2)), k=0)
+
+    def test_self_query(self, rng):
+        data = rng.standard_normal((30, 5))
+        ids, dists = exact_knn(data[:3], data, k=1)
+        assert ids[:, 0].tolist() == [0, 1, 2]
+        np.testing.assert_allclose(dists[:, 0], 0.0, atol=1e-9)
+
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20)
+    def test_property_sizes(self, n, k):
+        rng = np.random.default_rng(n * 100 + k)
+        data = rng.standard_normal((n, 3))
+        ids, dists = exact_knn(rng.standard_normal((2, 3)), data, k=k)
+        assert ids.shape == (2, min(k, n))
+        assert np.all(np.diff(dists, axis=1) >= 0)

@@ -1,0 +1,65 @@
+"""Roundtrip tests for the fvecs/ivecs readers and writers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import read_fvecs, read_ivecs, write_fvecs, write_ivecs
+
+
+class TestFvecs:
+    def test_roundtrip(self, tmp_path, rng):
+        path = str(tmp_path / "points.fvecs")
+        original = rng.standard_normal((20, 8)).astype(np.float32)
+        write_fvecs(path, original)
+        loaded = read_fvecs(path)
+        assert loaded.shape == (20, 8)
+        assert loaded.dtype == np.float64
+        np.testing.assert_allclose(loaded, original, atol=1e-6)
+
+    def test_limit(self, tmp_path, rng):
+        path = str(tmp_path / "points.fvecs")
+        write_fvecs(path, rng.standard_normal((20, 8)))
+        loaded = read_fvecs(path, limit=5)
+        assert loaded.shape == (5, 8)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_fvecs(str(tmp_path / "missing.fvecs"))
+
+    def test_corrupt_size(self, tmp_path):
+        path = str(tmp_path / "bad.fvecs")
+        np.array([3, 0], dtype=np.int32).tofile(path)  # header says 3, body 1
+        with pytest.raises(ValueError, match="not a multiple"):
+            read_fvecs(path)
+
+    def test_empty_file(self, tmp_path):
+        path = str(tmp_path / "empty.fvecs")
+        open(path, "wb").close()
+        with pytest.raises(ValueError, match="empty"):
+            read_fvecs(path)
+
+    def test_inconsistent_dims(self, tmp_path):
+        path = str(tmp_path / "mixed.fvecs")
+        # Two records claiming different dimensionalities but same stride.
+        rec = np.array([2, 0, 0, 3, 0, 0], dtype=np.int32)
+        rec.tofile(path)
+        with pytest.raises(ValueError, match="inconsistent"):
+            read_fvecs(path)
+
+
+class TestIvecs:
+    def test_roundtrip(self, tmp_path, rng):
+        path = str(tmp_path / "ids.ivecs")
+        original = rng.integers(0, 1000, size=(15, 10)).astype(np.int32)
+        write_ivecs(path, original)
+        loaded = read_ivecs(path)
+        assert loaded.dtype == np.int64
+        np.testing.assert_array_equal(loaded, original)
+
+    def test_negative_values_roundtrip(self, tmp_path):
+        path = str(tmp_path / "neg.ivecs")
+        original = np.array([[-5, 3], [7, -2]], dtype=np.int32)
+        write_ivecs(path, original)
+        np.testing.assert_array_equal(read_ivecs(path), original)

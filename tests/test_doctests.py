@@ -1,0 +1,17 @@
+"""Run the doctest examples embedded in module/class docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro
+import repro.utils.timing
+
+
+@pytest.mark.parametrize("module", [repro, repro.utils.timing])
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted >= 1, f"{module.__name__} lost its doctest examples"
+    assert result.failed == 0

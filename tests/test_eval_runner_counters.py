@@ -1,0 +1,64 @@
+"""Runner counter-aggregation tests: the fields Table IV's shape checks use."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DBLSH
+from repro.baselines import LinearScan
+from repro.data.generators import gaussian_mixture
+from repro.eval.runner import evaluate_method
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data = gaussian_mixture(300, 12, n_clusters=5, seed=0)
+    rng = np.random.default_rng(1)
+    queries = data[rng.choice(300, 6, replace=False)] + 0.05
+    return data, queries
+
+
+class TestCounterAggregation:
+    def test_rounds_per_query_populated(self, workload):
+        data, queries = workload
+        method = DBLSH(l_spaces=3, k_per_space=4, seed=0,
+                       auto_initial_radius=True)
+        result = evaluate_method(method, data, queries, k=5)
+        assert result.rounds_per_query >= 1.0
+
+    def test_candidates_are_means_not_totals(self, workload):
+        data, queries = workload
+        result = evaluate_method(LinearScan(), data, queries, k=5)
+        # A scan verifies exactly n per query; the mean must equal n.
+        assert result.candidates_per_query == pytest.approx(300.0)
+
+    def test_query_time_is_positive_mean(self, workload):
+        data, queries = workload
+        result = evaluate_method(LinearScan(), data, queries, k=5)
+        assert result.query_time_ms > 0.0
+
+    def test_dataset_metadata(self, workload):
+        data, queries = workload
+        result = evaluate_method(
+            LinearScan(), data, queries, k=5, dataset_name="unit"
+        )
+        assert result.dataset == "unit"
+        assert (result.n, result.dim) == (300, 12)
+
+    def test_custom_method_name_respected(self, workload):
+        data, queries = workload
+        method = LinearScan()
+        method.name = "Oracle"
+        result = evaluate_method(method, data, queries, k=3)
+        assert result.method == "Oracle"
+
+    def test_precomputed_ground_truth_used(self, workload):
+        data, queries = workload
+        from repro.data.groundtruth import exact_knn
+
+        gt_ids, gt_dists = exact_knn(queries, data, 5)
+        result = evaluate_method(
+            LinearScan(), data, queries, k=5, gt_ids=gt_ids, gt_dists=gt_dists
+        )
+        assert result.recall == pytest.approx(1.0)

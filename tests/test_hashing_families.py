@@ -1,0 +1,159 @@
+"""Tests for the two LSH families and the compound hasher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing.compound import CompoundHasher
+from repro.hashing.families import (
+    GaussianProjectionFamily,
+    PStableHashFamily,
+    projection_tensor,
+)
+from repro.hashing.probability import collision_probability_dynamic
+
+
+class TestGaussianProjectionFamily:
+    def test_shapes(self):
+        family = GaussianProjectionFamily(16, 4, seed=0)
+        points = np.random.default_rng(0).standard_normal((10, 16))
+        assert family.project(points).shape == (10, 4)
+        assert family.project_one(points[0]).shape == (4,)
+
+    def test_project_one_consistent_with_batch(self):
+        family = GaussianProjectionFamily(8, 3, seed=1)
+        point = np.arange(8, dtype=float)
+        np.testing.assert_allclose(
+            family.project_one(point), family.project(point[None, :])[0]
+        )
+
+    def test_linearity(self):
+        family = GaussianProjectionFamily(8, 3, seed=2)
+        a = np.random.default_rng(3).standard_normal(8)
+        b = np.random.default_rng(4).standard_normal(8)
+        np.testing.assert_allclose(
+            family.project_one(a + b),
+            family.project_one(a) + family.project_one(b),
+            atol=1e-12,
+        )
+
+    def test_collides_predicate(self):
+        family = GaussianProjectionFamily(4, 2, seed=0)
+        h1 = np.array([0.0, 0.0])
+        h2 = np.array([0.9, 2.1])
+        mask = family.collides(h1, h2, w=2.0)
+        np.testing.assert_array_equal(mask, [True, False])
+
+    def test_seed_determinism(self):
+        a = GaussianProjectionFamily(8, 3, seed=5).vectors
+        b = GaussianProjectionFamily(8, 3, seed=5).vectors
+        np.testing.assert_array_equal(a, b)
+
+    def test_dimension_mismatch_raises(self):
+        family = GaussianProjectionFamily(8, 3, seed=0)
+        with pytest.raises(ValueError, match="dimension"):
+            family.project(np.zeros((2, 9)))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            GaussianProjectionFamily(0, 3)
+        with pytest.raises(ValueError):
+            GaussianProjectionFamily(3, 0)
+
+    @pytest.mark.slow
+    def test_two_stability(self):
+        """Projected differences follow N(0, tau^2): empirical collision
+        rates must match Eq. 4 within sampling error."""
+        rng = np.random.default_rng(0)
+        dim, trials = 32, 4000
+        family = GaussianProjectionFamily(dim, trials, seed=1)
+        o1 = rng.standard_normal(dim)
+        direction = rng.standard_normal(dim)
+        direction /= np.linalg.norm(direction)
+        for tau, w in [(1.0, 2.0), (2.0, 2.0), (1.0, 6.0)]:
+            o2 = o1 + tau * direction
+            h1, h2 = family.project_one(o1), family.project_one(o2)
+            empirical = float(np.mean(np.abs(h1 - h2) <= w / 2.0))
+            expected = float(collision_probability_dynamic(tau, w))
+            assert empirical == pytest.approx(expected, abs=0.03)
+
+
+class TestPStableHashFamily:
+    def test_hash_is_integer_grid(self):
+        family = PStableHashFamily(8, 4, w=2.0, seed=0)
+        points = np.random.default_rng(1).standard_normal((20, 8))
+        buckets = family.hash(points)
+        assert buckets.dtype == np.int64
+        raw = family.raw_project(points)
+        np.testing.assert_array_equal(buckets, np.floor(raw / 2.0).astype(np.int64))
+
+    def test_offsets_in_range(self):
+        family = PStableHashFamily(8, 16, w=3.0, seed=2)
+        assert np.all(family.offsets >= 0.0)
+        assert np.all(family.offsets < 3.0)
+
+    def test_rehash_merges_buckets(self):
+        family = PStableHashFamily(4, 2, w=1.0, seed=0)
+        ids = np.array([[4, -3], [5, -4]])
+        merged = family.rehash(ids, 2)
+        np.testing.assert_array_equal(merged, [[2, -2], [2, -2]])
+
+    def test_rehash_factor_one_is_identity(self):
+        family = PStableHashFamily(4, 2, w=1.0, seed=0)
+        ids = np.array([[7, -9]])
+        np.testing.assert_array_equal(family.rehash(ids, 1), ids)
+
+    def test_rehash_rejects_zero(self):
+        family = PStableHashFamily(4, 2, w=1.0, seed=0)
+        with pytest.raises(ValueError):
+            family.rehash(np.array([1]), 0)
+
+    def test_hash_one_matches_batch(self):
+        family = PStableHashFamily(6, 3, w=1.5, seed=3)
+        point = np.random.default_rng(0).standard_normal(6)
+        np.testing.assert_array_equal(
+            family.hash_one(point), family.hash(point[None, :])[0]
+        )
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            PStableHashFamily(4, 2, w=0.0)
+
+
+class TestCompoundHasher:
+    def test_projection_shapes(self):
+        hasher = CompoundHasher(dim=16, l_spaces=3, k_per_space=5, seed=0)
+        points = np.random.default_rng(0).standard_normal((7, 16))
+        all_proj = hasher.project_all(points)
+        assert all_proj.shape == (3, 7, 5)
+        assert hasher.project_query(points[0]).shape == (3, 5)
+        assert hasher.num_functions == 15
+
+    def test_query_projection_consistent(self):
+        hasher = CompoundHasher(dim=8, l_spaces=2, k_per_space=4, seed=1)
+        points = np.random.default_rng(2).standard_normal((5, 8))
+        all_proj = hasher.project_all(points)
+        q_proj = hasher.project_query(points[3])
+        np.testing.assert_allclose(q_proj, all_proj[:, 3, :], atol=1e-12)
+
+    def test_spaces_are_independent(self):
+        hasher = CompoundHasher(dim=8, l_spaces=2, k_per_space=4, seed=1)
+        assert not np.allclose(hasher.tensor[0], hasher.tensor[1])
+
+    def test_dimension_mismatch(self):
+        hasher = CompoundHasher(dim=8, l_spaces=2, k_per_space=4, seed=1)
+        with pytest.raises(ValueError, match="dimension"):
+            hasher.project_query(np.zeros(7))
+        with pytest.raises(ValueError, match="dimension"):
+            hasher.project_all(np.zeros((3, 7)))
+
+    def test_projection_tensor_shape_and_seed(self):
+        a = projection_tensor(10, 3, 4, seed=7)
+        b = projection_tensor(10, 3, 4, seed=7)
+        assert a.shape == (3, 4, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_projection_tensor_invalid(self):
+        with pytest.raises(ValueError):
+            projection_tensor(10, 0, 4)

@@ -1,0 +1,171 @@
+"""Tests for the collision-probability math (Eq. 2, Eq. 4, Lemma 3).
+
+These pin the analytical core of the paper: closed forms are checked
+against direct numeric quadrature, the LSH property p1 > p2 is verified,
+and Lemma 3's alpha = 4.746 at gamma = 2 is reproduced to 3 decimals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.probability import (
+    alpha_for_gamma,
+    collision_probability_dynamic,
+    collision_probability_dynamic_numeric,
+    collision_probability_static,
+    collision_probability_static_numeric,
+    gamma_for_w0,
+    optimal_rho_curves,
+    rho_dynamic,
+    rho_ratio_bound,
+    rho_star_bound,
+    rho_static,
+    xi,
+)
+
+positive = st.floats(min_value=0.05, max_value=50.0)
+
+
+class TestDynamicProbability:
+    def test_zero_distance_is_certain(self):
+        assert collision_probability_dynamic(0.0, 4.0) == pytest.approx(1.0)
+
+    def test_monotone_decreasing_in_tau(self):
+        taus = np.linspace(0.1, 20.0, 50)
+        probs = collision_probability_dynamic(taus, 4.0)
+        assert np.all(np.diff(probs) < 0)
+
+    def test_monotone_increasing_in_w(self):
+        # Stay below erf saturation (p == 1.0 in float64) so strictness holds.
+        widths = np.linspace(0.1, 8.0, 50)
+        probs = collision_probability_dynamic(1.0, widths)
+        assert np.all(np.diff(probs) > 0)
+
+    @given(positive, positive)
+    def test_matches_numeric_integration(self, tau, w):
+        closed = float(collision_probability_dynamic(tau, w))
+        numeric = collision_probability_dynamic_numeric(tau, w)
+        assert closed == pytest.approx(numeric, abs=1e-9)
+
+    def test_observation_1_scale_invariance(self):
+        """Eq. 5: p(r; w0 r) is independent of r (Observation 1)."""
+        w0 = 9.0
+        base = float(collision_probability_dynamic(1.0, w0))
+        for r in [0.01, 0.5, 3.0, 100.0]:
+            scaled = float(collision_probability_dynamic(r, w0 * r))
+            assert scaled == pytest.approx(base, rel=1e-12)
+
+    def test_rejects_negative_tau(self):
+        with pytest.raises(ValueError, match="tau"):
+            collision_probability_dynamic(-1.0, 2.0)
+
+    def test_rejects_nonpositive_w(self):
+        with pytest.raises(ValueError, match="w"):
+            collision_probability_dynamic(1.0, 0.0)
+
+
+class TestStaticProbability:
+    def test_zero_distance_is_certain(self):
+        assert collision_probability_static(0.0, 4.0) == pytest.approx(1.0)
+
+    def test_monotone_decreasing_in_tau(self):
+        taus = np.linspace(0.1, 20.0, 50)
+        probs = collision_probability_static(taus, 4.0)
+        assert np.all(np.diff(probs) < 0)
+
+    @given(positive, positive)
+    def test_matches_numeric_integration(self, tau, w):
+        closed = float(collision_probability_static(tau, w))
+        numeric = collision_probability_static_numeric(tau, w)
+        assert closed == pytest.approx(numeric, abs=1e-7)
+
+    def test_lsh_property_p1_gt_p2(self):
+        # Definition 3: nearer pairs collide more often.
+        for w in [0.5, 2.0, 9.0]:
+            p1 = float(collision_probability_static(1.0, w))
+            p2 = float(collision_probability_static(2.0, w))
+            assert p1 > p2
+
+
+class TestRhoExponents:
+    def test_rho_dynamic_in_unit_interval(self):
+        rho = rho_dynamic(1.5, 9.0)
+        assert 0.0 < rho < 1.0
+
+    def test_rho_dynamic_below_paper_bound(self):
+        # Lemma 3: rho* <= 1/c^alpha at w0 = 2 gamma c^2.
+        for c in [1.2, 1.5, 2.0, 3.0]:
+            w0 = 4.0 * c * c  # gamma = 2
+            assert rho_dynamic(c, w0) <= rho_star_bound(c, w0) + 1e-12
+
+    def test_rho_ratio_bound_dominates_rho(self):
+        # Eq. 9: rho* <= (1 - p1) / (1 - p2).
+        for c in [1.3, 1.8, 2.5]:
+            w0 = 4.0 * c * c
+            assert rho_dynamic(c, w0) <= rho_ratio_bound(c, w0) + 1e-12
+
+    def test_rho_decreases_with_c(self):
+        # Strictly below the float64 saturation region (p1 == 1.0 at c >= 3
+        # with w0 = 4c^2 makes rho exactly 0 there).
+        rhos = [rho_dynamic(c, 4.0 * c * c) for c in [1.2, 1.5, 2.0]]
+        assert all(a > b for a, b in zip(rhos, rhos[1:]))
+        saturated = [rho_dynamic(c, 4.0 * c * c) for c in [3.0, 4.0]]
+        assert all(r <= rhos[-1] for r in saturated)
+
+    def test_rho_static_requires_c_above_one(self):
+        with pytest.raises(ValueError, match="c must be > 1"):
+            rho_static(1.0, 4.0)
+
+    def test_rho_dynamic_requires_c_above_one(self):
+        with pytest.raises(ValueError, match="c must be > 1"):
+            rho_dynamic(0.9, 4.0)
+
+
+class TestLemma3:
+    def test_alpha_at_gamma_2_matches_paper(self):
+        # The abstract/Lemma 3 quote alpha = 4.746 for w0 = 4c^2.
+        assert alpha_for_gamma(2.0) == pytest.approx(4.746, abs=1e-3)
+
+    def test_alpha_exceeds_one_above_critical_gamma(self):
+        # "xi(gamma) > 1 holds when gamma > 0.7518".
+        assert alpha_for_gamma(0.76) > 1.0
+        assert alpha_for_gamma(0.74) < 1.0
+
+    def test_xi_is_monotone_increasing(self):
+        values = [xi(v) for v in np.linspace(0.2, 5.0, 30)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_gamma_roundtrip(self):
+        c = 1.5
+        w0 = 2.0 * 1.7 * c * c
+        assert gamma_for_w0(w0, c) == pytest.approx(1.7)
+
+    def test_bound_tightens_with_width(self):
+        # alpha grows with w0, so 1/c^alpha shrinks.
+        c = 2.0
+        bounds = [rho_star_bound(c, f * c * c) for f in [1.0, 2.0, 4.0, 8.0]]
+        assert all(a > b for a, b in zip(bounds, bounds[1:]))
+
+
+class TestFigure4Curves:
+    def test_large_width_rho_star_below_one_over_c(self):
+        # Fig. 4(b): at w = 4c^2 rho* is far below 1/c while rho hugs it.
+        c_values = np.linspace(1.1, 4.0, 12)
+        rho_star, rho, inv_c = optimal_rho_curves(c_values, 4.0)
+        assert np.all(rho_star < inv_c)
+        assert np.all(rho_star < rho)
+
+    def test_small_width_rho_can_exceed_one_over_c(self):
+        # Fig. 4(a): at w = 0.4c^2 the static rho exceeds 1/c for small c.
+        c_values = np.array([1.2, 1.5, 1.8])
+        rho_star, rho, inv_c = optimal_rho_curves(c_values, 0.4)
+        assert np.any(rho > inv_c)
+        assert np.all(rho_star < rho)
+
+    def test_rejects_c_at_most_one(self):
+        with pytest.raises(ValueError, match="must be > 1"):
+            optimal_rho_curves(np.array([1.0, 2.0]), 4.0)

@@ -1,0 +1,133 @@
+"""Tests for the B+-tree over 1-D projections (QALSH-family substrate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.bplustree import BPlusTree
+
+float_lists = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one key"):
+            BPlusTree(np.array([]))
+
+    def test_rejects_small_order(self):
+        with pytest.raises(ValueError, match="order"):
+            BPlusTree(np.array([1.0]), order=2)
+
+    def test_rejects_value_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            BPlusTree(np.array([1.0, 2.0]), values=np.array([0]))
+
+    def test_count_and_minmax(self, rng):
+        keys = rng.standard_normal(500)
+        tree = BPlusTree(keys, order=16)
+        assert len(tree) == 500
+        assert tree.min_key() == pytest.approx(keys.min())
+        assert tree.max_key() == pytest.approx(keys.max())
+        assert tree.height >= 2
+
+    def test_single_key(self):
+        tree = BPlusTree(np.array([3.5]), values=np.array([42]))
+        assert tree.range_query(3.0, 4.0).tolist() == [42]
+        assert tree.height == 1
+
+
+class TestRangeQuery:
+    def test_matches_numpy_reference(self, rng):
+        keys = rng.standard_normal(400)
+        tree = BPlusTree(keys, order=8)
+        for _ in range(25):
+            lo, hi = np.sort(rng.standard_normal(2))
+            got = sorted(tree.range_query(lo, hi).tolist())
+            expected = sorted(np.flatnonzero((keys >= lo) & (keys <= hi)).tolist())
+            assert got == expected
+
+    def test_inverted_range_is_empty(self):
+        tree = BPlusTree(np.arange(10, dtype=float))
+        assert tree.range_query(5.0, 4.0).size == 0
+
+    def test_closed_interval_boundaries(self):
+        tree = BPlusTree(np.array([1.0, 2.0, 3.0]))
+        assert sorted(tree.range_query(1.0, 3.0).tolist()) == [0, 1, 2]
+        assert sorted(tree.range_query(2.0, 2.0).tolist()) == [1]
+
+    def test_range_count(self, rng):
+        keys = rng.uniform(0, 10, 200)
+        tree = BPlusTree(keys)
+        assert tree.range_count(2.0, 5.0) == int(((keys >= 2.0) & (keys <= 5.0)).sum())
+
+    def test_duplicate_keys(self):
+        keys = np.array([1.0, 1.0, 1.0, 2.0])
+        tree = BPlusTree(keys, order=4)
+        assert sorted(tree.range_query(1.0, 1.0).tolist()) == [0, 1, 2]
+
+    def test_custom_values(self):
+        tree = BPlusTree(np.array([5.0, 1.0]), values=np.array([100, 200]))
+        assert tree.range_query(0.0, 2.0).tolist() == [200]
+
+
+class TestClosestIter:
+    def test_yields_ascending_offsets(self, rng):
+        keys = rng.standard_normal(150)
+        tree = BPlusTree(keys, order=8)
+        center = 0.3
+        offsets = [off for off, _, _ in tree.closest_iter(center)]
+        assert len(offsets) == 150
+        assert offsets == sorted(offsets)
+
+    def test_enumerates_all_values(self, rng):
+        keys = rng.standard_normal(80)
+        tree = BPlusTree(keys, order=8)
+        values = sorted(v for _, _, v in tree.closest_iter(0.0))
+        assert values == list(range(80))
+
+    def test_offsets_are_absolute_distances(self, rng):
+        keys = rng.uniform(-5, 5, 60)
+        tree = BPlusTree(keys, order=8)
+        center = 1.0
+        for off, key, _ in tree.closest_iter(center):
+            assert off == pytest.approx(abs(key - center))
+
+    def test_center_outside_key_range(self):
+        tree = BPlusTree(np.array([1.0, 2.0, 3.0]))
+        stream = list(tree.closest_iter(10.0))
+        assert [v for _, _, v in stream] == [2, 1, 0]
+
+    def test_center_below_key_range(self):
+        tree = BPlusTree(np.array([1.0, 2.0, 3.0]))
+        stream = list(tree.closest_iter(-10.0))
+        assert [v for _, _, v in stream] == [0, 1, 2]
+
+
+class TestPropertyBased:
+    @given(float_lists, st.floats(-1e6, 1e6), st.floats(0, 1e6))
+    @settings(max_examples=40)
+    def test_range_query_equals_reference(self, raw_keys, center, half):
+        keys = np.array(raw_keys)
+        tree = BPlusTree(keys, order=4)
+        lo, hi = center - half, center + half
+        got = sorted(tree.range_query(lo, hi).tolist())
+        expected = sorted(np.flatnonzero((keys >= lo) & (keys <= hi)).tolist())
+        assert got == expected
+
+    @given(float_lists, st.floats(-1e6, 1e6))
+    @settings(max_examples=40)
+    def test_closest_iter_complete_and_sorted(self, raw_keys, center):
+        keys = np.array(raw_keys)
+        tree = BPlusTree(keys, order=4)
+        stream = list(tree.closest_iter(center))
+        assert len(stream) == len(keys)
+        offsets = [off for off, _, _ in stream]
+        assert offsets == sorted(offsets)
+        assert sorted(v for _, _, v in stream) == list(range(len(keys)))

@@ -1,0 +1,96 @@
+"""Tests for the uniform grid (static LSH hash-table) index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.index.grid import GridIndex
+
+
+def brute_window(points, w_low, w_high):
+    mask = np.all(points >= w_low, axis=1) & np.all(points <= w_high, axis=1)
+    return set(np.flatnonzero(mask).tolist())
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one point"):
+            GridIndex(np.zeros((0, 2)), cell_width=1.0)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError, match="cell_width"):
+            GridIndex(np.zeros((2, 2)), cell_width=0.0)
+
+    def test_cell_partition_is_total(self, rng):
+        points = rng.uniform(-5, 5, size=(200, 2))
+        grid = GridIndex(points, cell_width=1.5)
+        total = sum(len(ids) for ids in grid.cells.values())
+        assert total == 200
+        assert len(grid) == 200
+        assert grid.num_cells >= 1
+
+
+class TestCellLookup:
+    def test_point_finds_its_own_cell(self, rng):
+        points = rng.uniform(-5, 5, size=(100, 3))
+        grid = GridIndex(points, cell_width=2.0)
+        for i in [0, 17, 99]:
+            assert i in grid.cell_lookup(points[i]).tolist()
+
+    def test_key_of_matches_floor(self):
+        grid = GridIndex(np.array([[0.5, -0.5]]), cell_width=1.0)
+        assert grid.key_of(np.array([2.3, -1.2])) == (2, -2)
+
+    def test_wrong_dim(self):
+        grid = GridIndex(np.zeros((1, 2)), cell_width=1.0)
+        with pytest.raises(ValueError, match="dimension"):
+            grid.key_of(np.zeros(3))
+
+    def test_lookup_counts_probes(self, rng):
+        grid = GridIndex(rng.uniform(0, 1, (10, 2)), cell_width=0.5)
+        before = grid.cell_probes
+        grid.cell_lookup(np.array([0.2, 0.2]))
+        assert grid.cell_probes == before + 1
+
+
+class TestWindowQuery:
+    def test_matches_brute_force(self, rng):
+        points = rng.uniform(-4, 4, size=(300, 2))
+        grid = GridIndex(points, cell_width=1.0)
+        for _ in range(20):
+            center = rng.uniform(-4, 4, size=2)
+            half = rng.uniform(0.2, 3.0, size=2)
+            got = set(grid.window_query(center - half, center + half).tolist())
+            assert got == brute_window(points, center - half, center + half)
+
+    def test_inverted_window_is_empty(self, rng):
+        grid = GridIndex(rng.uniform(0, 1, (20, 2)), cell_width=0.5)
+        got = grid.window_query(np.array([1.0, 1.0]), np.array([0.0, 0.0]))
+        assert got.size == 0
+
+    def test_negative_coordinates(self):
+        points = np.array([[-3.7, -2.2], [-0.1, -0.1], [2.5, 3.5]])
+        grid = GridIndex(points, cell_width=1.0)
+        got = grid.window_query(np.array([-4.0, -3.0]), np.array([0.0, 0.0]))
+        assert sorted(got.tolist()) == [0, 1]
+
+    def test_huge_window_uses_occupied_cell_scan(self, rng):
+        """A window spanning astronomically many cells must not enumerate
+        them (the occupied-cell fallback) and still be exact."""
+        points = rng.uniform(-1, 1, size=(100, 6))
+        grid = GridIndex(points, cell_width=0.01)  # ~200 cells per dim
+        before = grid.cell_probes
+        got = grid.window_query(np.full(6, -1e6), np.full(6, 1e6))
+        assert sorted(got.tolist()) == list(range(100))
+        # Probes bounded by the number of occupied cells, not the 1e12+
+        # cells the window overlaps.
+        assert grid.cell_probes - before <= grid.num_cells
+
+    def test_huge_window_partial_overlap_exact(self, rng):
+        points = rng.uniform(-5, 5, size=(200, 4))
+        grid = GridIndex(points, cell_width=0.05)
+        w_low = np.array([-1e5, -1e5, 0.0, -1e5])
+        w_high = np.array([1e5, 1e5, 1e5, 1e5])
+        got = set(grid.window_query(w_low, w_high).tolist())
+        assert got == brute_window(points, w_low, w_high)

@@ -1,0 +1,100 @@
+"""Tests for the Hilbert curve encoding (LSB-Forest curve alternative)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.hilbert import hilbert_decode, hilbert_encode, hilbert_encode_many
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("m,bits", [(1, 4), (2, 3), (3, 2), (4, 2)])
+    def test_exhaustive_roundtrip(self, m, bits):
+        for coords in itertools.product(range(1 << bits), repeat=m):
+            index = hilbert_encode(np.array(coords), bits)
+            back = hilbert_decode(index, m, bits)
+            assert tuple(back.tolist()) == coords
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=2, max_size=5)
+    )
+    @settings(max_examples=50)
+    def test_random_roundtrip(self, coords):
+        index = hilbert_encode(np.array(coords), 8)
+        back = hilbert_decode(index, len(coords), 8)
+        assert back.tolist() == coords
+
+
+class TestCurveProperties:
+    @pytest.mark.parametrize("m,bits", [(2, 4), (3, 3)])
+    def test_unit_step_property(self, m, bits):
+        """Consecutive Hilbert indices are unit grid steps — the locality
+        property Z-order lacks (its diagonal jumps)."""
+        prev = hilbert_decode(0, m, bits)
+        for index in range(1, 1 << (m * bits)):
+            cur = hilbert_decode(index, m, bits)
+            assert int(np.abs(cur - prev).sum()) == 1
+            prev = cur
+
+    def test_bijective_over_full_range(self):
+        m, bits = 2, 4
+        seen = {
+            tuple(hilbert_decode(i, m, bits).tolist())
+            for i in range(1 << (m * bits))
+        }
+        assert len(seen) == 1 << (m * bits)
+
+    def test_single_dim_is_identity(self):
+        for value in [0, 1, 7, 15]:
+            assert hilbert_encode(np.array([value]), 4) == value
+
+
+class TestValidation:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            hilbert_encode(np.array([-1, 0]), 4)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError, match="capacity"):
+            hilbert_encode(np.array([16, 0]), 4)
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError, match="bits_per_dim"):
+            hilbert_encode(np.array([0]), 0)
+
+    def test_decode_range_check(self):
+        with pytest.raises(ValueError, match="out of range"):
+            hilbert_decode(1 << 8, 2, 4)
+        with pytest.raises(ValueError, match="out of range"):
+            hilbert_decode(-1, 2, 4)
+
+    def test_encode_many(self):
+        points = np.array([[0, 0], [1, 1], [3, 3]])
+        encoded = hilbert_encode_many(points, 2)
+        assert len(encoded) == 3
+        assert len(set(encoded)) == 3
+
+
+class TestLSBForestIntegration:
+    def test_hilbert_curve_backend(self):
+        from repro.baselines import LSBForest
+        from repro.data.generators import gaussian_mixture
+
+        data = gaussian_mixture(300, 16, n_clusters=6, seed=0)
+        method = LSBForest(
+            l_trees=3, m=4, bits_per_dim=6, candidate_factor=30, curve="hilbert",
+            seed=0,
+        ).fit(data)
+        result = method.query(data[5], k=1)
+        assert result.neighbors[0].id == 5
+
+    def test_invalid_curve_rejected(self):
+        from repro.baselines import LSBForest
+
+        with pytest.raises(ValueError, match="curve"):
+            LSBForest(curve="peano")

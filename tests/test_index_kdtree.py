@@ -1,0 +1,125 @@
+"""Tests for the KD-tree: window queries, exact kNN, incremental NN."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.kdtree import KDTree
+
+
+def brute_window(points, w_low, w_high):
+    mask = np.all(points >= w_low, axis=1) & np.all(points <= w_high, axis=1)
+    return set(np.flatnonzero(mask).tolist())
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one point"):
+            KDTree(np.zeros((0, 2)))
+
+    def test_rejects_bad_leaf_size(self):
+        with pytest.raises(ValueError, match="leaf_size"):
+            KDTree(np.zeros((1, 2)), leaf_size=0)
+
+    def test_single_point(self):
+        tree = KDTree(np.array([[1.0, 2.0]]))
+        dists, ids = tree.knn(np.array([1.0, 2.0]), 1)
+        assert ids.tolist() == [0]
+        assert dists[0] == pytest.approx(0.0)
+
+    def test_all_duplicates(self):
+        tree = KDTree(np.ones((40, 3)), leaf_size=8)
+        got = tree.window_query(np.full(3, 0.5), np.full(3, 1.5))
+        assert sorted(got.tolist()) == list(range(40))
+
+
+class TestWindowQuery:
+    def test_matches_brute_force(self, rng):
+        points = rng.uniform(-5, 5, size=(300, 3))
+        tree = KDTree(points, leaf_size=16)
+        for _ in range(20):
+            center = rng.uniform(-5, 5, size=3)
+            half = rng.uniform(0.2, 4.0, size=3)
+            got = set(tree.window_query(center - half, center + half).tolist())
+            assert got == brute_window(points, center - half, center + half)
+
+    def test_empty_window(self, rng):
+        points = rng.uniform(0, 1, size=(50, 2))
+        tree = KDTree(points)
+        assert tree.window_query(np.full(2, 5.0), np.full(2, 6.0)).size == 0
+
+
+class TestKNN:
+    def test_matches_brute_force(self, rng):
+        points = rng.standard_normal((200, 4))
+        tree = KDTree(points, leaf_size=8)
+        for _ in range(10):
+            q = rng.standard_normal(4)
+            dists, ids = tree.knn(q, 7)
+            brute = np.linalg.norm(points - q, axis=1)
+            expected = np.argsort(brute, kind="stable")[:7]
+            np.testing.assert_allclose(dists, np.sort(brute)[:7], atol=1e-9)
+            assert set(ids.tolist()) == set(expected.tolist())
+
+    def test_k_larger_than_n(self, rng):
+        points = rng.standard_normal((5, 2))
+        tree = KDTree(points)
+        dists, ids = tree.knn(np.zeros(2), 10)
+        assert len(ids) == 5
+        assert np.all(np.diff(dists) >= 0)
+
+    def test_k_must_be_positive(self, rng):
+        tree = KDTree(rng.standard_normal((5, 2)))
+        with pytest.raises(ValueError, match="k must be >= 1"):
+            tree.knn(np.zeros(2), 0)
+
+
+class TestNearestIter:
+    def test_yields_ascending_distances(self, rng):
+        points = rng.standard_normal((150, 3))
+        tree = KDTree(points, leaf_size=8)
+        q = rng.standard_normal(3)
+        stream = list(itertools.islice(tree.nearest_iter(q), 50))
+        dists = [d for d, _ in stream]
+        assert dists == sorted(dists)
+
+    def test_enumerates_everything(self, rng):
+        points = rng.standard_normal((60, 2))
+        tree = KDTree(points, leaf_size=4)
+        stream = list(tree.nearest_iter(np.zeros(2)))
+        assert sorted(i for _, i in stream) == list(range(60))
+
+    def test_wrong_dimension(self, rng):
+        tree = KDTree(rng.standard_normal((5, 3)))
+        with pytest.raises(ValueError, match="dimension"):
+            next(tree.nearest_iter(np.zeros(2)))
+
+    def test_first_item_is_nearest(self, rng):
+        points = rng.standard_normal((80, 3))
+        tree = KDTree(points)
+        q = rng.standard_normal(3)
+        dist, idx = next(tree.nearest_iter(q))
+        brute = np.linalg.norm(points - q, axis=1)
+        assert dist == pytest.approx(brute.min())
+        assert brute[idx] == pytest.approx(brute.min())
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(st.tuples(st.floats(-20, 20), st.floats(-20, 20)),
+                 min_size=1, max_size=80),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=30)
+    def test_knn_matches_brute(self, raw_points, k):
+        points = np.array(raw_points, dtype=np.float64)
+        tree = KDTree(points, leaf_size=4)
+        q = np.zeros(2)
+        dists, _ = tree.knn(q, k)
+        brute = np.sort(np.linalg.norm(points, axis=1))[: min(k, len(points))]
+        np.testing.assert_allclose(dists, brute, atol=1e-9)

@@ -1,0 +1,119 @@
+"""Tests for MBR geometry used by the R*-tree heuristics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.index.mbr import MBR, stack_bounds, windows_intersect_mask
+
+boxes_2d = st.tuples(
+    st.floats(min_value=-100, max_value=100),
+    st.floats(min_value=-100, max_value=100),
+    st.floats(min_value=0, max_value=50),
+    st.floats(min_value=0, max_value=50),
+).map(lambda t: MBR(np.array([t[0], t[1]]), np.array([t[0] + t[2], t[1] + t[3]])))
+
+
+class TestConstruction:
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError, match="low bound exceeds"):
+            MBR(np.array([1.0]), np.array([0.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="same shape"):
+            MBR(np.zeros(2), np.zeros(3))
+
+    def test_of_points(self):
+        points = np.array([[0.0, 5.0], [2.0, 1.0], [1.0, 3.0]])
+        box = MBR.of_points(points)
+        np.testing.assert_array_equal(box.low, [0.0, 1.0])
+        np.testing.assert_array_equal(box.high, [2.0, 5.0])
+
+    def test_of_points_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            MBR.of_points(np.zeros((0, 2)))
+
+    def test_union_of(self):
+        a = MBR(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        b = MBR(np.array([2.0, -1.0]), np.array([3.0, 0.5]))
+        u = MBR.union_of([a, b])
+        np.testing.assert_array_equal(u.low, [0.0, -1.0])
+        np.testing.assert_array_equal(u.high, [3.0, 1.0])
+
+    def test_union_of_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MBR.union_of([])
+
+
+class TestGeometry:
+    def test_area_and_margin(self):
+        box = MBR(np.array([0.0, 0.0]), np.array([2.0, 3.0]))
+        assert box.area() == pytest.approx(6.0)
+        assert box.margin() == pytest.approx(5.0)
+
+    def test_degenerate_box(self):
+        box = MBR(np.array([1.0, 1.0]), np.array([1.0, 1.0]))
+        assert box.area() == 0.0
+        assert box.contains_point(np.array([1.0, 1.0]))
+
+    def test_overlap_disjoint_is_zero(self):
+        a = MBR(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        b = MBR(np.array([2.0, 2.0]), np.array([3.0, 3.0]))
+        assert a.overlap(b) == 0.0
+
+    def test_overlap_partial(self):
+        a = MBR(np.array([0.0, 0.0]), np.array([2.0, 2.0]))
+        b = MBR(np.array([1.0, 1.0]), np.array([3.0, 3.0]))
+        assert a.overlap(b) == pytest.approx(1.0)
+
+    def test_enlargement(self):
+        a = MBR(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        b = MBR(np.array([2.0, 0.0]), np.array([3.0, 1.0]))
+        # Union is [0,3]x[0,1], area 3; original area 1.
+        assert a.enlargement(b) == pytest.approx(2.0)
+
+    def test_min_distance2(self):
+        box = MBR(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        assert box.min_distance2(np.array([0.5, 0.5])) == 0.0
+        assert box.min_distance2(np.array([2.0, 0.5])) == pytest.approx(1.0)
+        assert box.min_distance2(np.array([2.0, 2.0])) == pytest.approx(2.0)
+
+    def test_window_predicates(self):
+        box = MBR(np.array([1.0, 1.0]), np.array([2.0, 2.0]))
+        assert box.intersects_window(np.array([0.0, 0.0]), np.array([1.5, 1.5]))
+        assert not box.intersects_window(np.array([3.0, 3.0]), np.array([4.0, 4.0]))
+        assert box.contained_in_window(np.array([0.0, 0.0]), np.array([3.0, 3.0]))
+        assert not box.contained_in_window(np.array([1.5, 0.0]), np.array([3.0, 3.0]))
+
+
+class TestProperties:
+    @given(boxes_2d, boxes_2d)
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert np.all(u.low <= a.low) and np.all(u.high >= a.high)
+        assert np.all(u.low <= b.low) and np.all(u.high >= b.high)
+
+    @given(boxes_2d, boxes_2d)
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlap(b) == pytest.approx(b.overlap(a))
+
+    @given(boxes_2d, boxes_2d)
+    def test_enlargement_non_negative(self, a, b):
+        assert a.enlargement(b) >= -1e-9
+
+    @given(boxes_2d)
+    def test_self_overlap_is_area(self, a):
+        assert a.overlap(a) == pytest.approx(a.area())
+
+    @given(st.lists(boxes_2d, min_size=1, max_size=8))
+    def test_stacked_mask_matches_scalar(self, boxes):
+        w_low = np.array([-10.0, -10.0])
+        w_high = np.array([10.0, 10.0])
+        lows, highs = stack_bounds(boxes)
+        mask = windows_intersect_mask(lows, highs, w_low, w_high)
+        expected = [b.intersects_window(w_low, w_high) for b in boxes]
+        np.testing.assert_array_equal(mask, expected)

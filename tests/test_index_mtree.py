@@ -1,0 +1,105 @@
+"""Tests for the M-tree metric index (PM-LSH substrate)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.index.mtree import MTree
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one point"):
+            MTree(np.zeros((0, 3)))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            MTree(np.zeros((2, 2)), leaf_size=0)
+        with pytest.raises(ValueError):
+            MTree(np.zeros((2, 2)), fanout=1)
+
+    def test_single_point(self):
+        tree = MTree(np.array([[1.0, 2.0]]))
+        ids = tree.range_query(np.array([1.0, 2.0]), 0.1)
+        assert ids.tolist() == [0]
+
+    def test_duplicates(self):
+        tree = MTree(np.ones((30, 2)), leaf_size=4)
+        ids = tree.range_query(np.ones(2), 0.0)
+        assert sorted(ids.tolist()) == list(range(30))
+
+
+class TestRangeQuery:
+    def test_matches_brute_force(self, rng):
+        points = rng.standard_normal((300, 5))
+        tree = MTree(points, leaf_size=16, seed=0)
+        for _ in range(15):
+            q = rng.standard_normal(5)
+            radius = float(rng.uniform(0.5, 2.5))
+            got = set(tree.range_query(q, radius).tolist())
+            brute = np.linalg.norm(points - q, axis=1)
+            expected = set(np.flatnonzero(brute <= radius).tolist())
+            assert got == expected
+
+    def test_negative_radius_rejected(self, rng):
+        tree = MTree(rng.standard_normal((10, 2)))
+        with pytest.raises(ValueError, match="radius"):
+            tree.range_query(np.zeros(2), -1.0)
+
+    def test_zero_radius(self, rng):
+        points = rng.standard_normal((50, 3))
+        tree = MTree(points)
+        got = tree.range_query(points[7], 0.0)
+        assert 7 in got.tolist()
+
+    def test_pivots_do_not_change_results(self, rng):
+        points = rng.standard_normal((200, 4))
+        plain = MTree(points, num_pivots=0, seed=1)
+        pivoted = MTree(points, num_pivots=6, seed=1)
+        q = rng.standard_normal(4)
+        for radius in [0.5, 1.5, 3.0]:
+            a = set(plain.range_query(q, radius).tolist())
+            b = set(pivoted.range_query(q, radius).tolist())
+            assert a == b
+
+    def test_pivots_reduce_distance_computations(self, rng):
+        # The PM-tree claim: pivot rings prune subtrees a plain M-tree visits.
+        points = rng.standard_normal((500, 6))
+        plain = MTree(points, num_pivots=0, seed=1)
+        pivoted = MTree(points, num_pivots=8, seed=1)
+        q = rng.standard_normal(6) * 3.0  # off-center query: pruning matters
+        plain.range_query(q, 0.5)
+        pivoted.range_query(q, 0.5)
+        assert pivoted.node_visits <= plain.node_visits
+
+
+class TestKNN:
+    def test_matches_brute_force(self, rng):
+        points = rng.standard_normal((250, 4))
+        tree = MTree(points, leaf_size=8, seed=0)
+        for _ in range(8):
+            q = rng.standard_normal(4)
+            dists, ids = tree.knn(q, 6)
+            brute = np.linalg.norm(points - q, axis=1)
+            np.testing.assert_allclose(dists, np.sort(brute)[:6], atol=1e-9)
+
+    def test_k_must_be_positive(self, rng):
+        tree = MTree(rng.standard_normal((5, 2)))
+        with pytest.raises(ValueError, match="k must be >= 1"):
+            tree.knn(np.zeros(2), 0)
+
+    def test_nearest_iter_ascending(self, rng):
+        points = rng.standard_normal((120, 3))
+        tree = MTree(points, leaf_size=8, seed=0)
+        stream = list(itertools.islice(tree.nearest_iter(np.zeros(3)), 40))
+        dists = [d for d, _ in stream]
+        assert dists == sorted(dists)
+
+    def test_nearest_iter_complete(self, rng):
+        points = rng.standard_normal((60, 2))
+        tree = MTree(points, leaf_size=4, seed=0)
+        stream = list(tree.nearest_iter(np.zeros(2)))
+        assert sorted(i for _, i in stream) == list(range(60))

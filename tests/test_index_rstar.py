@@ -1,0 +1,230 @@
+"""Tests for the R*-tree: construction paths, window queries, invariants.
+
+The central property: a window query must return *exactly* the ids a
+brute-force scan returns, for both bulk-loaded and insertion-built trees,
+across random windows — this is what DB-LSH's correctness rides on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.rstar import RStarTree
+
+
+def brute_window(points: np.ndarray, w_low: np.ndarray, w_high: np.ndarray) -> set:
+    mask = np.all(points >= w_low, axis=1) & np.all(points <= w_high, axis=1)
+    return set(np.flatnonzero(mask).tolist())
+
+
+@pytest.fixture
+def random_points(rng) -> np.ndarray:
+    return rng.uniform(-10, 10, size=(400, 3))
+
+
+class TestConstruction:
+    def test_invalid_args(self):
+        with pytest.raises(ValueError, match="dim"):
+            RStarTree(0)
+        with pytest.raises(ValueError, match="max_entries"):
+            RStarTree(2, max_entries=3)
+
+    def test_empty_tree(self):
+        tree = RStarTree(2)
+        assert len(tree) == 0
+        assert tree.window_query(np.array([-1, -1]), np.array([1, 1])).size == 0
+
+    def test_bulk_load_counts(self, random_points):
+        tree = RStarTree.bulk_load(random_points, max_entries=16)
+        assert len(tree) == 400
+        assert sorted(tree.all_ids().tolist()) == list(range(400))
+        tree.check_invariants()
+
+    def test_bulk_load_custom_ids(self, rng):
+        points = rng.uniform(0, 1, size=(10, 2))
+        ids = np.arange(100, 110)
+        tree = RStarTree.bulk_load(points, ids=ids)
+        assert sorted(tree.all_ids().tolist()) == list(range(100, 110))
+
+    def test_bulk_load_id_length_mismatch(self, rng):
+        with pytest.raises(ValueError, match="ids length"):
+            RStarTree.bulk_load(rng.uniform(0, 1, (5, 2)), ids=np.arange(4))
+
+    def test_bulk_load_empty(self):
+        tree = RStarTree.bulk_load(np.zeros((0, 2)))
+        assert len(tree) == 0
+
+    def test_insert_counts_and_invariants(self, rng):
+        points = rng.uniform(-5, 5, size=(300, 2))
+        tree = RStarTree(2, max_entries=8)
+        for i, p in enumerate(points):
+            tree.insert(i, p)
+        assert len(tree) == 300
+        assert sorted(tree.all_ids().tolist()) == list(range(300))
+        tree.check_invariants()
+
+    def test_insert_wrong_dim(self):
+        tree = RStarTree(3)
+        with pytest.raises(ValueError, match="dimension"):
+            tree.insert(0, np.zeros(2))
+
+    def test_duplicate_points_supported(self):
+        tree = RStarTree(2, max_entries=4)
+        for i in range(50):
+            tree.insert(i, np.array([1.0, 1.0]))
+        found = tree.window_query(np.array([0.9, 0.9]), np.array([1.1, 1.1]))
+        assert sorted(found.tolist()) == list(range(50))
+        tree.check_invariants()
+
+    def test_height_grows(self, rng):
+        small = RStarTree.bulk_load(rng.uniform(0, 1, (10, 2)), max_entries=16)
+        large = RStarTree.bulk_load(rng.uniform(0, 1, (2000, 2)), max_entries=16)
+        assert large.height > small.height
+        assert large.num_nodes() > small.num_nodes()
+
+
+class TestWindowQueries:
+    def test_matches_brute_force_bulk(self, random_points):
+        tree = RStarTree.bulk_load(random_points, max_entries=16)
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            center = rng.uniform(-10, 10, size=3)
+            half = rng.uniform(0.5, 6.0, size=3)
+            w_low, w_high = center - half, center + half
+            got = set(tree.window_query(w_low, w_high).tolist())
+            assert got == brute_window(random_points, w_low, w_high)
+
+    def test_matches_brute_force_inserted(self, rng):
+        points = rng.uniform(-10, 10, size=(250, 2))
+        tree = RStarTree(2, max_entries=8)
+        for i, p in enumerate(points):
+            tree.insert(i, p)
+        for _ in range(25):
+            center = rng.uniform(-10, 10, size=2)
+            half = rng.uniform(0.5, 8.0, size=2)
+            w_low, w_high = center - half, center + half
+            got = set(tree.window_query(w_low, w_high).tolist())
+            assert got == brute_window(points, w_low, w_high)
+
+    def test_window_covering_everything(self, random_points):
+        tree = RStarTree.bulk_load(random_points)
+        got = tree.window_query(np.full(3, -100.0), np.full(3, 100.0))
+        assert sorted(got.tolist()) == list(range(400))
+
+    def test_empty_window(self, random_points):
+        tree = RStarTree.bulk_load(random_points)
+        got = tree.window_query(np.full(3, 50.0), np.full(3, 60.0))
+        assert got.size == 0
+
+    def test_window_count(self, random_points):
+        tree = RStarTree.bulk_load(random_points)
+        w_low, w_high = np.full(3, -2.0), np.full(3, 2.0)
+        assert tree.window_count(w_low, w_high) == len(
+            brute_window(random_points, w_low, w_high)
+        )
+
+    def test_iter_is_lazy(self, random_points):
+        tree = RStarTree.bulk_load(random_points, max_entries=16)
+        tree.stats.reset_query_counters()
+        iterator = tree.window_query_iter(np.full(3, -100.0), np.full(3, 100.0))
+        next(iterator)
+        partial_visits = tree.stats.node_visits
+        list(iterator)  # drain
+        assert partial_visits < tree.stats.node_visits
+
+    def test_dimension_mismatch(self, random_points):
+        tree = RStarTree.bulk_load(random_points)
+        with pytest.raises(ValueError, match="dimensionality"):
+            tree.window_query(np.zeros(2), np.zeros(2))
+
+    def test_boundary_inclusive(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        tree = RStarTree.bulk_load(points)
+        got = tree.window_query(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        assert sorted(got.tolist()) == [0, 1]
+
+
+class TestMixedConstruction:
+    def test_insert_after_bulk_load(self, rng):
+        """DB-LSH's add() path: a bulk-loaded tree keeps answering exactly
+        after incremental insertions."""
+        base = rng.uniform(-10, 10, size=(300, 3))
+        extra = rng.uniform(-10, 10, size=(80, 3))
+        tree = RStarTree.bulk_load(base, max_entries=8)
+        for offset, point in enumerate(extra):
+            tree.insert(300 + offset, point)
+        tree.check_invariants()
+        assert len(tree) == 380
+        combined = np.vstack([base, extra])
+        for _ in range(15):
+            center = rng.uniform(-10, 10, size=3)
+            half = rng.uniform(0.5, 6.0, size=3)
+            got = set(tree.window_query(center - half, center + half).tolist())
+            assert got == brute_window(combined, center - half, center + half)
+
+    def test_bulk_and_insert_answer_identically(self, rng):
+        points = rng.uniform(-5, 5, size=(150, 2))
+        bulk = RStarTree.bulk_load(points, max_entries=8)
+        inserted = RStarTree(2, max_entries=8)
+        for i, p in enumerate(points):
+            inserted.insert(i, p)
+        for _ in range(10):
+            center = rng.uniform(-5, 5, size=2)
+            half = rng.uniform(0.5, 4.0, size=2)
+            a = set(bulk.window_query(center - half, center + half).tolist())
+            b = set(inserted.window_query(center - half, center + half).tolist())
+            assert a == b
+
+
+class TestStats:
+    def test_build_counters_track_splits(self, rng):
+        tree = RStarTree(2, max_entries=8)
+        for i, p in enumerate(rng.uniform(0, 1, size=(200, 2))):
+            tree.insert(i, p)
+        assert tree.stats.splits > 0
+        assert tree.stats.reinserts > 0
+
+    def test_query_counters(self, random_points):
+        tree = RStarTree.bulk_load(random_points)
+        tree.stats.reset_query_counters()
+        tree.window_query(np.full(3, -1.0), np.full(3, 1.0))
+        assert tree.stats.node_visits > 0
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(
+            st.tuples(st.floats(-50, 50), st.floats(-50, 50)),
+            min_size=1,
+            max_size=120,
+        ),
+        st.tuples(st.floats(-50, 50), st.floats(-50, 50)),
+        st.tuples(st.floats(0.1, 30), st.floats(0.1, 30)),
+    )
+    @settings(max_examples=40)
+    def test_bulk_window_equals_brute(self, raw_points, center, half):
+        points = np.array(raw_points, dtype=np.float64)
+        tree = RStarTree.bulk_load(points, max_entries=8)
+        w_low = np.array(center) - np.array(half)
+        w_high = np.array(center) + np.array(half)
+        got = set(tree.window_query(w_low, w_high).tolist())
+        assert got == brute_window(points, w_low, w_high)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(-20, 20), st.floats(-20, 20)),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    @settings(max_examples=25)
+    def test_insert_preserves_invariants(self, raw_points):
+        points = np.array(raw_points, dtype=np.float64)
+        tree = RStarTree(2, max_entries=4)
+        for i, p in enumerate(points):
+            tree.insert(i, p)
+        tree.check_invariants()
+        assert sorted(tree.all_ids().tolist()) == list(range(len(points)))

@@ -1,0 +1,122 @@
+"""Tests for Z-order encoding and LLCP arithmetic (LSB-Forest substrate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.zorder import llcp, shared_levels, zorder_encode, zorder_encode_many
+
+
+class TestEncode:
+    def test_known_interleaving(self):
+        # coords (1, 0) with 2 bits: bit0 of dim0 -> position 0.
+        assert zorder_encode(np.array([1, 0]), 2) == 0b01
+        assert zorder_encode(np.array([0, 1]), 2) == 0b10
+        assert zorder_encode(np.array([1, 1]), 2) == 0b11
+        assert zorder_encode(np.array([2, 0]), 2) == 0b100
+
+    def test_single_dimension_is_identity(self):
+        for value in [0, 1, 5, 255]:
+            assert zorder_encode(np.array([value]), 8) == value
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            zorder_encode(np.array([-1]), 4)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError, match="capacity"):
+            zorder_encode(np.array([4]), 2)
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError, match="bits_per_dim"):
+            zorder_encode(np.array([0]), 0)
+
+    def test_encode_many(self):
+        points = np.array([[0, 0], [1, 1], [3, 3]])
+        encoded = zorder_encode_many(points, 2)
+        assert encoded == [0, 3, 15]
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=6),
+        st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=6),
+    )
+    @settings(max_examples=40)
+    def test_injective(self, a, b):
+        if len(a) != len(b):
+            return
+        za = zorder_encode(np.array(a), 8)
+        zb = zorder_encode(np.array(b), 8)
+        if a == b:
+            assert za == zb
+        else:
+            assert za != zb
+
+    @given(st.lists(st.integers(min_value=0, max_value=1023), min_size=2, max_size=4))
+    @settings(max_examples=40)
+    def test_value_bounded(self, coords):
+        m = len(coords)
+        z = zorder_encode(np.array(coords), 10)
+        assert 0 <= z < (1 << (10 * m))
+
+
+class TestLLCP:
+    def test_identical_values(self):
+        assert llcp(0b1010, 0b1010, 4) == 4
+
+    def test_first_bit_differs(self):
+        assert llcp(0b1000, 0b0000, 4) == 0
+
+    def test_middle_bit(self):
+        assert llcp(0b1010, 0b1000, 4) == 2
+
+    def test_leading_zeros_count(self):
+        # Width matters: 1 vs 2 in 8 bits share the top 6 bits.
+        assert llcp(1, 2, 8) == 6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            llcp(-1, 0, 4)
+
+    def test_rejects_too_wide(self):
+        with pytest.raises(ValueError, match="wider"):
+            llcp(16, 0, 4)
+
+    def test_rejects_bad_total(self):
+        with pytest.raises(ValueError):
+            llcp(0, 0, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 20) - 1),
+        st.integers(min_value=0, max_value=(1 << 20) - 1),
+    )
+    @settings(max_examples=50)
+    def test_symmetric(self, a, b):
+        assert llcp(a, b, 20) == llcp(b, a, 20)
+
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+    @settings(max_examples=30)
+    def test_self_llcp_is_total(self, a):
+        assert llcp(a, a, 16) == 16
+
+
+class TestSharedLevels:
+    def test_same_cell_at_all_levels(self):
+        coords = np.array([3, 5])
+        z = zorder_encode(coords, 4)
+        assert shared_levels(z, z, 2, 4) == 4
+
+    def test_coarse_cell_sharing(self):
+        # Coordinates that agree only in their top bits share few levels.
+        z1 = zorder_encode(np.array([0b1000, 0b1000]), 4)
+        z2 = zorder_encode(np.array([0b1111, 0b1111]), 4)
+        assert shared_levels(z1, z2, 2, 4) == 1
+
+    def test_nearby_points_share_more_levels(self):
+        m, bits = 2, 8
+        q = zorder_encode(np.array([100, 100]), bits)
+        near = zorder_encode(np.array([101, 101]), bits)
+        far = zorder_encode(np.array([200, 30]), bits)
+        assert shared_levels(q, near, m, bits) >= shared_levels(q, far, m, bits)

@@ -1,0 +1,125 @@
+"""Cross-module integration tests: registry -> index -> metrics pipelines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DBLSH
+from repro.baselines import FBLSH, LinearScan, PMLSH
+from repro.data.datasets import make_dataset
+from repro.data.groundtruth import exact_knn
+from repro.eval.metrics import overall_ratio, recall
+from repro.eval.runner import run_comparison
+
+pytestmark = pytest.mark.integration
+
+
+@pytest.fixture(scope="module")
+def audio_like():
+    # A thinned-down registry dataset keeps the integration suite quick.
+    return make_dataset("audio", n_queries=10, seed=0, scale=0.25)
+
+
+class TestRegistryToQueryPipeline:
+    def test_end_to_end_quality(self, audio_like):
+        ds = audio_like
+        index = DBLSH(
+            c=1.5, l_spaces=5, k_per_space=8, t=16, seed=0, auto_initial_radius=True
+        ).fit(ds.data)
+        gt_ids, gt_dists = exact_knn(ds.queries, ds.data, 10)
+        recalls, ratios = [], []
+        for qi, q in enumerate(ds.queries):
+            result = index.query(q, k=10)
+            recalls.append(recall(result.ids, gt_ids[qi]))
+            ratios.append(overall_ratio(result.distances, gt_dists[qi]))
+        assert float(np.mean(recalls)) >= 0.7
+        assert float(np.mean(ratios)) <= 1.1
+
+    def test_work_is_sublinear(self, audio_like):
+        ds = audio_like
+        index = DBLSH(
+            c=1.5, l_spaces=5, k_per_space=8, t=16, seed=0, auto_initial_radius=True
+        ).fit(ds.data)
+        result = index.query(ds.queries[0], k=10)
+        # The candidate budget, not n, bounds the verification work.
+        assert result.stats.candidates_verified < ds.n / 2
+
+    def test_comparison_harness_end_to_end(self, audio_like):
+        ds = audio_like
+        methods = [
+            LinearScan(),
+            DBLSH(c=1.5, l_spaces=4, k_per_space=8, seed=0, auto_initial_radius=True),
+            FBLSH(c=1.5, k_per_space=8, l_spaces=4, seed=0, auto_initial_radius=True),
+            PMLSH(m=12, beta=0.1, seed=0),
+        ]
+        results = run_comparison(
+            methods, ds.data, ds.queries[:5], k=10, dataset_name=ds.name
+        )
+        by_name = {r.method: r for r in results}
+        assert by_name["LinearScan"].recall == pytest.approx(1.0)
+        # Every LSH method does less distance work than the scan.
+        for name in ["DBLSH", "FB-LSH", "PM-LSH"]:
+            assert (
+                by_name[name].distance_computations_per_query
+                < by_name["LinearScan"].distance_computations_per_query
+            )
+
+
+class TestScalingBehaviour:
+    def test_candidates_scale_sublinearly(self):
+        """Doubling n must not double DB-LSH's verified candidates (the
+        budget is n-independent; only tree traversal grows ~log n)."""
+        from repro.data.generators import gaussian_mixture
+
+        counts = []
+        for n in [1000, 4000]:
+            data = gaussian_mixture(n, 32, n_clusters=16, seed=1)
+            index = DBLSH(
+                c=1.5, l_spaces=4, k_per_space=8, t=16, seed=0,
+                auto_initial_radius=True,
+            ).fit(data)
+            rng = np.random.default_rng(2)
+            qs = data[rng.choice(n, 5, replace=False)] + 0.05
+            total = sum(index.query(q, k=10).stats.candidates_verified for q in qs)
+            counts.append(total / 5)
+        assert counts[1] < counts[0] * 2.5
+
+    def test_recall_stable_across_scale(self):
+        from repro.data.generators import gaussian_mixture
+
+        recalls = []
+        for n in [1000, 3000]:
+            data = gaussian_mixture(n, 32, n_clusters=16, seed=1)
+            index = DBLSH(
+                c=1.5, l_spaces=4, k_per_space=8, t=16, seed=0,
+                auto_initial_radius=True,
+            ).fit(data)
+            rng = np.random.default_rng(2)
+            qs = data[rng.choice(n, 8, replace=False)] + 0.05
+            gt_ids, _ = exact_knn(qs, data, 10)
+            recalls.append(
+                float(
+                    np.mean(
+                        [
+                            recall(index.query(q, k=10).ids, gt_ids[i])
+                            for i, q in enumerate(qs)
+                        ]
+                    )
+                )
+            )
+        # Fig. 6's observation: accuracy depends on the distribution, not n.
+        assert abs(recalls[0] - recalls[1]) < 0.25
+
+
+class TestHighDimensional:
+    def test_trevi_like_dimensionality(self):
+        """4096-dimensional points exercise the full projection path."""
+        ds = make_dataset("trevi", n_queries=3, seed=0, scale=0.1)
+        index = DBLSH(
+            c=1.5, l_spaces=3, k_per_space=8, seed=0, auto_initial_radius=True
+        ).fit(ds.data)
+        result = index.query(ds.queries[0], k=5)
+        assert len(result) == 5
+        gt_ids, _ = exact_knn(ds.queries[:1], ds.data, 5)
+        assert recall(result.ids, gt_ids[0]) >= 0.4

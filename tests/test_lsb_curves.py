@@ -1,0 +1,63 @@
+"""Comparative tests for LSB-Forest's two space-filling curves."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import LSBForest
+from repro.data.generators import gaussian_mixture
+from repro.data.groundtruth import exact_knn
+from repro.eval.metrics import recall
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data = gaussian_mixture(
+        600, 16, n_clusters=8, cluster_std=1.0, center_spread=8.0, seed=9
+    )
+    rng = np.random.default_rng(4)
+    queries = data[rng.choice(600, 10, replace=False)] + 0.1
+    gt_ids, _ = exact_knn(queries, data, 10)
+    return data, queries, gt_ids
+
+
+def _mean_recall(method, workload) -> float:
+    data, queries, gt_ids = workload
+    method.fit(data)
+    return float(
+        np.mean(
+            [recall(method.query(q, k=10).ids, gt_ids[i])
+             for i, q in enumerate(queries)]
+        )
+    )
+
+
+class TestCurveComparison:
+    def test_both_curves_functional(self, workload):
+        for curve in ["zorder", "hilbert"]:
+            method = LSBForest(l_trees=4, m=5, bits_per_dim=7,
+                               candidate_factor=40, curve=curve, seed=0)
+            score = _mean_recall(method, workload)
+            assert score > 0.1, f"{curve} curve unusable (recall {score})"
+
+    def test_curves_find_same_self_matches(self, workload):
+        data, _, _ = workload
+        z = LSBForest(l_trees=3, m=4, bits_per_dim=6, candidate_factor=30,
+                      curve="zorder", seed=0).fit(data)
+        h = LSBForest(l_trees=3, m=4, bits_per_dim=6, candidate_factor=30,
+                      curve="hilbert", seed=0).fit(data)
+        for i in [0, 100, 250]:
+            assert z.query(data[i], k=1).neighbors[0].id == i
+            assert h.query(data[i], k=1).neighbors[0].id == i
+
+    def test_curve_changes_visit_order_not_contract(self, workload):
+        """Different curves produce different candidate orders but both
+        respect the candidate budget and return sorted results."""
+        data, queries, _ = workload
+        for curve in ["zorder", "hilbert"]:
+            method = LSBForest(l_trees=3, m=4, bits_per_dim=6,
+                               candidate_factor=20, curve=curve, seed=0).fit(data)
+            result = method.query(queries[0], k=5)
+            assert result.stats.candidates_verified <= 20 * 3 + 5
+            assert result.distances == sorted(result.distances)

@@ -1,0 +1,71 @@
+"""Public API surface tests: imports, exports, and version metadata.
+
+A downstream user's first contact with the library is ``from repro import
+DBLSH`` and the package-level ``__all__`` lists; these tests pin that
+surface so refactors cannot silently break it.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+
+class TestTopLevel:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing {name}"
+
+    def test_dblsh_importable_from_top(self):
+        from repro import DBLSH, Neighbor, QueryResult, QueryStats
+
+        assert callable(DBLSH)
+        assert all(callable(t) for t in (Neighbor, QueryResult, QueryStats))
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    [
+        "repro.core",
+        "repro.hashing",
+        "repro.index",
+        "repro.baselines",
+        "repro.data",
+        "repro.eval",
+        "repro.utils",
+    ],
+)
+def test_subpackage_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    assert hasattr(module, "__all__"), f"{module_name} must define __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+
+def test_thirteen_plus_methods_available():
+    """The full §VI-A competitor roster plus extensions must be importable."""
+    from repro import baselines
+
+    expected = {
+        "LinearScan", "FBLSH", "E2LSH", "MultiProbeLSH", "LSBForest",
+        "C2LSH", "QALSH", "R2LSH", "VHP", "PMLSH", "SRS", "LCCSLSH", "ILSH",
+    }
+    assert expected <= set(baselines.__all__)
+
+
+def test_every_public_module_has_docstring():
+    import pkgutil
+
+    import repro
+
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        module = importlib.import_module(info.name)
+        assert module.__doc__, f"{info.name} lacks a module docstring"

@@ -1,0 +1,97 @@
+"""Statistical properties the method designs rest on.
+
+These tests check the *distributional* facts used by PM-LSH, SRS and the
+DB-LSH analysis — projection concentration, chi-square scaling, unbiased
+distance estimation — with sampling-tolerant assertions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.hashing.families import GaussianProjectionFamily
+from repro.hashing.probability import collision_probability_dynamic
+
+
+class TestProjectionDistribution:
+    def test_projected_difference_is_gaussian_with_tau_scale(self):
+        """For points at distance tau, h(o1) - h(o2) ~ N(0, tau^2)."""
+        rng = np.random.default_rng(0)
+        dim, m = 48, 4000
+        family = GaussianProjectionFamily(dim, m, seed=1)
+        o1 = rng.standard_normal(dim)
+        direction = rng.standard_normal(dim)
+        direction /= np.linalg.norm(direction)
+        tau = 3.0
+        o2 = o1 + tau * direction
+        deltas = family.project_one(o1) - family.project_one(o2)
+        assert np.std(deltas) == pytest.approx(tau, rel=0.05)
+        assert np.mean(deltas) == pytest.approx(0.0, abs=0.15)
+        # Normality (rough): Kolmogorov-Smirnov against N(0, tau).
+        _, p_value = scipy_stats.kstest(deltas / tau, "norm")
+        assert p_value > 0.01
+
+    def test_projected_sq_distance_is_chi2(self):
+        """||G(o1) - G(o2)||^2 / tau^2 ~ chi2_m — the PM-LSH/SRS estimator."""
+        rng = np.random.default_rng(3)
+        dim, m, trials = 32, 12, 800
+        tau = 2.0
+        samples = []
+        for t in range(trials):
+            family = GaussianProjectionFamily(dim, m, seed=1000 + t)
+            o1 = rng.standard_normal(dim)
+            direction = rng.standard_normal(dim)
+            direction /= np.linalg.norm(direction)
+            o2 = o1 + tau * direction
+            delta = family.project_one(o1) - family.project_one(o2)
+            samples.append(float(delta @ delta) / tau**2)
+        samples_arr = np.asarray(samples)
+        # Mean of chi2_m is m; variance is 2m.
+        assert samples_arr.mean() == pytest.approx(m, rel=0.1)
+        assert samples_arr.var() == pytest.approx(2 * m, rel=0.35)
+        _, p_value = scipy_stats.kstest(samples_arr, "chi2", args=(m,))
+        assert p_value > 0.01
+
+    def test_projected_distance_orders_like_true_distance(self):
+        """Expected projected distance is monotone in true distance — the
+        fact that lets MQ methods rank candidates in the projected space."""
+        rng = np.random.default_rng(5)
+        dim, m = 32, 15
+        family = GaussianProjectionFamily(dim, m, seed=9)
+        base = rng.standard_normal(dim)
+        taus = [0.5, 1.0, 2.0, 4.0, 8.0]
+        means = []
+        for tau in taus:
+            dists = []
+            for _ in range(200):
+                direction = rng.standard_normal(dim)
+                direction /= np.linalg.norm(direction)
+                other = base + tau * direction
+                delta = family.project_one(base) - family.project_one(other)
+                dists.append(float(np.linalg.norm(delta)))
+            means.append(np.mean(dists))
+        assert all(a < b for a, b in zip(means, means[1:]))
+
+
+class TestCollisionProbabilityEmpirics:
+    @pytest.mark.slow
+    def test_window_membership_probability_is_p_to_the_k(self):
+        """P(G(o) in W(G(q), w)) = p(tau; w)^K — independence across the
+        K functions of a compound hash (used in Lemma 1)."""
+        rng = np.random.default_rng(1)
+        dim, k_dims, trials = 24, 4, 3000
+        tau, w = 1.0, 3.0
+        hits = 0
+        base = rng.standard_normal(dim)
+        direction = rng.standard_normal(dim)
+        direction /= np.linalg.norm(direction)
+        other = base + tau * direction
+        family = GaussianProjectionFamily(dim, k_dims * trials, seed=2)
+        h_base = family.project_one(base).reshape(trials, k_dims)
+        h_other = family.project_one(other).reshape(trials, k_dims)
+        inside = np.all(np.abs(h_base - h_other) <= w / 2.0, axis=1)
+        empirical = inside.mean()
+        expected = float(collision_probability_dynamic(tau, w)) ** k_dims
+        assert empirical == pytest.approx(expected, abs=0.03)

@@ -1,0 +1,120 @@
+"""Termination-reason coverage: every stop condition fires when it should.
+
+Each method reports how its query ended (``stats.terminated_by``); the
+paper's correctness arguments (Lemma 2) hinge on these conditions, so
+each is exercised deliberately: exhausted budgets, satisfied radii,
+exhausted datasets and the patience extension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DBLSH
+from repro.baselines import FBLSH, PMLSH, QALSH, SRS
+from repro.data.generators import gaussian_mixture, planted_neighbors
+
+
+@pytest.fixture(scope="module")
+def clustered():
+    return gaussian_mixture(600, 16, n_clusters=8, cluster_std=1.0,
+                            center_spread=8.0, seed=3)
+
+
+class TestDBLSHTermination:
+    def test_radius_stop_on_easy_query(self, clustered):
+        """A self-query finds distance 0 <= c*r immediately: radius stop."""
+        index = DBLSH(l_spaces=3, k_per_space=5, t=500, seed=0,
+                      auto_initial_radius=True).fit(clustered)
+        result = index.query(clustered[0], k=1)
+        assert result.stats.terminated_by == "radius"
+
+    def test_budget_stop_with_tiny_t(self, clustered):
+        """t = 1 exhausts 2tL + k candidates before quality is reached."""
+        index = DBLSH(l_spaces=3, k_per_space=2, t=1, seed=0,
+                      auto_initial_radius=True).fit(clustered)
+        far = clustered.mean(axis=0) + 3.0
+        result = index.query(far, k=10)
+        assert result.stats.terminated_by == "budget"
+        assert result.stats.candidates_verified <= 2 * 1 * 3 + 10
+
+    def test_exhausted_stop_with_huge_budget(self):
+        """With more budget than points the driver must notice coverage."""
+        data = gaussian_mixture(50, 8, n_clusters=2, seed=1)
+        index = DBLSH(l_spaces=2, k_per_space=3, t=10_000, seed=0,
+                      auto_initial_radius=True).fit(data)
+        far = data.mean(axis=0) + 100.0
+        result = index.query(far, k=60)  # k > n, unattainable quality
+        assert result.stats.terminated_by == "exhausted"
+        assert result.stats.candidates_verified == 50
+
+    def test_patience_stop(self, clustered):
+        index = DBLSH(l_spaces=3, k_per_space=4, t=10_000, seed=0,
+                      auto_initial_radius=True, patience=5).fit(clustered)
+        far = clustered.mean(axis=0) + 50.0
+        result = index.query(far, k=5)
+        assert result.stats.terminated_by in {"patience", "radius"}
+
+    def test_range_query_no_result(self):
+        data, queries = planted_neighbors(200, 8, n_queries=1,
+                                          planted_distance=5.0,
+                                          background_distance=50.0, seed=0)
+        index = DBLSH(l_spaces=3, k_per_space=4, seed=0).fit(data)
+        result = index.range_query(queries[0], radius=0.001)
+        assert result.stats.terminated_by == "no_result"
+        assert result.is_empty()
+
+
+class TestBaselineTermination:
+    def test_fblsh_reasons(self, clustered):
+        method = FBLSH(k_per_space=4, l_spaces=4, t=1, seed=0,
+                       auto_initial_radius=True).fit(clustered)
+        result = method.query(clustered.mean(axis=0), k=10)
+        assert result.stats.terminated_by in {"budget", "radius", "exhausted",
+                                              "max_rounds"}
+
+    def test_qalsh_budget(self, clustered):
+        method = QALSH(m=12, beta=0.01, seed=0,
+                       auto_initial_radius=True).fit(clustered)
+        result = method.query(clustered.mean(axis=0) + 2.0, k=10)
+        assert result.stats.terminated_by in {"budget", "radius"}
+
+    def test_pmlsh_chi2_stop_on_self_query(self, clustered):
+        method = PMLSH(m=12, beta=0.9, confidence=0.9, seed=0).fit(clustered)
+        result = method.query(clustered[0], k=1)
+        assert result.stats.terminated_by == "chi2_stop"
+
+    def test_pmlsh_exhausted_on_tiny_data(self):
+        data = gaussian_mixture(20, 8, seed=0)
+        method = PMLSH(m=8, beta=0.999, confidence=0.999999, seed=0).fit(data)
+        result = method.query(data.mean(axis=0), k=25)
+        assert result.stats.terminated_by in {"exhausted", "budget"}
+
+    def test_srs_budget_on_adversarial_query(self, clustered):
+        method = SRS(m=6, beta=0.02, p_tau=0.999999, seed=0).fit(clustered)
+        result = method.query(clustered.mean(axis=0), k=10)
+        assert result.stats.terminated_by in {"budget", "chi2_stop"}
+
+
+class TestWorkAccounting:
+    def test_rounds_increase_for_farther_queries(self, clustered):
+        index = DBLSH(l_spaces=3, k_per_space=5, t=16, seed=0,
+                      auto_initial_radius=True).fit(clustered)
+        near = index.query(clustered[0], k=1).stats.rounds
+        far = index.query(clustered.mean(axis=0) + 30.0, k=1).stats.rounds
+        assert far >= near
+
+    def test_final_radius_tracks_schedule(self, clustered):
+        index = DBLSH(l_spaces=3, k_per_space=5, t=16, seed=0,
+                      auto_initial_radius=True).fit(clustered)
+        result = index.query(clustered[0], k=1)
+        expected = index.initial_radius * (1.5 ** (result.stats.rounds - 1))
+        assert result.stats.final_radius == pytest.approx(expected)
+
+    def test_window_queries_counted(self, clustered):
+        index = DBLSH(l_spaces=4, k_per_space=5, t=16, seed=0,
+                      auto_initial_radius=True).fit(clustered)
+        result = index.query(clustered[0], k=1)
+        # At most L windows per round; at least one window was opened.
+        assert 1 <= result.stats.window_queries <= 4 * result.stats.rounds

@@ -1,0 +1,95 @@
+"""Tests for the budget tuner and the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data.generators import gaussian_mixture
+from repro.eval.tuning import tune_budget
+
+
+class TestTuneBudget:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return gaussian_mixture(
+            800, 24, n_clusters=10, cluster_std=1.0, center_spread=8.0, seed=0
+        )
+
+    def test_reaches_easy_target(self, data):
+        outcome = tune_budget(data, target_recall=0.5, k=5, n_validation=10,
+                              l_spaces=4, k_per_space=6, seed=0)
+        assert outcome.reached_target
+        assert outcome.achieved_recall >= 0.5
+        assert outcome.best_t in [4, 8, 16, 32, 64, 128]
+
+    def test_returns_smallest_sufficient_t(self, data):
+        outcome = tune_budget(data, target_recall=0.3, k=5, n_validation=10,
+                              t_grid=[2, 64], l_spaces=4, k_per_space=6, seed=0)
+        # An easy target should already be met by the small budget.
+        assert outcome.best_t == 2
+
+    def test_trace_records_sweep(self, data):
+        outcome = tune_budget(data, target_recall=0.99, k=5, n_validation=8,
+                              t_grid=[4, 16], l_spaces=4, k_per_space=6, seed=0)
+        assert len(outcome.trace) >= 1
+        for t, recall, candidates in outcome.trace:
+            assert t in (4, 16)
+            assert 0.0 <= recall <= 1.0
+            assert candidates > 0
+
+    def test_unreachable_target_reports_best(self, data):
+        outcome = tune_budget(
+            data[:50], target_recall=1.0, k=20, n_validation=5,
+            t_grid=[1], l_spaces=2, k_per_space=3, seed=0,
+        )
+        assert isinstance(outcome.reached_target, bool)
+        assert outcome.trace
+
+    def test_validation(self, data):
+        with pytest.raises(ValueError, match="target_recall"):
+            tune_budget(data, target_recall=0.0)
+        with pytest.raises(ValueError, match="t values"):
+            tune_budget(data, t_grid=[0, 4])
+
+
+class TestCLI:
+    def test_info_command(self, capsys):
+        assert main(["info", "--dataset", "audio", "--scale", "0.05",
+                     "--queries", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "relative contrast" in out
+        assert "rho*" in out
+
+    def test_bench_command(self, capsys):
+        assert main(["bench", "--dataset", "audio", "--scale", "0.05",
+                     "--queries", "5", "--k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "DBLSH" in out
+        assert "LinearScan" in out
+
+    def test_tune_command(self, capsys):
+        code = main(["tune", "--dataset", "audio", "--scale", "0.05",
+                     "--queries", "5", "--k", "5", "--target-recall", "0.2"])
+        out = capsys.readouterr().out
+        assert "Budget sweep" in out
+        assert code in (0, 1)
+
+    def test_fvecs_source(self, tmp_path, capsys):
+        from repro.data.loaders import write_fvecs
+
+        rng = np.random.default_rng(0)
+        path = str(tmp_path / "points.fvecs")
+        write_fvecs(path, rng.standard_normal((300, 16)).astype(np.float32))
+        assert main(["info", "--fvecs", path, "--queries", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "300" in out or "295" in out
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["info", "--dataset", "imagenet"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

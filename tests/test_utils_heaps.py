@@ -1,0 +1,92 @@
+"""Tests for the bounded max-heap used by every query path."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.heaps import BoundedMaxHeap
+
+
+class TestBasics:
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError, match="k must be >= 1"):
+            BoundedMaxHeap(0)
+
+    def test_empty_heap_bound_is_inf(self):
+        heap = BoundedMaxHeap(3)
+        assert heap.bound == math.inf
+        assert not heap.full
+        assert len(heap) == 0
+
+    def test_push_until_full(self):
+        heap = BoundedMaxHeap(2)
+        assert heap.push(5.0, 1)
+        assert not heap.full
+        assert heap.push(3.0, 2)
+        assert heap.full
+        assert heap.bound == 5.0
+
+    def test_push_worse_rejected_when_full(self):
+        heap = BoundedMaxHeap(2)
+        heap.push(1.0, 1)
+        heap.push(2.0, 2)
+        assert not heap.push(3.0, 3)
+        assert heap.bound == 2.0
+
+    def test_push_better_replaces_worst(self):
+        heap = BoundedMaxHeap(2)
+        heap.push(1.0, 1)
+        heap.push(2.0, 2)
+        assert heap.push(1.5, 3)
+        assert heap.items() == [(1.0, 1), (1.5, 3)]
+
+    def test_items_sorted_ascending(self):
+        heap = BoundedMaxHeap(4)
+        for d, i in [(3.0, 0), (1.0, 1), (2.0, 2)]:
+            heap.push(d, i)
+        dists = [d for d, _ in heap.items()]
+        assert dists == sorted(dists)
+
+    def test_iteration_matches_items(self):
+        heap = BoundedMaxHeap(3)
+        heap.push(2.0, 0)
+        heap.push(1.0, 1)
+        assert list(heap) == heap.items()
+
+
+class TestProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1e9), min_size=1, max_size=100),
+           st.integers(min_value=1, max_value=20))
+    def test_keeps_k_smallest(self, distances, k):
+        heap = BoundedMaxHeap(k)
+        for i, d in enumerate(distances):
+            heap.push(d, i)
+        kept = [d for d, _ in heap.items()]
+        expected = sorted(distances)[:k]
+        assert kept == pytest.approx(expected)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e9), min_size=1, max_size=60))
+    def test_bound_is_max_of_items_when_full(self, distances):
+        k = max(1, len(distances) // 2)
+        heap = BoundedMaxHeap(k)
+        for i, d in enumerate(distances):
+            heap.push(d, i)
+        if heap.full:
+            assert heap.bound == pytest.approx(max(d for d, _ in heap.items()))
+
+    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=100),
+                              st.integers(min_value=0, max_value=1000)),
+                    min_size=1, max_size=80))
+    def test_bound_never_increases_once_full(self, pairs):
+        heap = BoundedMaxHeap(5)
+        previous = math.inf
+        for d, i in pairs:
+            heap.push(d, i)
+            if heap.full:
+                assert heap.bound <= previous
+                previous = heap.bound

@@ -1,0 +1,139 @@
+"""Tests for Timer, validation helpers, and the shared scale estimator."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.scale import estimate_nn_distance
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_dataset,
+    check_positive,
+    check_probability,
+    check_query,
+)
+
+
+class TestTimer:
+    def test_accumulates(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.002)
+        with timer:
+            time.sleep(0.002)
+        assert timer.count == 2
+        assert timer.elapsed >= 0.004
+
+    def test_mean(self):
+        timer = Timer()
+        assert timer.mean == 0.0
+        with timer:
+            pass
+        assert timer.mean >= 0.0
+        assert timer.mean_ms == pytest.approx(timer.mean * 1e3)
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.count == 0
+        assert timer.elapsed == 0.0
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0.0)
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive("x", 0.0, strict=False) == 0.0
+
+    def test_rejects_negative_always(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0, strict=False)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 1.0, -0.1, 1.1])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValueError, match="strictly between"):
+            check_probability("p", value)
+
+    def test_accepts_interior(self):
+        assert check_probability("p", 0.5) == 0.5
+
+
+class TestCheckDataset:
+    def test_accepts_2d(self):
+        out = check_dataset([[1.0, 2.0], [3.0, 4.0]])
+        assert out.shape == (2, 2)
+        assert out.dtype == np.float64
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_dataset(np.zeros(4))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one point"):
+            check_dataset(np.zeros((0, 3)))
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(ValueError, match="at least one dimension"):
+            check_dataset(np.zeros((3, 0)))
+
+    def test_rejects_nan(self):
+        bad = np.array([[1.0, np.nan]])
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_dataset(bad)
+
+    def test_rejects_inf(self):
+        bad = np.array([[1.0, np.inf]])
+        with pytest.raises(ValueError):
+            check_dataset(bad)
+
+
+class TestCheckQuery:
+    def test_accepts_matching_dim(self):
+        out = check_query([1.0, 2.0, 3.0], 3)
+        assert out.shape == (3,)
+
+    def test_rejects_wrong_dim(self):
+        with pytest.raises(ValueError, match="dimension"):
+            check_query([1.0, 2.0], 3)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_query([np.nan, 0.0], 2)
+
+
+class TestEstimateNNDistance:
+    def test_known_grid(self):
+        # Points on a unit 1-D grid embedded in 2-D: NN distance is 1.
+        data = np.stack([np.arange(50, dtype=float), np.zeros(50)], axis=1)
+        assert estimate_nn_distance(data) == pytest.approx(1.0)
+
+    def test_scales_linearly(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((300, 8))
+        base = estimate_nn_distance(data)
+        scaled = estimate_nn_distance(10.0 * data)
+        assert scaled == pytest.approx(10.0 * base, rel=1e-9)
+
+    def test_single_point_returns_zero(self):
+        assert estimate_nn_distance(np.zeros((1, 4))) == 0.0
+
+    def test_duplicates_return_zero(self):
+        data = np.ones((20, 3))
+        assert estimate_nn_distance(data) == 0.0
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((500, 6))
+        assert estimate_nn_distance(data) == estimate_nn_distance(data)

@@ -1,0 +1,82 @@
+"""Tests for repro.utils.rng: determinism and stream independence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import default_rng, derive_seed, spawn_rngs
+
+
+class TestDefaultRng:
+    def test_same_seed_same_stream(self):
+        a = default_rng(7).standard_normal(16)
+        b = default_rng(7).standard_normal(16)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = default_rng(7).standard_normal(16)
+        b = default_rng(8).standard_normal(16)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert default_rng(gen) is gen
+
+    def test_none_seed_gives_generator(self):
+        gen = default_rng(None)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(5)
+        a = default_rng(seq).standard_normal(4)
+        b = default_rng(np.random.SeedSequence(5)).standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(0, 3)
+        draws = [c.standard_normal(8) for c in children]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_deterministic_across_calls(self):
+        a = [c.standard_normal(4) for c in spawn_rngs(42, 2)]
+        b = [c.standard_normal(4) for c in spawn_rngs(42, 2)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(9)
+        children = spawn_rngs(gen, 2)
+        assert len(children) == 2
+
+
+class TestDeriveSeed:
+    def test_none_propagates(self):
+        assert derive_seed(None, 1) is None
+
+    def test_salt_changes_stream(self):
+        a = default_rng(derive_seed(1, 0)).standard_normal(4)
+        b = default_rng(derive_seed(1, 1)).standard_normal(4)
+        assert not np.allclose(a, b)
+
+    def test_same_salt_same_stream(self):
+        a = default_rng(derive_seed(1, 2, 3)).standard_normal(4)
+        b = default_rng(derive_seed(1, 2, 3)).standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_rejected(self):
+        with pytest.raises(TypeError):
+            derive_seed(np.random.default_rng(0), 1)
