@@ -16,7 +16,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
-from repro.core.result import Neighbor, QueryResult, QueryStats
+from repro.core.result import QueryResult, QueryStats
 from repro.utils.heaps import BoundedMaxHeap
 from repro.utils.validation import check_dataset, check_query
 
@@ -58,8 +58,18 @@ class BaseANN(abc.ABC):
         started = time.perf_counter()
         self._search(query, k, heap, stats)
         stats.elapsed_seconds = time.perf_counter() - started
-        neighbors = [Neighbor(int(i), float(d)) for d, i in heap.items()]
-        return QueryResult(neighbors=neighbors, stats=stats)
+        return QueryResult.from_heap(heap, stats)
+
+    def query_batch(self, queries: np.ndarray, k: int = 1) -> list:
+        """(c, k)-ANN for each row of ``queries``; returns a list of results.
+
+        Baselines answer batches by looping :meth:`query` — this default
+        exists so every method satisfies the same batched protocol the
+        evaluation runner drives (DB-LSH overrides it with a genuinely
+        batched path).
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        return [self.query(q, k=k) for q in queries]
 
     @property
     def num_points(self) -> int:

@@ -22,13 +22,37 @@ Query phase (§IV-C)
 The implementation keeps a per-query *seen set* so a point is verified at
 most once even though windows at successive radii nest; this matches the
 paper's accounting of "points accessed".
+
+Query engines
+    Two engines implement the same algorithm:
+
+    * ``"vectorized"`` (default) — the ``rstar`` backend traverses the
+      frozen array form of the tree (:class:`repro.index.flat.FlatRStarTree`,
+      level-wise MBR masks instead of per-node recursion), candidates are
+      verified chunk-at-a-time with precomputed squared norms and a single
+      matmul per chunk, and the per-query seen set is a generation-stamped
+      scratch buffer (:class:`repro.utils.scratch.GenerationMask`) reused
+      across queries instead of an O(n) allocation per query.  Chunk
+      consumption emulates the sequential semantics exactly (budget /
+      radius / patience stop at the same candidate boundary), so results
+      match the legacy engine candidate-for-candidate.
+    * ``"legacy"`` — the original pointer-chasing traversal with a
+      per-candidate Python verification loop; kept as the baseline for
+      ``benchmarks/bench_query_engine.py`` and the engine-equivalence
+      tests.
+
+    Both engines verify candidates in the same order, so budget-truncated
+    queries return identical neighbor sets at a fixed seed (distances may
+    differ in the last few ulps because the vectorized engine expands
+    ``|x - q|^2 = |x|^2 - 2 x.q + |q|^2``).
 """
 
 from __future__ import annotations
 
-import math
+import threading
 import time
-from typing import Iterator, Optional, Tuple
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -41,9 +65,15 @@ from repro.index.rstar import RStarTree
 from repro.utils.heaps import BoundedMaxHeap
 from repro.utils.rng import SeedLike
 from repro.utils.scale import estimate_nn_distance
+from repro.utils.scratch import GenerationMask
 from repro.utils.validation import check_dataset, check_positive, check_query
 
 _BACKENDS = ("rstar", "rstar-insert", "kdtree", "grid")
+_ENGINES = ("vectorized", "legacy")
+
+#: Sentinel returned by the chunk-merge fast path when the chunk contains
+#: a mid-stream radius stop and must be replayed candidate-by-candidate.
+_SLOW_PATH = object()
 
 
 class DBLSH:
@@ -77,7 +107,14 @@ class DBLSH:
     patience:
         Optional early-termination extension (§VII future work): stop a
         query after this many consecutive verified candidates fail to
-        improve the current k-th distance.  ``None`` disables it.
+        improve the current k-th distance.  The counter carries across
+        radius rounds (a stall is a stall regardless of the radius at
+        which it happens).  ``None`` disables it.
+    engine:
+        ``"vectorized"`` (default) or ``"legacy"`` — see the module
+        docstring.  Both return the same neighbors; the vectorized engine
+        is what the throughput numbers in ``BENCH_query_engine.json`` are
+        measured on.
     seed:
         Seed for the projection tensor.
     """
@@ -94,12 +131,15 @@ class DBLSH:
         initial_radius: float = 1.0,
         auto_initial_radius: bool = False,
         patience: Optional[int] = None,
+        engine: str = "vectorized",
         seed: SeedLike = 0,
     ) -> None:
         if c <= 1.0:
             raise ValueError(f"approximation ratio c must be > 1, got {c}")
         if backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        if engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
         if patience is not None and patience < 1:
             raise ValueError(f"patience must be >= 1 or None, got {patience}")
         self.c = float(c)
@@ -108,6 +148,7 @@ class DBLSH:
         self._l_arg = l_spaces
         self.t = int(t)
         self.backend = backend
+        self.engine = engine
         self.max_entries = int(max_entries)
         self.initial_radius = check_positive("initial_radius", initial_radius)
         self.auto_initial_radius = bool(auto_initial_radius)
@@ -115,24 +156,42 @@ class DBLSH:
         self.seed = seed
 
         self.params: Optional[DBLSHParams] = None
-        self.data: Optional[np.ndarray] = None
         self.dim: int = 0
         self._hasher: Optional[CompoundHasher] = None
         self._tables: list = []
+        self._flat_tables: list = []
         self._table_low: list = []
         self._table_high: list = []
+        self._cov_low: Optional[np.ndarray] = None
+        self._cov_high: Optional[np.ndarray] = None
+        # Capacity-doubling storage: ``_buffer[:_n]`` is the live dataset.
+        self._buffer: Optional[np.ndarray] = None
+        self._norms2: Optional[np.ndarray] = None
+        self._n: int = 0
+        # One scratch mask per thread: reuse across queries without
+        # breaking concurrent query() calls from user threads.
+        self._scratch_locals = threading.local()
         self.build_seconds: float = 0.0
 
     # ------------------------------------------------------------------
     # Indexing phase
     # ------------------------------------------------------------------
 
+    @property
+    def data(self) -> Optional[np.ndarray]:
+        """The indexed points (a view over the growable buffer)."""
+        if self._buffer is None:
+            return None
+        return self._buffer[: self._n]
+
     def fit(self, data: np.ndarray) -> "DBLSH":
         """Build the (K, L)-index over ``data`` (n, d)."""
         started = time.perf_counter()
         data = check_dataset(data)
         n, dim = data.shape
-        self.data = data
+        self._buffer = data
+        self._norms2 = np.einsum("ij,ij->i", data, data)
+        self._n = n
         self.dim = dim
         self.params = derive_parameters(
             n,
@@ -147,8 +206,10 @@ class DBLSH:
         )
         projections = self._hasher.project_all(data)  # (L, n, K)
         self._tables = [self._build_table(projections[i]) for i in range(self.params.l_spaces)]
+        self._reset_flat_tables()
         self._table_low = [proj.min(axis=0) for proj in projections]
         self._table_high = [proj.max(axis=0) for proj in projections]
+        self._refresh_cover_bounds()
         if self.auto_initial_radius:
             self.initial_radius = self._estimate_initial_radius(data)
         self.build_seconds = time.perf_counter() - started
@@ -169,6 +230,38 @@ class DBLSH:
             return GridIndex(projected, cell_width=self.params.w0)
         raise AssertionError(f"unknown backend {self.backend!r}")
 
+    def _uses_flat(self) -> bool:
+        """The frozen traversal serves the bulk-loaded ``rstar`` backend.
+
+        ``rstar-insert`` stays on the dynamic pointer path (its point is
+        the insertion ablation), and the alternative backends have their
+        own traversals.
+        """
+        return self.engine == "vectorized" and self.backend == "rstar"
+
+    def _reset_flat_tables(self) -> None:
+        """Drop any frozen traversals; they are rebuilt lazily on query."""
+        self._flat_tables = [None] * len(self._tables)
+
+    def _ensure_frozen(self) -> None:
+        """Freeze every table up front (before fanning out worker threads)."""
+        if self._uses_flat():
+            for i, flat in enumerate(self._flat_tables):
+                if flat is None:
+                    self._flat_tables[i] = self._tables[i].freeze()
+
+    def _get_scratch(self) -> GenerationMask:
+        """This thread's reusable seen-set mask, sized to the buffer."""
+        assert self._buffer is not None
+        mask: Optional[GenerationMask] = getattr(self._scratch_locals, "mask", None)
+        capacity = self._buffer.shape[0]
+        if mask is None:
+            mask = GenerationMask(capacity)
+            self._scratch_locals.mask = mask
+        elif len(mask) < capacity:
+            mask.grow(capacity)
+        return mask
+
     def _estimate_initial_radius(self, data: np.ndarray) -> float:
         """Anchor the radius schedule two c-steps below the typical NN distance.
 
@@ -188,72 +281,117 @@ class DBLSH:
         Not part of the paper's evaluation but a natural capability of the
         decoupled design: the dynamic bucketing never looks at bucket
         boundaries, so insertion is a plain R*-tree insert per space.
+
+        The dataset lives in a capacity-doubling buffer, so a sequence of
+        ``add`` calls costs amortised O(1) copies per point rather than a
+        full-dataset copy per call.  On the ``rstar`` backend each ``add``
+        invalidates the frozen traversals; they are rebuilt lazily on the
+        next query, so batch your adds between query phases.
         """
-        if self.data is None or self.params is None or self._hasher is None:
+        if self._buffer is None or self.params is None or self._hasher is None:
             raise RuntimeError("fit() must be called before add()")
         if self.backend not in ("rstar", "rstar-insert"):
             raise NotImplementedError("add() requires an R*-tree backend")
         points = check_dataset(points)
         if points.shape[1] != self.dim:
             raise ValueError(f"points have dimension {points.shape[1]}, expected {self.dim}")
-        start_id = self.data.shape[0]
+        start_id = self._n
+        needed = self._n + points.shape[0]
+        if needed > self._buffer.shape[0]:
+            capacity = max(2 * self._buffer.shape[0], needed)
+            buffer = np.empty((capacity, self.dim), dtype=np.float64)
+            buffer[: self._n] = self._buffer[: self._n]
+            self._buffer = buffer
+            norms2 = np.empty(capacity, dtype=np.float64)
+            norms2[: self._n] = self._norms2[: self._n]  # type: ignore[index]
+            self._norms2 = norms2
+        self._buffer[start_id:needed] = points
+        self._norms2[start_id:needed] = np.einsum(  # type: ignore[index]
+            "ij,ij->i", points, points
+        )
         projections = self._hasher.project_all(points)  # (L, m, K)
         for i, tree in enumerate(self._tables):
             for offset, projected in enumerate(projections[i]):
                 tree.insert(start_id + offset, projected)
             self._table_low[i] = np.minimum(self._table_low[i], projections[i].min(axis=0))
             self._table_high[i] = np.maximum(self._table_high[i], projections[i].max(axis=0))
-        self.data = np.vstack([self.data, points])
+        self._refresh_cover_bounds()
+        self._n = needed
+        # The frozen traversals are stale snapshots now; refreeze lazily
+        # (per-thread scratch masks grow on their next use).
+        self._reset_flat_tables()
 
     # ------------------------------------------------------------------
     # Query phase
     # ------------------------------------------------------------------
 
     def query(self, query: np.ndarray, k: int = 1) -> QueryResult:
-        """(c, k)-ANN search (Algorithm 2 with the §IV-C adaptation)."""
+        """(c, k)-ANN search (Algorithm 2 with the §IV-C adaptation).
+
+        Safe to call concurrently from multiple threads: every thread
+        reuses its own scratch buffers.
+        """
         self._require_fitted()
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
-        assert self.params is not None and self.data is not None and self._hasher is not None
-        started = time.perf_counter()
+        assert self._hasher is not None
         query = check_query(query, self.dim)
-        stats = QueryStats()
         q_proj = self._hasher.project_query(query)
-        stats.hash_evaluations = self._hasher.num_functions
+        return self._query_one(query, q_proj, k, self._get_scratch())
 
-        heap = BoundedMaxHeap(k)
-        seen = np.zeros(self.data.shape[0], dtype=bool)
-        budget = self.params.budget(k)
-        radius = self.initial_radius
-        no_improve = 0
-
-        while True:
-            stats.rounds += 1
-            stats.final_radius = radius
-            reason = self._probe_round(
-                query, q_proj, radius, heap, seen, budget, stats, no_improve_box=[no_improve]
-            )
-            if reason is not None:
-                stats.terminated_by = reason
-                break
-            if self._window_covers_all(q_proj, self.params.w0 * radius):
-                stats.terminated_by = "exhausted"
-                break
-            radius *= self.c
-
-        stats.elapsed_seconds = time.perf_counter() - started
-        neighbors = [Neighbor(int(i), float(d)) for d, i in heap.items()]
-        return QueryResult(neighbors=neighbors, stats=stats)
-
-    def query_batch(self, queries: np.ndarray, k: int = 1) -> list:
+    def query_batch(
+        self, queries: np.ndarray, k: int = 1, workers: Optional[int] = None
+    ) -> List[QueryResult]:
         """(c, k)-ANN for each row of ``queries``; returns a list of results.
 
-        Convenience wrapper — queries are independent, so this is a loop
-        over :meth:`query` (the per-query radius schedules diverge too
-        early for useful cross-query vectorisation).
+        A true batched path: all ``m * L * K`` hash evaluations happen in
+        one projection matmul (:meth:`CompoundHasher.project_queries`),
+        and the per-query scratch buffers are reused across the batch.
+        ``workers`` optionally fans the (independent) queries out over
+        that many threads, each with its own scratch; results are returned
+        in input order either way and match sequential :meth:`query`
+        calls candidate-for-candidate (the internal ``RTreeStats`` work
+        counters become approximate under workers — they are shared and
+        updated without locks).
         """
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        return [self.query(q, k=k) for q in queries]
+        self._require_fitted()
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        assert self._hasher is not None
+        queries = np.atleast_2d(np.ascontiguousarray(queries, dtype=np.float64))
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise ValueError(
+                f"queries have dimension {queries.shape[-1]}, index expects {self.dim}"
+            )
+        if not np.isfinite(queries).all():
+            raise ValueError("queries contain NaN or infinite values")
+        m = queries.shape[0]
+        if m == 0:
+            return []
+        # Freeze up front so worker threads never race the lazy refreeze.
+        self._ensure_frozen()
+        q_projs = self._hasher.project_queries(queries)  # (L, m, K)
+        if workers is not None and workers > 1 and m > 1:
+            n_workers = min(int(workers), m)
+            parts = np.array_split(np.arange(m), n_workers)
+
+            def run(part: np.ndarray) -> List[Tuple[int, QueryResult]]:
+                scratch = self._get_scratch()  # this worker thread's own
+                return [
+                    (int(j), self._query_one(queries[j], q_projs[:, j, :], k, scratch))
+                    for j in part
+                ]
+
+            results: List[Optional[QueryResult]] = [None] * m
+            with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                for future in [pool.submit(run, part) for part in parts]:
+                    for j, result in future.result():
+                        results[j] = result
+            return results  # type: ignore[return-value]
+        scratch = self._get_scratch()
+        return [
+            self._query_one(queries[j], q_projs[:, j, :], k, scratch) for j in range(m)
+        ]
 
     def range_query(self, query: np.ndarray, radius: float, k: int = 1) -> QueryResult:
         """A single (r, c)-NN query (Algorithm 1) at the given radius.
@@ -265,7 +403,7 @@ class DBLSH:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         check_positive("radius", radius)
-        assert self.params is not None and self.data is not None and self._hasher is not None
+        assert self.params is not None and self._hasher is not None
         started = time.perf_counter()
         query = check_query(query, self.dim)
         stats = QueryStats()
@@ -275,25 +413,317 @@ class DBLSH:
         stats.hash_evaluations = self._hasher.num_functions
 
         heap = BoundedMaxHeap(k)
-        seen = np.zeros(self.data.shape[0], dtype=bool)
         budget = self.params.budget(k)
-        reason = self._probe_round(query, q_proj, radius, heap, seen, budget, stats)
+        no_improve_box = [0]
+        if self.engine == "legacy":
+            seen = np.zeros(self._n, dtype=bool)
+            reason = self._probe_round_legacy(
+                query, q_proj, radius, heap, seen, budget, stats, no_improve_box
+            )
+        else:
+            reason = self._probe_round(
+                query,
+                q_proj,
+                float(query @ query),
+                radius,
+                heap,
+                self._get_scratch().begin(),
+                budget,
+                stats,
+                no_improve_box,
+            )
         stats.terminated_by = reason if reason is not None else "no_result"
         stats.elapsed_seconds = time.perf_counter() - started
 
         # Algorithm 1 only *returns* points when a termination condition
         # fired; points farther than c*r found along the way are dropped.
+        if reason == "budget":
+            # Budget exhaustion returns the current best found so far even
+            # if beyond c*r (Lemma 2 shows that under E2 it cannot be).
+            return QueryResult.from_heap(heap, stats)
         cutoff = self.params.c * radius
         neighbors = [
             Neighbor(int(i), float(d)) for d, i in heap.items() if d <= cutoff
         ]
-        if reason == "budget":
-            # Budget exhaustion returns the current best found so far even
-            # if beyond c*r (Lemma 2 shows that under E2 it cannot be).
-            neighbors = [Neighbor(int(i), float(d)) for d, i in heap.items()]
         return QueryResult(neighbors=neighbors, stats=stats)
 
+    def _query_one(
+        self,
+        query: np.ndarray,
+        q_proj: np.ndarray,
+        k: int,
+        scratch: GenerationMask,
+    ) -> QueryResult:
+        """Run Algorithm 2 for one (validated) query and its projections."""
+        assert self.params is not None
+        started = time.perf_counter()
+        stats = QueryStats()
+        stats.hash_evaluations = self._hasher.num_functions  # type: ignore[union-attr]
+        heap = BoundedMaxHeap(k)
+        budget = self.params.budget(k)
+        radius = self.initial_radius
+        # The no-improvement counter deliberately survives radius rounds;
+        # the box is shared with every probe round of this query.
+        no_improve_box = [0]
+        legacy = self.engine == "legacy"
+        if legacy:
+            seen: object = np.zeros(self._n, dtype=bool)
+            q_norm2 = 0.0
+        else:
+            seen = scratch.begin()
+            q_norm2 = float(query @ query)
+
+        while True:
+            stats.rounds += 1
+            stats.final_radius = radius
+            if legacy:
+                reason = self._probe_round_legacy(
+                    query, q_proj, radius, heap, seen, budget, stats, no_improve_box
+                )
+            else:
+                reason = self._probe_round(
+                    query, q_proj, q_norm2, radius, heap, seen, budget, stats,
+                    no_improve_box,
+                )
+            if reason is not None:
+                stats.terminated_by = reason
+                break
+            if self._window_covers_all(q_proj, self.params.w0 * radius):
+                stats.terminated_by = "exhausted"
+                break
+            radius *= self.c
+
+        stats.elapsed_seconds = time.perf_counter() - started
+        return QueryResult.from_heap(heap, stats)
+
+    # ------------------------------------------------------------------
+    # Probe rounds (one (r, c)-NN pass over the L windows)
+    # ------------------------------------------------------------------
+
     def _probe_round(
+        self,
+        query: np.ndarray,
+        q_proj: np.ndarray,
+        q_norm2: float,
+        radius: float,
+        heap: BoundedMaxHeap,
+        seen: GenerationMask,
+        budget: int,
+        stats: QueryStats,
+        no_improve_box: list,
+    ) -> Optional[str]:
+        """Vectorized probe round: chunk-at-a-time candidate verification.
+
+        Distances are computed per chunk as
+        ``sqrt(|x|^2 - 2 x.q + |q|^2)`` with the ``|x|^2`` terms
+        precomputed at fit time, and the budget / radius / patience
+        conditions are applied with exact-boundary trimming so the query
+        stops at the same candidate it would under the sequential loop.
+        Returns the termination reason (``"budget"``, ``"radius"``,
+        ``"patience"``) or ``None``.
+
+        Neighbors, ``candidates_verified``, rounds and termination reason
+        match the legacy engine exactly; ``distance_computations`` may
+        differ slightly because both engines charge whole chunks and the
+        chunk boundaries differ (per-leaf there, budget-trimmed merged
+        spans here).
+        """
+        assert self.params is not None
+        width = self.params.w0 * radius
+        cutoff = self.params.c * radius
+        data = self.data
+        norms2 = self._norms2
+        assert data is not None and norms2 is not None
+        for i in range(len(self._tables)):
+            w_low = q_proj[i] - width / 2.0
+            w_high = q_proj[i] + width / 2.0
+            stats.window_queries += 1
+            if heap.full and heap.bound <= cutoff:
+                # The radius stop fires at this round's first fresh
+                # candidate; don't gather a large chunk to find it.
+                hint = 32
+            else:
+                # Chunks are trimmed by window membership and the seen
+                # filter, so aim a bit above the verifiable remainder.
+                hint = 2 * (budget - stats.candidates_verified)
+            for chunk in self._iter_window(i, w_low, w_high, hint):
+                fresh = seen.fresh(chunk)
+                if fresh.shape[0] == 0:
+                    continue
+                remaining = budget - stats.candidates_verified
+                if fresh.shape[0] > remaining:
+                    # Never compute distances the budget cannot verify.
+                    fresh = fresh[:remaining]
+                candidates = data[fresh]
+                norms2_f = norms2[fresh]
+                dists = norms2_f - 2.0 * (candidates @ query)
+                dists += q_norm2
+                np.maximum(dists, 0.0, out=dists)
+                # The expansion cancels catastrophically when the distance
+                # is tiny relative to the norms (a self-query would come
+                # back ~1e-7 instead of 0); recompute those few exactly.
+                suspect = dists < 1e-7 * (norms2_f + q_norm2)
+                if suspect.any():
+                    close = np.flatnonzero(suspect)
+                    diff = candidates[close] - query
+                    dists[close] = np.einsum("ij,ij->i", diff, diff)
+                np.sqrt(dists, out=dists)
+                stats.distance_computations += int(fresh.shape[0])
+                reason = self._consume_chunk(
+                    fresh, dists, heap, cutoff, budget, stats, no_improve_box
+                )
+                if reason is not None:
+                    return reason
+        return None
+
+    def _consume_chunk(
+        self,
+        ids: np.ndarray,
+        dists: np.ndarray,
+        heap: BoundedMaxHeap,
+        cutoff: float,
+        budget: int,
+        stats: QueryStats,
+        no_improve_box: list,
+    ) -> Optional[str]:
+        """Feed one verified chunk into the heap with sequential semantics.
+
+        Emulates the per-candidate loop exactly — same stop candidate,
+        same ``candidates_verified`` count, same heap contents — but skips
+        over runs of non-improving candidates with one vectorised
+        comparison instead of one Python iteration each.
+        """
+        no_improve = no_improve_box[0]
+        patience = self.patience
+        take = ids.shape[0]
+        if patience is None and not (heap.full and heap.bound <= cutoff):
+            # Merge fast path: without a patience counter the only
+            # mid-chunk stop is the radius condition, and whether it can
+            # fire at all is decided by the merged k-th distance.  When it
+            # cannot, the survivors are one vectorised partition instead
+            # of one push per candidate.  Only worth it while the heap is
+            # still filling or the chunk is dense in potential improvers;
+            # sparse chunks are cheaper on the push-per-improver path.
+            if not heap.full or int(np.count_nonzero(dists < heap.bound)) >= 32:
+                reason = self._merge_chunk(ids, dists, heap, cutoff, budget, stats)
+                if reason is not _SLOW_PATH:
+                    return reason
+        dist_list = dists.tolist()
+        id_list = ids.tolist()
+        i = 0
+        reason = None
+        if not heap.full:
+            # Fill phase: every push is an improvement by definition, and
+            # the radius condition can first hold once the heap is full.
+            i = min(heap.k - len(heap), take)
+            heap.fill(dist_list[:i], id_list[:i])
+            no_improve = 0
+            if heap.full and heap.bound <= cutoff:
+                reason = "radius"
+        if reason is None and i < take:  # heap is full past the fill phase
+            if heap.bound <= cutoff:
+                # Entered a round whose cutoff already exceeds the k-th
+                # distance: the very next verified candidate stops the
+                # query (pushes cannot raise the bound).
+                improved = heap.push(dist_list[i], id_list[i])
+                no_improve = 0 if improved else no_improve + 1
+                i += 1
+                reason = "radius"
+            else:
+                # One vectorised pass finds every candidate that could beat
+                # the current bound; the bound only tightens, so everything
+                # outside this wave is non-improving by construction, and
+                # wave members are re-checked against the live bound by
+                # ``push`` itself.
+                bound0 = heap.bound
+                wave = (np.flatnonzero(dists[i:] < bound0) + i).tolist()
+                for p in wave:
+                    gap = p - i  # non-improving candidates i .. p-1
+                    if patience is not None and no_improve + gap >= patience:
+                        i += patience - no_improve
+                        no_improve = patience
+                        reason = "patience"
+                        break
+                    no_improve += gap
+                    improved = heap.push(dist_list[p], id_list[p])
+                    no_improve = 0 if improved else no_improve + 1
+                    i = p + 1
+                    if improved and heap.bound <= cutoff:
+                        reason = "radius"
+                        break
+                    if patience is not None and no_improve >= patience:
+                        reason = "patience"
+                        break
+                else:
+                    gap = take - i  # trailing non-improving candidates
+                    if patience is not None and no_improve + gap >= patience:
+                        i += patience - no_improve
+                        no_improve = patience
+                        reason = "patience"
+                    else:
+                        no_improve += gap
+                        i = take
+        stats.candidates_verified += i
+        no_improve_box[0] = no_improve
+        if stats.candidates_verified >= budget:
+            # The sequential loop checks the budget before the other two
+            # conditions, so exhaustion at the stop candidate wins.
+            return "budget"
+        return reason
+
+    def _merge_chunk(
+        self,
+        ids: np.ndarray,
+        dists: np.ndarray,
+        heap: BoundedMaxHeap,
+        cutoff: float,
+        budget: int,
+        stats: QueryStats,
+    ):
+        """Consume a whole chunk with one partition when no stop can fire.
+
+        Only valid with ``patience`` disabled.  The radius condition is
+        monotone — the running k-th distance can only tighten — so if the
+        *merged* k-th distance still exceeds ``c * r``, no candidate in
+        this chunk could have triggered it and the chunk's survivors are
+        simply the k smallest of (heap ∪ chunk).  Otherwise returns
+        ``_SLOW_PATH`` (without touching the heap) so the caller can
+        replay the chunk sequentially and stop at the exact candidate.
+        """
+        take = ids.shape[0]
+        k = heap.k
+        retained = heap._heap  # [(-distance, id), ...]
+        m_old = len(retained)
+        if m_old + take <= k:
+            heap.fill(dists.tolist(), ids.tolist())
+            stats.candidates_verified += take
+            if stats.candidates_verified >= budget:
+                return "budget"
+            if heap.full and heap.bound <= cutoff:
+                return "radius"  # fires exactly at the filling candidate
+            return None
+        if m_old:
+            all_d = np.concatenate([[-pair[0] for pair in retained], dists])
+            all_i = np.concatenate([[pair[1] for pair in retained], ids])
+        else:
+            all_d, all_i = dists, ids
+        sel = np.argpartition(all_d, k - 1)[:k]
+        sel_d = all_d[sel]
+        kth = float(sel_d.max())
+        if kth <= cutoff:
+            return _SLOW_PATH
+        if int(np.count_nonzero(all_d <= kth)) > k:
+            # Distances tie across the k-th boundary: argpartition picks
+            # an arbitrary member of the tied group, while the sequential
+            # semantics (strict <) keep the earliest-seen. Replay exactly.
+            return _SLOW_PATH
+        heap.rebuild(sel_d.tolist(), all_i[sel].tolist())
+        stats.candidates_verified += take
+        if stats.candidates_verified >= budget:
+            return "budget"
+        return None
+
+    def _probe_round_legacy(
         self,
         query: np.ndarray,
         q_proj: np.ndarray,
@@ -304,26 +734,28 @@ class DBLSH:
         stats: QueryStats,
         no_improve_box: Optional[list] = None,
     ) -> Optional[str]:
-        """Run the L window queries of one (r, c)-NN round.
+        """The original per-candidate verification loop (``engine="legacy"``).
 
         Returns the termination reason (``"budget"``, ``"radius"``,
         ``"patience"``) or ``None`` when the round finished without
         triggering Algorithm 1's conditions.
         """
-        assert self.params is not None and self.data is not None
+        assert self.params is not None
+        data = self.data
+        assert data is not None
         width = self.params.w0 * radius
         cutoff = self.params.c * radius
         no_improve = no_improve_box[0] if no_improve_box is not None else 0
-        for i, table in enumerate(self._tables):
+        for i in range(len(self._tables)):
             w_low = q_proj[i] - width / 2.0
             w_high = q_proj[i] + width / 2.0
             stats.window_queries += 1
-            for chunk in self._iter_window(table, w_low, w_high):
+            for chunk in self._iter_window(i, w_low, w_high):
                 fresh = chunk[~seen[chunk]]
                 if fresh.shape[0] == 0:
                     continue
                 seen[fresh] = True
-                dists = np.linalg.norm(self.data[fresh] - query, axis=1)
+                dists = np.linalg.norm(data[fresh] - query, axis=1)
                 stats.distance_computations += int(fresh.shape[0])
                 for point_id, dist in zip(fresh, dists):
                     stats.candidates_verified += 1
@@ -342,35 +774,58 @@ class DBLSH:
             no_improve_box[0] = no_improve
         return None
 
-    def _iter_window(self, table, w_low: np.ndarray, w_high: np.ndarray) -> Iterator[np.ndarray]:
-        return table.window_query_iter(w_low, w_high)
+    def _iter_window(
+        self,
+        i: int,
+        w_low: np.ndarray,
+        w_high: np.ndarray,
+        first_chunk: Optional[int] = None,
+    ) -> Iterator[np.ndarray]:
+        """Stream candidate-id chunks of space ``i``'s window query.
+
+        ``first_chunk`` sizes the flat traversal's initial chunk (the
+        caller's remaining verification budget); the pointer-based
+        backends yield per-leaf chunks and ignore it.
+        """
+        if self._uses_flat():
+            flat = self._flat_tables[i]
+            if flat is None:  # invalidated by add(); refreeze on demand
+                flat = self._flat_tables[i] = self._tables[i].freeze()
+            return flat.window_query_iter(w_low, w_high, first_chunk=first_chunk)
+        return self._tables[i].window_query_iter(w_low, w_high)
+
+    def _refresh_cover_bounds(self) -> None:
+        """Stack the per-space projected extents for the coverage test."""
+        self._cov_low = np.stack(self._table_low)  # (L, K)
+        self._cov_high = np.stack(self._table_high)
 
     def _window_covers_all(self, q_proj: np.ndarray, width: float) -> bool:
         """True when every space's window already contains all points.
 
         At that radius each window query enumerates the full dataset, so
         every point has been verified and further enlargement is futile.
-        One covering space suffices (its window returns everything).
+        One covering space suffices (its window returns everything); all
+        L spaces are tested with one stacked comparison.
         """
         half = width / 2.0
-        for i in range(len(self._tables)):
-            if np.all(q_proj[i] - half <= self._table_low[i]) and np.all(
-                q_proj[i] + half >= self._table_high[i]
-            ):
-                return True
-        return False
+        return bool(
+            np.any(
+                np.all(q_proj - half <= self._cov_low, axis=1)
+                & np.all(q_proj + half >= self._cov_high, axis=1)
+            )
+        )
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
     def _require_fitted(self) -> None:
-        if self.data is None:
+        if self._buffer is None:
             raise RuntimeError("fit() must be called before querying")
 
     @property
     def num_points(self) -> int:
-        return 0 if self.data is None else int(self.data.shape[0])
+        return self._n
 
     @property
     def num_hash_functions(self) -> int:
@@ -381,7 +836,7 @@ class DBLSH:
 
     def index_size_floats(self) -> int:
         """Stored projected coordinates: ``n * K * L`` floats."""
-        if self.params is None or self.data is None:
+        if self.params is None or self._buffer is None:
             return 0
         return self.num_points * self.num_hash_functions
 
@@ -393,7 +848,7 @@ class DBLSH:
         reconstruction cheaper than serialising node graphs — the same
         trade disk-based systems make with their bulk-load paths).
         """
-        if self.data is None or self.params is None or self._hasher is None:
+        if self._buffer is None or self.params is None or self._hasher is None:
             raise RuntimeError("fit() must be called before save()")
         np.savez_compressed(
             path,
@@ -407,12 +862,16 @@ class DBLSH:
             max_entries=self.max_entries,
             initial_radius=self.initial_radius,
             backend=np.bytes_(self.backend.encode()),
+            engine=np.bytes_(self.engine.encode()),
         )
 
     @classmethod
     def load(cls, path: str) -> "DBLSH":
         """Rebuild an index persisted with :meth:`save`."""
         archive = np.load(path, allow_pickle=False)
+        engine = (
+            bytes(archive["engine"]).decode() if "engine" in archive.files else "vectorized"
+        )
         index = cls(
             c=float(archive["c"]),
             w0=float(archive["w0"]),
@@ -422,6 +881,7 @@ class DBLSH:
             backend=bytes(archive["backend"]).decode(),
             max_entries=int(archive["max_entries"]),
             initial_radius=float(archive["initial_radius"]),
+            engine=engine,
         )
         data = archive["data"]
         tensor = archive["tensor"]
@@ -438,8 +898,10 @@ class DBLSH:
         index._tables = [
             index._build_table(projections[i]) for i in range(index.params.l_spaces)  # type: ignore[union-attr]
         ]
+        index._reset_flat_tables()
         index._table_low = [proj.min(axis=0) for proj in projections]
         index._table_high = [proj.max(axis=0) for proj in projections]
+        index._refresh_cover_bounds()
         return index
 
     def describe(self) -> str:
@@ -450,5 +912,5 @@ class DBLSH:
         return (
             f"DBLSH(n={self.num_points}, d={self.dim}, c={p.c}, w0={p.w0:.3g}, "
             f"K={p.k_per_space}, L={p.l_spaces}, t={p.t}, rho*={p.rho_star:.4f}, "
-            f"backend={self.backend})"
+            f"backend={self.backend}, engine={self.engine})"
         )

@@ -10,19 +10,20 @@ first-class citizens rather than debug extras.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List
+from typing import Iterator, List, NamedTuple
 
 
-@dataclass(frozen=True)
-class Neighbor:
-    """One returned neighbor: dataset row id and exact Euclidean distance."""
+class Neighbor(NamedTuple):
+    """One returned neighbor: dataset row id and exact Euclidean distance.
+
+    A named tuple rather than a dataclass: queries construct ``k`` of
+    these apiece, and tuple construction is several times cheaper while
+    keeping the same field access, ``point_id, dist = neighbor``
+    unpacking, equality and immutability semantics.
+    """
 
     id: int
     distance: float
-
-    def __iter__(self) -> Iterator:
-        # Allows ``point_id, dist = neighbor`` unpacking.
-        return iter((self.id, self.distance))
 
 
 @dataclass
@@ -56,6 +57,18 @@ class QueryResult:
 
     neighbors: List[Neighbor] = field(default_factory=list)
     stats: QueryStats = field(default_factory=QueryStats)
+
+    @classmethod
+    def from_heap(cls, heap, stats: QueryStats) -> "QueryResult":
+        """Package a bounded max-heap's retained candidates as a result.
+
+        ``heap`` is any object whose ``items()`` yields ``(distance, id)``
+        pairs in ascending-distance order (:class:`repro.utils.heaps.BoundedMaxHeap`).
+        """
+        return cls(
+            neighbors=[Neighbor(int(i), float(d)) for d, i in heap.items()],
+            stats=stats,
+        )
 
     def __len__(self) -> int:
         return len(self.neighbors)

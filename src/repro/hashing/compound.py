@@ -54,6 +54,17 @@ class CompoundHasher:
         stacked = flat.reshape(points.shape[0], self.l_spaces, self.k_per_space)
         return np.ascontiguousarray(np.transpose(stacked, (1, 0, 2)))
 
+    def project_queries(self, queries: np.ndarray) -> np.ndarray:
+        """Batched query projection; returns shape (L, m, K).
+
+        One GEMM evaluates all ``m * L * K`` hash values — the batched
+        query path uses this to amortise the per-query ``O(KLd)`` hashing
+        cost of Theorem 2 across the whole batch.  ``result[:, j, :]`` is
+        :meth:`project_query` of row ``j`` (up to last-ulp BLAS accumulation
+        differences between the batched and single-vector products).
+        """
+        return self.project_all(queries)
+
     def project_query(self, query: np.ndarray) -> np.ndarray:
         """Compute ``G_1(q) .. G_L(q)``; returns shape (L, K)."""
         query = np.asarray(query, dtype=np.float64).reshape(-1)

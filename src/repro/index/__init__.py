@@ -9,6 +9,7 @@ M-tree).
 """
 
 from repro.index.bplustree import BPlusTree
+from repro.index.flat import FlatRStarTree
 from repro.index.grid import GridIndex
 from repro.index.kdtree import KDTree
 from repro.index.mbr import MBR
@@ -18,6 +19,7 @@ from repro.index.zorder import llcp, zorder_encode, zorder_encode_many
 
 __all__ = [
     "BPlusTree",
+    "FlatRStarTree",
     "GridIndex",
     "KDTree",
     "MBR",

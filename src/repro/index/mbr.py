@@ -111,4 +111,11 @@ def windows_intersect_mask(
     lows: np.ndarray, highs: np.ndarray, w_low: np.ndarray, w_high: np.ndarray
 ) -> np.ndarray:
     """Vectorised window-intersection test over stacked child bounds."""
-    return np.all(lows <= w_high, axis=1) & np.all(highs >= w_low, axis=1)
+    return ((lows <= w_high) & (highs >= w_low)).all(axis=1)
+
+
+def points_in_window_mask(
+    points: np.ndarray, w_low: np.ndarray, w_high: np.ndarray
+) -> np.ndarray:
+    """Vectorised inclusive containment test of (n, K) points in a window."""
+    return ((points >= w_low) & (points <= w_high)).all(axis=1)

@@ -17,6 +17,14 @@ This is the multi-dimensional index DB-LSH builds per projected space
 
 Points are referenced by integer ids; leaf nodes store their coordinates
 so window filtering is a single vectorised comparison.
+
+For query-heavy workloads the pointer-based traversal can be frozen into
+the contiguous array form of :class:`repro.index.flat.FlatRStarTree` via
+:meth:`RStarTree.freeze`; the frozen form answers the same window queries
+with level-wise vectorised masks (one numpy call per level instead of one
+Python iteration per node) and is what the DB-LSH ``rstar`` backend
+queries by default.  The freeze is a snapshot: after further ``insert``
+calls it must be taken again.
 """
 
 from __future__ import annotations
@@ -27,7 +35,7 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.index.mbr import MBR, windows_intersect_mask
+from repro.index.mbr import MBR, points_in_window_mask, windows_intersect_mask
 
 _REINSERT_FRACTION = 0.3
 
@@ -423,9 +431,7 @@ class RStarTree:
                 self.stats.points_scanned += node.size()
                 if node.size() == 0:
                     continue
-                mask = np.all(node.coords >= w_low, axis=1) & np.all(
-                    node.coords <= w_high, axis=1
-                )
+                mask = points_in_window_mask(node.coords, w_low, w_high)
                 if mask.any():
                     yield node.ids[mask]
             else:
@@ -437,6 +443,19 @@ class RStarTree:
     def window_count(self, w_low: np.ndarray, w_high: np.ndarray) -> int:
         """Number of points inside the window."""
         return sum(len(chunk) for chunk in self.window_query_iter(w_low, w_high))
+
+    def freeze(self, chunk_points: Optional[int] = None):
+        """Snapshot into a :class:`~repro.index.flat.FlatRStarTree`.
+
+        The frozen form answers the same window queries with level-wise
+        vectorised masks; it does not track subsequent ``insert`` calls.
+        """
+        from repro.index.flat import DEFAULT_CHUNK_POINTS, FlatRStarTree
+
+        return FlatRStarTree(
+            self,
+            chunk_points=DEFAULT_CHUNK_POINTS if chunk_points is None else chunk_points,
+        )
 
     # ------------------------------------------------------------------
     # Introspection

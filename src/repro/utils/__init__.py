@@ -7,6 +7,7 @@ without import cycles.
 
 from repro.utils.heaps import BoundedMaxHeap
 from repro.utils.rng import SeedSequence, default_rng, spawn_rngs
+from repro.utils.scratch import GenerationMask
 from repro.utils.timing import Timer
 from repro.utils.validation import (
     check_dataset,
@@ -17,6 +18,7 @@ from repro.utils.validation import (
 
 __all__ = [
     "BoundedMaxHeap",
+    "GenerationMask",
     "SeedSequence",
     "default_rng",
     "spawn_rngs",

@@ -48,13 +48,42 @@ class BoundedMaxHeap:
 
     def push(self, distance: float, item: int) -> bool:
         """Offer a candidate; returns True if it was retained."""
-        if not self.full:
-            heapq.heappush(self._heap, (-distance, item))
+        # Hot path: open-coded (no property hops) — every ANN method in
+        # the library funnels each candidate through this call.
+        heap = self._heap
+        if len(heap) < self.k:
+            heapq.heappush(heap, (-distance, item))
             return True
-        if distance < self.bound:
-            heapq.heapreplace(self._heap, (-distance, item))
+        if -distance > heap[0][0]:
+            heapq.heapreplace(heap, (-distance, item))
             return True
         return False
+
+    def fill(self, distances, items) -> None:
+        """Bulk-push candidates while below capacity (the query fill phase).
+
+        Equivalent to pushing the pairs one by one — the heap holds the
+        same multiset either way — but one ``heapify`` beats ``m`` sifts.
+        The caller must not overfill: ``len(self) + m <= k``.
+        """
+        heap = self._heap
+        if len(heap) + len(distances) > self.k:
+            raise ValueError("fill() would exceed the heap capacity")
+        for pair in zip(distances, items):
+            heap.append((-pair[0], pair[1]))
+        heapq.heapify(heap)
+
+    def rebuild(self, distances, items) -> None:
+        """Replace the heap contents with the given pairs (at most ``k``).
+
+        Used by the chunked verifier after it has selected the surviving
+        k candidates with one vectorised partition instead of sequential
+        pushes; the resulting heap holds the same multiset either way.
+        """
+        if len(distances) > self.k:
+            raise ValueError("rebuild() would exceed the heap capacity")
+        self._heap = [(-pair[0], pair[1]) for pair in zip(distances, items)]
+        heapq.heapify(self._heap)
 
     def items(self) -> List[Tuple[float, int]]:
         """Retained ``(distance, item)`` pairs sorted by ascending distance."""

@@ -1,0 +1,73 @@
+"""Reusable per-query scratch buffers for the vectorized query engine.
+
+A DB-LSH query must verify each candidate at most once even though the
+windows at successive radii nest.  The seed implementation allocated a
+fresh ``n``-element boolean array per query — an O(n) cost *per query*
+that dwarfs the O(2tL + k) work the algorithm actually performs.
+
+:class:`GenerationMask` replaces that allocation with a generation-stamped
+``int32`` buffer allocated once per index (or per worker thread) and
+reused across queries: starting a query bumps the generation counter, and
+an id counts as *seen* when its stamp equals the current generation.
+Resetting is O(1); the buffer is only re-zeroed when the 31-bit counter
+would overflow (once every ~2 billion queries).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_GEN_LIMIT = np.iinfo(np.int32).max
+
+
+class GenerationMask:
+    """Generation-stamped membership mask over ids ``0 .. size-1``.
+
+    Not thread-safe: concurrent queries must each own a mask (the batched
+    query path hands one to every worker).
+    """
+
+    __slots__ = ("_stamp", "_gen")
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        self._stamp = np.zeros(int(size), dtype=np.int32)
+        self._gen = 0
+
+    def __len__(self) -> int:
+        return int(self._stamp.shape[0])
+
+    @property
+    def generation(self) -> int:
+        return self._gen
+
+    def grow(self, size: int) -> None:
+        """Extend the id space to ``size`` (new ids start unseen)."""
+        extra = int(size) - len(self)
+        if extra > 0:
+            self._stamp = np.concatenate(
+                [self._stamp, np.zeros(extra, dtype=np.int32)]
+            )
+
+    def begin(self) -> "GenerationMask":
+        """Start a new query: O(1) reset of the whole mask."""
+        if self._gen >= _GEN_LIMIT - 1:
+            self._stamp.fill(0)
+            self._gen = 0
+        self._gen += 1
+        return self
+
+    def fresh(self, ids: np.ndarray) -> np.ndarray:
+        """Return the not-yet-seen subset of ``ids`` and mark it seen.
+
+        ``ids`` must not contain duplicates (window queries never emit
+        them: each point lives in exactly one leaf).
+        """
+        unseen = self._stamp[ids] != self._gen
+        if unseen.all():
+            fresh = ids
+        else:
+            fresh = ids[unseen]
+        self._stamp[fresh] = self._gen
+        return fresh
