@@ -13,7 +13,6 @@ Two design choices DESIGN.md calls out:
 
 from __future__ import annotations
 
-import pytest
 from helpers import format_table, load_workload, record, run_table
 
 from repro import DBLSH

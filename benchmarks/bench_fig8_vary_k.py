@@ -14,7 +14,6 @@ Shape expectations (asserted):
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from helpers import format_series, load_workload, record
 
 from repro import DBLSH

@@ -17,7 +17,6 @@ Shape expectations (asserted):
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from helpers import format_table, load_workload, record, run_table
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 import os
 from typing import Dict, List
 
-import numpy as np
 
 from repro import DBLSH
 from repro.baselines import (

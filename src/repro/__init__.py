@@ -19,9 +19,17 @@ Quickstart
 0
 """
 
-from repro.core import DBLSH, DBLSHParams, Neighbor, QueryResult, QueryStats, derive_parameters
+from repro.core import (
+    DBLSH,
+    DBLSHParams,
+    Neighbor,
+    QueryResult,
+    QueryStats,
+    ShardedDBLSH,
+    derive_parameters,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DBLSH",
@@ -29,6 +37,7 @@ __all__ = [
     "Neighbor",
     "QueryResult",
     "QueryStats",
+    "ShardedDBLSH",
     "derive_parameters",
     "__version__",
 ]

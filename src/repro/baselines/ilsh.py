@@ -29,7 +29,6 @@ from repro.hashing.families import GaussianProjectionFamily
 from repro.index.bplustree import BPlusTree
 from repro.utils.heaps import BoundedMaxHeap
 from repro.utils.rng import SeedLike
-from repro.utils.scale import estimate_nn_distance
 from repro.utils.validation import check_positive
 
 

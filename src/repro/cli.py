@@ -1,10 +1,15 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the practitioner loop without writing code:
+Five commands cover the practitioner loop without writing code:
 
 * ``info``     — dataset hardness diagnostics + derived DB-LSH parameters;
-* ``bench``    — a miniature Table IV on a registry stand-in or fvecs file;
-* ``tune``     — sweep the budget knob ``t`` for a target recall.
+* ``bench``    — a miniature Table IV on a registry stand-in or fvecs file
+  (``--shards S`` adds the sharded engine to the comparison);
+* ``tune``     — sweep the budget knob ``t`` for a target recall;
+* ``save``     — build an index (``--shards`` for a sharded one) and
+  persist it as a versioned snapshot;
+* ``load``     — restore a snapshot with zero rebuild and smoke-test it
+  against its own stored data.
 
 Data sources: a registry stand-in name (``--dataset audio``) or an
 ``.fvecs`` file (``--fvecs path``).
@@ -13,19 +18,22 @@ Data sources: a registry stand-in name (``--dataset audio``) or an
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from typing import Optional
 
 import numpy as np
 
-from repro import DBLSH, derive_parameters
+from repro import DBLSH, ShardedDBLSH, derive_parameters
 from repro.baselines import FBLSH, LinearScan, PMLSH, QALSH
 from repro.data.analysis import hardness_report
 from repro.data.datasets import DATASET_REGISTRY, make_dataset
 from repro.data.loaders import read_fvecs
 from repro.eval.report import format_table
-from repro.eval.runner import run_comparison
+from repro.eval.runner import evaluate_method, run_comparison
 from repro.eval.tuning import tune_budget
+from repro.io import load_index, read_header, save_index
 
 
 def _load_points(args: argparse.Namespace) -> tuple:
@@ -72,10 +80,59 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         PMLSH(m=15, beta=0.08, seed=args.seed),
         LinearScan(),
     ]
+    if args.shards > 1:
+        methods.insert(1, ShardedDBLSH(
+            shards=args.shards, c=args.c, l_spaces=5, k_per_space=10, t=args.t,
+            seed=args.seed, auto_initial_radius=True,
+        ))
     results = run_comparison(methods, data, queries, k=args.k, dataset_name=label)
     print(format_table([r.row() for r in results],
                        title=f"Benchmark: {label} (k={args.k})"))
     return 0
+
+
+def _cmd_save(args: argparse.Namespace) -> int:
+    data, _, label = _load_points(args)
+    common = dict(c=args.c, l_spaces=5, k_per_space=10, t=args.t, seed=args.seed,
+                  auto_initial_radius=True)
+    if args.shards > 1:
+        index = ShardedDBLSH(shards=args.shards, **common)
+    else:
+        index = DBLSH(**common)
+    index.fit(data)
+    # np.savez appends .npz when missing; report the path it actually wrote.
+    out = args.out if args.out.endswith(".npz") else args.out + ".npz"
+    started = time.perf_counter()
+    save_index(index, out)
+    save_seconds = time.perf_counter() - started
+    size_mb = os.path.getsize(out) / 1e6
+    print(index.describe())
+    print(f"built on {label} in {index.build_seconds:.3f}s; "
+          f"saved to {out} ({size_mb:.1f} MB) in {save_seconds:.3f}s")
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    header = read_header(args.index)
+    started = time.perf_counter()
+    index = load_index(args.index)
+    load_seconds = time.perf_counter() - started
+    print(index.describe())
+    print(f"snapshot kind={header['kind']} version={header['version']}; "
+          f"loaded in {load_seconds:.3f}s (zero rebuild)")
+    if args.queries < 1:
+        return 0
+    # Smoke-test the loaded index against its own stored points: perturbed
+    # stored rows must come back with recall ~1 at this k.
+    data = index.data
+    rng = np.random.default_rng(args.seed)
+    picks = rng.choice(data.shape[0], size=min(args.queries, data.shape[0]),
+                       replace=False)
+    queries = data[picks] + 0.01 * rng.standard_normal((picks.shape[0], data.shape[1]))
+    result = evaluate_method(index, data, queries, k=args.k,
+                             dataset_name=os.path.basename(args.index), fit=False)
+    print(format_table([result.row()], title="Loaded-index smoke check"))
+    return 0 if result.recall > 0.5 else 1
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
@@ -106,6 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("info", _cmd_info, "dataset diagnostics + derived parameters"),
         ("bench", _cmd_bench, "miniature Table IV on one workload"),
         ("tune", _cmd_tune, "sweep the budget knob t for a target recall"),
+        ("save", _cmd_save, "build an index and persist a snapshot"),
     ]:
         cmd = sub.add_parser(name, help=description)
         cmd.set_defaults(handler=handler)
@@ -126,6 +184,24 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--seed", type=int, default=0)
         if name == "tune":
             cmd.add_argument("--target-recall", type=float, default=0.9)
+        if name in ("bench", "save"):
+            cmd.add_argument("--shards", type=int, default=1,
+                             help="partition the DB-LSH index across this "
+                                  "many parallel shards (1 = unsharded)")
+        if name == "save":
+            cmd.add_argument("--out", default="index.npz",
+                             help="snapshot output path (.npz)")
+
+    load_cmd = sub.add_parser(
+        "load", help="restore a snapshot (zero rebuild) and smoke-test it"
+    )
+    load_cmd.set_defaults(handler=_cmd_load)
+    load_cmd.add_argument("--index", required=True, help="snapshot path (.npz)")
+    load_cmd.add_argument("--queries", type=int, default=20,
+                          help="self-check queries sampled from the stored "
+                               "data (0 disables the check)")
+    load_cmd.add_argument("--k", type=int, default=10)
+    load_cmd.add_argument("--seed", type=int, default=0)
     return parser
 
 

@@ -10,10 +10,12 @@ Lemma 1 / Remark 2 lives in :mod:`repro.core.params`.
 from repro.core.dblsh import DBLSH
 from repro.core.params import DBLSHParams, derive_parameters
 from repro.core.result import Neighbor, QueryResult, QueryStats
+from repro.core.sharded import ShardedDBLSH
 
 __all__ = [
     "DBLSH",
     "DBLSHParams",
+    "ShardedDBLSH",
     "derive_parameters",
     "Neighbor",
     "QueryResult",

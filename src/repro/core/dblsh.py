@@ -66,7 +66,12 @@ from repro.utils.heaps import BoundedMaxHeap
 from repro.utils.rng import SeedLike
 from repro.utils.scale import estimate_nn_distance
 from repro.utils.scratch import GenerationMask
-from repro.utils.validation import check_dataset, check_positive, check_query
+from repro.utils.validation import (
+    check_dataset,
+    check_positive,
+    check_queries,
+    check_query,
+)
 
 _BACKENDS = ("rstar", "rstar-insert", "kdtree", "grid")
 _ENGINES = ("vectorized", "legacy")
@@ -246,9 +251,31 @@ class DBLSH:
     def _ensure_frozen(self) -> None:
         """Freeze every table up front (before fanning out worker threads)."""
         if self._uses_flat():
+            if any(
+                flat is None and self._tables[i] is None
+                for i, flat in enumerate(self._flat_tables)
+            ):
+                self._materialize_tables()
             for i, flat in enumerate(self._flat_tables):
                 if flat is None:
                     self._flat_tables[i] = self._tables[i].freeze()
+
+    def _materialize_tables(self) -> None:
+        """Rebuild any pointer trees a snapshot load left out.
+
+        Loading a snapshot restores only the frozen traversals — the
+        mutable R*-trees they were frozen from are not serialized.  The
+        vectorized query path never needs them; the first ``add()`` or
+        legacy-engine query does, and lands here to rebuild them from the
+        (recomputed) projections.
+        """
+        if all(table is not None for table in self._tables):
+            return
+        assert self._hasher is not None and self.data is not None
+        projections = self._hasher.project_all(self.data)
+        for i, table in enumerate(self._tables):
+            if table is None:
+                self._tables[i] = self._build_table(projections[i])
 
     def _get_scratch(self) -> GenerationMask:
         """This thread's reusable seen-set mask, sized to the buffer."""
@@ -292,6 +319,7 @@ class DBLSH:
             raise RuntimeError("fit() must be called before add()")
         if self.backend not in ("rstar", "rstar-insert"):
             raise NotImplementedError("add() requires an R*-tree backend")
+        self._materialize_tables()
         points = check_dataset(points)
         if points.shape[1] != self.dim:
             raise ValueError(f"points have dimension {points.shape[1]}, expected {self.dim}")
@@ -358,13 +386,7 @@ class DBLSH:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         assert self._hasher is not None
-        queries = np.atleast_2d(np.ascontiguousarray(queries, dtype=np.float64))
-        if queries.ndim != 2 or queries.shape[1] != self.dim:
-            raise ValueError(
-                f"queries have dimension {queries.shape[-1]}, index expects {self.dim}"
-            )
-        if not np.isfinite(queries).all():
-            raise ValueError("queries contain NaN or infinite values")
+        queries = check_queries(queries, self.dim)
         m = queries.shape[0]
         if m == 0:
             return []
@@ -790,8 +812,12 @@ class DBLSH:
         if self._uses_flat():
             flat = self._flat_tables[i]
             if flat is None:  # invalidated by add(); refreeze on demand
+                if self._tables[i] is None:
+                    self._materialize_tables()
                 flat = self._flat_tables[i] = self._tables[i].freeze()
             return flat.window_query_iter(w_low, w_high, first_chunk=first_chunk)
+        if self._tables[i] is None:  # snapshot-loaded; legacy/ablation path
+            self._materialize_tables()
         return self._tables[i].window_query_iter(w_low, w_high)
 
     def _refresh_cover_bounds(self) -> None:
@@ -841,67 +867,95 @@ class DBLSH:
         return self.num_points * self.num_hash_functions
 
     def save(self, path: str) -> None:
-        """Persist the fitted index to an ``.npz`` archive.
+        """Persist the fitted index as a versioned snapshot.
 
-        Stores the data, the projection tensor and the scalar parameters;
-        the per-space trees are *rebuilt* on load (STR bulk loading makes
-        reconstruction cheaper than serialising node graphs — the same
-        trade disk-based systems make with their bulk-load paths).
+        On the default ``rstar`` backend the snapshot contains the frozen
+        traversal arrays, so :meth:`load` answers queries without any
+        bulk loading; see :mod:`repro.io.snapshot` for the format.
         """
         if self._buffer is None or self.params is None or self._hasher is None:
             raise RuntimeError("fit() must be called before save()")
-        np.savez_compressed(
-            path,
-            data=self.data,
-            tensor=self._hasher.tensor,
-            c=self.params.c,
-            w0=self.params.w0,
-            k_per_space=self.params.k_per_space,
-            l_spaces=self.params.l_spaces,
-            t=self.params.t,
-            max_entries=self.max_entries,
-            initial_radius=self.initial_radius,
-            backend=np.bytes_(self.backend.encode()),
-            engine=np.bytes_(self.engine.encode()),
-        )
+        from repro.io.snapshot import save_index
+
+        save_index(self, path)
 
     @classmethod
     def load(cls, path: str) -> "DBLSH":
-        """Rebuild an index persisted with :meth:`save`."""
-        archive = np.load(path, allow_pickle=False)
-        engine = (
-            bytes(archive["engine"]).decode() if "engine" in archive.files else "vectorized"
-        )
+        """Restore an index persisted with :meth:`save` (no rebuild)."""
+        from repro.io.snapshot import SnapshotError, load_index
+
+        index = load_index(path)
+        if not isinstance(index, cls):
+            raise SnapshotError(
+                f"{path!r} holds a {type(index).__name__} snapshot; "
+                f"use repro.io.load_index() or {type(index).__name__}.load()"
+            )
+        return index
+
+    @classmethod
+    def _restore(
+        cls,
+        *,
+        data: np.ndarray,
+        tensor: np.ndarray,
+        c: float,
+        w0: float,
+        k_per_space: int,
+        l_spaces: int,
+        t: int,
+        backend: str,
+        engine: str,
+        max_entries: int,
+        initial_radius: float,
+        patience: Optional[int],
+        seed: SeedLike,
+        table_low: np.ndarray,
+        table_high: np.ndarray,
+        flats: Optional[list],
+        build_seconds: float = 0.0,
+    ) -> "DBLSH":
+        """Reassemble a fitted index from snapshot state (no tree build).
+
+        ``flats`` carries the restored frozen traversals (or ``None`` for
+        backends that snapshot without them); the mutable pointer trees
+        stay unmaterialized until :meth:`add` or a legacy-engine query
+        needs them.
+        """
         index = cls(
-            c=float(archive["c"]),
-            w0=float(archive["w0"]),
-            k_per_space=int(archive["k_per_space"]),
-            l_spaces=int(archive["l_spaces"]),
-            t=int(archive["t"]),
-            backend=bytes(archive["backend"]).decode(),
-            max_entries=int(archive["max_entries"]),
-            initial_radius=float(archive["initial_radius"]),
+            c=c,
+            w0=w0,
+            k_per_space=k_per_space,
+            l_spaces=l_spaces,
+            t=t,
+            backend=backend,
+            max_entries=max_entries,
+            initial_radius=initial_radius,
+            patience=patience,
             engine=engine,
+            seed=seed,
         )
-        data = archive["data"]
-        tensor = archive["tensor"]
-        index.fit(data)
-        # Restore the exact projection tensor (fit drew a fresh one).
-        assert index._hasher is not None
-        if tensor.shape != index._hasher.tensor.shape:
-            raise ValueError("archive tensor shape does not match parameters")
-        index._hasher.tensor = tensor
-        index._hasher._flat = tensor.reshape(
-            index._hasher.l_spaces * index._hasher.k_per_space, index._hasher.dim
+        data = check_dataset(data)
+        n, dim = data.shape
+        index._buffer = data
+        index._norms2 = np.einsum("ij,ij->i", data, data)
+        index._n = n
+        index.dim = dim
+        index.params = derive_parameters(
+            n, c=c, w0=w0, t=t, k_per_space=k_per_space, l_spaces=l_spaces
         )
-        projections = index._hasher.project_all(data)
-        index._tables = [
-            index._build_table(projections[i]) for i in range(index.params.l_spaces)  # type: ignore[union-attr]
-        ]
-        index._reset_flat_tables()
-        index._table_low = [proj.min(axis=0) for proj in projections]
-        index._table_high = [proj.max(axis=0) for proj in projections]
+        index._hasher = CompoundHasher.from_tensor(tensor)
+        index._tables = [None] * l_spaces
+        if flats is not None:
+            if len(flats) != l_spaces:
+                raise ValueError(f"expected {l_spaces} frozen tables, got {len(flats)}")
+            index._flat_tables = list(flats)
+        else:
+            index._flat_tables = [None] * l_spaces
+            index._materialize_tables()
+        index._table_low = [np.asarray(row, dtype=np.float64) for row in table_low]
+        index._table_high = [np.asarray(row, dtype=np.float64) for row in table_high]
         index._refresh_cover_bounds()
+        index.build_seconds = float(build_seconds)
         return index
 
     def describe(self) -> str:

@@ -16,7 +16,7 @@ data and *removed* from it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Tuple
 
 import numpy as np

@@ -2,7 +2,12 @@
 
 from repro.eval.metrics import overall_ratio, recall
 from repro.eval.report import format_table
-from repro.eval.runner import MethodResult, evaluate_method, run_comparison
+from repro.eval.runner import (
+    MethodResult,
+    evaluate_method,
+    evaluate_snapshot,
+    run_comparison,
+)
 
 __all__ = [
     "overall_ratio",
@@ -10,5 +15,6 @@ __all__ = [
     "format_table",
     "MethodResult",
     "evaluate_method",
+    "evaluate_snapshot",
     "run_comparison",
 ]

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -131,6 +131,43 @@ def evaluate_method(
         candidates_per_query=candidates / m,
         distance_computations_per_query=dist_comps / m,
         rounds_per_query=rounds / m,
+    )
+
+
+def evaluate_snapshot(
+    path: str,
+    queries: np.ndarray,
+    k: int,
+    dataset_name: str = "snapshot",
+    gt_ids: Optional[np.ndarray] = None,
+    gt_dists: Optional[np.ndarray] = None,
+    batch: bool = True,
+) -> MethodResult:
+    """Load a persisted index snapshot and evaluate it without rebuilding.
+
+    The serving-side counterpart of :func:`evaluate_method`: the index
+    (single or sharded, see :mod:`repro.io.snapshot`) is restored from
+    ``path`` and the query set runs against it as-is (``fit=False``), so
+    the reported query times measure the *loaded* index — exactly what a
+    process that received the snapshot over the wire would serve.  Ground
+    truth is computed against the snapshot's own stored data unless
+    supplied.
+    """
+    from repro.io.snapshot import load_index
+
+    index = load_index(path)
+    data = index.data
+    assert data is not None  # load_index only returns fitted indexes
+    return evaluate_method(
+        index,
+        data,
+        queries,
+        k,
+        dataset_name=dataset_name,
+        gt_ids=gt_ids,
+        gt_dists=gt_dists,
+        fit=False,
+        batch=batch,
     )
 
 

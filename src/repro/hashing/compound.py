@@ -36,6 +36,23 @@ class CompoundHasher:
         # Flattened (L*K, d) view for single-matmul evaluation.
         self._flat = self.tensor.reshape(self.l_spaces * self.k_per_space, self.dim)
 
+    @classmethod
+    def from_tensor(cls, tensor: np.ndarray) -> "CompoundHasher":
+        """Adopt an existing ``(L, K, d)`` projection tensor.
+
+        Used by snapshot loading: the restored index must evaluate the
+        *exact* functions the saved index drew, so no fresh tensor is
+        sampled.
+        """
+        tensor = np.ascontiguousarray(tensor, dtype=np.float64)
+        if tensor.ndim != 3:
+            raise ValueError(f"projection tensor must be (L, K, d), got shape {tensor.shape}")
+        hasher = cls.__new__(cls)
+        hasher.l_spaces, hasher.k_per_space, hasher.dim = (int(s) for s in tensor.shape)
+        hasher.tensor = tensor
+        hasher._flat = tensor.reshape(hasher.l_spaces * hasher.k_per_space, hasher.dim)
+        return hasher
+
     @property
     def num_functions(self) -> int:
         """Total number of hash functions ``L * K``."""

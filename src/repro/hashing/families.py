@@ -16,7 +16,6 @@ E2LSH, FB-LSH, LSB-Forest, C2LSH, LCCS-LSH and Multi-Probe build on it.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

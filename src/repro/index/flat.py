@@ -37,7 +37,7 @@ insertable structure, and must be re-frozen after updates (see
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -144,6 +144,70 @@ class FlatRStarTree:
     def leaf_high(self) -> np.ndarray:
         """Stacked leaf MBR upper bounds."""
         return -self._leaf_cat[:, self.dim :]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """The frozen traversal as a flat dict of numpy arrays.
+
+        Everything needed to answer window queries is captured:
+        per-internal-level ``[low, -high]`` matrices and CSR child ranges,
+        the leaf MBRs, pointers, ids and coordinates.  The concatenated
+        ``[x, -x]`` coordinate form is stored single-sided (``leaf_coords``)
+        and re-mirrored by :meth:`from_arrays`, so a snapshot costs the
+        same bytes as the raw points.  Scalar shape metadata rides along as
+        0-d arrays, which keeps the whole dict ``np.savez``-ready.
+        """
+        arrays: Dict[str, np.ndarray] = {
+            "meta": np.array(
+                [self.dim, self.count, self.height, self.chunk_points, len(self._levels)],
+                dtype=np.int64,
+            ),
+            "leaf_ptr": self.leaf_ptr,
+            "leaf_ids": self.leaf_ids,
+            "leaf_cat": self._leaf_cat,
+            "leaf_coords": self.leaf_coords,
+        }
+        for j, (cat, starts, ends) in enumerate(self._levels):
+            arrays[f"level{j}_cat"] = cat
+            arrays[f"level{j}_start"] = starts
+            arrays[f"level{j}_end"] = ends
+        return arrays
+
+    @classmethod
+    def from_arrays(cls, arrays: Dict[str, np.ndarray]) -> "FlatRStarTree":
+        """Rebuild a frozen traversal from :meth:`to_arrays` output.
+
+        No tree construction happens — the arrays are adopted as-is (the
+        coordinate mirror is the only copy), so loading a snapshot costs
+        O(bytes) rather than an STR bulk load.
+        """
+        meta = np.asarray(arrays["meta"], dtype=np.int64).reshape(-1)
+        if meta.shape[0] != 5:
+            raise ValueError("flat-tree meta must have 5 entries")
+        dim, count, height, chunk_points, n_levels = (int(v) for v in meta)
+        flat = cls.__new__(cls)
+        flat.dim = dim
+        flat.count = count
+        flat.height = height
+        flat.chunk_points = max(1, chunk_points)
+        flat.stats = RTreeStats()
+        flat._levels = [
+            (
+                np.ascontiguousarray(arrays[f"level{j}_cat"], dtype=np.float64),
+                np.ascontiguousarray(arrays[f"level{j}_start"], dtype=np.int64),
+                np.ascontiguousarray(arrays[f"level{j}_end"], dtype=np.int64),
+            )
+            for j in range(n_levels)
+        ]
+        flat.leaf_ptr = np.ascontiguousarray(arrays["leaf_ptr"], dtype=np.int64)
+        flat.leaf_ids = np.ascontiguousarray(arrays["leaf_ids"], dtype=np.int64)
+        flat._leaf_cat = np.ascontiguousarray(arrays["leaf_cat"], dtype=np.float64)
+        coords = np.ascontiguousarray(arrays["leaf_coords"], dtype=np.float64)
+        flat._coords_cat = np.hstack([coords, -coords])
+        return flat
 
     # ------------------------------------------------------------------
     # Window queries

@@ -30,7 +30,7 @@ calls it must be taken again.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -38,6 +38,29 @@ import numpy as np
 from repro.index.mbr import MBR, points_in_window_mask, windows_intersect_mask
 
 _REINSERT_FRACTION = 0.3
+
+#: R* split evaluates candidate distributions along every axis — O(K) work
+#: per axis.  Beyond this many dimensions (theory-derived K can reach the
+#: thousands) only the widest axes are swept; the margin criterion favours
+#: wide axes anyway, and the cap keeps inserts O(K) instead of O(K^2).
+_MAX_SPLIT_AXES = 32
+
+
+def _log_areas(extents: np.ndarray) -> np.ndarray:
+    """Row-wise log-domain areas: sums of log extents (zero extent -> -inf).
+
+    Hyperrectangle area products overflow float64 once the dimensionality
+    times the mean log extent passes ~709; the log-domain form never does,
+    and as a *sort key* it orders identically (log is monotone).
+    """
+    with np.errstate(divide="ignore"):
+        return np.sum(np.log(extents), axis=1)
+
+
+def _finite_max(values: np.ndarray) -> float:
+    """Largest finite entry, or 0.0 when every entry is infinite."""
+    finite = values[np.isfinite(values)]
+    return float(finite.max()) if finite.size else 0.0
 
 
 @dataclass
@@ -251,12 +274,51 @@ class RStarTree:
         lows, highs = node.child_bounds()  # (m, K) each
         enlarged_low = np.minimum(lows, box.low)
         enlarged_high = np.maximum(highs, box.high)
-        areas = np.prod(highs - lows, axis=1)
-        enlargement = np.prod(enlarged_high - enlarged_low, axis=1) - areas
+        with np.errstate(over="ignore", invalid="ignore"):
+            areas = np.prod(highs - lows, axis=1)
+            enlarged_areas = np.prod(enlarged_high - enlarged_low, axis=1)
+        log_domain = not (
+            np.isfinite(areas).all() and np.isfinite(enlarged_areas).all()
+        )
+        if log_domain:
+            # Linear area products overflowed (large-K trees); switch every
+            # key to the log domain.  The area key orders identically, and
+            # the enlargement differences are formed at a shared scale
+            # exp(-s) — a positive common factor preserving their order.
+            areas = _log_areas(highs - lows)
+            enlarged_log = _log_areas(enlarged_high - enlarged_low)
+            scale = _finite_max(enlarged_log)
+            enlargement = np.exp(enlarged_log - scale) - np.exp(areas - scale)
+        else:
+            enlargement = enlarged_areas - areas
         if node.level == 1:
             # Children are leaves: minimise overlap enlargement first.
-            m = lows.shape[0]
-            overlap_delta = np.empty(m)
+            overlap_delta = self._overlap_deltas(
+                lows, highs, enlarged_low, enlarged_high, log_domain
+            )
+            best = int(np.lexsort((areas, enlargement, overlap_delta))[0])
+        else:
+            best = int(np.lexsort((areas, enlargement))[0])
+        return node.children[best]
+
+    @staticmethod
+    def _overlap_deltas(
+        lows: np.ndarray,
+        highs: np.ndarray,
+        enlarged_low: np.ndarray,
+        enlarged_high: np.ndarray,
+        log_domain: bool,
+    ) -> np.ndarray:
+        """Overlap-sum enlargement of inserting into each child.
+
+        With ``log_domain`` the pairwise overlap areas are exponentiated at
+        a shared scale before summing (overlap is bounded by the enlarged
+        areas, so whenever those were finite the linear path is exact and
+        is taken unchanged).
+        """
+        m = lows.shape[0]
+        overlap_delta = np.empty(m)
+        if not log_domain:
             for i in range(m):
                 before = np.prod(
                     np.clip(np.minimum(highs[i], highs) - np.maximum(lows[i], lows),
@@ -274,10 +336,28 @@ class RStarTree:
                 )
                 before[i] = after[i] = 0.0
                 overlap_delta[i] = after.sum() - before.sum()
-            best = int(np.lexsort((areas, enlargement, overlap_delta))[0])
-        else:
-            best = int(np.lexsort((areas, enlargement))[0])
-        return node.children[best]
+            return overlap_delta
+        log_before = np.empty((m, m))
+        log_after = np.empty((m, m))
+        for i in range(m):
+            log_before[i] = _log_areas(
+                np.clip(np.minimum(highs[i], highs) - np.maximum(lows[i], lows),
+                        0.0, None)
+            )
+            log_after[i] = _log_areas(
+                np.clip(
+                    np.minimum(enlarged_high[i], highs)
+                    - np.maximum(enlarged_low[i], lows),
+                    0.0,
+                    None,
+                )
+            )
+            log_before[i, i] = log_after[i, i] = -np.inf
+        scale = _finite_max(log_after)
+        return (
+            np.exp(log_after - scale).sum(axis=1)
+            - np.exp(log_before - scale).sum(axis=1)
+        )
 
     def _propagate_bounds(self, path: List[_Node]) -> None:
         for node in reversed(path):
@@ -365,8 +445,18 @@ class RStarTree:
             right_low, right_high = suff_low[splits], suff_high[splits]
             return left_low, left_high, right_low, right_high
 
+        if self.dim <= _MAX_SPLIT_AXES:
+            axes = range(self.dim)
+        else:
+            # Large-K safeguard: sweep only the widest axes (ascending for
+            # deterministic tie-breaks).  The margin criterion below picks
+            # a wide axis in practice, and the full sweep would make every
+            # split O(K^2).
+            extent = entry_highs.max(axis=0) - entry_lows.min(axis=0)
+            axes = np.sort(np.argpartition(extent, -_MAX_SPLIT_AXES)[-_MAX_SPLIT_AXES:])
+
         best_axis, best_axis_margin, axis_orders = 0, math.inf, {}
-        for axis in range(self.dim):
+        for axis in axes:
             order = np.argsort(entry_lows[:, axis], kind="stable")
             axis_orders[axis] = order
             ll, lh, rl, rh = split_tables(order)
@@ -377,10 +467,15 @@ class RStarTree:
 
         order = axis_orders[best_axis]
         ll, lh, rl, rh = split_tables(order)
-        overlaps = np.prod(
-            np.clip(np.minimum(lh, rh) - np.maximum(ll, rl), 0.0, None), axis=1
-        )
-        area_sums = np.prod(lh - ll, axis=1) + np.prod(rh - rl, axis=1)
+        overlap_ext = np.clip(np.minimum(lh, rh) - np.maximum(ll, rl), 0.0, None)
+        with np.errstate(over="ignore", invalid="ignore"):
+            overlaps = np.prod(overlap_ext, axis=1)
+            area_sums = np.prod(lh - ll, axis=1) + np.prod(rh - rl, axis=1)
+        if not (np.isfinite(overlaps).all() and np.isfinite(area_sums).all()):
+            # Overflowed at large K: compare distributions in the log
+            # domain instead (identical orderings, no inf/NaN).
+            overlaps = _log_areas(overlap_ext)
+            area_sums = np.logaddexp(_log_areas(lh - ll), _log_areas(rh - rl))
         best_split = int(splits[np.lexsort((area_sums, overlaps))[0]])
 
         left_idx, right_idx = order[:best_split], order[best_split:]

@@ -1,0 +1,27 @@
+"""Index lifecycle I/O: versioned snapshots of fitted indexes.
+
+:func:`save_index` / :func:`load_index` persist and restore a fitted
+:class:`~repro.core.dblsh.DBLSH` or
+:class:`~repro.core.sharded.ShardedDBLSH` through a single versioned
+``.npz`` archive — including the frozen R*-tree traversal arrays, so a
+loaded ``rstar``-backend index serves queries with zero rebuild.  See
+:mod:`repro.io.snapshot` for the format.
+"""
+
+from repro.io.snapshot import (
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    load_index,
+    read_header,
+    save_index,
+)
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "SnapshotError",
+    "load_index",
+    "read_header",
+    "save_index",
+]

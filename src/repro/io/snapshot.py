@@ -1,0 +1,256 @@
+"""Versioned binary snapshots of fitted indexes (build once, serve anywhere).
+
+Format
+------
+A snapshot is a single ``.npz`` archive.  The ``header`` entry is a JSON
+document (stored as bytes) carrying the format name, the format *version*,
+the snapshot *kind* (``"dblsh"`` or ``"sharded"``) and every scalar needed
+to reconstruct the index; all array payloads live beside it as plain
+``.npy`` members, so a snapshot is readable with nothing but numpy.
+
+For the default ``rstar`` backend the payload includes the frozen
+:class:`~repro.index.flat.FlatRStarTree` arrays of every projected space.
+Loading adopts those arrays directly, so a restored index answers queries
+with **zero rebuild** — no projection pass, no STR bulk load, no tree
+construction.  The mutable pointer trees (needed only by ``add()`` and the
+legacy engine) are rebuilt lazily on first use.  The ablation backends
+(``kdtree``, ``grid``, ``rstar-insert``) snapshot without traversal arrays
+and rebuild their tables from the stored projection tensor at load time.
+
+Sharded snapshots store one such payload per shard under a ``shard{i}.``
+key prefix; the shard partition is implicit in the stored shard sizes.
+
+Versioning
+----------
+``SNAPSHOT_VERSION`` is bumped whenever the layout changes incompatibly.
+:func:`load_index` refuses snapshots written under a different version
+with a :class:`SnapshotError` instead of guessing at the layout.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.dblsh import DBLSH
+from repro.index.flat import FlatRStarTree
+
+SNAPSHOT_FORMAT = "repro-index-snapshot"
+SNAPSHOT_VERSION = 1
+
+#: Keys every serialized flat tree carries besides its per-level arrays.
+_FLAT_FIXED_KEYS = ("meta", "leaf_ptr", "leaf_ids", "leaf_cat", "leaf_coords")
+
+
+class SnapshotError(RuntimeError):
+    """A file is not a readable snapshot (wrong format, version, or kind)."""
+
+
+# ----------------------------------------------------------------------
+# Packing
+# ----------------------------------------------------------------------
+
+
+def _frozen_tables(index: DBLSH) -> Optional[List[FlatRStarTree]]:
+    """The frozen traversal of every space, freezing on demand.
+
+    Returns ``None`` for backends whose tables are not snapshotted in
+    array form (they rebuild from the projection tensor at load time).
+    """
+    if index.backend != "rstar":
+        return None
+    index._materialize_tables()
+    flats: List[FlatRStarTree] = []
+    for i, flat in enumerate(index._flat_tables):
+        if flat is None:
+            flat = index._flat_tables[i] = index._tables[i].freeze()
+        flats.append(flat)
+    return flats
+
+
+def _pack_dblsh(index: DBLSH, prefix: str) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """One index's header dict + array payload (keys under ``prefix``)."""
+    if index.data is None or index.params is None or index._hasher is None:
+        raise RuntimeError("fit() must be called before saving a snapshot")
+    params = index.params
+    flats = _frozen_tables(index)
+    header = {
+        "n": int(index.num_points),
+        "dim": int(index.dim),
+        "c": params.c,
+        "w0": params.w0,
+        "k_per_space": params.k_per_space,
+        "l_spaces": params.l_spaces,
+        "t": params.t,
+        "backend": index.backend,
+        "engine": index.engine,
+        "max_entries": index.max_entries,
+        "initial_radius": float(index.initial_radius),
+        "patience": index.patience,
+        "seed": int(index.seed) if isinstance(index.seed, (int, np.integer)) else None,
+        "build_seconds": float(index.build_seconds),
+        "has_flat": flats is not None,
+    }
+    arrays: Dict[str, np.ndarray] = {
+        prefix + "data": index.data,
+        prefix + "tensor": index._hasher.tensor,
+        prefix + "table_low": np.stack(index._table_low),
+        prefix + "table_high": np.stack(index._table_high),
+    }
+    if flats is not None:
+        for i, flat in enumerate(flats):
+            for key, array in flat.to_arrays().items():
+                arrays[f"{prefix}flat{i}.{key}"] = array
+    return header, arrays
+
+
+def save_index(index, path: str) -> None:
+    """Persist a fitted :class:`DBLSH` or ``ShardedDBLSH`` to ``path``.
+
+    The file is a compressed ``.npz`` archive; see the module docstring
+    for the layout.  ``path`` conventionally ends in ``.npz`` (numpy
+    appends the suffix if missing).
+    """
+    from repro.core.sharded import ShardedDBLSH
+
+    if isinstance(index, ShardedDBLSH):
+        shard_headers = []
+        arrays: Dict[str, np.ndarray] = {}
+        for i, shard in enumerate(index.shard_indexes):
+            shard_header, shard_arrays = _pack_dblsh(shard, f"shard{i}.")
+            shard_headers.append(shard_header)
+            arrays.update(shard_arrays)
+        header = {
+            "format": SNAPSHOT_FORMAT,
+            "version": SNAPSHOT_VERSION,
+            "kind": "sharded",
+            "build_seconds": float(index.build_seconds),
+            "shard_headers": shard_headers,
+        }
+    elif isinstance(index, DBLSH):
+        index_header, arrays = _pack_dblsh(index, "")
+        header = {
+            "format": SNAPSHOT_FORMAT,
+            "version": SNAPSHOT_VERSION,
+            "kind": "dblsh",
+            "index": index_header,
+        }
+    else:
+        raise TypeError(f"cannot snapshot object of type {type(index).__name__}")
+    np.savez_compressed(
+        path, header=np.bytes_(json.dumps(header).encode()), **arrays
+    )
+
+
+# ----------------------------------------------------------------------
+# Unpacking
+# ----------------------------------------------------------------------
+
+
+def _parse_header(archive, path: str) -> dict:
+    """Extract and validate the JSON header of an open ``.npz`` archive."""
+    if "header" not in archive.files:
+        raise SnapshotError(f"{path!r} is not a {SNAPSHOT_FORMAT} file (no header)")
+    try:
+        header = json.loads(bytes(archive["header"]).decode())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SnapshotError(f"{path!r} has an unreadable snapshot header") from exc
+    if not isinstance(header, dict) or header.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(f"{path!r} is not a {SNAPSHOT_FORMAT} file")
+    version = header.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"{path!r} is snapshot version {version!r}; this build reads "
+            f"version {SNAPSHOT_VERSION} (re-save the index with this build)"
+        )
+    return header
+
+
+def _unpack_flats(
+    header: dict, archive, prefix: str
+) -> Optional[List[FlatRStarTree]]:
+    if not header.get("has_flat"):
+        return None
+    flats = []
+    for i in range(int(header["l_spaces"])):
+        p = f"{prefix}flat{i}."
+        arrays = {key: archive[p + key] for key in _FLAT_FIXED_KEYS}
+        n_levels = int(np.asarray(arrays["meta"]).reshape(-1)[4])
+        for j in range(n_levels):
+            for part in ("cat", "start", "end"):
+                key = f"level{j}_{part}"
+                arrays[key] = archive[p + key]
+        flats.append(FlatRStarTree.from_arrays(arrays))
+    return flats
+
+
+def _unpack_dblsh(header: dict, archive, prefix: str) -> DBLSH:
+    seed = header.get("seed")
+    data = archive[prefix + "data"]
+    tensor = archive[prefix + "tensor"]
+    expected = (int(header["l_spaces"]), int(header["k_per_space"]), int(header["dim"]))
+    if tensor.shape != expected or data.ndim != 2 or data.shape[1] != expected[2]:
+        raise SnapshotError(
+            f"snapshot payload disagrees with its header: tensor shape "
+            f"{tensor.shape} / data shape {data.shape}, expected (L, K, d) = {expected}"
+        )
+    return DBLSH._restore(
+        data=data,
+        tensor=tensor,
+        c=float(header["c"]),
+        w0=float(header["w0"]),
+        k_per_space=int(header["k_per_space"]),
+        l_spaces=int(header["l_spaces"]),
+        t=int(header["t"]),
+        backend=str(header["backend"]),
+        engine=str(header["engine"]),
+        max_entries=int(header["max_entries"]),
+        initial_radius=float(header["initial_radius"]),
+        patience=header.get("patience"),
+        seed=0 if seed is None else int(seed),
+        table_low=archive[prefix + "table_low"],
+        table_high=archive[prefix + "table_high"],
+        flats=_unpack_flats(header, archive, prefix),
+        build_seconds=float(header.get("build_seconds", 0.0)),
+    )
+
+
+def read_header(path: str) -> dict:
+    """Return a snapshot's JSON header without loading any payload arrays."""
+    with np.load(path, allow_pickle=False) as archive:
+        return _parse_header(archive, path)
+
+
+def load_index(path: str):
+    """Restore the index persisted at ``path``.
+
+    Returns a :class:`DBLSH` or ``ShardedDBLSH`` according to the snapshot
+    kind; raises :class:`SnapshotError` for anything that is not a
+    compatible snapshot.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        header = _parse_header(archive, path)
+        kind = header.get("kind")
+        try:
+            if kind == "dblsh":
+                return _unpack_dblsh(header["index"], archive, "")
+            if kind == "sharded":
+                from repro.core.sharded import ShardedDBLSH
+
+                shards = [
+                    _unpack_dblsh(shard_header, archive, f"shard{i}.")
+                    for i, shard_header in enumerate(header["shard_headers"])
+                ]
+                return ShardedDBLSH._restore(
+                    shards=shards,
+                    build_seconds=float(header.get("build_seconds", 0.0)),
+                )
+        except KeyError as exc:
+            # A valid header whose payload member is missing: truncated
+            # write or hand-edited archive, not a compatible snapshot.
+            raise SnapshotError(
+                f"{path!r} is missing snapshot payload entry {exc.args[0]!r}"
+            ) from exc
+        raise SnapshotError(f"{path!r} has unknown snapshot kind {kind!r}")

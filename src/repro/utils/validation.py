@@ -49,3 +49,19 @@ def check_query(query: np.ndarray, dim: int) -> np.ndarray:
     if not np.isfinite(vector).all():
         raise ValueError("query contains NaN or infinite values")
     return vector
+
+
+def check_queries(queries: np.ndarray, dim: int) -> np.ndarray:
+    """Validate a query batch to a C-contiguous float64 (m, d) array.
+
+    A single row is promoted to shape (1, d); ``m = 0`` is allowed (the
+    batched query paths return an empty result list for it).
+    """
+    array = np.atleast_2d(np.ascontiguousarray(queries, dtype=np.float64))
+    if array.ndim != 2 or array.shape[1] != dim:
+        raise ValueError(
+            f"queries have dimension {array.shape[-1]}, index expects {dim}"
+        )
+    if not np.isfinite(array).all():
+        raise ValueError("queries contain NaN or infinite values")
+    return array

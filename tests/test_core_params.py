@@ -7,7 +7,6 @@ import math
 import pytest
 
 from repro.core.params import (
-    DBLSHParams,
     default_w0,
     derive_parameters,
     paper_default_parameters,

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
-from hypothesis.extra import numpy as hnp
 
 from repro.index.mbr import MBR, stack_bounds, windows_intersect_mask
 

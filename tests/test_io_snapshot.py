@@ -1,0 +1,191 @@
+"""Tests for the versioned index snapshots (repro.io)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import DBLSH, ShardedDBLSH
+from repro.data.generators import gaussian_mixture
+from repro.io import (
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    load_index,
+    read_header,
+    save_index,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data = gaussian_mixture(600, 16, n_clusters=6, seed=0)
+    queries = data[:8] + 0.05
+    return data, queries
+
+
+@pytest.fixture(scope="module")
+def fitted(workload):
+    data, _ = workload
+    return DBLSH(
+        c=1.5, l_spaces=4, k_per_space=8, t=32, seed=0, auto_initial_radius=True
+    ).fit(data)
+
+
+class TestRoundtrip:
+    def test_identical_query_results(self, workload, fitted, tmp_path):
+        _, queries = workload
+        path = str(tmp_path / "index.npz")
+        save_index(fitted, path)
+        restored = load_index(path)
+        assert isinstance(restored, DBLSH)
+        assert restored.describe() == fitted.describe()
+        for q in queries:
+            before = fitted.query(q, k=7)
+            after = restored.query(q, k=7)
+            assert after.ids == before.ids
+            assert after.distances == pytest.approx(before.distances)
+
+    def test_zero_rebuild_on_rstar_backend(self, workload, fitted, tmp_path):
+        """Loading adopts the frozen arrays; no pointer tree is built."""
+        _, queries = workload
+        path = str(tmp_path / "index.npz")
+        save_index(fitted, path)
+        restored = load_index(path)
+        assert all(flat is not None for flat in restored._flat_tables)
+        assert all(table is None for table in restored._tables)
+        restored.query(queries[0], k=3)  # queries run off the flat arrays
+        assert all(table is None for table in restored._tables)
+
+    def test_batch_queries_after_load(self, workload, fitted, tmp_path):
+        _, queries = workload
+        path = str(tmp_path / "index.npz")
+        save_index(fitted, path)
+        restored = load_index(path)
+        batch = restored.query_batch(queries, k=5)
+        assert [r.ids for r in batch] == [fitted.query(q, k=5).ids for q in queries]
+
+    def test_non_flat_backend_roundtrip(self, workload, tmp_path):
+        data, queries = workload
+        index = DBLSH(
+            backend="kdtree", l_spaces=3, k_per_space=6, t=32, seed=1,
+            auto_initial_radius=True,
+        ).fit(data)
+        path = str(tmp_path / "kdtree.npz")
+        save_index(index, path)
+        restored = load_index(path)
+        assert not read_header(path)["index"]["has_flat"]
+        for q in queries[:3]:
+            assert restored.query(q, k=5).ids == index.query(q, k=5).ids
+
+    def test_header_is_inspectable(self, fitted, tmp_path):
+        path = str(tmp_path / "index.npz")
+        save_index(fitted, path)
+        header = read_header(path)
+        assert header["version"] == SNAPSHOT_VERSION
+        assert header["kind"] == "dblsh"
+        assert header["index"]["n"] == fitted.num_points
+        assert header["index"]["k_per_space"] == fitted.params.k_per_space
+
+
+class TestShardedRoundtrip:
+    def test_identical_query_results(self, workload, tmp_path):
+        data, queries = workload
+        index = ShardedDBLSH(
+            shards=3, l_spaces=4, k_per_space=8, t=32, seed=0,
+            auto_initial_radius=True,
+        ).fit(data)
+        path = str(tmp_path / "sharded.npz")
+        save_index(index, path)
+        restored = load_index(path)
+        assert isinstance(restored, ShardedDBLSH)
+        assert restored.describe() == index.describe()
+        assert restored.shard_offsets == index.shard_offsets
+        for q in queries:
+            assert restored.query(q, k=5).ids == index.query(q, k=5).ids
+
+    def test_class_load_helpers_enforce_kind(self, workload, fitted, tmp_path):
+        data, _ = workload
+        sharded_path = str(tmp_path / "sharded.npz")
+        ShardedDBLSH(shards=2, l_spaces=3, k_per_space=6, t=16, seed=0).fit(
+            data
+        ).save(sharded_path)
+        flat_path = str(tmp_path / "flat.npz")
+        save_index(fitted, flat_path)
+        with pytest.raises(SnapshotError, match="ShardedDBLSH snapshot"):
+            DBLSH.load(sharded_path)
+        with pytest.raises(SnapshotError, match="DBLSH snapshot"):
+            ShardedDBLSH.load(flat_path)
+
+
+class TestRejection:
+    def test_version_mismatch_rejected(self, fitted, tmp_path):
+        path = str(tmp_path / "future.npz")
+        save_index(fitted, path)
+        with np.load(path, allow_pickle=False) as archive:
+            payload = {key: archive[key] for key in archive.files}
+        header = json.loads(bytes(payload.pop("header")).decode())
+        header["version"] = SNAPSHOT_VERSION + 1
+        np.savez(path, header=np.bytes_(json.dumps(header).encode()), **payload)
+        with pytest.raises(SnapshotError, match="version"):
+            load_index(path)
+
+    def test_non_snapshot_npz_rejected(self, tmp_path):
+        path = str(tmp_path / "random.npz")
+        np.savez(path, data=np.zeros((3, 2)))
+        with pytest.raises(SnapshotError, match="not a"):
+            load_index(path)
+        with pytest.raises(SnapshotError, match="not a"):
+            read_header(path)
+
+    def test_unfitted_index_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError, match="fit"):
+            save_index(DBLSH(), str(tmp_path / "x.npz"))
+
+    def test_unknown_object_rejected(self, tmp_path):
+        with pytest.raises(TypeError, match="cannot snapshot"):
+            save_index(object(), str(tmp_path / "x.npz"))
+
+
+class TestEvaluateSnapshot:
+    def test_runner_evaluates_loaded_index(self, workload, fitted, tmp_path):
+        from repro.eval import evaluate_snapshot
+
+        data, queries = workload
+        path = str(tmp_path / "eval.npz")
+        save_index(fitted, path)
+        result = evaluate_snapshot(path, queries, k=5, dataset_name="snap")
+        assert result.dataset == "snap"
+        assert result.n == data.shape[0]
+        assert result.recall > 0.5
+        assert result.candidates_per_query > 0
+
+    def test_header_payload_mismatch_rejected(self, fitted, tmp_path):
+        path = str(tmp_path / "mismatch.npz")
+        save_index(fitted, path)
+        with np.load(path, allow_pickle=False) as archive:
+            payload = {key: archive[key] for key in archive.files}
+        payload["tensor"] = payload["tensor"][:-1]  # drop one space
+        np.savez(path, **payload)
+        with pytest.raises(SnapshotError, match="disagrees with its header"):
+            load_index(path)
+
+    def test_missing_payload_member_rejected(self, fitted, tmp_path):
+        path = str(tmp_path / "truncated.npz")
+        save_index(fitted, path)
+        with np.load(path, allow_pickle=False) as archive:
+            payload = {key: archive[key] for key in archive.files}
+        del payload["flat0.meta"]
+        np.savez(path, **payload)
+        with pytest.raises(SnapshotError, match="missing snapshot payload"):
+            load_index(path)
+
+    def test_numpy_integer_seed_survives_roundtrip(self, workload, tmp_path):
+        data, _ = workload
+        index = DBLSH(l_spaces=3, k_per_space=6, t=16, seed=np.int64(7)).fit(data)
+        path = str(tmp_path / "npseed.npz")
+        save_index(index, path)
+        restored = load_index(path)
+        assert restored.seed == 7
+        assert read_header(path)["index"]["seed"] == 7

@@ -139,7 +139,7 @@ class TestTableIIndexSizes:
     counts on a common dataset."""
 
     def test_ordering(self):
-        from repro.baselines import E2LSH, FBLSH, PMLSH, QALSH, SRS
+        from repro.baselines import E2LSH, PMLSH, QALSH, SRS
         from repro.data.generators import gaussian_mixture
 
         data = gaussian_mixture(300, 16, seed=0)

@@ -16,7 +16,7 @@ class TestTopLevel:
     def test_version(self):
         import repro
 
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_top_level_exports(self):
         import repro

@@ -8,7 +8,6 @@ exhausted datasets and the patience extension.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import DBLSH

@@ -93,3 +93,47 @@ class TestCLI:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSaveLoadCLI:
+    def test_save_then_load_roundtrip(self, tmp_path, capsys):
+        path = str(tmp_path / "cli_index.npz")
+        assert main(["save", "--dataset", "audio", "--scale", "0.05",
+                     "--t", "64", "--out", path]) == 0
+        out = capsys.readouterr().out
+        assert "saved to" in out
+        assert main(["load", "--index", path, "--queries", "5", "--k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "zero rebuild" in out
+        assert "smoke check" in out
+
+    def test_save_sharded_then_load(self, tmp_path, capsys):
+        path = str(tmp_path / "cli_sharded.npz")
+        assert main(["save", "--dataset", "audio", "--scale", "0.05",
+                     "--t", "64", "--shards", "3", "--out", path]) == 0
+        assert main(["load", "--index", path, "--queries", "5", "--k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "kind=sharded" in out
+
+    def test_load_describe_only(self, tmp_path, capsys):
+        path = str(tmp_path / "cli_index.npz")
+        main(["save", "--dataset", "audio", "--scale", "0.05", "--t", "16",
+              "--out", path])
+        capsys.readouterr()
+        assert main(["load", "--index", path, "--queries", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "DBLSH" in out and "smoke check" not in out
+
+    def test_bench_with_shards(self, capsys):
+        assert main(["bench", "--dataset", "audio", "--scale", "0.05",
+                     "--queries", "5", "--k", "5", "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Sharded-DB-LSH" in out
+
+    def test_save_appends_npz_suffix(self, tmp_path, capsys):
+        stem = str(tmp_path / "noext")
+        assert main(["save", "--dataset", "audio", "--scale", "0.05",
+                     "--t", "16", "--out", stem]) == 0
+        out = capsys.readouterr().out
+        assert f"saved to {stem}.npz" in out
+        assert main(["load", "--index", stem + ".npz", "--queries", "0"]) == 0
