@@ -1,0 +1,329 @@
+"""Micro-benchmark: index construction — pointer STR vs array-native build.
+
+Not a paper figure — this tracks the *build pipeline* across PRs.  Three
+questions:
+
+* **Single-index build** — what does constructing the per-space index
+  structures cost on the historical pointer path (``builder="pointer"``:
+  recursive STR into ``_Node`` objects, then freeze) versus the
+  array-native path (``builder="array"``: STR ordering and frozen
+  traversal arrays straight from the projected points)?  Both must
+  answer queries identically — the traversal arrays are byte-identical
+  by construction, which the tests pin and this benchmark re-checks at
+  the result level.
+* **Sharded build scaling** — does the process-pool shard build
+  (``build_mode="process"``, workers return snapshot arrays) beat the
+  GIL-bound threaded build wall-clock at shards ∈ {1, 2, 4}?
+* **Persistence** — with uncompressed snapshots, does ``save`` now cost
+  what ``load`` costs (it used to deflate 80 MB archives for seconds)?
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_build.py          # n=25k,100k
+    PYTHONPATH=src python benchmarks/bench_build.py --smoke  # seconds
+
+Writes ``BENCH_build.json`` (smoke runs write ``BENCH_build.smoke.json``
+so they never clobber a recorded full run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from helpers import budget_t  # noqa: E402
+
+from repro import DBLSH, ShardedDBLSH  # noqa: E402
+from repro.data.generators import gaussian_mixture  # noqa: E402
+from repro.io import load_index, save_index  # noqa: E402
+
+DEFAULT_OUT = os.path.join(os.path.dirname(os.path.dirname(__file__)),
+                           "BENCH_build.json")
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _median(values):
+    return float(np.median(values))
+
+
+def _legacy_estimate_nn_distance(data, sample=64, seed=12345):
+    """The pre-PR3 radius estimator: one full-dataset subtraction per
+    sample point.  Reconstructed here (verbatim semantics) so the
+    ``previous_pipeline`` row measures the fit pipeline exactly as the
+    repo ran it before the array-native build landed."""
+    data = np.asarray(data, dtype=np.float64)
+    n = data.shape[0]
+    if n < 2:
+        return 0.0
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(n, size=min(sample, n), replace=False)
+    nn = np.empty(idx.shape[0])
+    for row, i in enumerate(idx):
+        dists = np.linalg.norm(data - data[i], axis=1)
+        dists[i] = np.inf
+        nn[row] = dists.min()
+    finite = nn[np.isfinite(nn)]
+    return 0.0 if finite.size == 0 else float(np.median(finite))
+
+
+def bench_single(data, queries, k, t, reps):
+    """Pointer vs array-native construction of one DBLSH at this n.
+
+    The ``build_seconds`` rows time exactly the subsystem the
+    array-native path replaces — constructing all L per-space index
+    structures, query-ready, from the shared projections (STR bulk load
+    into ``_Node`` objects + freeze, versus ``build_flat_str``).  The
+    ``fit_to_ready_seconds`` rows put that in end-to-end context
+    (validation, projection GEMM and the radius estimate are common to
+    both builders), and the ``previous_pipeline`` row replays the full
+    pre-PR3 fit (pointer STR build *and* the loop-based radius
+    estimator) — the speedup a user refitting an index actually sees.
+    """
+    from repro.hashing.compound import CompoundHasher
+    from repro.index.rstar import RStarTree
+    from repro.index.str_build import build_flat_str
+
+    common = dict(c=1.5, l_spaces=5, k_per_space=10, t=t, seed=0,
+                  auto_initial_radius=True)
+    hasher = CompoundHasher(data.shape[1], 5, 10, 0)
+    projections = hasher.project_all(data)
+
+    def build_pointer():
+        return [RStarTree.bulk_load(proj, max_entries=32).freeze()
+                for proj in projections]
+
+    def build_array():
+        return [build_flat_str(proj, max_entries=32) for proj in projections]
+
+    phases = {"pointer": build_pointer, "array": build_array}
+    timings = {name: [] for name in phases}
+    for phase in phases.values():
+        phase()  # warm
+    for _ in range(reps):
+        # Interleave the two builders so machine-load drift hits both.
+        for name, phase in phases.items():
+            started = time.perf_counter()
+            phase()
+            timings[name].append(time.perf_counter() - started)
+    rows = {}
+    for builder in phases:
+        index = DBLSH(builder=builder, **common)
+        started = time.perf_counter()
+        index.fit(data)
+        fit_elapsed = time.perf_counter() - started
+        started = time.perf_counter()
+        index._ensure_frozen()  # no-op on the array path
+        freeze_elapsed = time.perf_counter() - started
+        rows[builder] = {
+            "build_seconds": round(_median(timings[builder]), 3),
+            "fit_seconds": round(fit_elapsed, 3),
+            # fit's own accounting of the same phase — should track
+            # build_seconds (plus the pointer path's deferred freeze).
+            "fit_table_build_seconds": round(index.table_build_seconds, 3),
+            "fit_to_ready_seconds": round(fit_elapsed + freeze_elapsed, 3),
+            "results": index.query_batch(queries, k=k),
+        }
+    identical = all(
+        a.ids == b.ids
+        for a, b in zip(rows["pointer"].pop("results"),
+                        rows["array"].pop("results"))
+    )
+
+    # The pre-PR3 pipeline, replayed for real: pointer builder with the
+    # loop-based radius estimator swapped back in.
+    import repro.core.dblsh as dblsh_module
+
+    vectorized_estimator = dblsh_module.estimate_nn_distance
+    dblsh_module.estimate_nn_distance = _legacy_estimate_nn_distance
+    try:
+        index = DBLSH(builder="pointer", **common)
+        started = time.perf_counter()
+        index.fit(data)
+        index._ensure_frozen()
+        previous_seconds = time.perf_counter() - started
+    finally:
+        dblsh_module.estimate_nn_distance = vectorized_estimator
+
+    row = {
+        "pointer": rows["pointer"],
+        "array": rows["array"],
+        "previous_pipeline": {"fit_to_ready_seconds": round(previous_seconds, 3)},
+        "build_speedup": round(
+            rows["pointer"]["build_seconds"]
+            / max(rows["array"]["build_seconds"], 1e-9), 2
+        ),
+        "fit_to_ready_speedup": round(
+            rows["pointer"]["fit_to_ready_seconds"]
+            / max(rows["array"]["fit_to_ready_seconds"], 1e-9), 2
+        ),
+        "speedup_vs_previous_pipeline": round(
+            previous_seconds
+            / max(rows["array"]["fit_to_ready_seconds"], 1e-9), 2
+        ),
+        "answers_identical": bool(identical),
+    }
+    print(f"  n={data.shape[0]}: pointer build {row['pointer']['build_seconds']}s"
+          f" -> array {row['array']['build_seconds']}s"
+          f" ({row['build_speedup']}x phase, "
+          f"{row['speedup_vs_previous_pipeline']}x vs pre-PR3 fit,"
+          f" identical={identical})")
+    return row
+
+
+def bench_sharded(data, queries, k, t, reps):
+    """Threaded vs process-pool shard builds at each shard count."""
+    common = dict(c=1.5, l_spaces=5, k_per_space=10, t=t, seed=0,
+                  auto_initial_radius=True)
+    rows = {}
+    for shards in SHARD_COUNTS:
+        row = {}
+        reference_ids = None
+        for mode in ("thread", "process"):
+            times = []
+            for _ in range(reps):
+                index = ShardedDBLSH(shards=shards, build_mode=mode, **common)
+                index.fit(data)
+                times.append(index.build_seconds)
+            ids = [r.ids for r in index.query_batch(queries, k=k)]
+            if reference_ids is None:
+                reference_ids = ids
+            row[f"{mode}_build_seconds"] = round(_median(times), 3)
+            row[f"{mode}_matches"] = bool(ids == reference_ids)
+        row["process_speedup_vs_thread"] = round(
+            row["thread_build_seconds"]
+            / max(row["process_build_seconds"], 1e-9), 2
+        )
+        rows[str(shards)] = row
+        print(f"  shards={shards}: thread {row['thread_build_seconds']}s"
+              f" vs process {row['process_build_seconds']}s"
+              f" ({row['process_speedup_vs_thread']}x,"
+              f" identical={row['process_matches']})")
+    return rows
+
+
+def bench_snapshot(data, queries, k, t, tmp_path):
+    """Uncompressed save/load roundtrip (and the compressed cost, for scale)."""
+    index = DBLSH(c=1.5, l_spaces=5, k_per_space=10, t=t, seed=0,
+                  auto_initial_radius=True).fit(data)
+    before = index.query_batch(queries, k=k)
+
+    started = time.perf_counter()
+    save_index(index, tmp_path)
+    save_seconds = time.perf_counter() - started
+    size_mb = os.path.getsize(tmp_path) / 1e6
+
+    started = time.perf_counter()
+    restored = load_index(tmp_path)
+    load_seconds = time.perf_counter() - started
+    after = restored.query_batch(queries, k=k)
+
+    started = time.perf_counter()
+    save_index(index, tmp_path, compress=True)
+    save_compressed_seconds = time.perf_counter() - started
+    compressed_mb = os.path.getsize(tmp_path) / 1e6
+
+    row = {
+        "save_seconds": round(save_seconds, 3),
+        "load_seconds": round(load_seconds, 3),
+        "snapshot_mb": round(size_mb, 2),
+        "save_seconds_compressed": round(save_compressed_seconds, 3),
+        "snapshot_mb_compressed": round(compressed_mb, 2),
+        "results_identical_after_reload": bool(
+            all(a.ids == b.ids for a, b in zip(before, after))
+        ),
+    }
+    print(f"  snapshot: save {row['save_seconds']}s ({row['snapshot_mb']} MB)"
+          f" / load {row['load_seconds']}s"
+          f" ; compressed save {row['save_seconds_compressed']}s"
+          f" ({row['snapshot_mb_compressed']} MB)")
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload (seconds, for CI / tier-1 time)")
+    parser.add_argument("--n", type=int, nargs="*", default=None,
+                        help="dataset sizes (default: 25000 100000)")
+    parser.add_argument("--dim", type=int, default=50)
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--k", type=int, default=50)
+    parser.add_argument("--reps", type=int, default=None,
+                        help="timing repetitions (median taken)")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: BENCH_build.json)")
+    args = parser.parse_args(argv)
+    if args.out is None:
+        args.out = (DEFAULT_OUT.replace(".json", ".smoke.json")
+                    if args.smoke else DEFAULT_OUT)
+
+    n_list = args.n if args.n else ([5_000] if args.smoke else [25_000, 100_000])
+    m = args.queries if args.queries is not None else (10 if args.smoke else 100)
+    reps = args.reps if args.reps is not None else (1 if args.smoke else 5)
+    for n in n_list:
+        if not 1 <= m <= n:
+            parser.error(f"--queries must be between 1 and n={n}, got {m}")
+
+    report = {
+        "benchmark": "build",
+        "dim": args.dim,
+        "n_queries": m,
+        "k": args.k,
+        "reps": reps,
+        "smoke": bool(args.smoke),
+        "cpu_count": os.cpu_count(),
+        "single": {},
+    }
+    max_n = max(n_list)
+    for n in n_list:
+        t = budget_t(n, l_spaces=5)
+        print(f"single-index build: n={n} dim={args.dim} t={t}")
+        data = gaussian_mixture(n, args.dim, n_clusters=20, seed=1)
+        rng = np.random.default_rng(2)
+        queries = (data[rng.choice(n, m, replace=False)]
+                   + 0.05 * rng.standard_normal((m, args.dim)))
+        report["single"][str(n)] = bench_single(data, queries, args.k, t, reps)
+        if n == max_n:
+            print(f"sharded build scaling: n={n}")
+            report["sharded"] = bench_sharded(data, queries, args.k, t, reps)
+            out_stem = args.out[:-5] if args.out.endswith(".json") else args.out
+            snapshot_path = out_stem + ".snapshot.npz"
+            print(f"snapshot roundtrip: n={n}")
+            report["snapshot"] = bench_snapshot(data, queries, args.k, t,
+                                                snapshot_path)
+            if os.path.exists(snapshot_path):
+                os.remove(snapshot_path)
+
+    report["build_speedup_at_max_n"] = report["single"][str(max_n)]["build_speedup"]
+    report["speedup_vs_previous_pipeline_at_max_n"] = (
+        report["single"][str(max_n)]["speedup_vs_previous_pipeline"]
+    )
+    report["process_beats_threads_at_4"] = bool(
+        "4" in report["sharded"]
+        and report["sharded"]["4"]["process_speedup_vs_thread"] > 1.0
+    )
+    if (os.cpu_count() or 1) < 2:
+        report["note"] = (
+            "single-CPU host: neither build mode can run shards in "
+            "parallel, so the process pool's fork/IPC overhead is pure "
+            "loss here; ShardedDBLSH's auto build_mode picks threads on "
+            "such hosts and processes when real cores exist"
+        )
+
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

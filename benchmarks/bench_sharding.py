@@ -4,10 +4,13 @@ Not a paper figure — this tracks the index-lifecycle subsystem across
 PRs.  Two questions:
 
 * **Sharding** — what do S-way partitioned builds and scatter-gather
-  queries cost/buy at shards ∈ {1, 2, 4}?  Parallel shard builds overlap
-  numpy sorts/GEMMs; queries fan out one thread per shard and merge
-  top-k by distance.  The merged neighbor sets are checked against the
-  unsharded engine on every configuration.
+  queries cost/buy at shards ∈ {1, 2, 4}?  Shard builds run in a process
+  pool by default; queries sweep the shards serially (measured faster
+  than a thread per shard — ``qps_fanout`` records the threaded number)
+  and merge top-k by distance.  The merged neighbor sets are checked
+  against the unsharded engine on every configuration, and each shard
+  count is additionally measured under ``budget="split"`` (per-shard
+  ``t/S``), the cheaper-but-slightly-lossy aggregate-work mode.
 * **Persistence** — how fast does a snapshot save/load roundtrip run
   versus rebuilding from raw data, and does the loaded index answer
   identically?  The ``rstar`` backend snapshot carries the frozen
@@ -58,21 +61,25 @@ def _median_seconds(fn, reps: int) -> float:
     return float(np.median(times))
 
 
-def bench_shards(data, queries, k, t, reps, baseline_results, gt_ids):
-    """Build/measure one ShardedDBLSH per shard count."""
+def bench_shards(data, queries, k, t, reps, baseline_results, gt_ids,
+                 budget="full"):
+    """Build/measure one ShardedDBLSH per shard count for one budget mode."""
     m = queries.shape[0]
     rows = {}
     for shards in SHARD_COUNTS:
         index = ShardedDBLSH(
             shards=shards, c=1.5, l_spaces=5, k_per_space=10, t=t, seed=0,
-            auto_initial_radius=True,
+            auto_initial_radius=True, budget=budget,
         )
         index.fit(data)
         results = index.query_batch(queries, k=k)
-        # Each shard runs Algorithm 1 with the full 2tL + k budget, so a
-        # sharded query can verify candidates the unsharded budget
-        # truncated; a set mismatch paired with recall >= the unsharded
-        # recall means sharding found strictly better neighbors.
+        # Under the full budget each shard runs Algorithm 1 with the
+        # whole 2tL + k allowance, so a sharded query can verify
+        # candidates the unsharded budget truncated; a set mismatch
+        # paired with recall >= the unsharded recall means sharding found
+        # strictly better neighbors.  The split budget deliberately
+        # trades a little recall for aggregate work, so its sets may
+        # differ the other way.
         sets_identical = all(
             set(a.ids) == set(b.ids) for a, b in zip(results, baseline_results)
         )
@@ -80,20 +87,21 @@ def bench_shards(data, queries, k, t, reps, baseline_results, gt_ids):
             recall(r.ids, gt_ids[i]) for i, r in enumerate(results)
         ]))
         batch_s = _median_seconds(lambda: index.query_batch(queries, k=k), reps)
-        serial_s = _median_seconds(
-            lambda: index.query_batch(queries, k=k, workers=1), reps
+        fanout_s = _median_seconds(
+            lambda: index.query_batch(queries, k=k, workers=shards), reps
         )
         rows[str(shards)] = {
             "build_seconds": round(index.build_seconds, 3),
             "qps": round(m / batch_s, 1),
-            "qps_serial_shards": round(m / serial_s, 1),
+            "qps_fanout": round(m / fanout_s, 1),
             "query_ms": round(batch_s / m * 1e3, 4),
             "recall": round(rec, 4),
             "topk_sets_match_unsharded": bool(sets_identical),
             "mean_candidates": round(float(np.mean(
                 [r.stats.candidates_verified for r in results])), 1),
         }
-        print(f"  shards={shards}: build {rows[str(shards)]['build_seconds']}s, "
+        print(f"  shards={shards} ({budget}): "
+              f"build {rows[str(shards)]['build_seconds']}s, "
               f"{rows[str(shards)]['qps']} qps, recall {rows[str(shards)]['recall']}, "
               f"sets_match={sets_identical}")
     return rows
@@ -187,6 +195,9 @@ def main(argv=None) -> int:
         "unsharded_recall": round(unsharded_recall, 4),
         "shards": bench_shards(data, queries, args.k, t, reps,
                                baseline_results, gt_ids),
+        "shards_budget_split": bench_shards(data, queries, args.k, t, reps,
+                                            baseline_results, gt_ids,
+                                            budget="split"),
         "snapshot": bench_snapshot(data, queries, args.k, t, snapshot_path),
     }
     if os.path.exists(snapshot_path):

@@ -83,7 +83,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.shards > 1:
         methods.insert(1, ShardedDBLSH(
             shards=args.shards, c=args.c, l_spaces=5, k_per_space=10, t=args.t,
-            seed=args.seed, auto_initial_radius=True,
+            seed=args.seed, auto_initial_radius=True, budget=args.budget,
+            build_mode=None if args.build_mode == "auto" else args.build_mode,
         ))
     results = run_comparison(methods, data, queries, k=args.k, dataset_name=label)
     print(format_table([r.row() for r in results],
@@ -96,14 +97,16 @@ def _cmd_save(args: argparse.Namespace) -> int:
     common = dict(c=args.c, l_spaces=5, k_per_space=10, t=args.t, seed=args.seed,
                   auto_initial_radius=True)
     if args.shards > 1:
-        index = ShardedDBLSH(shards=args.shards, **common)
+        mode = None if args.build_mode == "auto" else args.build_mode
+        index = ShardedDBLSH(shards=args.shards, budget=args.budget,
+                             build_mode=mode, **common)
     else:
         index = DBLSH(**common)
     index.fit(data)
     # np.savez appends .npz when missing; report the path it actually wrote.
     out = args.out if args.out.endswith(".npz") else args.out + ".npz"
     started = time.perf_counter()
-    save_index(index, out)
+    save_index(index, out, compress=args.compress)
     save_seconds = time.perf_counter() - started
     size_mb = os.path.getsize(out) / 1e6
     print(index.describe())
@@ -188,9 +191,21 @@ def build_parser() -> argparse.ArgumentParser:
             cmd.add_argument("--shards", type=int, default=1,
                              help="partition the DB-LSH index across this "
                                   "many parallel shards (1 = unsharded)")
+            cmd.add_argument("--budget", choices=["full", "split"],
+                             default="full",
+                             help="sharded budget mode: every shard gets the "
+                                  "full 2tL+k budget, or t is split t/S per "
+                                  "shard (faster, slightly lower recall)")
+            cmd.add_argument("--build-mode", choices=["auto", "process", "thread"],
+                             default="auto", dest="build_mode",
+                             help="how sharded fits parallelise the per-shard "
+                                  "builds (auto: processes on multi-CPU hosts)")
         if name == "save":
             cmd.add_argument("--out", default="index.npz",
                              help="snapshot output path (.npz)")
+            cmd.add_argument("--compress", action="store_true",
+                             help="deflate the snapshot archive (smaller file, "
+                                  "much slower save)")
 
     load_cmd = sub.add_parser(
         "load", help="restore a snapshot (zero rebuild) and smoke-test it"

@@ -4,7 +4,11 @@ Indexing phase (§IV-B)
     Each data point is projected into ``L`` independent ``K``-dimensional
     spaces by ``L x K`` Gaussian LSH functions (Eq. 7) and the projected
     points of each space are stored in a multi-dimensional index — by
-    default a bulk-loaded R*-tree.
+    default the *frozen array form* of an STR-packed R*-tree, built
+    directly from the projected points without materializing pointer
+    nodes (``builder="array"``; see :mod:`repro.index.str_build`).  The
+    mutable pointer tree only comes into existence lazily, when ``add()``
+    or a legacy-engine query needs one.
 
 Query phase (§IV-C)
     An ``(r, c)``-NN query builds, per space, the query-centric hypercubic
@@ -62,6 +66,7 @@ from repro.hashing.compound import CompoundHasher
 from repro.index.grid import GridIndex
 from repro.index.kdtree import KDTree
 from repro.index.rstar import RStarTree
+from repro.index.str_build import build_flat_str
 from repro.utils.heaps import BoundedMaxHeap
 from repro.utils.rng import SeedLike
 from repro.utils.scale import estimate_nn_distance
@@ -75,6 +80,17 @@ from repro.utils.validation import (
 
 _BACKENDS = ("rstar", "rstar-insert", "kdtree", "grid")
 _ENGINES = ("vectorized", "legacy")
+_BUILDERS = ("array", "pointer")
+
+#: ``query_batch(workers=...)`` falls back to the serial loop when the
+#: per-query candidate budget ``2tL + k`` is below this.  Small-budget
+#: queries finish in roughly one window probe, so their wall time is
+#: per-query Python bookkeeping that holds the GIL — fanning such queries
+#: out adds contention and loses to the serial loop
+#: (``BENCH_query_engine.json``, ``fixed_t`` regime).  Large budgets
+#: spend their time in chunked numpy verification, which releases the
+#: GIL and does overlap.
+MIN_PARALLEL_BUDGET = 1024
 
 #: Sentinel returned by the chunk-merge fast path when the chunk contains
 #: a mid-stream radius stop and must be replayed candidate-by-candidate.
@@ -120,6 +136,17 @@ class DBLSH:
         docstring.  Both return the same neighbors; the vectorized engine
         is what the throughput numbers in ``BENCH_query_engine.json`` are
         measured on.
+    builder:
+        How ``fit`` constructs the per-space indexes on the ``rstar``
+        backend with the vectorized engine.  ``"array"`` (default) builds
+        the frozen :class:`~repro.index.flat.FlatRStarTree` arrays
+        directly from the projected points
+        (:func:`repro.index.str_build.build_flat_str`) — no pointer tree
+        exists until ``add()`` or a legacy-engine query rematerializes
+        one lazily.  ``"pointer"`` keeps the historical path (STR bulk
+        load into ``_Node`` objects, frozen lazily on first query); it is
+        the baseline ``benchmarks/bench_build.py`` measures against.
+        Both builders produce byte-identical traversal arrays.
     seed:
         Seed for the projection tensor.
     """
@@ -137,6 +164,7 @@ class DBLSH:
         auto_initial_radius: bool = False,
         patience: Optional[int] = None,
         engine: str = "vectorized",
+        builder: str = "array",
         seed: SeedLike = 0,
     ) -> None:
         if c <= 1.0:
@@ -145,6 +173,8 @@ class DBLSH:
             raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
         if engine not in _ENGINES:
             raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+        if builder not in _BUILDERS:
+            raise ValueError(f"builder must be one of {_BUILDERS}, got {builder!r}")
         if patience is not None and patience < 1:
             raise ValueError(f"patience must be >= 1 or None, got {patience}")
         self.c = float(c)
@@ -154,6 +184,7 @@ class DBLSH:
         self.t = int(t)
         self.backend = backend
         self.engine = engine
+        self.builder = builder
         self.max_entries = int(max_entries)
         self.initial_radius = check_positive("initial_radius", initial_radius)
         self.auto_initial_radius = bool(auto_initial_radius)
@@ -177,6 +208,11 @@ class DBLSH:
         # breaking concurrent query() calls from user threads.
         self._scratch_locals = threading.local()
         self.build_seconds: float = 0.0
+        # Time spent constructing the per-space index structures inside
+        # fit() (excludes projection/validation; the build benchmark's
+        # subject).  The pointer builder's lazy freeze is *not* included;
+        # bench_build times _ensure_frozen() separately.
+        self.table_build_seconds: float = 0.0
 
     # ------------------------------------------------------------------
     # Indexing phase
@@ -190,7 +226,14 @@ class DBLSH:
         return self._buffer[: self._n]
 
     def fit(self, data: np.ndarray) -> "DBLSH":
-        """Build the (K, L)-index over ``data`` (n, d)."""
+        """Build the (K, L)-index over ``data`` (n, d).
+
+        With the default ``builder="array"`` (``rstar`` backend,
+        vectorized engine) the frozen traversal arrays are built directly
+        from the projected points and **no pointer tree is materialized**
+        — ``add()`` and legacy-engine queries rebuild one lazily through
+        the same machinery snapshot loading uses.
+        """
         started = time.perf_counter()
         data = check_dataset(data)
         n, dim = data.shape
@@ -210,8 +253,20 @@ class DBLSH:
             dim, self.params.l_spaces, self.params.k_per_space, self.seed
         )
         projections = self._hasher.project_all(data)  # (L, n, K)
-        self._tables = [self._build_table(projections[i]) for i in range(self.params.l_spaces)]
-        self._reset_flat_tables()
+        build_started = time.perf_counter()
+        if self.builder == "array" and self._uses_flat():
+            self._tables = [None] * self.params.l_spaces
+            self._flat_tables = [
+                build_flat_str(projections[i], max_entries=self.max_entries)
+                for i in range(self.params.l_spaces)
+            ]
+        else:
+            self._tables = [
+                self._build_table(projections[i])
+                for i in range(self.params.l_spaces)
+            ]
+            self._reset_flat_tables()
+        self.table_build_seconds = time.perf_counter() - build_started
         self._table_low = [proj.min(axis=0) for proj in projections]
         self._table_high = [proj.max(axis=0) for proj in projections]
         self._refresh_cover_bounds()
@@ -381,11 +436,19 @@ class DBLSH:
         calls candidate-for-candidate (the internal ``RTreeStats`` work
         counters become approximate under workers — they are shared and
         updated without locks).
+
+        ``workers`` is a hint, not a command: when the per-query budget
+        ``2tL + k`` is below :data:`MIN_PARALLEL_BUDGET` the batch runs
+        serially regardless, because tiny-budget queries are dominated by
+        GIL-holding per-query bookkeeping and fan-out only adds
+        contention (measured in ``BENCH_query_engine.json``: the
+        ``fixed_t`` regime loses ~15% under workers, the scaled regime
+        does not).
         """
         self._require_fitted()
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
-        assert self._hasher is not None
+        assert self._hasher is not None and self.params is not None
         queries = check_queries(queries, self.dim)
         m = queries.shape[0]
         if m == 0:
@@ -393,7 +456,12 @@ class DBLSH:
         # Freeze up front so worker threads never race the lazy refreeze.
         self._ensure_frozen()
         q_projs = self._hasher.project_queries(queries)  # (L, m, K)
-        if workers is not None and workers > 1 and m > 1:
+        if (
+            workers is not None
+            and workers > 1
+            and m > 1
+            and self.params.budget(k) >= MIN_PARALLEL_BUDGET
+        ):
             n_workers = min(int(workers), m)
             parts = np.array_split(np.arange(m), n_workers)
 
@@ -913,6 +981,7 @@ class DBLSH:
         table_high: np.ndarray,
         flats: Optional[list],
         build_seconds: float = 0.0,
+        builder: str = "array",
     ) -> "DBLSH":
         """Reassemble a fitted index from snapshot state (no tree build).
 
@@ -932,6 +1001,7 @@ class DBLSH:
             initial_radius=initial_radius,
             patience=patience,
             engine=engine,
+            builder=builder,
             seed=seed,
         )
         data = check_dataset(data)
@@ -966,5 +1036,5 @@ class DBLSH:
         return (
             f"DBLSH(n={self.num_points}, d={self.dim}, c={p.c}, w0={p.w0:.3g}, "
             f"K={p.k_per_space}, L={p.l_spaces}, t={p.t}, rho*={p.rho_star:.4f}, "
-            f"backend={self.backend}, engine={self.engine})"
+            f"backend={self.backend}, engine={self.engine}, builder={self.builder})"
         )

@@ -7,27 +7,43 @@ shard results merge by exact distance.  :class:`ShardedDBLSH` exploits
 that:
 
 * **fit** partitions the dataset into S contiguous slices and builds one
-  :class:`~repro.core.dblsh.DBLSH` per slice *in parallel* (STR bulk
-  loading releases the GIL inside numpy sorts and matmuls, so threads
-  overlap);
+  :class:`~repro.core.dblsh.DBLSH` per slice.  The default
+  ``build_mode="process"`` builds shards in a **process pool**: each
+  worker fits its slice (array-native build) and sends back the
+  snapshot-form arrays of :mod:`repro.io.snapshot`, which the parent
+  adopts without any rebuild — sidestepping the GIL entirely.  On a
+  forking platform the dataset reaches workers through fork-shared
+  memory, not the pickle pipe.  ``build_mode="thread"`` keeps the
+  in-process threaded build (numpy sorts/GEMMs overlap, Python
+  bookkeeping serializes);
 * every shard shares the **same projection tensor** and the parameters
   derived from the *global* cardinality — shard i's window at radius
   ``r`` contains exactly the points of the unsharded window that live in
   slice i, so the union of shard candidates equals the unsharded
   candidate set at every radius;
-* **query** fans out across shards (reusing each shard's vectorized
-  probe rounds and generation-stamped scratch) and merges the per-shard
-  top-k lists into a global top-k by distance;
-* **query_batch** projects the whole batch once (one GEMM, shared across
-  shards) and runs one worker thread per shard.
+* **query** / **query_batch** sweep the shards (reusing each shard's
+  vectorized probe rounds and generation-stamped scratch) and merge the
+  per-shard top-k lists into a global top-k with an allocation-light
+  k-way merge.  The sweep runs serially by default: per-shard probes are
+  dominated by GIL-holding chunk bookkeeping, and the measured batch
+  throughput of the serial sweep beats a thread-per-shard fan-out
+  (``BENCH_sharding.json``) — pass ``workers=`` to ``query_batch`` to
+  fan out anyway on machines with real cores to spare.
 
-Each shard runs Algorithm 1's termination independently with the full
-``2tL + k`` budget, so a sharded query may verify up to S times more
-candidates than an unsharded one — the standard scatter-gather trade:
-recall never degrades (the benchmark shows it improving), the per-shard
-probes overlap on threads, and the aggregate work grows with S.  With the budget sized so queries terminate by the radius
-condition, the merged top-k matches the unsharded engine's result
-exactly; the parity tests pin this.
+Budget modes
+    With the default ``budget="full"`` each shard runs Algorithm 1 with
+    the full ``2tL + k`` budget, so an S-way query may verify up to S
+    times more candidates than unsharded — recall never degrades (the
+    benchmark shows it improving), but aggregate work grows with S.
+    ``budget="split"`` gives each shard ``t/S``, keeping the *total*
+    budget at the unsharded level: queries get cheaper as S grows at a
+    small recall cost (each shard may stop before the globally-best
+    candidates surface).  ``bench_sharding.py`` reports both modes side
+    by side.
+
+With the full budget sized so queries terminate by the radius condition,
+the merged top-k matches the unsharded engine's result exactly; the
+parity tests pin this.
 
 Snapshots (:mod:`repro.io.snapshot`) store all shards in one archive, so
 a sharded deployment reloads with zero rebuild exactly like a single
@@ -36,9 +52,14 @@ index.
 
 from __future__ import annotations
 
+import heapq
+import os
+import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
-from typing import List, Optional
+import warnings
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -48,6 +69,37 @@ from repro.core.result import Neighbor, QueryResult, QueryStats
 from repro.utils.rng import SeedLike
 from repro.utils.scale import estimate_nn_distance
 from repro.utils.validation import check_dataset, check_queries, check_query
+
+_BUDGET_MODES = ("full", "split")
+_BUILD_MODES = ("process", "thread")
+
+#: Dataset handed to forked build workers through inherited memory (set
+#: around pool creation only).  Fork is copy-on-write, so workers read
+#: the parent's array without a pickle round-trip; on spawn platforms the
+#: slices are pickled into the task instead.  ``_BUILD_LOCK`` serializes
+#: concurrent ``fit`` calls through the global so one fit's workers can
+#: never fork while another fit's dataset is installed.
+_BUILD_DATA: Optional[np.ndarray] = None
+_BUILD_LOCK = threading.Lock()
+
+
+def _build_shard_payload(task: tuple) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """Process-pool worker: fit one shard, return its snapshot arrays.
+
+    The returned payload is exactly what :mod:`repro.io.snapshot` writes
+    for one index, minus the data slice (the parent already holds it);
+    the parent adopts the arrays with zero rebuild.
+    """
+    from repro.io.snapshot import _pack_dblsh
+
+    config, start, stop, data_slice = task
+    if data_slice is None:
+        assert _BUILD_DATA is not None  # fork-shared dataset
+        data_slice = _BUILD_DATA[start:stop]
+    shard = DBLSH(**config).fit(data_slice)
+    header, arrays = _pack_dblsh(shard, "")
+    del arrays["data"]
+    return header, arrays
 
 
 class ShardedDBLSH:
@@ -61,9 +113,25 @@ class ShardedDBLSH:
     ----------
     shards:
         Number of partitions ``S >= 1``.
+    budget:
+        ``"full"`` (default) runs every shard with the unsharded
+        ``2tL + k`` candidate budget; ``"split"`` gives each shard
+        ``t/S`` so the aggregate budget stays at the unsharded level —
+        faster S-way queries, slightly lower recall (see module
+        docstring).
+    build_mode:
+        ``"process"`` builds shards in a process pool with snapshot-array
+        handoff; ``"thread"`` builds them on threads in process.  The
+        default ``None`` picks automatically: processes when the host has
+        more than one CPU (threads are GIL-bound on the Python share of
+        the build), threads on a single-CPU host (a process pool there
+        pays fork/IPC overhead with no parallelism to buy).  Process
+        building requires the shard configuration to produce frozen
+        traversals (``rstar`` backend, vectorized engine) and falls back
+        to threads otherwise, or when no process pool can be started.
     build_workers:
-        Threads used to build shards in parallel at ``fit`` time
-        (default: one per shard).
+        Workers used to build shards in parallel at ``fit`` time
+        (default: one per shard; ``1`` forces a sequential build).
     """
 
     name = "Sharded-DB-LSH"
@@ -82,11 +150,21 @@ class ShardedDBLSH:
         auto_initial_radius: bool = False,
         patience: Optional[int] = None,
         engine: str = "vectorized",
+        builder: str = "array",
         seed: SeedLike = 0,
+        budget: str = "full",
+        build_mode: Optional[str] = None,
         build_workers: Optional[int] = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        if budget not in _BUDGET_MODES:
+            raise ValueError(f"budget must be one of {_BUDGET_MODES}, got {budget!r}")
+        if build_mode is not None and build_mode not in _BUILD_MODES:
+            raise ValueError(
+                f"build_mode must be one of {_BUILD_MODES} or None (auto), "
+                f"got {build_mode!r}"
+            )
         if build_workers is not None and build_workers < 1:
             raise ValueError(f"build_workers must be >= 1 or None, got {build_workers}")
         # Constructing a throwaway DBLSH validates the shared knobs with
@@ -103,6 +181,7 @@ class ShardedDBLSH:
             auto_initial_radius=auto_initial_radius,
             patience=patience,
             engine=engine,
+            builder=builder,
             seed=seed,
         )
         self.shards = int(shards)
@@ -113,25 +192,54 @@ class ShardedDBLSH:
         self.t = int(t)
         self.backend = backend
         self.engine = engine
+        self.builder = builder
         self.max_entries = int(max_entries)
         self.initial_radius = float(initial_radius)
         self.auto_initial_radius = bool(auto_initial_radius)
         self.patience = patience
         self.seed = seed
+        self.budget = budget
+        self.build_mode = build_mode
         self.build_workers = build_workers
 
         self.params: Optional[DBLSHParams] = None
         self.dim: int = 0
         self._shards: List[DBLSH] = []
         self._offsets: List[int] = []
-        # Long-lived fan-out pool (one worker per shard), created lazily
-        # so unfitted/sequential instances never spawn threads.
+        # Long-lived fan-out pool for opt-in threaded query batches,
+        # created lazily so the default serial sweeps never spawn threads.
         self._pool: Optional[ThreadPoolExecutor] = None
         self.build_seconds: float = 0.0
 
     # ------------------------------------------------------------------
     # Indexing phase
     # ------------------------------------------------------------------
+
+    @property
+    def shard_t(self) -> int:
+        """The budget knob each shard runs with (``t`` or ``ceil(t/S)``)."""
+        if self.budget == "split":
+            return max(1, -(-self.t // self.shards))
+        return self.t
+
+    def _shard_config(self) -> dict:
+        """Constructor kwargs for one shard (params already resolved)."""
+        assert self.params is not None
+        return dict(
+            c=self.c,
+            w0=self.params.w0,
+            k_per_space=self.params.k_per_space,
+            l_spaces=self.params.l_spaces,
+            t=self.shard_t,
+            backend=self.backend,
+            max_entries=self.max_entries,
+            initial_radius=self.initial_radius,
+            auto_initial_radius=False,
+            patience=self.patience,
+            engine=self.engine,
+            builder=self.builder,
+            seed=self.seed,  # same seed -> identical projection tensor
+        )
 
     def fit(self, data: np.ndarray) -> "ShardedDBLSH":
         """Partition ``data`` into S slices and build every shard in parallel."""
@@ -160,39 +268,92 @@ class ShardedDBLSH:
                 )
         sizes = [part.shape[0] for part in np.array_split(np.arange(n), self.shards)]
         self._offsets = [int(v) for v in np.concatenate(([0], np.cumsum(sizes)[:-1]))]
-        self._shards = [
-            DBLSH(
-                c=self.c,
-                w0=self.params.w0,
-                k_per_space=self.params.k_per_space,
-                l_spaces=self.params.l_spaces,
-                t=self.t,
-                backend=self.backend,
-                max_entries=self.max_entries,
-                initial_radius=self.initial_radius,
-                auto_initial_radius=False,
-                patience=self.patience,
-                engine=self.engine,
-                seed=self.seed,  # same seed -> identical projection tensor
-            )
-            for _ in range(self.shards)
-        ]
+        workers = self.build_workers if self.build_workers is not None else self.shards
+        workers = min(workers, self.shards)
+        mode = self.build_mode
+        if mode is None:  # auto: processes only buy anything with >1 CPU
+            mode = "process" if (os.cpu_count() or 1) > 1 else "thread"
+
+        built: Optional[List[DBLSH]] = None
+        if mode == "process" and workers > 1 and self.shards > 1:
+            built = self._fit_process(data, sizes, workers)
+        if built is None:
+            built = self._fit_threads(data, sizes, workers)
+        self._shards = built
+        self.build_seconds = time.perf_counter() - started
+        return self
+
+    def _fit_threads(self, data: np.ndarray, sizes: List[int], workers: int) -> List[DBLSH]:
+        """In-process build: one shard per thread (or sequential)."""
+        config = self._shard_config()
+        shards = [DBLSH(**config) for _ in range(self.shards)]
 
         def build(i: int) -> None:
             start = self._offsets[i]
-            stop = start + sizes[i]
-            self._shards[i].fit(data[start:stop])
+            shards[i].fit(data[start : start + sizes[i]])
 
-        workers = self.build_workers if self.build_workers is not None else self.shards
         if workers > 1 and self.shards > 1:
-            with ThreadPoolExecutor(max_workers=min(workers, self.shards)) as pool:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
                 # list() re-raises any build exception in the caller.
                 list(pool.map(build, range(self.shards)))
         else:
             for i in range(self.shards):
                 build(i)
-        self.build_seconds = time.perf_counter() - started
-        return self
+        return shards
+
+    def _fit_process(
+        self, data: np.ndarray, sizes: List[int], workers: int
+    ) -> Optional[List[DBLSH]]:
+        """Process-pool build; returns ``None`` to fall back to threads.
+
+        Workers return snapshot-form arrays (header + frozen traversals +
+        projection tensor), which the parent adopts through the snapshot
+        loader — the pointer-free mirror of how a saved index restores.
+        Only shard configurations that freeze their traversals profit
+        (``rstar`` backend, vectorized engine); anything else would
+        rebuild its tables in the parent anyway, so it stays on threads.
+        """
+        import multiprocessing as mp
+
+        config = self._shard_config()
+        if not (config["backend"] == "rstar" and config["engine"] == "vectorized"):
+            return None
+        from repro.io.snapshot import _unpack_dblsh
+
+        forking = mp.get_start_method() == "fork"
+        tasks = []
+        for i in range(self.shards):
+            start = self._offsets[i]
+            stop = start + sizes[i]
+            tasks.append(
+                (config, start, stop, None if forking else data[start:stop])
+            )
+        global _BUILD_DATA
+        try:
+            with _BUILD_LOCK:
+                _BUILD_DATA = data if forking else None
+                try:
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        payloads = list(pool.map(_build_shard_payload, tasks))
+                finally:
+                    _BUILD_DATA = None
+        except (OSError, BrokenProcessPool, PermissionError) as exc:
+            warnings.warn(
+                f"process-pool shard build unavailable ({exc!r}); "
+                "falling back to the threaded build",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        shards = []
+        for i, (header, arrays) in enumerate(payloads):
+            arrays = dict(arrays)
+            start = self._offsets[i]
+            arrays["data"] = data[start : start + sizes[i]]
+            shard = _unpack_dblsh(header, arrays, "")
+            shard.seed = self.seed  # header seeds round-trip ints only
+            shards.append(shard)
+        return shards
 
     def add(self, points: np.ndarray) -> None:
         """Incrementally index new points (appended to the last shard).
@@ -209,7 +370,12 @@ class ShardedDBLSH:
     # ------------------------------------------------------------------
 
     def query(self, query: np.ndarray, k: int = 1) -> QueryResult:
-        """(c, k)-ANN: fan out to every shard, merge top-k by distance."""
+        """(c, k)-ANN: sweep every shard, merge top-k by distance.
+
+        A single query is the smallest possible batch, so the shards are
+        swept serially — a thread per shard costs more in pool dispatch
+        and GIL contention than the sub-millisecond probes it overlaps.
+        """
         self._require_fitted()
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -217,21 +383,14 @@ class ShardedDBLSH:
         started = time.perf_counter()
         # One projection serves all shards (identical tensors by seed).
         q_proj = self._shards[0]._hasher.project_query(query)  # type: ignore[union-attr]
-
-        def run(shard: DBLSH) -> QueryResult:
-            return shard._query_one(query, q_proj, k, shard._get_scratch())
-
-        if self.shards > 1:
-            for shard in self._shards:
-                shard._ensure_frozen()
-            results = list(self._executor().map(run, self._shards))
-        else:
-            results = [run(self._shards[0])]
+        results = [
+            shard._query_one(query, q_proj, k, shard._get_scratch())
+            for shard in self._shards
+        ]
         return self._merge(results, k, time.perf_counter() - started)
 
     def _executor(self) -> ThreadPoolExecutor:
-        """The reusable shard fan-out pool (per-query spawns would cost
-        more than the sub-millisecond probes they parallelise)."""
+        """The reusable shard fan-out pool for opt-in threaded batches."""
         pool = self._pool
         if pool is None:
             pool = self._pool = ThreadPoolExecutor(
@@ -242,11 +401,17 @@ class ShardedDBLSH:
     def query_batch(
         self, queries: np.ndarray, k: int = 1, workers: Optional[int] = None
     ) -> List[QueryResult]:
-        """Batched (c, k)-ANN: one projection GEMM, one worker per shard.
+        """Batched (c, k)-ANN: one projection GEMM for the whole batch.
 
-        ``workers`` caps the shard fan-out threads (default: one thread
-        per shard; pass ``workers=1`` to run shards sequentially).
-        Results are merged per query and returned in input order.
+        ``workers=None`` (default) sweeps the shards serially — the
+        measured-faster configuration, since per-shard probe rounds hold
+        the GIL for their chunk bookkeeping and threads mostly contend
+        (``BENCH_sharding.json``).  Pass ``workers > 1`` to fan shards
+        out over up to ``min(workers, shards)`` threads anyway (worth
+        trying on otherwise-idle multi-core machines); single-shard and
+        single-query batches always run serially.  Results are merged
+        per query, returned in input order, and identical under every
+        setting.
         """
         self._require_fitted()
         if k < 1:
@@ -267,13 +432,14 @@ class ShardedDBLSH:
                 for j in range(m)
             ]
 
-        n_workers = self.shards if workers is None else min(int(workers), self.shards)
-        if n_workers >= self.shards > 1:
-            per_shard = list(self._executor().map(run, self._shards))
-        elif n_workers > 1:
-            # User-capped fan-out below one-thread-per-shard: ad-hoc pool.
-            with ThreadPoolExecutor(max_workers=n_workers) as pool:
-                per_shard = list(pool.map(run, self._shards))
+        n_workers = 1 if workers is None else min(int(workers), self.shards)
+        if n_workers > 1 and self.shards > 1 and m > 1:
+            if n_workers >= self.shards:
+                per_shard = list(self._executor().map(run, self._shards))
+            else:
+                # User-capped fan-out below one thread per shard.
+                with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                    per_shard = list(pool.map(run, self._shards))
         else:
             per_shard = [run(shard) for shard in self._shards]
         elapsed = time.perf_counter() - started
@@ -285,15 +451,33 @@ class ShardedDBLSH:
     def _merge(
         self, results: List[QueryResult], k: int, elapsed: float
     ) -> QueryResult:
-        """Global top-k from per-shard results, ids mapped back to global."""
-        merged = sorted(
-            (
-                Neighbor(offset + neighbor.id, neighbor.distance)
-                for offset, result in zip(self._offsets, results)
-                for neighbor in result.neighbors
-            ),
-            key=lambda neighbor: (neighbor.distance, neighbor.id),
-        )[:k]
+        """Global top-k from per-shard results, ids mapped back to global.
+
+        Each shard's neighbor list is already ascending by
+        ``(distance, id)`` (the heap's ``items()`` order), so a k-way
+        merge over list heads yields the global ``(distance, global id)``
+        order while constructing only the ``k`` winners — no S*k
+        intermediate neighbor objects, no full sort per query.
+        """
+        offsets = self._offsets
+        heads = []
+        for si, result in enumerate(results):
+            neighbors = result.neighbors
+            if neighbors:
+                first = neighbors[0]
+                heads.append((first.distance, offsets[si] + first.id, si, 0))
+        heapq.heapify(heads)
+        merged: List[Neighbor] = []
+        while heads and len(merged) < k:
+            distance, global_id, si, pos = heapq.heappop(heads)
+            merged.append(Neighbor(global_id, distance))
+            neighbors = results[si].neighbors
+            pos += 1
+            if pos < len(neighbors):
+                nxt = neighbors[pos]
+                heapq.heappush(
+                    heads, (nxt.distance, offsets[si] + nxt.id, si, pos)
+                )
         stats = QueryStats()
         for result in results:
             stats.merge(result.stats)
@@ -334,9 +518,19 @@ class ShardedDBLSH:
 
     @classmethod
     def _restore(
-        cls, *, shards: List[DBLSH], build_seconds: float = 0.0
+        cls,
+        *,
+        shards: List[DBLSH],
+        build_seconds: float = 0.0,
+        t: Optional[int] = None,
+        budget: str = "full",
     ) -> "ShardedDBLSH":
-        """Reassemble a sharded index from restored shard sub-indexes."""
+        """Reassemble a sharded index from restored shard sub-indexes.
+
+        ``t`` is the *parent* budget knob (distinct from the shards' own
+        ``t`` under ``budget="split"``); snapshots written before those
+        header fields existed fall back to the first shard's values.
+        """
         if not shards:
             raise ValueError("a sharded snapshot must contain at least one shard")
         first = shards[0]
@@ -347,13 +541,15 @@ class ShardedDBLSH:
             w0=first.params.w0,
             k_per_space=first.params.k_per_space,
             l_spaces=first.params.l_spaces,
-            t=first.t,
+            t=first.t if t is None else int(t),
             backend=first.backend,
             max_entries=first.max_entries,
             initial_radius=first.initial_radius,
             patience=first.patience,
             engine=first.engine,
+            builder=first.builder,
             seed=first.seed,
+            budget=budget,
         )
         index.dim = first.dim
         index._shards = list(shards)
@@ -363,7 +559,7 @@ class ShardedDBLSH:
             sum(sizes),
             c=first.c,
             w0=first.params.w0,
-            t=first.t,
+            t=index.t,
             k_per_space=first.params.k_per_space,
             l_spaces=first.params.l_spaces,
         )
@@ -418,5 +614,5 @@ class ShardedDBLSH:
         return (
             f"ShardedDBLSH(shards={self.shards}, n={self.num_points}, d={self.dim}, "
             f"c={p.c}, w0={p.w0:.3g}, K={p.k_per_space}, L={p.l_spaces}, t={p.t}, "
-            f"backend={self.backend}, engine={self.engine})"
+            f"budget={self.budget}, backend={self.backend}, engine={self.engine})"
         )

@@ -15,6 +15,7 @@ from repro.index.kdtree import KDTree
 from repro.index.mbr import MBR
 from repro.index.mtree import MTree
 from repro.index.rstar import RStarTree
+from repro.index.str_build import build_flat_str, str_order
 from repro.index.zorder import llcp, zorder_encode, zorder_encode_many
 
 __all__ = [
@@ -25,7 +26,9 @@ __all__ = [
     "MBR",
     "MTree",
     "RStarTree",
+    "build_flat_str",
     "llcp",
+    "str_order",
     "zorder_encode",
     "zorder_encode_many",
 ]

@@ -177,6 +177,44 @@ class FlatRStarTree:
         return arrays
 
     @classmethod
+    def from_build(
+        cls,
+        *,
+        dim: int,
+        count: int,
+        height: int,
+        levels: List[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+        leaf_ptr: np.ndarray,
+        leaf_ids: np.ndarray,
+        leaf_cat: np.ndarray,
+        coords_cat: np.ndarray,
+        chunk_points: int = DEFAULT_CHUNK_POINTS,
+    ) -> "FlatRStarTree":
+        """Adopt arrays produced by an array-native builder (no tree walk).
+
+        ``levels`` is the root-first ``(cat, child_start, child_end)``
+        list, ``leaf_cat`` the stacked ``[low, -high]`` leaf MBRs and
+        ``coords_cat`` the concatenated per-leaf coordinates already in
+        ``[x, -x]`` mirrored form.  Used by
+        :func:`repro.index.str_build.build_flat_str`, which constructs
+        these arrays straight from the points being packed.
+        """
+        if chunk_points < 1:
+            raise ValueError(f"chunk_points must be >= 1, got {chunk_points}")
+        flat = cls.__new__(cls)
+        flat.dim = int(dim)
+        flat.count = int(count)
+        flat.height = int(height)
+        flat.chunk_points = int(chunk_points)
+        flat.stats = RTreeStats()
+        flat._levels = list(levels)
+        flat.leaf_ptr = leaf_ptr
+        flat.leaf_ids = leaf_ids
+        flat._leaf_cat = leaf_cat
+        flat._coords_cat = coords_cat
+        return flat
+
+    @classmethod
     def from_arrays(cls, arrays: Dict[str, np.ndarray]) -> "FlatRStarTree":
         """Rebuild a frozen traversal from :meth:`to_arrays` output.
 

@@ -58,16 +58,18 @@ def _frozen_tables(index: DBLSH) -> Optional[List[FlatRStarTree]]:
 
     Returns ``None`` for backends whose tables are not snapshotted in
     array form (they rebuild from the projection tensor at load time).
+    When every traversal is already frozen — the array-native builder and
+    snapshot loading both leave the index in that state — no pointer tree
+    is materialized (or even consulted): saving costs serialization only.
     """
     if index.backend != "rstar":
         return None
-    index._materialize_tables()
-    flats: List[FlatRStarTree] = []
-    for i, flat in enumerate(index._flat_tables):
-        if flat is None:
-            flat = index._flat_tables[i] = index._tables[i].freeze()
-        flats.append(flat)
-    return flats
+    if any(flat is None for flat in index._flat_tables):
+        index._materialize_tables()
+        for i, flat in enumerate(index._flat_tables):
+            if flat is None:
+                index._flat_tables[i] = index._tables[i].freeze()
+    return list(index._flat_tables)
 
 
 def _pack_dblsh(index: DBLSH, prefix: str) -> Tuple[dict, Dict[str, np.ndarray]]:
@@ -86,6 +88,7 @@ def _pack_dblsh(index: DBLSH, prefix: str) -> Tuple[dict, Dict[str, np.ndarray]]
         "t": params.t,
         "backend": index.backend,
         "engine": index.engine,
+        "builder": index.builder,
         "max_entries": index.max_entries,
         "initial_radius": float(index.initial_radius),
         "patience": index.patience,
@@ -106,12 +109,18 @@ def _pack_dblsh(index: DBLSH, prefix: str) -> Tuple[dict, Dict[str, np.ndarray]]
     return header, arrays
 
 
-def save_index(index, path: str) -> None:
+def save_index(index, path: str, compress: bool = False) -> None:
     """Persist a fitted :class:`DBLSH` or ``ShardedDBLSH`` to ``path``.
 
-    The file is a compressed ``.npz`` archive; see the module docstring
-    for the layout.  ``path`` conventionally ends in ``.npz`` (numpy
-    appends the suffix if missing).
+    The file is an ``.npz`` archive; see the module docstring for the
+    layout.  ``path`` conventionally ends in ``.npz`` (numpy appends the
+    suffix if missing).
+
+    By default the archive is **uncompressed**: the payload is dense
+    float64 coordinates that deflate poorly (~10% on typical data), and
+    compressing them made ``save`` take several seconds per 100 MB while
+    ``load`` stayed fast — saving now costs what loading costs.  Pass
+    ``compress=True`` to trade save time for the smaller archive.
     """
     from repro.core.sharded import ShardedDBLSH
 
@@ -127,6 +136,8 @@ def save_index(index, path: str) -> None:
             "version": SNAPSHOT_VERSION,
             "kind": "sharded",
             "build_seconds": float(index.build_seconds),
+            "t": int(index.t),
+            "budget": index.budget,
             "shard_headers": shard_headers,
         }
     elif isinstance(index, DBLSH):
@@ -139,9 +150,8 @@ def save_index(index, path: str) -> None:
         }
     else:
         raise TypeError(f"cannot snapshot object of type {type(index).__name__}")
-    np.savez_compressed(
-        path, header=np.bytes_(json.dumps(header).encode()), **arrays
-    )
+    writer = np.savez_compressed if compress else np.savez
+    writer(path, header=np.bytes_(json.dumps(header).encode()), **arrays)
 
 
 # ----------------------------------------------------------------------
@@ -214,6 +224,7 @@ def _unpack_dblsh(header: dict, archive, prefix: str) -> DBLSH:
         table_high=archive[prefix + "table_high"],
         flats=_unpack_flats(header, archive, prefix),
         build_seconds=float(header.get("build_seconds", 0.0)),
+        builder=str(header.get("builder", "array")),
     )
 
 
@@ -246,6 +257,8 @@ def load_index(path: str):
                 return ShardedDBLSH._restore(
                     shards=shards,
                     build_seconds=float(header.get("build_seconds", 0.0)),
+                    t=header.get("t"),
+                    budget=str(header.get("budget", "full")),
                 )
         except KeyError as exc:
             # A valid header whose payload member is missing: truncated

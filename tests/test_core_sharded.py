@@ -56,6 +56,101 @@ class TestParity:
         for q in queries[:4]:
             assert sequential.query(q, k=5).ids == parallel.query(q, k=5).ids
 
+    def test_fanout_workers_match_serial_sweep(self, workload):
+        data, queries = workload
+        sharded = ShardedDBLSH(shards=4, **COMMON).fit(data)
+        serial = sharded.query_batch(queries, k=10)
+        fanned = sharded.query_batch(queries, k=10, workers=4)
+        assert [r.ids for r in fanned] == [r.ids for r in serial]
+
+
+class TestBuildModes:
+    """Process-pool builds must be indistinguishable from threaded ones."""
+
+    def test_process_build_matches_thread_build(self, workload):
+        data, queries = workload
+        process = ShardedDBLSH(shards=3, build_mode="process", **COMMON).fit(data)
+        thread = ShardedDBLSH(shards=3, build_mode="thread", **COMMON).fit(data)
+        batch_p = process.query_batch(queries, k=10)
+        batch_t = thread.query_batch(queries, k=10)
+        assert [r.ids for r in batch_p] == [r.ids for r in batch_t]
+        assert [r.distances for r in batch_p] == [r.distances for r in batch_t]
+
+    def test_process_built_shards_have_identical_flat_arrays(self, workload):
+        data, _ = workload
+        process = ShardedDBLSH(shards=3, build_mode="process", **COMMON).fit(data)
+        thread = ShardedDBLSH(shards=3, build_mode="thread", **COMMON).fit(data)
+        for shard_p, shard_t in zip(process.shard_indexes, thread.shard_indexes):
+            shard_t._ensure_frozen()
+            assert shard_p.num_points == shard_t.num_points
+            for flat_p, flat_t in zip(shard_p._flat_tables, shard_t._flat_tables):
+                a, b = flat_p.to_arrays(), flat_t.to_arrays()
+                assert all(np.array_equal(a[key], b[key]) for key in a)
+
+    def test_process_build_add_still_works(self, workload):
+        data, _ = workload
+        sharded = ShardedDBLSH(shards=2, build_mode="process", **COMMON).fit(data)
+        isolated = data.mean(axis=0) + 500.0
+        sharded.add(isolated[None, :])
+        assert sharded.query(isolated, k=1).neighbors[0].id == data.shape[0]
+
+    def test_non_flat_config_falls_back_to_threads(self, workload):
+        data, queries = workload
+        sharded = ShardedDBLSH(
+            shards=2, build_mode="process", engine="legacy", **COMMON
+        ).fit(data)
+        # Thread-built legacy shards hold pointer tables; a shard that had
+        # gone through the process pool would have come back without them.
+        for shard in sharded.shard_indexes:
+            assert all(table is not None for table in shard._tables)
+        assert sharded.query(queries[0], k=5).neighbors
+
+    def test_invalid_build_mode(self):
+        with pytest.raises(ValueError, match="build_mode"):
+            ShardedDBLSH(shards=2, build_mode="magic")
+
+
+class TestBudgetSplit:
+    def test_shard_t_divides_budget(self, workload):
+        data, _ = workload
+        split = ShardedDBLSH(shards=4, budget="split", **COMMON).fit(data)
+        assert split.t == COMMON["t"]
+        assert split.shard_t == -(-COMMON["t"] // 4)
+        assert all(shard.t == split.shard_t for shard in split.shard_indexes)
+
+    def test_full_budget_keeps_t(self, workload):
+        data, _ = workload
+        full = ShardedDBLSH(shards=4, budget="full", **COMMON).fit(data)
+        assert full.shard_t == COMMON["t"]
+        assert all(shard.t == COMMON["t"] for shard in full.shard_indexes)
+
+    def test_split_verifies_no_more_total_candidates(self, workload):
+        data, queries = workload
+        full = ShardedDBLSH(shards=4, budget="full", **COMMON).fit(data)
+        split = ShardedDBLSH(shards=4, budget="split", **COMMON).fit(data)
+        cand_full = sum(
+            r.stats.candidates_verified for r in full.query_batch(queries, k=10)
+        )
+        cand_split = sum(
+            r.stats.candidates_verified for r in split.query_batch(queries, k=10)
+        )
+        assert cand_split <= cand_full
+        # The split mode still returns k sane neighbors per query.
+        for result in split.query_batch(queries, k=10):
+            assert len(result.neighbors) == 10
+
+    def test_single_shard_split_equals_full(self, workload):
+        data, queries = workload
+        full = ShardedDBLSH(shards=1, budget="full", **COMMON).fit(data)
+        split = ShardedDBLSH(shards=1, budget="split", **COMMON).fit(data)
+        batch_f = full.query_batch(queries, k=10)
+        batch_s = split.query_batch(queries, k=10)
+        assert [r.ids for r in batch_f] == [r.ids for r in batch_s]
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError, match="budget"):
+            ShardedDBLSH(shards=2, budget="half")
+
 
 class TestStructure:
     def test_partition_covers_dataset(self, workload):

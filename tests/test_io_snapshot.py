@@ -89,6 +89,64 @@ class TestRoundtrip:
         assert header["index"]["k_per_space"] == fitted.params.k_per_space
 
 
+class TestArrayNativeRoundtrip:
+    """Snapshots of array-built indexes (fit never made a pointer tree)."""
+
+    def test_save_does_not_materialize_pointer_trees(self, workload, tmp_path):
+        data, queries = workload
+        index = DBLSH(
+            l_spaces=4, k_per_space=8, t=32, seed=0, auto_initial_radius=True
+        ).fit(data)
+        assert all(table is None for table in index._tables)
+        path = str(tmp_path / "array.npz")
+        save_index(index, path)
+        # Saving an already-frozen index must not rebuild pointer trees.
+        assert all(table is None for table in index._tables)
+        restored = load_index(path)
+        assert restored.builder == "array"
+        batch = restored.query_batch(queries, k=5)
+        assert [r.ids for r in batch] == [
+            r.ids for r in index.query_batch(queries, k=5)
+        ]
+
+    def test_flat_arrays_survive_roundtrip_byte_identical(self, workload, tmp_path):
+        data, _ = workload
+        index = DBLSH(
+            l_spaces=3, k_per_space=6, t=32, seed=2, auto_initial_radius=True
+        ).fit(data)
+        path = str(tmp_path / "bytes.npz")
+        save_index(index, path)
+        restored = load_index(path)
+        for flat_before, flat_after in zip(index._flat_tables, restored._flat_tables):
+            a, b = flat_before.to_arrays(), flat_after.to_arrays()
+            assert set(a) == set(b)
+            assert all(np.array_equal(a[key], b[key]) for key in a)
+
+    def test_pointer_builder_survives_roundtrip(self, workload, tmp_path):
+        data, queries = workload
+        index = DBLSH(
+            builder="pointer", l_spaces=3, k_per_space=6, t=32, seed=0,
+            auto_initial_radius=True,
+        ).fit(data)
+        path = str(tmp_path / "pointer.npz")
+        save_index(index, path)
+        restored = load_index(path)
+        assert restored.builder == "pointer"
+        assert restored.describe() == index.describe()
+        assert restored.query(queries[0], k=5).ids == index.query(queries[0], k=5).ids
+
+    def test_compressed_snapshot_loads_identically(self, workload, fitted, tmp_path):
+        _, queries = workload
+        plain = str(tmp_path / "plain.npz")
+        packed = str(tmp_path / "packed.npz")
+        save_index(fitted, plain)
+        save_index(fitted, packed, compress=True)
+        from_plain = load_index(plain)
+        from_packed = load_index(packed)
+        for q in queries[:4]:
+            assert from_plain.query(q, k=5).ids == from_packed.query(q, k=5).ids
+
+
 class TestShardedRoundtrip:
     def test_identical_query_results(self, workload, tmp_path):
         data, queries = workload
@@ -103,6 +161,22 @@ class TestShardedRoundtrip:
         assert restored.describe() == index.describe()
         assert restored.shard_offsets == index.shard_offsets
         for q in queries:
+            assert restored.query(q, k=5).ids == index.query(q, k=5).ids
+
+    def test_split_budget_and_parent_t_survive_roundtrip(self, workload, tmp_path):
+        data, queries = workload
+        index = ShardedDBLSH(
+            shards=3, l_spaces=3, k_per_space=6, t=32, seed=0, budget="split",
+            auto_initial_radius=True,
+        ).fit(data)
+        path = str(tmp_path / "split.npz")
+        save_index(index, path)
+        restored = load_index(path)
+        assert restored.budget == "split"
+        assert restored.t == 32
+        assert restored.shard_t == index.shard_t
+        assert restored.describe() == index.describe()
+        for q in queries[:4]:
             assert restored.query(q, k=5).ids == index.query(q, k=5).ids
 
     def test_class_load_helpers_enforce_kind(self, workload, fitted, tmp_path):

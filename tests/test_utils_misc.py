@@ -137,3 +137,23 @@ class TestEstimateNNDistance:
         rng = np.random.default_rng(1)
         data = rng.standard_normal((500, 6))
         assert estimate_nn_distance(data) == estimate_nn_distance(data)
+
+    def test_off_origin_cluster(self):
+        # A tight cluster far from the origin: the vectorized expansion
+        # must not cancel the tiny separations against the huge norms.
+        rng = np.random.default_rng(3)
+        data = rng.standard_normal((800, 12)) * 1e-3 + 1e5
+        estimate = estimate_nn_distance(data)
+        reference = np.sort(
+            np.linalg.norm(data - data[0], axis=1)
+        )[1]  # a same-scale separation, not an exactness target
+        assert 0.1 * reference < estimate < 10.0 * reference
+
+    def test_partial_duplicates_stay_exactly_zero(self):
+        # When most sampled points have an exact duplicate, the median NN
+        # distance must be exactly 0.0 (the degenerate-input contract),
+        # not an ulp-scale expansion residual.
+        rng = np.random.default_rng(5)
+        data = rng.standard_normal((348, 25))
+        data[: 174] = data[0]
+        assert estimate_nn_distance(data) == 0.0
