@@ -1,0 +1,214 @@
+"""Micro-benchmark: multi-process snapshot serving (scatter-gather QPS + parity).
+
+Not a paper figure — this tracks the serving subsystem across PRs.  For
+worker counts ∈ {1, 2, 4} (one worker process per snapshot shard) it
+answers:
+
+* **Parity** — are the served answers *identical* (ids and distances) to
+  loading the same snapshot in process and sweeping the shards there?
+  The server and the in-process sweep share one merge planner
+  (:mod:`repro.core.plan`), so any divergence is a transport bug.  And
+  are the served neighbor sets identical to the unsharded
+  ``DBLSH.query_batch`` on the same workload?  (At this workload's
+  budget the queries terminate by the radius condition, where sharded
+  and unsharded provably agree; the CI gate requires both parities.)
+* **Throughput** — what does crossing process boundaries cost/buy?
+  ``qps_server`` (scatter-gather over pipes/shared memory) is reported
+  next to ``qps_inprocess`` (same snapshot, same sweep, no IPC) and the
+  worker start-up time.  On a single-CPU host the server pays IPC for
+  no parallelism — the recorded numbers show exactly that (the ROADMAP's
+  1-CPU-host caveat applies to process fan-out as much as threads); on a
+  many-core host the workers probe truly concurrently.
+
+Both budget modes are measured: ``budget="full"`` (every shard runs the
+whole ``2tL + k`` allowance — the parity-gated configuration) and
+``budget="split"`` (per-shard ``t/S``, the aggregate-work-preserving
+mode a serving fleet would deploy; gated on transport parity only, since
+split budgets may legitimately return different sets than unsharded).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py          # n=100k
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke  # seconds
+
+Writes ``BENCH_serve.json`` (smoke runs write ``BENCH_serve.smoke.json``
+so they never clobber a recorded full run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from helpers import budget_t  # noqa: E402
+
+from repro import DBLSH, ShardedDBLSH  # noqa: E402
+from repro.data.generators import gaussian_mixture  # noqa: E402
+from repro.data.groundtruth import exact_knn  # noqa: E402
+from repro.eval.metrics import recall  # noqa: E402
+from repro.io import load_index, save_index  # noqa: E402
+from repro.serve import SnapshotServer  # noqa: E402
+
+DEFAULT_OUT = os.path.join(os.path.dirname(os.path.dirname(__file__)),
+                           "BENCH_serve.json")
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _median_seconds(fn, reps: int) -> float:
+    fn()  # warm caches, lazy freezes, and pipe buffers
+    times = []
+    for _ in range(reps):
+        started = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - started)
+    return float(np.median(times))
+
+
+def _identical(a, b) -> bool:
+    """Exact result-list equality: same length, ids in order, distances.
+
+    The explicit length check keeps the gate honest — ``zip`` would
+    truncate and pass vacuously if one side returned fewer results.
+    """
+    return len(a) == len(b) and all(
+        x.ids == y.ids and x.distances == y.distances for x, y in zip(a, b)
+    )
+
+
+def bench_workers(data, queries, k, t, reps, baseline_results, gt_ids,
+                  snapshot_stem, budget="full"):
+    """One served snapshot per worker count for one budget mode."""
+    m = queries.shape[0]
+    rows = {}
+    for workers in WORKER_COUNTS:
+        index = ShardedDBLSH(
+            shards=workers, c=1.5, l_spaces=5, k_per_space=10, t=t, seed=0,
+            auto_initial_radius=True, budget=budget,
+        )
+        index.fit(data)
+        snapshot_path = f"{snapshot_stem}.{budget}.{workers}.npz"
+        save_index(index, snapshot_path)
+        snapshot_mb = os.path.getsize(snapshot_path) / 1e6
+
+        inproc = load_index(snapshot_path)
+        inproc_results = inproc.query_batch(queries, k=k)
+        inproc_s = _median_seconds(
+            lambda: inproc.query_batch(queries, k=k), reps
+        )
+
+        with SnapshotServer(snapshot_path) as server:
+            server_results = server.query_batch(queries, k=k)
+            server_s = _median_seconds(
+                lambda: server.query_batch(queries, k=k), reps
+            )
+            startup = server.startup_seconds
+
+        matches_inproc = _identical(server_results, inproc_results)
+        sets_match = len(server_results) == len(baseline_results) and all(
+            set(a.ids) == set(b.ids)
+            for a, b in zip(server_results, baseline_results)
+        )
+        rec = float(np.mean([
+            recall(r.ids, gt_ids[i]) for i, r in enumerate(server_results)
+        ]))
+        os.remove(snapshot_path)
+        rows[str(workers)] = {
+            "startup_seconds": round(startup, 3),
+            "snapshot_mb": round(snapshot_mb, 2),
+            "qps_server": round(m / server_s, 1),
+            "qps_inprocess": round(m / inproc_s, 1),
+            "query_ms_server": round(server_s / m * 1e3, 4),
+            "recall": round(rec, 4),
+            "server_matches_inprocess": bool(matches_inproc),
+            "server_sets_match_unsharded": bool(sets_match),
+            "mean_candidates": round(float(np.mean(
+                [r.stats.candidates_verified for r in server_results])), 1),
+        }
+        row = rows[str(workers)]
+        print(f"  workers={workers} ({budget}): startup {row['startup_seconds']}s, "
+              f"{row['qps_server']} qps served vs {row['qps_inprocess']} in-process, "
+              f"recall {row['recall']}, inproc_parity={matches_inproc}, "
+              f"unsharded_sets={sets_match}")
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload (seconds, for CI / tier-1 time)")
+    parser.add_argument("--n", type=int, default=None, help="dataset size")
+    parser.add_argument("--dim", type=int, default=50)
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--k", type=int, default=50)
+    parser.add_argument("--reps", type=int, default=None,
+                        help="timing repetitions (median taken)")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: BENCH_serve.json)")
+    args = parser.parse_args(argv)
+    if args.out is None:
+        args.out = (DEFAULT_OUT.replace(".json", ".smoke.json")
+                    if args.smoke else DEFAULT_OUT)
+
+    n = args.n if args.n is not None else (5_000 if args.smoke else 100_000)
+    m = args.queries if args.queries is not None else (10 if args.smoke else 100)
+    reps = args.reps if args.reps is not None else (1 if args.smoke else 5)
+    if n < 1:
+        parser.error(f"--n must be >= 1, got {n}")
+    if not 1 <= m <= n:
+        parser.error(f"--queries must be between 1 and n={n}, got {m}")
+    t = budget_t(n, l_spaces=5)
+
+    print(f"workload: n={n} dim={args.dim} queries={m} k={args.k} t={t} "
+          f"(host cpus: {os.cpu_count()})")
+    data = gaussian_mixture(n, args.dim, n_clusters=20, seed=1)
+    rng = np.random.default_rng(2)
+    queries = (data[rng.choice(n, m, replace=False)]
+               + 0.05 * rng.standard_normal((m, args.dim)))
+    gt_ids, _ = exact_knn(queries, data, args.k)
+
+    baseline = DBLSH(c=1.5, l_spaces=5, k_per_space=10, t=t, seed=0,
+                     auto_initial_radius=True).fit(data)
+    baseline_results = baseline.query_batch(queries, k=args.k)
+    baseline_s = _median_seconds(
+        lambda: baseline.query_batch(queries, k=args.k), reps
+    )
+    unsharded_recall = float(np.mean([
+        recall(r.ids, gt_ids[i]) for i, r in enumerate(baseline_results)
+    ]))
+
+    out_stem = args.out[:-5] if args.out.endswith(".json") else args.out
+    report = {
+        "benchmark": "serve",
+        "n": n,
+        "dim": args.dim,
+        "n_queries": m,
+        "k": args.k,
+        "t": t,
+        "smoke": bool(args.smoke),
+        "host_cpus": os.cpu_count(),
+        "unsharded_qps": round(m / baseline_s, 1),
+        "unsharded_recall": round(unsharded_recall, 4),
+        "workers": bench_workers(data, queries, args.k, t, reps,
+                                 baseline_results, gt_ids, out_stem),
+        "workers_budget_split": bench_workers(data, queries, args.k, t, reps,
+                                              baseline_results, gt_ids,
+                                              out_stem, budget="split"),
+    }
+
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the practitioner loop without writing code:
+Seven commands cover the practitioner loop without writing code:
 
 * ``info``     — dataset hardness diagnostics + derived DB-LSH parameters;
 * ``bench``    — a miniature Table IV on a registry stand-in or fvecs file
@@ -9,10 +9,19 @@ Five commands cover the practitioner loop without writing code:
 * ``save``     — build an index (``--shards`` for a sharded one) and
   persist it as a versioned snapshot;
 * ``load``     — restore a snapshot with zero rebuild and smoke-test it
-  against its own stored data.
+  against its own stored data;
+* ``serve``    — serve a snapshot from one worker process per shard and
+  listen for query connections on a socket;
+* ``query``    — connect to a running ``serve`` and answer a query set
+  over the wire.
 
 Data sources: a registry stand-in name (``--dataset audio``) or an
 ``.fvecs`` file (``--fvecs path``).
+
+The ``serve``/``query`` pair speaks :mod:`multiprocessing.connection`
+framing (:mod:`repro.serve.protocol`) over a unix socket (``--listen
+/tmp/repro.sock``) or TCP (``--listen 127.0.0.1:7007``) — the
+fit → save → serve → query loop of the README's serving quickstart.
 """
 
 from __future__ import annotations
@@ -138,6 +147,257 @@ def _cmd_load(args: argparse.Namespace) -> int:
     return 0 if result.recall > 0.5 else 1
 
 
+def _parse_address(addr: str):
+    """``host:port`` -> TCP tuple; anything else -> unix socket path."""
+    host, _, port = addr.rpartition(":")
+    if host and port.isdigit():
+        return (host, int(port))
+    return addr
+
+
+def _clear_stale_socket(address) -> Optional[str]:
+    """Unlink a dead unix-socket file left by an unclean server exit.
+
+    ``Listener`` only removes its socket path in ``close()``, so a
+    killed server leaves the file behind and a restart would fail with
+    EADDRINUSE.  A quick connect probe distinguishes a stale leftover
+    (refused -> safe to unlink) from a live server (connected -> refuse
+    to start).  Returns an error message instead of cleaning up when
+    the path is busy or not a socket.
+    """
+    import socket
+    import stat
+
+    if not isinstance(address, str) or not os.path.exists(address):
+        return None
+    try:
+        mode = os.stat(address).st_mode
+    except FileNotFoundError:
+        return None  # vanished since exists(): no stale socket after all
+    if not stat.S_ISSOCK(mode):
+        return (f"--listen path {address!r} exists and is not a socket; "
+                f"refusing to overwrite it")
+    if not hasattr(socket, "AF_UNIX"):
+        return f"--listen path {address!r} already exists"
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    probe.settimeout(0.25)
+    try:
+        probe.connect(address)
+    except OSError:
+        try:
+            os.unlink(address)  # nobody listening: stale leftover
+        except FileNotFoundError:
+            pass  # a concurrently restarting server beat us to it
+        return None
+    else:
+        return f"another server is already listening on {address!r}"
+    finally:
+        probe.close()
+
+
+class _ServeState:
+    """Mutable loop state of one ``repro serve`` run."""
+
+    def __init__(self, max_requests: Optional[int]) -> None:
+        self.max_requests = max_requests
+        self.handled = 0
+        # --max-requests 0 means "bind, then stop": start already done.
+        self.stop = max_requests is not None and max_requests <= 0
+        self.failure: Optional[str] = None
+
+    def count_request(self) -> None:
+        self.handled += 1
+        if self.max_requests is not None and self.handled >= self.max_requests:
+            self.stop = True
+
+
+def _serve_one_client(conn, server, state: _ServeState) -> None:
+    """Answer one client connection until it disconnects or asks to stop.
+
+    Client-side misbehavior (vanishing mid-request, resetting the
+    connection) only ends *this* connection; a ``ServerError`` from the
+    worker pool marks the run failed and stops the serve loop.
+    """
+    from repro.serve import ServerError
+    from repro.serve.protocol import encode_result
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, ConnectionResetError, OSError):
+            return  # client went away; accept the next one
+        try:
+            kind = message[0] if isinstance(message, tuple) and message else None
+            if kind == "query_batch":
+                queries = np.asarray(message[1], dtype=np.float64)
+                try:
+                    results = server.query_batch(queries, k=int(message[2]))
+                except ValueError as exc:
+                    conn.send(("error", str(exc)))
+                    continue
+                except ServerError as exc:
+                    conn.send(("error", str(exc)))
+                    state.failure = str(exc)
+                    state.stop = True
+                    return
+                conn.send(("ok", [encode_result(r) for r in results]))
+                state.count_request()
+                if state.stop:
+                    return
+            elif kind == "describe":
+                conn.send(("ok", server.describe()))
+            elif kind == "shutdown":
+                conn.send(("ok", "shutting down"))
+                state.stop = True
+                return
+            else:
+                conn.send(("error", f"unknown request kind {kind!r}"))
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return  # client vanished mid-reply; the work is already done
+        except (TypeError, ValueError, IndexError, KeyError) as exc:
+            # Malformed payload (ragged query list, missing fields, a
+            # non-tuple message): reject the request, keep the server.
+            try:
+                conn.send(("error", f"malformed request: {exc}"))
+            except (BrokenPipeError, ConnectionResetError, OSError):
+                return
+
+
+_LOOPBACK_HOSTS = frozenset({"127.0.0.1", "localhost", "::1"})
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import multiprocessing
+    from multiprocessing.connection import Listener
+
+    from repro.serve import SnapshotServer
+    from repro.serve.protocol import AUTHKEY, DEFAULT_AUTHKEY
+
+    address = _parse_address(args.listen)
+    if (isinstance(address, tuple)
+            and address[0] not in _LOOPBACK_HOSTS
+            and AUTHKEY == DEFAULT_AUTHKEY):
+        # The wire protocol is authenticated pickle: the key is code
+        # execution rights, and the default key is public.  Refuse to
+        # pair it with a non-loopback bind.
+        print(f"refusing to listen on {args.listen!r} with the default "
+              f"authkey: anyone reaching the port could execute code in "
+              f"this process. Set REPRO_SERVE_AUTHKEY (on server and "
+              f"clients) or bind to 127.0.0.1/a unix socket.",
+              file=sys.stderr)
+        return 1
+    problem = _clear_stale_socket(address)
+    if problem is not None:
+        print(problem, file=sys.stderr)
+        return 1
+    state = _ServeState(args.max_requests)
+    with SnapshotServer(args.index, query_timeout=args.query_timeout) as server:
+        with Listener(address, authkey=AUTHKEY) as listener:
+            print(server.describe())
+            print(f"listening on {args.listen} "
+                  f"(workers: {len(server.worker_pids)})", flush=True)
+            while not state.stop:
+                try:
+                    conn = listener.accept()
+                except multiprocessing.AuthenticationError:
+                    print("rejected a connection with a bad authkey",
+                          file=sys.stderr)
+                    continue
+                except (ConnectionResetError, EOFError, OSError):
+                    # A probe/scanner connected and vanished mid-handshake
+                    # (repro serve's own stale-socket check does exactly
+                    # this); never let a client kill the server.
+                    continue
+                with conn:
+                    _serve_one_client(conn, server, state)
+    handled, failure = state.handled, state.failure
+    if failure is not None:
+        # Exit nonzero so supervisors (systemd, CI) see the crash for
+        # what it is rather than a clean, intentional shutdown.
+        print(f"serving failed after {handled} request(s): {failure}",
+              file=sys.stderr)
+        return 1
+    print(f"served {handled} request(s); shut down cleanly")
+    return 0
+
+
+def _connect_with_retry(address, timeout: float):
+    """Dial the server until it listens (covers serve's start-up window)."""
+    from multiprocessing.connection import Client
+
+    from repro.serve.protocol import AUTHKEY
+
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return Client(address, authkey=AUTHKEY)
+        except (ConnectionRefusedError, FileNotFoundError):
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.1)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.serve.protocol import decode_result
+
+    address = _parse_address(args.server)
+    _, queries, label = _load_points(args)
+    import multiprocessing
+
+    try:
+        client = _connect_with_retry(address, args.connect_timeout)
+    except multiprocessing.AuthenticationError:
+        print(f"authentication with {args.server} failed: the server was "
+              f"started with a different authkey (set the same "
+              f"REPRO_SERVE_AUTHKEY on both ends)", file=sys.stderr)
+        return 1
+    except (ConnectionRefusedError, FileNotFoundError, EOFError, OSError) as exc:
+        print(f"could not connect to {args.server} within "
+              f"{args.connect_timeout:.0f}s: {exc}", file=sys.stderr)
+        return 1
+    with client as conn:
+        started = time.perf_counter()
+        try:
+            conn.send(("query_batch", queries, args.k))
+            if not conn.poll(args.reply_timeout):
+                print(f"server did not reply within {args.reply_timeout:.0f}s",
+                      file=sys.stderr)
+                return 1
+            reply = conn.recv()
+        except (EOFError, ConnectionResetError, BrokenPipeError, OSError):
+            # The server stopped (crashed, --max-requests elsewhere, a
+            # concurrent shutdown) between accept and reply.
+            print("server closed the connection before replying",
+                  file=sys.stderr)
+            return 1
+        elapsed = time.perf_counter() - started
+        if args.shutdown:
+            try:
+                conn.send(("shutdown",))
+                conn.recv()
+            except (EOFError, OSError):
+                pass  # server already closed this connection (it may
+                # have stopped on its own, e.g. --max-requests reached)
+    if reply[0] != "ok":
+        print(f"server error: {reply[1]}", file=sys.stderr)
+        return 1
+    results = [decode_result(wire) for wire in reply[1]]
+    rows = [
+        {
+            "query": i,
+            "top1_id": r.ids[0] if r.ids else "-",
+            "top1_dist": round(r.distances[0], 4) if r.ids else "-",
+            "found": len(r.neighbors),
+        }
+        for i, r in enumerate(results[:10])
+    ]
+    print(format_table(rows, title=f"Served answers: {label} (k={args.k})"))
+    m = len(results)
+    print(f"{m} queries in {elapsed:.3f}s over the wire "
+          f"({m / max(elapsed, 1e-9):.1f} qps incl. transport)")
+    return 0
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     data, _, label = _load_points(args)
     outcome = tune_budget(
@@ -156,6 +416,22 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0 if outcome.reached_target else 1
 
 
+def _add_source_args(cmd: argparse.ArgumentParser) -> None:
+    """Arguments resolving a (data, queries) workload (see _load_points)."""
+    source = cmd.add_mutually_exclusive_group()
+    source.add_argument(
+        "--dataset", default="audio",
+        choices=sorted(DATASET_REGISTRY), help="registry stand-in name",
+    )
+    source.add_argument("--fvecs", help="path to an .fvecs file")
+    cmd.add_argument("--limit", type=int, default=None,
+                     help="max vectors to read from --fvecs")
+    cmd.add_argument("--scale", type=float, default=0.5,
+                     help="registry stand-in scale factor")
+    cmd.add_argument("--queries", type=int, default=20)
+    cmd.add_argument("--seed", type=int, default=0)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -170,21 +446,10 @@ def build_parser() -> argparse.ArgumentParser:
     ]:
         cmd = sub.add_parser(name, help=description)
         cmd.set_defaults(handler=handler)
-        source = cmd.add_mutually_exclusive_group()
-        source.add_argument(
-            "--dataset", default="audio",
-            choices=sorted(DATASET_REGISTRY), help="registry stand-in name",
-        )
-        source.add_argument("--fvecs", help="path to an .fvecs file")
-        cmd.add_argument("--limit", type=int, default=None,
-                         help="max vectors to read from --fvecs")
-        cmd.add_argument("--scale", type=float, default=0.5,
-                         help="registry stand-in scale factor")
-        cmd.add_argument("--queries", type=int, default=20)
+        _add_source_args(cmd)
         cmd.add_argument("--k", type=int, default=10)
         cmd.add_argument("--c", type=float, default=1.5)
         cmd.add_argument("--t", type=int, default=16)
-        cmd.add_argument("--seed", type=int, default=0)
         if name == "tune":
             cmd.add_argument("--target-recall", type=float, default=0.9)
         if name in ("bench", "save"):
@@ -217,6 +482,43 @@ def build_parser() -> argparse.ArgumentParser:
                                "data (0 disables the check)")
     load_cmd.add_argument("--k", type=int, default=10)
     load_cmd.add_argument("--seed", type=int, default=0)
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="serve a snapshot from one worker process per shard",
+    )
+    serve_cmd.set_defaults(handler=_cmd_serve)
+    serve_cmd.add_argument("--index", required=True,
+                           help="snapshot path (.npz) to serve")
+    serve_cmd.add_argument("--listen", default="repro-serve.sock",
+                           help="unix socket path, or host:port for TCP")
+    serve_cmd.add_argument("--query-timeout", type=float, default=120.0,
+                           dest="query_timeout",
+                           help="seconds before a silent worker is declared "
+                                "hung")
+    serve_cmd.add_argument("--max-requests", type=int, default=None,
+                           dest="max_requests",
+                           help="exit after this many query requests "
+                                "(default: serve until a client sends "
+                                "shutdown)")
+
+    query_cmd = sub.add_parser(
+        "query", help="answer a query set against a running serve"
+    )
+    query_cmd.set_defaults(handler=_cmd_query)
+    query_cmd.add_argument("--server", required=True,
+                           help="address the serve is listening on "
+                                "(socket path or host:port)")
+    _add_source_args(query_cmd)
+    query_cmd.add_argument("--k", type=int, default=10)
+    query_cmd.add_argument("--connect-timeout", type=float, default=10.0,
+                           dest="connect_timeout",
+                           help="seconds to keep retrying the connection")
+    query_cmd.add_argument("--reply-timeout", type=float, default=600.0,
+                           dest="reply_timeout",
+                           help="seconds to wait for the server's answer")
+    query_cmd.add_argument("--shutdown", action="store_true",
+                           help="ask the server to shut down after answering")
     return parser
 
 

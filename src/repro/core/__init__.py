@@ -9,6 +9,7 @@ Lemma 1 / Remark 2 lives in :mod:`repro.core.params`.
 
 from repro.core.dblsh import DBLSH
 from repro.core.params import DBLSHParams, derive_parameters
+from repro.core.plan import merge_shard_batches, merge_shard_results
 from repro.core.result import Neighbor, QueryResult, QueryStats
 from repro.core.sharded import ShardedDBLSH
 
@@ -17,6 +18,8 @@ __all__ = [
     "DBLSHParams",
     "ShardedDBLSH",
     "derive_parameters",
+    "merge_shard_batches",
+    "merge_shard_results",
     "Neighbor",
     "QueryResult",
     "QueryStats",

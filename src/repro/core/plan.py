@@ -1,0 +1,128 @@
+"""Transport-agnostic scatter-gather planning for partitioned queries.
+
+A partitioned DB-LSH deployment — whatever moves the bytes — always has
+the same query shape:
+
+1. **scatter** the query (or query block) to every shard;
+2. each shard answers locally with ascending ``(distance, local id)``
+   neighbor lists and per-query work counters;
+3. **gather** the per-shard answers and k-way merge them into one global
+   top-k, mapping local ids back through the shard offsets.
+
+Steps 1–2 are owned by a transport — the serial sweep and opt-in thread
+fan-out of :class:`~repro.core.sharded.ShardedDBLSH`, or the worker
+processes of :class:`~repro.serve.SnapshotServer` — but step 3 is pure
+arithmetic on the gathered results.  This module holds that arithmetic so
+every transport merges identically: the parity guarantees pinned by the
+sharding tests transfer to any new transport for free.
+
+The merge itself is an allocation-light k-way heap merge: each shard's
+neighbor list is already ascending by ``(distance, id)``, so popping list
+heads from a heap of size S yields the global order while constructing
+only the ``k`` winners — no ``S * k`` intermediate neighbor objects and
+no full sort per query.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence
+
+from repro.core.result import Neighbor, QueryResult, QueryStats
+
+__all__ = ["merge_shard_results", "merge_shard_batches"]
+
+
+def merge_shard_results(
+    results: Sequence[QueryResult],
+    offsets: Sequence[int],
+    k: int,
+    elapsed: float,
+    hash_evaluations: int = 0,
+) -> QueryResult:
+    """Merge one query's per-shard answers into the global top-k.
+
+    Parameters
+    ----------
+    results:
+        One :class:`QueryResult` per shard, neighbor lists ascending by
+        ``(distance, id)`` (the heap ``items()`` order every engine
+        produces) with *shard-local* ids.
+    offsets:
+        Global id of each shard's first point (``offsets[i]`` is added to
+        shard ``i``'s local ids).
+    k:
+        Number of neighbors to retain globally.
+    elapsed:
+        Wall time to report for the merged query.  The per-shard times
+        overlapped (or were measured in other processes), so the caller —
+        who saw the whole scatter-gather — supplies the real figure.
+    hash_evaluations:
+        Hash-evaluation count to report.  The projection is evaluated
+        once per query, not once per shard, so summing the per-shard
+        counters would overcount by S; pass the index's function count.
+
+    Returns
+    -------
+    QueryResult
+        Global top-k with summed work counters; ``rounds`` and
+        ``final_radius`` are maxima over shards (the shards probe in
+        lockstep radius schedules), and ``terminated_by`` joins the
+        distinct per-shard reasons with ``+``.
+    """
+    heads = []
+    for si, result in enumerate(results):
+        neighbors = result.neighbors
+        if neighbors:
+            first = neighbors[0]
+            heads.append((first.distance, offsets[si] + first.id, si, 0))
+    heapq.heapify(heads)
+    merged: List[Neighbor] = []
+    while heads and len(merged) < k:
+        distance, global_id, si, pos = heapq.heappop(heads)
+        merged.append(Neighbor(global_id, distance))
+        neighbors = results[si].neighbors
+        pos += 1
+        if pos < len(neighbors):
+            nxt = neighbors[pos]
+            heapq.heappush(heads, (nxt.distance, offsets[si] + nxt.id, si, pos))
+    stats = QueryStats()
+    for result in results:
+        stats.merge(result.stats)
+    stats.hash_evaluations = hash_evaluations
+    stats.rounds = max(result.stats.rounds for result in results)
+    stats.final_radius = max(result.stats.final_radius for result in results)
+    stats.terminated_by = "+".join(
+        sorted({result.stats.terminated_by for result in results})
+    )
+    stats.elapsed_seconds = elapsed
+    return QueryResult(neighbors=merged, stats=stats)
+
+
+def merge_shard_batches(
+    per_shard: Sequence[Sequence[QueryResult]],
+    offsets: Sequence[int],
+    k: int,
+    elapsed_per_query: float,
+    hash_evaluations: int = 0,
+) -> List[QueryResult]:
+    """Merge a whole batch: ``per_shard[i][j]`` is shard i's answer to query j.
+
+    The transpose-and-merge loop shared by every batched transport;
+    results come back in query order.  ``elapsed_per_query`` is the batch
+    wall time divided by the batch size (the only honest per-query figure
+    when shards overlap).
+    """
+    if not per_shard:
+        return []
+    m = len(per_shard[0])
+    return [
+        merge_shard_results(
+            [shard_batch[j] for shard_batch in per_shard],
+            offsets,
+            k,
+            elapsed_per_query,
+            hash_evaluations,
+        )
+        for j in range(m)
+    ]

@@ -52,7 +52,6 @@ index.
 
 from __future__ import annotations
 
-import heapq
 import os
 import threading
 import time
@@ -65,7 +64,8 @@ import numpy as np
 
 from repro.core.dblsh import DBLSH
 from repro.core.params import DBLSHParams, derive_parameters
-from repro.core.result import Neighbor, QueryResult, QueryStats
+from repro.core.plan import merge_shard_batches, merge_shard_results
+from repro.core.result import QueryResult
 from repro.utils.rng import SeedLike
 from repro.utils.scale import estimate_nn_distance
 from repro.utils.validation import check_dataset, check_queries, check_query
@@ -242,7 +242,48 @@ class ShardedDBLSH:
         )
 
     def fit(self, data: np.ndarray) -> "ShardedDBLSH":
-        """Partition ``data`` into S slices and build every shard in parallel."""
+        """Partition ``data`` into S contiguous slices and build every shard.
+
+        The (K, L) shape, bucket width and projection tensor are derived
+        once from the **global** cardinality and pushed down to every
+        shard, so shard ``i``'s window query at any radius returns
+        exactly the points of the unsharded window living in slice ``i``.
+        Under ``budget="split"`` each shard is built with the divided
+        budget knob ``ceil(t / S)`` (see :attr:`shard_t`); serving
+        processes that later load the shards from a snapshot inherit
+        that per-shard budget unchanged.
+
+        Parameters
+        ----------
+        data:
+            Dataset of shape ``(n, d)``; any float-convertible array.
+            Must satisfy ``n >= shards``.
+
+        Returns
+        -------
+        ShardedDBLSH
+            ``self``, fitted (chainable).
+
+        Raises
+        ------
+        ValueError
+            If ``shards`` exceeds the dataset size, or ``data`` is not a
+            2-D non-empty numeric array.
+        RuntimeWarning
+            (warned, not raised) When ``build_mode="process"`` cannot
+            start a process pool — the fit silently falls back to the
+            threaded build and the results are identical either way.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro import ShardedDBLSH
+        >>> data = np.random.default_rng(0).standard_normal((64, 8))
+        >>> index = ShardedDBLSH(shards=2, l_spaces=2, k_per_space=4,
+        ...                      t=8, seed=0).fit(data)
+        >>> index.query(data[3], k=1).ids
+        [3]
+        """
         started = time.perf_counter()
         data = check_dataset(data)
         n, dim = data.shape
@@ -387,7 +428,13 @@ class ShardedDBLSH:
             shard._query_one(query, q_proj, k, shard._get_scratch())
             for shard in self._shards
         ]
-        return self._merge(results, k, time.perf_counter() - started)
+        return merge_shard_results(
+            results,
+            self._offsets,
+            k,
+            time.perf_counter() - started,
+            hash_evaluations=self._shards[0]._hasher.num_functions,  # type: ignore[union-attr]
+        )
 
     def _executor(self) -> ThreadPoolExecutor:
         """The reusable shard fan-out pool for opt-in threaded batches."""
@@ -403,15 +450,53 @@ class ShardedDBLSH:
     ) -> List[QueryResult]:
         """Batched (c, k)-ANN: one projection GEMM for the whole batch.
 
-        ``workers=None`` (default) sweeps the shards serially — the
-        measured-faster configuration, since per-shard probe rounds hold
-        the GIL for their chunk bookkeeping and threads mostly contend
-        (``BENCH_sharding.json``).  Pass ``workers > 1`` to fan shards
-        out over up to ``min(workers, shards)`` threads anyway (worth
-        trying on otherwise-idle multi-core machines); single-shard and
-        single-query batches always run serially.  Results are merged
-        per query, returned in input order, and identical under every
-        setting.
+        Every shard answers the whole batch against its slice and the
+        per-shard answers are k-way merged per query
+        (:func:`repro.core.plan.merge_shard_batches` — the same planner
+        the multi-process server uses, so transports never diverge).
+
+        Parameters
+        ----------
+        queries:
+            Query block of shape ``(m, d)``; a single ``(d,)`` vector is
+            accepted and treated as ``m = 1``.
+        k:
+            Neighbors to return per query (``k >= 1``).
+        workers:
+            ``None`` (default) sweeps the shards serially — the
+            measured-faster configuration on few-core hosts, since
+            per-shard probe rounds hold the GIL for their chunk
+            bookkeeping and threads mostly contend
+            (``BENCH_sharding.json``).  Pass ``workers > 1`` to fan
+            shards out over up to ``min(workers, shards)`` threads
+            (worth trying on otherwise-idle multi-core machines);
+            single-shard and single-query batches always run serially.
+            For fan-out across *processes*, serve a snapshot with
+            :class:`repro.serve.SnapshotServer` instead.
+
+        Returns
+        -------
+        list of QueryResult
+            One merged result per query, in input order, identical under
+            every ``workers`` setting.
+
+        Raises
+        ------
+        RuntimeError
+            If :meth:`fit` has not been called.
+        ValueError
+            If ``k < 1`` or the queries do not match the fitted
+            dimensionality.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro import ShardedDBLSH
+        >>> data = np.random.default_rng(1).standard_normal((64, 8))
+        >>> index = ShardedDBLSH(shards=2, l_spaces=2, k_per_space=4,
+        ...                      t=8, seed=0).fit(data)
+        >>> [r.ids[0] for r in index.query_batch(data[:3], k=1)]
+        [0, 1, 2]
         """
         self._require_fitted()
         if k < 1:
@@ -443,54 +528,13 @@ class ShardedDBLSH:
         else:
             per_shard = [run(shard) for shard in self._shards]
         elapsed = time.perf_counter() - started
-        return [
-            self._merge([shard_results[j] for shard_results in per_shard], k, elapsed / m)
-            for j in range(m)
-        ]
-
-    def _merge(
-        self, results: List[QueryResult], k: int, elapsed: float
-    ) -> QueryResult:
-        """Global top-k from per-shard results, ids mapped back to global.
-
-        Each shard's neighbor list is already ascending by
-        ``(distance, id)`` (the heap's ``items()`` order), so a k-way
-        merge over list heads yields the global ``(distance, global id)``
-        order while constructing only the ``k`` winners — no S*k
-        intermediate neighbor objects, no full sort per query.
-        """
-        offsets = self._offsets
-        heads = []
-        for si, result in enumerate(results):
-            neighbors = result.neighbors
-            if neighbors:
-                first = neighbors[0]
-                heads.append((first.distance, offsets[si] + first.id, si, 0))
-        heapq.heapify(heads)
-        merged: List[Neighbor] = []
-        while heads and len(merged) < k:
-            distance, global_id, si, pos = heapq.heappop(heads)
-            merged.append(Neighbor(global_id, distance))
-            neighbors = results[si].neighbors
-            pos += 1
-            if pos < len(neighbors):
-                nxt = neighbors[pos]
-                heapq.heappush(
-                    heads, (nxt.distance, offsets[si] + nxt.id, si, pos)
-                )
-        stats = QueryStats()
-        for result in results:
-            stats.merge(result.stats)
-        # The projection was evaluated once, not once per shard, and the
-        # per-shard wall times overlapped; report the real aggregates.
-        stats.hash_evaluations = self._shards[0]._hasher.num_functions  # type: ignore[union-attr]
-        stats.rounds = max(result.stats.rounds for result in results)
-        stats.final_radius = max(result.stats.final_radius for result in results)
-        stats.terminated_by = "+".join(
-            sorted({result.stats.terminated_by for result in results})
+        return merge_shard_batches(
+            per_shard,
+            self._offsets,
+            k,
+            elapsed / m,
+            hash_evaluations=self._shards[0]._hasher.num_functions,  # type: ignore[union-attr]
         )
-        stats.elapsed_seconds = elapsed
-        return QueryResult(neighbors=merged, stats=stats)
 
     # ------------------------------------------------------------------
     # Persistence

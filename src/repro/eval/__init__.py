@@ -5,6 +5,7 @@ from repro.eval.report import format_table
 from repro.eval.runner import (
     MethodResult,
     evaluate_method,
+    evaluate_server,
     evaluate_snapshot,
     run_comparison,
 )
@@ -15,6 +16,7 @@ __all__ = [
     "format_table",
     "MethodResult",
     "evaluate_method",
+    "evaluate_server",
     "evaluate_snapshot",
     "run_comparison",
 ]

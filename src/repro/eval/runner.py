@@ -171,6 +171,57 @@ def evaluate_snapshot(
     )
 
 
+def evaluate_server(
+    path: str,
+    queries: np.ndarray,
+    k: int,
+    dataset_name: str = "server",
+    gt_ids: Optional[np.ndarray] = None,
+    gt_dists: Optional[np.ndarray] = None,
+    batch: bool = True,
+    **server_kwargs,
+) -> MethodResult:
+    """Serve the snapshot at ``path`` from worker processes and evaluate it.
+
+    The multi-process counterpart of :func:`evaluate_snapshot`: a
+    :class:`repro.serve.SnapshotServer` is started over the snapshot (one
+    worker process per shard, zero rebuild), the query set is answered
+    over IPC, and the server is shut down afterwards.  The reported
+    ``build_seconds`` is the worker start-up time — the cost a serving
+    deployment actually pays — and the query times include the
+    scatter-gather transport, which is the point of measuring it.
+    Ground truth is computed against the snapshot's stored data unless
+    supplied.
+
+    ``server_kwargs`` are forwarded to the server constructor
+    (``query_timeout=...``, ``shm_min_bytes=...``, ...).
+    """
+    from repro.io.snapshot import load_data
+    from repro.serve import SnapshotServer
+
+    with SnapshotServer(path, **server_kwargs) as server:
+        if gt_ids is None or gt_dists is None:
+            data = load_data(path)
+        else:
+            # With ground truth supplied, the dataset payload would only
+            # feed the n/dim report columns — both known from the header
+            # — so skip reading every shard's stored coordinates.
+            data = np.broadcast_to(
+                np.float64(0.0), (server.num_points, server.dim)
+            )
+        return evaluate_method(
+            server,
+            data,
+            queries,
+            k,
+            dataset_name=dataset_name,
+            gt_ids=gt_ids,
+            gt_dists=gt_dists,
+            fit=False,
+            batch=batch,
+        )
+
+
 def run_comparison(
     methods: Iterable,
     data: np.ndarray,

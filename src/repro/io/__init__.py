@@ -12,16 +12,22 @@ from repro.io.snapshot import (
     SNAPSHOT_FORMAT,
     SNAPSHOT_VERSION,
     SnapshotError,
+    load_data,
     load_index,
+    load_shard,
     read_header,
     save_index,
+    shard_headers,
 )
 
 __all__ = [
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_VERSION",
     "SnapshotError",
+    "load_data",
     "load_index",
+    "load_shard",
     "read_header",
     "save_index",
+    "shard_headers",
 ]

@@ -30,6 +30,7 @@ with a :class:`SnapshotError` instead of guessing at the layout.
 from __future__ import annotations
 
 import json
+import zipfile
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -113,14 +114,46 @@ def save_index(index, path: str, compress: bool = False) -> None:
     """Persist a fitted :class:`DBLSH` or ``ShardedDBLSH`` to ``path``.
 
     The file is an ``.npz`` archive; see the module docstring for the
-    layout.  ``path`` conventionally ends in ``.npz`` (numpy appends the
-    suffix if missing).
+    layout.  A sharded index is stored shard-by-shard under ``shard{i}.``
+    key prefixes (together with the parent's ``t`` and ``budget`` mode,
+    so a ``budget="split"`` index round-trips its per-shard ``t/S``
+    knobs), which is what lets serving workers later load single shards
+    with :func:`load_shard` without touching the rest of the archive.
 
-    By default the archive is **uncompressed**: the payload is dense
-    float64 coordinates that deflate poorly (~10% on typical data), and
-    compressing them made ``save`` take several seconds per 100 MB while
-    ``load`` stayed fast — saving now costs what loading costs.  Pass
-    ``compress=True`` to trade save time for the smaller archive.
+    Parameters
+    ----------
+    index:
+        A fitted :class:`DBLSH` or ``ShardedDBLSH``.
+    path:
+        Output path, conventionally ending in ``.npz`` (numpy appends
+        the suffix if missing).
+    compress:
+        By default the archive is **uncompressed**: the payload is dense
+        float64 coordinates that deflate poorly (~10% on typical data),
+        and compressing them made ``save`` take several seconds per
+        100 MB while ``load`` stayed fast — saving now costs what
+        loading costs.  Pass ``True`` to trade save time for the smaller
+        archive.
+
+    Raises
+    ------
+    RuntimeError
+        If ``index`` has not been fitted (``fit()`` never called).
+    TypeError
+        If ``index`` is neither a :class:`DBLSH` nor a ``ShardedDBLSH``
+        (baselines do not snapshot).
+
+    Examples
+    --------
+    >>> import numpy as np, os, tempfile
+    >>> from repro import DBLSH
+    >>> from repro.io import save_index, load_index
+    >>> data = np.random.default_rng(0).standard_normal((48, 6))
+    >>> index = DBLSH(l_spaces=2, k_per_space=3, t=8, seed=0).fit(data)
+    >>> path = os.path.join(tempfile.mkdtemp(), "index.npz")
+    >>> save_index(index, path)
+    >>> load_index(path).query(data[7], k=1).ids
+    [7]
     """
     from repro.core.sharded import ShardedDBLSH
 
@@ -157,6 +190,23 @@ def save_index(index, path: str, compress: bool = False) -> None:
 # ----------------------------------------------------------------------
 # Unpacking
 # ----------------------------------------------------------------------
+
+
+def _open_archive(path: str):
+    """Open ``path`` as an ``.npz`` archive, mapping junk to SnapshotError.
+
+    ``FileNotFoundError`` propagates unchanged (the caller's path is
+    wrong, not the file's contents); anything numpy cannot parse as a
+    zip archive becomes a :class:`SnapshotError`.
+    """
+    try:
+        return np.load(path, allow_pickle=False)
+    except FileNotFoundError:
+        raise
+    except (ValueError, OSError, zipfile.BadZipFile) as exc:
+        raise SnapshotError(
+            f"{path!r} is not a {SNAPSHOT_FORMAT} file (not an .npz archive)"
+        ) from exc
 
 
 def _parse_header(archive, path: str) -> dict:
@@ -230,18 +280,68 @@ def _unpack_dblsh(header: dict, archive, prefix: str) -> DBLSH:
 
 def read_header(path: str) -> dict:
     """Return a snapshot's JSON header without loading any payload arrays."""
-    with np.load(path, allow_pickle=False) as archive:
+    with _open_archive(path) as archive:
         return _parse_header(archive, path)
+
+
+def shard_headers(header: dict) -> List[dict]:
+    """The per-shard index headers of a parsed snapshot header.
+
+    Uniform view over both snapshot kinds: a ``"sharded"`` snapshot
+    yields one header per shard, a ``"dblsh"`` snapshot yields its
+    single index header (a one-shard deployment).  Each entry carries
+    the scalars serving needs before any payload is read — ``n``,
+    ``dim``, ``k_per_space``, ``l_spaces``, ``t`` — so a coordinator can
+    compute shard offsets and validate query shapes from
+    :func:`read_header` alone.
+    """
+    kind = header.get("kind")
+    if kind == "dblsh":
+        return [header["index"]]
+    if kind == "sharded":
+        return list(header["shard_headers"])
+    raise SnapshotError(f"unknown snapshot kind {kind!r}")
 
 
 def load_index(path: str):
     """Restore the index persisted at ``path``.
 
-    Returns a :class:`DBLSH` or ``ShardedDBLSH`` according to the snapshot
-    kind; raises :class:`SnapshotError` for anything that is not a
-    compatible snapshot.
+    On the default ``rstar`` backend loading is **zero rebuild**: the
+    frozen traversal arrays are adopted as stored, so the first query
+    runs without a projection pass or bulk load.  The ablation backends
+    (``kdtree``, ``grid``, ``rstar-insert``) rebuild their tables from
+    the stored projection tensor during the load.
+
+    Parameters
+    ----------
+    path:
+        A snapshot written by :func:`save_index` (or ``index.save()``).
+
+    Returns
+    -------
+    DBLSH or ShardedDBLSH
+        According to the snapshot ``kind`` header field.  To serve a
+        sharded snapshot one worker process per shard, see
+        :func:`load_shard` and :class:`repro.serve.SnapshotServer`.
+
+    Raises
+    ------
+    SnapshotError
+        If the file has no readable snapshot header, was written under a
+        different ``SNAPSHOT_VERSION``, declares an unknown kind, has a
+        payload that disagrees with its header, or is missing payload
+        entries (a truncated or hand-edited archive).
+
+    Examples
+    --------
+    >>> from repro.io import load_index, SnapshotError
+    >>> try:
+    ...     load_index(__file__)  # not a snapshot
+    ... except SnapshotError:
+    ...     print("rejected")
+    rejected
     """
-    with np.load(path, allow_pickle=False) as archive:
+    with _open_archive(path) as archive:
         header = _parse_header(archive, path)
         kind = header.get("kind")
         try:
@@ -267,3 +367,78 @@ def load_index(path: str):
                 f"{path!r} is missing snapshot payload entry {exc.args[0]!r}"
             ) from exc
         raise SnapshotError(f"{path!r} has unknown snapshot kind {kind!r}")
+
+
+def load_shard(path: str, shard: int) -> DBLSH:
+    """Restore one shard of the snapshot at ``path`` as a standalone index.
+
+    The worker-side entry point of multi-process serving
+    (:mod:`repro.serve`): each worker process loads only *its* shard —
+    ``.npz`` members are read on access, so the other shards' payloads
+    are never pulled off disk — and answers queries against it with
+    shard-local ids.  The coordinator maps ids back to global through
+    the shard offsets (:func:`shard_headers` gives the sizes).
+
+    A ``"dblsh"``-kind snapshot is served as a single shard: only
+    ``shard == 0`` is valid and returns the whole index.
+
+    Parameters
+    ----------
+    path:
+        A snapshot written by :func:`save_index`.
+    shard:
+        Shard ordinal in ``[0, shards)``.
+
+    Returns
+    -------
+    DBLSH
+        The shard's sub-index, exactly as ``ShardedDBLSH.load(path)``
+        would hold it (zero rebuild on the ``rstar`` backend), with the
+        per-shard budget knob the snapshot recorded (``t/S`` for a
+        ``budget="split"`` parent).
+
+    Raises
+    ------
+    SnapshotError
+        If the file is not a compatible snapshot, or ``shard`` is out of
+        range for it.
+    """
+    with _open_archive(path) as archive:
+        header = _parse_header(archive, path)
+        headers = shard_headers(header)
+        if not 0 <= int(shard) < len(headers):
+            raise SnapshotError(
+                f"{path!r} holds {len(headers)} shard(s); shard {shard} requested"
+            )
+        prefix = "" if header["kind"] == "dblsh" else f"shard{int(shard)}."
+        try:
+            return _unpack_dblsh(headers[int(shard)], archive, prefix)
+        except KeyError as exc:
+            raise SnapshotError(
+                f"{path!r} is missing snapshot payload entry {exc.args[0]!r}"
+            ) from exc
+
+
+def load_data(path: str) -> np.ndarray:
+    """The indexed points of a snapshot in global id order, nothing else.
+
+    Reads only the ``data`` members — not the traversal arrays or the
+    projection tensor — so evaluation code can compute ground truth
+    against a served snapshot without restoring a queryable index in the
+    evaluating process.
+    """
+    with _open_archive(path) as archive:
+        header = _parse_header(archive, path)
+        try:
+            if header["kind"] == "dblsh":
+                return archive["data"]
+            return np.concatenate(
+                [
+                    archive[f"shard{i}.data"]
+                    for i in range(len(shard_headers(header)))
+                ]
+            )
+        except KeyError as exc:
+            raise SnapshotError(
+                f"{path!r} is missing snapshot payload entry {exc.args[0]!r}"
+            ) from exc

@@ -1,0 +1,29 @@
+"""Multi-process query serving over saved index snapshots.
+
+The serving subsystem is the query-side counterpart of the sharded
+*build* pipeline: a snapshot produced by :func:`repro.io.save_index`
+is served by one **worker process per shard**
+(:class:`~repro.serve.server.SnapshotServer`), each worker loading only
+its shard's arrays (:func:`repro.io.snapshot.load_shard`, zero rebuild)
+and answering scattered query blocks; the coordinator merges the
+gathered per-shard top-k lists with the shared planner
+(:mod:`repro.core.plan`), so served answers are identical to the
+in-process sharded sweep's.
+
+Layers:
+
+* :mod:`repro.serve.protocol` — message framing, wire encoding of
+  results, shared-memory query-block scatter;
+* :mod:`repro.serve.worker` — the worker process loop;
+* :mod:`repro.serve.server` — the coordinator: lifecycle, scatter-
+  gather, failure surfacing.
+
+The CLI exposes the same machinery over a socket: ``python -m repro
+serve`` / ``python -m repro query --server`` (see :mod:`repro.cli`), and
+``repro.eval.evaluate_server`` benchmarks a served snapshot like any
+other method.
+"""
+
+from repro.serve.server import ServerError, SnapshotServer
+
+__all__ = ["ServerError", "SnapshotServer"]

@@ -1,0 +1,448 @@
+"""Multi-process snapshot serving: scatter-gather over worker processes.
+
+:class:`SnapshotServer` turns a saved index snapshot into a query server
+whose shards live in separate **processes**: worker ``i`` loads shard
+``i`` of the snapshot (zero rebuild on the ``rstar`` backend), answers
+each scattered query block against its slice, and the coordinator merges
+the gathered per-shard answers with the same k-way planner the
+in-process sharded sweep uses (:mod:`repro.core.plan`) — so the served
+answers are bit-for-bit the answers ``load_index(path).query_batch(...)``
+would produce, transport notwithstanding.
+
+Why processes: DB-LSH probe rounds interleave GIL-holding Python
+bookkeeping with released-GIL numpy chunks, which caps thread fan-out at
+roughly one core of useful work (measured in ``BENCH_sharding.json``).
+Worker processes each bring their own interpreter, so an S-shard server
+on an S-core host runs S probe loops truly concurrently; the per-shard
+budget (``t`` as saved, ``t/S`` for a ``budget="split"`` snapshot) keeps
+the aggregate candidate work bounded.  On a single-core host the IPC is
+pure overhead — ``BENCH_serve.json`` records exactly that; see
+``docs/benchmarks.md``.
+
+Lifecycle and failure discipline:
+
+* :meth:`start` spawns one daemon worker per shard and blocks until all
+  report ready (or raises :class:`ServerError` carrying the failing
+  worker's traceback).  Starting a started server raises; a closed
+  server can be started again.
+* every receive is bounded by a timeout **and** watches the worker
+  process itself, so a crashed worker (OOM-killed, segfaulted, killed by
+  hand) surfaces as a prompt :class:`ServerError` naming the worker and
+  its exit code — never a hang on a silent pipe.
+* any worker failure marks the server *broken*: subsequent queries
+  refuse with the original cause until :meth:`close` + :meth:`start`.
+* :meth:`close` is idempotent, asks workers to shut down politely, then
+  escalates (terminate, kill) so no orphan processes outlive the
+  coordinator; daemon workers cover even an abandoned coordinator.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.plan import merge_shard_batches
+from repro.core.result import QueryResult
+from repro.io.snapshot import read_header, shard_headers
+from repro.serve.protocol import SHM_MIN_BYTES, decode_result, write_query_block
+from repro.serve.worker import serve_shard
+from repro.utils.validation import check_queries, check_query
+
+__all__ = ["ServerError", "SnapshotServer"]
+
+
+class ServerError(RuntimeError):
+    """A serving-layer failure: bad lifecycle call, dead or silent worker."""
+
+
+class _Worker:
+    """Coordinator-side handle for one worker process."""
+
+    __slots__ = ("shard", "process", "conn", "num_points")
+
+    def __init__(self, shard: int, process, conn) -> None:
+        self.shard = shard
+        self.process = process
+        self.conn = conn
+        self.num_points = 0
+
+    def describe(self) -> str:
+        pid = self.process.pid
+        return f"worker {self.shard} (pid {pid})"
+
+
+class SnapshotServer:
+    """Serve a saved snapshot from one worker process per shard.
+
+    Parameters
+    ----------
+    path:
+        A snapshot written by :func:`repro.io.save_index` — sharded or
+        single-index (a single-index snapshot is served by one worker).
+        The header is read eagerly (shape validation, offsets); the
+        payload is only ever read inside the workers.
+    start_timeout:
+        Seconds to wait for all workers to load their shards and report
+        ready before :meth:`start` fails.
+    query_timeout:
+        Seconds to wait for any single worker's answer to one scattered
+        request before declaring it hung.
+    shm_min_bytes:
+        Query blocks at least this large are scattered through one
+        shared-memory segment instead of S pipe pickles
+        (:func:`repro.serve.protocol.write_query_block`).
+    mp_context:
+        Optional :mod:`multiprocessing` context or start-method name
+        (``"fork"``/``"spawn"``/``"forkserver"``); default is the
+        platform default.
+
+    Examples
+    --------
+    ::
+
+        index.save("index.npz")
+        with SnapshotServer("index.npz") as server:
+            results = server.query_batch(queries, k=10)
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        start_timeout: float = 60.0,
+        query_timeout: float = 120.0,
+        shm_min_bytes: int = SHM_MIN_BYTES,
+        mp_context=None,
+    ) -> None:
+        if start_timeout <= 0 or query_timeout <= 0:
+            raise ValueError("timeouts must be positive")
+        self.path = os.fspath(path)
+        self.start_timeout = float(start_timeout)
+        self.query_timeout = float(query_timeout)
+        self.shm_min_bytes = int(shm_min_bytes)
+        if mp_context is None or isinstance(mp_context, str):
+            self._ctx = multiprocessing.get_context(mp_context)
+        else:
+            self._ctx = mp_context
+
+        header = read_header(self.path)  # raises SnapshotError on junk
+        self._shard_headers = shard_headers(header)
+        first = self._shard_headers[0]
+        self.dim = int(first["dim"])
+        sizes = [int(h["n"]) for h in self._shard_headers]
+        self._offsets: List[int] = [0]
+        for size in sizes[:-1]:
+            self._offsets.append(self._offsets[-1] + size)
+        self._num_points = sum(sizes)
+        self._hash_fns = int(first["k_per_space"]) * int(first["l_spaces"])
+        self._kind = header["kind"]
+        self._budget = header.get("budget", "full")
+
+        self._workers: List[_Worker] = []
+        self._broken: Optional[str] = None
+        self.startup_seconds: float = 0.0
+        #: ``evaluate_method`` reports this as the method's build cost;
+        #: for a server the honest figure is the worker start-up time.
+        self.build_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shard_headers)
+
+    @property
+    def num_workers(self) -> int:
+        """Live worker processes (0 unless serving)."""
+        return len(self._workers)
+
+    @property
+    def serving(self) -> bool:
+        return bool(self._workers) and self._broken is None
+
+    @property
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live worker processes (diagnostics/tests)."""
+        return [w.process.pid for w in self._workers]
+
+    @property
+    def num_points(self) -> int:
+        return self._num_points
+
+    @property
+    def num_hash_functions(self) -> int:
+        return self._hash_fns
+
+    @property
+    def name(self) -> str:
+        return f"DB-LSH-serve[{self.num_shards}p]"
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the served snapshot."""
+        state = "serving" if self.serving else (
+            f"broken: {self._broken}" if self._broken else "stopped"
+        )
+        return (
+            f"SnapshotServer(path={os.path.basename(self.path)!r}, "
+            f"shards={self.num_shards}, n={self.num_points}, d={self.dim}, "
+            f"budget={self._budget}, {state})"
+        )
+
+    def start(self) -> "SnapshotServer":
+        """Spawn one worker per shard and wait until all are ready.
+
+        Raises
+        ------
+        ServerError
+            On double-start, or when any worker fails to come up within
+            ``start_timeout`` (the error carries the worker's traceback
+            when it reported one).
+        """
+        if self._workers:
+            raise ServerError(
+                "server already started; close() it before starting again"
+            )
+        self._broken = None
+        started = time.perf_counter()
+        workers: List[_Worker] = []
+        try:
+            for shard in range(self.num_shards):
+                parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+                # The parent end rides along so the worker can close its
+                # inherited copy — otherwise a SIGKILL'd coordinator
+                # never EOFs the pipe and workers linger (see serve_shard).
+                process = self._ctx.Process(
+                    target=serve_shard,
+                    args=(self.path, shard, child_conn, parent_conn),
+                    name=f"repro-serve-{shard}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()  # child's end lives in the child now
+                workers.append(_Worker(shard, process, parent_conn))
+            deadline = time.monotonic() + self.start_timeout
+            for worker in workers:
+                message = self._recv(
+                    worker, max(deadline - time.monotonic(), 0.0),
+                    during="startup",
+                )
+                if message[0] != "ready":
+                    detail = message[1] if len(message) > 1 else message
+                    raise ServerError(
+                        f"{worker.describe()} failed to load shard "
+                        f"{worker.shard} of {self.path!r}:\n{detail}"
+                    )
+                worker.num_points = int(message[1])
+        except BaseException:
+            self._reap(workers)
+            raise
+        if [w.num_points for w in workers] != [
+            int(h["n"]) for h in self._shard_headers
+        ]:
+            self._reap(workers)
+            raise ServerError(
+                f"workers loaded unexpected shard sizes from {self.path!r}"
+            )
+        self._workers = workers
+        self.startup_seconds = time.perf_counter() - started
+        self.build_seconds = self.startup_seconds
+        return self
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop all workers; idempotent, never raises for a dead worker.
+
+        Polite shutdown first (a ``("shutdown",)`` message), then
+        ``terminate()``, then ``kill()`` for anything still alive — a
+        closed server leaves no worker processes behind.
+        """
+        workers, self._workers = self._workers, []
+        # A closed server is "stopped", not "broken": the failure was
+        # acted on, and start() may bring the server back cleanly.
+        self._broken = None
+        for worker in workers:
+            try:
+                worker.conn.send(("shutdown",))
+            except (OSError, BrokenPipeError, ValueError):
+                pass  # already dead; reaped below
+        self._reap(workers, timeout)
+
+    def _reap(self, workers: Sequence[_Worker], timeout: float = 5.0) -> None:
+        deadline = time.monotonic() + timeout
+        for worker in workers:
+            worker.process.join(max(deadline - time.monotonic(), 0.1))
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(1.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(1.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "SnapshotServer":
+        if self._broken is not None:
+            self.close()  # recycle a broken pool rather than hand it out
+        if not self._workers:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(self, query: np.ndarray, k: int = 1) -> QueryResult:
+        """(c, k)-ANN over the served snapshot (a batch of one)."""
+        query = check_query(np.asarray(query, dtype=np.float64), self.dim)
+        return self.query_batch(query[None, :], k=k)[0]
+
+    def query_batch(self, queries: np.ndarray, k: int = 1) -> List[QueryResult]:
+        """Scatter a query block to every worker and merge the answers.
+
+        Parameters
+        ----------
+        queries:
+            Query block of shape ``(m, d)`` (or a single ``(d,)`` row).
+        k:
+            Neighbors per query, ``k >= 1``.
+
+        Returns
+        -------
+        list of QueryResult
+            Identical — ids and distances — to what
+            ``load_index(path).query_batch(queries, k)`` returns in one
+            process (pinned by ``tests/test_serve.py`` and the
+            ``bench_serve.py`` parity gate).
+
+        Raises
+        ------
+        ServerError
+            If the server is not serving (never started, closed, or
+            broken by an earlier worker failure), a worker has died, or
+            a worker exceeds ``query_timeout``.
+        ValueError
+            If ``k < 1`` or the query block does not match the
+            snapshot's dimensionality.
+        """
+        self._require_serving()
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        queries = check_queries(queries, self.dim)
+        m = queries.shape[0]
+        if m == 0:
+            return []
+        started = time.perf_counter()
+        payload, shm = write_query_block(queries, self.shm_min_bytes)
+        try:
+            for worker in self._workers:
+                self._send(worker, ("query", payload, int(k)))
+            per_shard = []
+            for worker in self._workers:
+                message = self._recv(worker, self.query_timeout, during="query")
+                if message[0] != "ok":
+                    detail = message[1] if len(message) > 1 else message
+                    self._broken = f"{worker.describe()} failed a query"
+                    raise ServerError(
+                        f"{worker.describe()} failed the query:\n{detail}"
+                    )
+                per_shard.append([decode_result(w) for w in message[1]])
+        finally:
+            if shm is not None:
+                shm.close()
+                shm.unlink()
+        elapsed = time.perf_counter() - started
+        return merge_shard_batches(
+            per_shard,
+            self._offsets,
+            k,
+            elapsed / m,
+            hash_evaluations=self._hash_fns,
+        )
+
+    def ping(self) -> float:
+        """Round-trip every worker once; returns the wall time in seconds.
+
+        A liveness probe: raises :class:`ServerError` (like a query
+        would) if any worker is dead, hung, or unresponsive.
+        """
+        self._require_serving()
+        started = time.perf_counter()
+        for worker in self._workers:
+            self._send(worker, ("ping",))
+        for worker in self._workers:
+            message = self._recv(worker, self.query_timeout, during="ping")
+            if message[0] != "pong":
+                self._broken = f"{worker.describe()} broke protocol"
+                raise ServerError(
+                    f"{worker.describe()} answered ping with {message[0]!r}"
+                )
+        return time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _require_serving(self) -> None:
+        if self._broken is not None:
+            raise ServerError(
+                f"server is broken ({self._broken}); close() and start() again"
+            )
+        if not self._workers:
+            raise ServerError(
+                "server is not serving; call start() (or use it as a "
+                "context manager) before querying"
+            )
+
+    def _send(self, worker: _Worker, message) -> None:
+        try:
+            worker.conn.send(message)
+        except (OSError, BrokenPipeError, ValueError) as exc:
+            self._broken = f"{worker.describe()} is unreachable"
+            raise ServerError(
+                f"{self._dead_worker_detail(worker)} (send failed: {exc!r})"
+            ) from exc
+
+    def _recv(self, worker: _Worker, timeout: float, during: str):
+        """Receive one message, bounded by ``timeout`` and worker health."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                if worker.conn.poll(0.05):
+                    return worker.conn.recv()
+            except (EOFError, OSError) as exc:
+                self._broken = f"{worker.describe()} closed its pipe"
+                raise ServerError(self._dead_worker_detail(worker)) from exc
+            if not worker.process.is_alive():
+                # Drain a message the worker managed to send before dying.
+                try:
+                    if worker.conn.poll(0):
+                        return worker.conn.recv()
+                except (EOFError, OSError):
+                    pass
+                self._broken = f"{worker.describe()} died"
+                raise ServerError(self._dead_worker_detail(worker))
+            if time.monotonic() >= deadline:
+                self._broken = f"{worker.describe()} timed out"
+                raise ServerError(
+                    f"{worker.describe()} did not answer within {timeout:.1f}s "
+                    f"during {during}; the server is now marked broken"
+                )
+
+    def _dead_worker_detail(self, worker: _Worker) -> str:
+        code = worker.process.exitcode
+        state = "is still running" if code is None else f"exited with code {code}"
+        return (
+            f"{worker.describe()} serving shard {worker.shard} of "
+            f"{self.path!r} is gone ({state}); close() and start() the "
+            f"server again"
+        )

@@ -1,0 +1,97 @@
+"""The serving worker: one process, one loaded snapshot shard.
+
+:func:`serve_shard` is the target function of every
+:class:`~repro.serve.server.SnapshotServer` worker process.  It loads
+exactly one shard of the snapshot (:func:`repro.io.snapshot.load_shard`
+reads only that shard's archive members), freezes its traversals once,
+reports readiness, and then answers ``("query", payload, k)`` requests
+over its pipe until told to shut down.
+
+Failure discipline: the worker never lets an exception escape the loop
+silently.  Startup failures and per-request failures are both reported
+to the coordinator as ``("error", traceback_text)`` messages so the
+parent can surface the *worker's* stack trace instead of a bare broken
+pipe; only a vanished coordinator (``EOFError``/``OSError`` on the pipe)
+ends the loop without a report, because there is nobody left to read
+one.  Workers are started as daemons, so even a killed coordinator
+cannot leave them behind.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+from repro.serve.protocol import encode_result, read_query_block
+
+__all__ = ["serve_shard"]
+
+
+def serve_shard(path: str, shard: int, conn, peer=None) -> None:
+    """Load shard ``shard`` of the snapshot at ``path`` and serve ``conn``.
+
+    The worker answers with shard-local ids; the coordinator owns the
+    offset mapping and the global merge
+    (:func:`repro.core.plan.merge_shard_batches`).
+
+    ``peer`` is the *coordinator's* end of the pipe.  On a forking
+    platform the worker inherits a copy of that file descriptor, which
+    would keep the socketpair open inside the worker itself — so a
+    SIGKILL'd coordinator would never produce the EOF the loop below
+    relies on, and the workers would linger as orphans.  Closing the
+    inherited copy first thing makes coordinator death observable:
+    ``recv`` raises ``EOFError`` and the worker exits on its own.
+    """
+    if peer is not None:
+        try:
+            peer.close()
+        except OSError:
+            pass
+    try:
+        from repro.io.snapshot import load_shard
+
+        index = load_shard(path, shard)
+        # Freeze now so the first query doesn't pay a lazy rebuild (a
+        # no-op on rstar snapshots, which store the frozen arrays).
+        index._ensure_frozen()
+        conn.send(("ready", index.num_points))
+    except Exception:
+        _best_effort_send(conn, ("error", traceback.format_exc()))
+        return
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break  # coordinator is gone; daemon exit
+        try:
+            kind = message[0]
+            if kind == "shutdown":
+                _best_effort_send(conn, ("bye",))
+                break
+            if kind == "ping":
+                conn.send(("pong",))
+            elif kind == "query":
+                queries = read_query_block(message[1])
+                results = index.query_batch(queries, k=int(message[2]))
+                conn.send(("ok", [encode_result(r) for r in results]))
+            else:
+                conn.send(("error", f"unknown message kind {kind!r}"))
+        except (EOFError, OSError, BrokenPipeError):
+            break  # coordinator vanished mid-request
+        except Exception:
+            # Request-level failure: report and keep serving.  The
+            # coordinator decides whether that poisons the server.
+            if not _best_effort_send(conn, ("error", traceback.format_exc())):
+                break
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+def _best_effort_send(conn, message) -> bool:
+    """Send without raising; False means the pipe is already dead."""
+    try:
+        conn.send(message)
+        return True
+    except (OSError, BrokenPipeError, ValueError):
+        return False

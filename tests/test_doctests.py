@@ -7,10 +7,15 @@ import doctest
 import pytest
 
 import repro
+import repro.core.sharded
+import repro.io.snapshot
 import repro.utils.timing
 
 
-@pytest.mark.parametrize("module", [repro, repro.utils.timing])
+@pytest.mark.parametrize(
+    "module",
+    [repro, repro.core.sharded, repro.io.snapshot, repro.utils.timing],
+)
 def test_doctests(module):
     result = doctest.testmod(module, verbose=False)
     assert result.attempted >= 1, f"{module.__name__} lost its doctest examples"

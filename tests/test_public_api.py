@@ -37,6 +37,8 @@ class TestTopLevel:
         "repro.core",
         "repro.hashing",
         "repro.index",
+        "repro.io",
+        "repro.serve",
         "repro.baselines",
         "repro.data",
         "repro.eval",

@@ -1,0 +1,537 @@
+"""Tests for repro.serve: parity across transports, server lifecycle.
+
+The serving layer's contract has two halves:
+
+* **answers** — a served snapshot returns exactly what the same snapshot
+  returns when loaded in process (shared merge planner, different
+  transport), for single queries, batches, and both scatter paths
+  (inline pipe payloads and shared-memory blocks);
+* **lifecycle** — start/close are explicit and safe (double-start
+  refused, query-before-start refused, close idempotent, restart after
+  close works), and failure surfaces as a prompt
+  :class:`~repro.serve.ServerError` instead of a hang: a killed worker
+  is reported with its exit code within the query timeout, and a closed
+  server leaves no worker processes behind.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import DBLSH, ShardedDBLSH
+from repro.core.plan import merge_shard_results
+from repro.core.result import Neighbor, QueryResult
+from repro.io import load_index, save_index
+from repro.serve import ServerError, SnapshotServer
+from repro.serve.protocol import decode_result, encode_result
+from repro.data.generators import gaussian_mixture
+
+COMMON = dict(
+    c=1.5, l_spaces=3, k_per_space=6, t=32, seed=0, auto_initial_radius=True
+)
+
+
+def _alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def _serve_and_sleep(path, conn):
+    """Child-process helper: start a server, report worker pids, hang."""
+    from repro.serve import SnapshotServer
+
+    server = SnapshotServer(path).start()
+    conn.send(server.worker_pids)
+    time.sleep(60)  # until SIGKILLed by the test
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data = gaussian_mixture(1200, 16, n_clusters=6, seed=3)
+    rng = np.random.default_rng(7)
+    queries = data[rng.choice(1200, 8, replace=False)] + 0.02
+    return data, queries
+
+
+@pytest.fixture(scope="module")
+def snapshot_path(workload, tmp_path_factory):
+    data, _ = workload
+    path = str(tmp_path_factory.mktemp("serve") / "sharded.npz")
+    save_index(ShardedDBLSH(shards=2, **COMMON).fit(data), path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def server(snapshot_path):
+    server = SnapshotServer(snapshot_path, start_timeout=30, query_timeout=30)
+    server.start()
+    yield server
+    server.close()
+
+
+class TestParity:
+    """Served answers == in-process answers on the same snapshot."""
+
+    def test_batch_matches_inprocess_load(self, workload, snapshot_path, server):
+        _, queries = workload
+        expected = load_index(snapshot_path).query_batch(queries, k=5)
+        got = server.query_batch(queries, k=5)
+        assert [r.ids for r in got] == [r.ids for r in expected]
+        assert [r.distances for r in got] == [r.distances for r in expected]
+
+    def test_single_query_matches_batch(self, workload, server):
+        _, queries = workload
+        batch = server.query_batch(queries, k=3)
+        singles = [server.query(q, k=3) for q in queries]
+        assert [r.ids for r in singles] == [r.ids for r in batch]
+
+    def test_matches_unsharded_sets(self, workload, server):
+        data, queries = workload
+        unsharded = DBLSH(**COMMON).fit(data)
+        for q, got in zip(queries, server.query_batch(queries, k=5)):
+            assert set(got.ids) == set(unsharded.query(q, k=5).ids)
+
+    def test_shm_and_inline_payloads_agree(self, snapshot_path, workload):
+        _, queries = workload
+        with SnapshotServer(snapshot_path, shm_min_bytes=0) as shm_server:
+            via_shm = shm_server.query_batch(queries, k=5)
+        with SnapshotServer(snapshot_path, shm_min_bytes=1 << 40) as pipe_server:
+            via_pipe = pipe_server.query_batch(queries, k=5)
+        assert [r.ids for r in via_shm] == [r.ids for r in via_pipe]
+        assert [r.distances for r in via_shm] == [r.distances for r in via_pipe]
+
+    def test_unsharded_snapshot_served_as_single_worker(self, workload, tmp_path):
+        data, queries = workload
+        index = DBLSH(**COMMON).fit(data)
+        path = str(tmp_path / "single.npz")
+        save_index(index, path)
+        expected = index.query_batch(queries, k=4)
+        with SnapshotServer(path) as server:
+            assert server.num_shards == 1
+            got = server.query_batch(queries, k=4)
+        assert [r.ids for r in got] == [r.ids for r in expected]
+
+    def test_merged_stats_aggregate_work(self, workload, server):
+        _, queries = workload
+        result = server.query(queries[0], k=5)
+        assert result.stats.candidates_verified > 0
+        assert result.stats.window_queries >= server.num_shards
+        assert result.stats.hash_evaluations == server.num_hash_functions
+        assert result.stats.terminated_by
+
+    def test_empty_batch(self, server):
+        assert server.query_batch(np.empty((0, server.dim)), k=3) == []
+
+
+class TestLifecycle:
+    def test_query_before_start(self, snapshot_path):
+        server = SnapshotServer(snapshot_path)
+        with pytest.raises(ServerError, match="not serving"):
+            server.query(np.zeros(server.dim), k=1)
+
+    def test_double_start(self, snapshot_path):
+        server = SnapshotServer(snapshot_path).start()
+        try:
+            with pytest.raises(ServerError, match="already started"):
+                server.start()
+        finally:
+            server.close()
+
+    def test_close_idempotent_and_restartable(self, snapshot_path, workload):
+        _, queries = workload
+        server = SnapshotServer(snapshot_path).start()
+        server.close()
+        server.close()  # second close is a no-op
+        with pytest.raises(ServerError, match="not serving"):
+            server.query_batch(queries, k=1)
+        server.start()  # a closed server can come back
+        try:
+            assert server.query(queries[0], k=1).neighbors
+        finally:
+            server.close()
+
+    def test_clean_shutdown_leaves_no_orphans(self, snapshot_path):
+        server = SnapshotServer(snapshot_path).start()
+        pids = server.worker_pids
+        assert len(pids) == 2 and all(_alive(pid) for pid in pids)
+        server.close()
+        deadline = time.monotonic() + 5.0
+        while any(_alive(pid) for pid in pids):
+            assert time.monotonic() < deadline, f"orphan workers: {pids}"
+            time.sleep(0.05)
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="POSIX only")
+    def test_sigkilled_coordinator_leaves_no_orphan_workers(self, snapshot_path):
+        """SIGKILL skips every graceful path (daemon reaping, close()):
+        workers must notice the dead coordinator via pipe EOF and exit."""
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        parent_conn, child_conn = ctx.Pipe()
+        coordinator = ctx.Process(
+            target=_serve_and_sleep, args=(snapshot_path, child_conn)
+        )
+        coordinator.start()
+        child_conn.close()
+        try:
+            assert parent_conn.poll(30), "coordinator never started serving"
+            worker_pids = parent_conn.recv()
+            assert len(worker_pids) == 2
+            os.kill(coordinator.pid, 9)
+            coordinator.join(10)
+            deadline = time.monotonic() + 10
+            while any(_alive(pid) for pid in worker_pids):
+                assert time.monotonic() < deadline, (
+                    f"workers orphaned after coordinator SIGKILL: {worker_pids}"
+                )
+                time.sleep(0.05)
+        finally:
+            if coordinator.is_alive():
+                coordinator.kill()
+                coordinator.join(5)
+
+    def test_context_manager(self, snapshot_path, workload):
+        _, queries = workload
+        with SnapshotServer(snapshot_path) as server:
+            pids = server.worker_pids
+            assert server.serving
+            assert server.query(queries[0], k=1).neighbors
+        assert not server.serving
+        assert not any(_alive(pid) for pid in pids)
+
+    def test_invalid_k(self, server):
+        with pytest.raises(ValueError, match="k must be"):
+            server.query_batch(np.zeros((1, server.dim)), k=0)
+
+    def test_wrong_dim_rejected_in_coordinator(self, server):
+        with pytest.raises(ValueError, match="dimension"):
+            server.query_batch(np.zeros((2, server.dim + 3)), k=1)
+
+    def test_bad_snapshot_rejected_eagerly(self, tmp_path):
+        from repro.io import SnapshotError
+
+        junk = tmp_path / "junk.npz"
+        junk.write_bytes(b"not a snapshot at all")
+        with pytest.raises(SnapshotError):
+            SnapshotServer(str(junk))
+
+    def test_invalid_timeouts(self, snapshot_path):
+        with pytest.raises(ValueError, match="timeout"):
+            SnapshotServer(snapshot_path, query_timeout=0)
+
+
+class TestFailureSurfacing:
+    """A dead or silent worker must raise promptly — never hang."""
+
+    def test_killed_worker_surfaces_within_timeout(self, snapshot_path, workload):
+        _, queries = workload
+        server = SnapshotServer(snapshot_path, query_timeout=10).start()
+        try:
+            os.kill(server.worker_pids[1], 9)
+            started = time.monotonic()
+            with pytest.raises(ServerError, match="worker 1"):
+                server.query_batch(queries, k=3)
+            assert time.monotonic() - started < 10.0
+        finally:
+            server.close()
+
+    def test_broken_server_refuses_further_queries(self, snapshot_path, workload):
+        _, queries = workload
+        server = SnapshotServer(snapshot_path, query_timeout=10).start()
+        try:
+            os.kill(server.worker_pids[0], 9)
+            with pytest.raises(ServerError):
+                server.query_batch(queries, k=3)
+            with pytest.raises(ServerError, match="broken"):
+                server.query_batch(queries, k=3)
+        finally:
+            server.close()
+
+    def test_crash_then_restart_recovers(self, snapshot_path, workload):
+        _, queries = workload
+        server = SnapshotServer(snapshot_path, query_timeout=10).start()
+        try:
+            baseline = server.query_batch(queries, k=3)
+            os.kill(server.worker_pids[0], 9)
+            with pytest.raises(ServerError):
+                server.query_batch(queries, k=3)
+            server.close()
+            server.start()
+            again = server.query_batch(queries, k=3)
+            assert [r.ids for r in again] == [r.ids for r in baseline]
+        finally:
+            server.close()
+
+    def test_ping_detects_dead_worker(self, snapshot_path):
+        server = SnapshotServer(snapshot_path, query_timeout=10).start()
+        try:
+            assert server.ping() >= 0.0
+            os.kill(server.worker_pids[0], 9)
+            with pytest.raises(ServerError):
+                server.ping()
+        finally:
+            server.close()
+
+
+class TestProtocol:
+    def test_result_roundtrip(self):
+        result = QueryResult(neighbors=[Neighbor(3, 0.5), Neighbor(9, 1.25)])
+        result.stats.candidates_verified = 17
+        result.stats.terminated_by = "radius"
+        back = decode_result(encode_result(result))
+        assert back.neighbors == result.neighbors
+        assert back.stats == result.stats
+
+    def test_decode_tolerates_stats_schema_skew(self):
+        """A peer with a different QueryStats vintage must not shift
+        counters into the wrong slots: fields travel by name."""
+        result = QueryResult(neighbors=[Neighbor(1, 2.0)])
+        result.stats.rounds = 4
+        ids, dists, stats = encode_result(result)
+        stats = dict(stats)
+        stats["counter_from_the_future"] = 7  # newer peer: ignored
+        del stats["window_queries"]  # older peer: default kept
+        back = decode_result((ids, dists, stats))
+        assert back.stats.rounds == 4
+        assert back.stats.window_queries == 0
+
+    def test_planner_merge_maps_local_ids_to_global(self):
+        a = QueryResult(neighbors=[Neighbor(0, 1.0), Neighbor(2, 3.0)])
+        b = QueryResult(neighbors=[Neighbor(1, 2.0)])
+        merged = merge_shard_results([a, b], offsets=[0, 100], k=3,
+                                     elapsed=0.0, hash_evaluations=5)
+        assert [n.id for n in merged.neighbors] == [0, 101, 2]
+        assert merged.stats.hash_evaluations == 5
+
+
+class TestCLI:
+    """The serve/query commands speak the wire protocol end to end."""
+
+    def test_serve_and_query_over_unix_socket(self, snapshot_path, tmp_path, capsys):
+        import threading
+
+        from repro.cli import main
+
+        sock = str(tmp_path / "serve.sock")
+        rc_box = []
+        thread = threading.Thread(
+            target=lambda: rc_box.append(main(
+                ["serve", "--index", snapshot_path, "--listen", sock,
+                 "--max-requests", "1"]
+            )),
+            daemon=True,
+        )
+        thread.start()
+        rc = main([
+            "query", "--server", sock, "--dataset", "audio",
+            "--scale", "0.02", "--queries", "4", "--k", "3",
+            "--connect-timeout", "30", "--shutdown",
+        ])
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        # The snapshot is 16-d but the audio stand-in is 192-d: the serve
+        # side reports a clean dimension error (and keeps serving — a bad
+        # query must not kill the server), the client exits nonzero and
+        # its --shutdown stops the serve loop.
+        out = capsys.readouterr()
+        assert rc == 1
+        assert "dimension" in out.err
+
+    def test_query_round_trip_with_matching_dims(self, workload, tmp_path, capsys):
+        import threading
+
+        from repro.cli import main
+
+        # Build server-side snapshot from the same registry stand-in the
+        # query command samples, so dimensions line up.
+        out_npz = str(tmp_path / "audio.npz")
+        assert main(["save", "--dataset", "audio", "--scale", "0.02",
+                     "--t", "8", "--queries", "4", "--shards", "2",
+                     "--out", out_npz]) == 0
+        sock = str(tmp_path / "round.sock")
+        rc_box = []
+        thread = threading.Thread(
+            target=lambda: rc_box.append(main(
+                ["serve", "--index", out_npz, "--listen", sock,
+                 "--max-requests", "1"]
+            )),
+            daemon=True,
+        )
+        thread.start()
+        # --shutdown against a server that stops on its own after this
+        # very request (--max-requests 1 closes the connection first):
+        # the client must still print its table and exit 0, not
+        # traceback on the EOF of the shutdown round trip.
+        rc = main([
+            "query", "--server", sock, "--dataset", "audio",
+            "--scale", "0.02", "--queries", "4", "--k", "3",
+            "--connect-timeout", "30", "--shutdown",
+        ])
+        thread.join(timeout=60)
+        assert rc == 0
+        assert rc_box == [0]
+        out = capsys.readouterr().out
+        assert "Served answers" in out
+        assert "served 1 request(s)" in out
+
+
+class TestCLIFailurePaths:
+    def test_serve_cleans_stale_socket_and_restarts(self, snapshot_path,
+                                                    tmp_path, capsys):
+        import socket
+        import threading
+
+        from repro.cli import main
+
+        sock_path = str(tmp_path / "stale.sock")
+        # Simulate an unclean exit: a bound-but-dead socket file.
+        dead = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        dead.bind(sock_path)
+        dead.close()
+        assert os.path.exists(sock_path)
+        rc_box = []
+        thread = threading.Thread(
+            target=lambda: rc_box.append(main(
+                ["serve", "--index", snapshot_path, "--listen", sock_path,
+                 "--max-requests", "0"]
+            )),
+            daemon=True,
+        )
+        thread.start()
+        thread.join(timeout=30)
+        assert rc_box == [0], capsys.readouterr().err
+
+    def test_serve_refuses_nonloopback_tcp_with_default_authkey(
+            self, snapshot_path, capsys):
+        """The default key is public and the protocol is pickle: binding
+        beyond loopback with it would be remote code execution."""
+        from repro.cli import main
+
+        rc = main(["serve", "--index", snapshot_path,
+                   "--listen", "0.0.0.0:17007"])
+        assert rc == 1
+        assert "REPRO_SERVE_AUTHKEY" in capsys.readouterr().err
+
+    def test_serve_refuses_non_socket_listen_path(self, snapshot_path,
+                                                  tmp_path, capsys):
+        from repro.cli import main
+
+        plain = tmp_path / "not-a-socket"
+        plain.write_text("precious data")
+        rc = main(["serve", "--index", snapshot_path,
+                   "--listen", str(plain), "--max-requests", "0"])
+        assert rc == 1
+        assert "not a socket" in capsys.readouterr().err
+        assert plain.read_text() == "precious data"  # never clobbered
+
+    def test_serve_survives_half_open_connections(self, snapshot_path,
+                                                  tmp_path):
+        """A probe that connects and vanishes mid-handshake (port scanner,
+        the stale-socket check of a second serve) must not kill the loop."""
+        import socket
+        import threading
+
+        from multiprocessing.connection import Client
+
+        from repro.cli import main
+        from repro.serve.protocol import AUTHKEY
+
+        sock_path = str(tmp_path / "probe.sock")
+        rc_box = []
+        thread = threading.Thread(
+            target=lambda: rc_box.append(main(
+                ["serve", "--index", snapshot_path, "--listen", sock_path]
+            )),
+            daemon=True,
+        )
+        thread.start()
+        deadline = time.monotonic() + 30
+        while not os.path.exists(sock_path):
+            assert time.monotonic() < deadline
+            time.sleep(0.05)
+        for _ in range(3):  # hammer the handshake window
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            probe.connect(sock_path)
+            probe.close()
+        with Client(sock_path, authkey=AUTHKEY) as conn:
+            # Malformed payloads are rejected per-request, never fatal.
+            for bad in ("not-a-tuple", (), ("query_batch",),
+                        ("query_batch", ["a", ["b", "c"]], "x")):
+                conn.send(bad)
+                status, detail = conn.recv()
+                assert status == "error", (bad, detail)
+            conn.send(("describe",))
+            status, described = conn.recv()
+            assert status == "ok" and "SnapshotServer" in described
+            conn.send(("shutdown",))
+            conn.recv()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert rc_box == [0]
+
+    def test_serve_exits_nonzero_when_server_breaks(self, snapshot_path,
+                                                    tmp_path, capsys,
+                                                    monkeypatch):
+        import threading
+
+        from repro.cli import main
+
+        def boom(self, queries, k=1):
+            raise ServerError("worker 0 (pid 0) died")
+
+        monkeypatch.setattr(SnapshotServer, "query_batch", boom)
+        sock = str(tmp_path / "broken.sock")
+        rc_box = []
+        thread = threading.Thread(
+            target=lambda: rc_box.append(main(
+                ["serve", "--index", snapshot_path, "--listen", sock]
+            )),
+            daemon=True,
+        )
+        thread.start()
+        rc = main([
+            "query", "--server", sock, "--dataset", "audio",
+            "--scale", "0.02", "--queries", "2", "--k", "1",
+            "--connect-timeout", "30",
+        ])
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert rc == 1  # client saw the error reply
+        assert rc_box == [1]  # serve exited nonzero, not "clean shutdown"
+        assert "serving failed" in capsys.readouterr().err
+
+
+class TestEvalRunner:
+    def test_evaluate_server_reports_sane_metrics(self, snapshot_path, workload):
+        from repro.eval import evaluate_server
+
+        _, queries = workload
+        result = evaluate_server(snapshot_path, queries, k=5,
+                                 dataset_name="toy")
+        assert result.method == "DB-LSH-serve[2p]"
+        assert result.recall > 0.5
+        assert result.candidates_per_query > 0
+        assert result.build_seconds > 0  # worker start-up time
+
+    def test_evaluate_server_with_supplied_ground_truth(self, snapshot_path,
+                                                        workload):
+        from repro.data.groundtruth import exact_knn
+        from repro.eval import evaluate_server
+
+        data, queries = workload
+        gt_ids, gt_dists = exact_knn(queries, data, 5)
+        result = evaluate_server(snapshot_path, queries, k=5,
+                                 gt_ids=gt_ids, gt_dists=gt_dists)
+        # The report still carries real workload shape even though the
+        # stored coordinates were never read on this path.
+        assert (result.n, result.dim) == data.shape
+        assert result.recall > 0.5

@@ -1,0 +1,84 @@
+"""Verify that relative links in README.md and docs/*.md resolve.
+
+Checks every markdown link target (``[text](target)``) that is not an
+absolute URL or a pure in-page anchor, resolving it against the linking
+file's directory, and fails with a listing of broken targets.  Run from
+anywhere::
+
+    python tools/check_docs_links.py [repo_root]
+
+Used by the CI lint job and by ``tests/test_docs_links.py``, so a PR
+that moves or renames a referenced file fails fast instead of shipping
+dead documentation links.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import List
+
+#: Markdown inline links: [text](target) — target may carry an #anchor
+#: or a "title" after whitespace.  The destination is everything inside
+#: the parentheses; _target() trims titles/angle brackets, so links the
+#: simple one-token form would skip (spaces, titles) are still checked
+#: rather than silently passing.
+_LINK = re.compile(r"\[[^\]]*\]\(([^()]+)\)")
+
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _target(raw: str) -> str:
+    """The link destination of one parenthesized link body."""
+    raw = raw.strip()
+    if raw.startswith("<") and ">" in raw:
+        return raw[1:raw.index(">")]
+    return raw.split()[0] if raw.split() else ""
+
+
+def _doc_files(root: pathlib.Path) -> List[pathlib.Path]:
+    files = [root / "README.md"]
+    docs = root / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.glob("*.md")))
+    return [f for f in files if f.is_file()]
+
+
+def broken_links(root: pathlib.Path) -> List[str]:
+    """All unresolvable relative link targets under ``root``, pretty-printed."""
+    problems = []
+    for doc in _doc_files(root):
+        for raw in _LINK.findall(doc.read_text(encoding="utf-8")):
+            target = _target(raw)
+            if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (doc.parent / relative).exists():
+                problems.append(
+                    f"{doc.relative_to(root)}: broken link -> {target}"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    root = pathlib.Path(args[0]) if args else pathlib.Path(__file__).parents[1]
+    docs = _doc_files(root)
+    if not docs:
+        print(f"no documentation files found under {root}", file=sys.stderr)
+        return 1
+    problems = broken_links(root)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(docs)} file(s); all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
