@@ -26,6 +26,20 @@ whole ``2tL + k`` allowance — the parity-gated configuration) and
 mode a serving fleet would deploy; gated on transport parity only, since
 split budgets may legitimately return different sets than unsharded).
 
+Two further sections track the concurrent-serving machinery:
+
+* ``concurrent_clients`` — N client threads (``--clients``, default
+  1,2,4) split the query set over one shared server; the reassembled
+  answers must stay bit-identical to the single-client run (FIFO
+  dispatch parity), and the per-N throughput is recorded;
+* ``supervision`` — the acceptance scenario of the serving PR: 4
+  concurrent clients, one SIGKILLed worker (supervision restarts it and
+  re-scatters), and one hot reload to a second snapshot generation, all
+  in one run.  Every answer set any client saw must be bit-identical to
+  ``load_index(...).query_batch(...)`` on *one of* the two generations,
+  the post-reload answers must match the new snapshot, and no worker
+  process may outlive ``close()``.  CI gates on all of these flags.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serve.py          # n=100k
@@ -140,6 +154,123 @@ def bench_workers(data, queries, k, t, reps, baseline_results, gt_ids,
     return rows
 
 
+def bench_concurrent_clients(data, queries, k, t, reps, snapshot_stem,
+                             client_counts):
+    """N concurrent client threads on one shared 2-worker server."""
+    from repro.eval.runner import _ConcurrentClients
+
+    m = queries.shape[0]
+    index = ShardedDBLSH(shards=2, c=1.5, l_spaces=5, k_per_space=10, t=t,
+                         seed=0, auto_initial_radius=True)
+    index.fit(data)
+    snapshot_path = f"{snapshot_stem}.clients.npz"
+    save_index(index, snapshot_path)
+    expected = load_index(snapshot_path).query_batch(queries, k=k)
+    rows = {}
+    with SnapshotServer(snapshot_path) as server:
+        for clients in client_counts:
+            fanned = _ConcurrentClients(server, clients)
+            got = fanned.query_batch(queries, k=k)
+            seconds = _median_seconds(
+                lambda: fanned.query_batch(queries, k=k), reps
+            )
+            rows[str(clients)] = {
+                "qps_server": round(m / seconds, 1),
+                "matches_inprocess": _identical(got, expected),
+            }
+            print(f"  clients={clients}: {rows[str(clients)]['qps_server']} qps, "
+                  f"parity={rows[str(clients)]['matches_inprocess']}")
+    os.remove(snapshot_path)
+    return rows
+
+
+def bench_supervision(data, queries, k, t, snapshot_stem):
+    """4 clients + a SIGKILLed worker + a hot reload, in one run.
+
+    The CI gate for the supervised-serving PR: every answer any client
+    received must be bit-identical to the in-process answers of one of
+    the two snapshot generations, supervision must actually have
+    restarted a worker, the post-reload state must serve the new
+    generation, and close() must leave no worker processes behind.
+    """
+    import threading
+
+    snap_a = f"{snapshot_stem}.supervision.a.npz"
+    snap_b = f"{snapshot_stem}.supervision.b.npz"
+    common = dict(c=1.5, l_spaces=5, k_per_space=10, t=t,
+                  auto_initial_radius=True)
+    save_index(ShardedDBLSH(shards=2, seed=0, **common).fit(data), snap_a)
+    # Generation B: different shard count *and* projections (seed), so
+    # the reload exercises a real pool-shape change and answers
+    # attribute to exactly one generation.
+    save_index(ShardedDBLSH(shards=4, seed=1, **common).fit(data), snap_b)
+    expected_a = load_index(snap_a).query_batch(queries, k=k)
+    expected_b = load_index(snap_b).query_batch(queries, k=k)
+
+    server = SnapshotServer(snap_a).start()
+    seen_pids = set(server.worker_pids)
+    failures = []
+
+    def client(idx):
+        try:
+            for _ in range(5):
+                got = server.query_batch(queries, k=k)
+                if not (_identical(got, expected_a)
+                        or _identical(got, expected_b)):
+                    failures.append(
+                        f"client {idx}: answers match neither generation"
+                    )
+        except Exception as exc:
+            failures.append(f"client {idx}: {exc!r}")
+
+    threads = [threading.Thread(target=client, args=(i,), daemon=True)
+               for i in range(4)]
+    for thread in threads:
+        thread.start()
+    time.sleep(0.05)
+    os.kill(server.worker_pids[0], 9)     # SIGKILL mid-run
+    server.query_batch(queries[:1], k=1)  # forces the supervised restart
+    seen_pids |= set(server.worker_pids)
+    server.reload(snap_b)                 # hot flip mid-run
+    seen_pids |= set(server.worker_pids)
+    for thread in threads:
+        thread.join(timeout=300)
+    final_matches = _identical(server.query_batch(queries, k=k), expected_b)
+    restarts = server.restarts_total
+    generation = server.generation
+    server.close()
+
+    def alive(pid):
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except PermissionError:
+            return True
+        return True
+
+    deadline = time.monotonic() + 15
+    while any(alive(pid) for pid in seen_pids) and time.monotonic() < deadline:
+        time.sleep(0.05)
+    orphans = [pid for pid in seen_pids if alive(pid)]
+    for path in (snap_a, snap_b):
+        os.remove(path)
+    row = {
+        "clients": 4,
+        "all_answers_bit_identical_to_a_generation": not failures,
+        "worker_restarts": restarts,
+        "post_reload_matches_new_snapshot": bool(final_matches),
+        "final_generation": generation,
+        "no_orphans_after_close": not orphans,
+        "failures": failures[:5],
+    }
+    print(f"  supervision: restarts={restarts}, generation={generation}, "
+          f"parity={row['all_answers_bit_identical_to_a_generation']}, "
+          f"reload_parity={row['post_reload_matches_new_snapshot']}, "
+          f"orphans={orphans}")
+    return row
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
@@ -150,6 +281,9 @@ def main(argv=None) -> int:
     parser.add_argument("--k", type=int, default=50)
     parser.add_argument("--reps", type=int, default=None,
                         help="timing repetitions (median taken)")
+    parser.add_argument("--clients", default="1,2,4",
+                        help="comma-separated concurrent-client counts for "
+                             "the shared-server rows")
     parser.add_argument("--out", default=None,
                         help="output JSON path (default: BENCH_serve.json)")
     args = parser.parse_args(argv)
@@ -201,6 +335,11 @@ def main(argv=None) -> int:
         "workers_budget_split": bench_workers(data, queries, args.k, t, reps,
                                               baseline_results, gt_ids,
                                               out_stem, budget="split"),
+        "concurrent_clients": bench_concurrent_clients(
+            data, queries, args.k, t, reps, out_stem,
+            [int(x) for x in args.clients.split(",") if x.strip()],
+        ),
+        "supervision": bench_supervision(data, queries, args.k, t, out_stem),
     }
 
     with open(args.out, "w") as handle:

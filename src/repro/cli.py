@@ -22,6 +22,14 @@ The ``serve``/``query`` pair speaks :mod:`multiprocessing.connection`
 framing (:mod:`repro.serve.protocol`) over a unix socket (``--listen
 /tmp/repro.sock``) or TCP (``--listen 127.0.0.1:7007``) — the
 fit → save → serve → query loop of the README's serving quickstart.
+``serve`` accepts any number of concurrent clients (one thread per
+connection, FIFO-fair onto the shared worker pool), supervises its
+workers (a killed worker is restarted and the request retried once),
+answers ``status`` and ``reload`` protocol verbs, and with ``--watch``
+hot-reloads a new snapshot generation when the file changes — in-flight
+queries finish on the generation they started on.  The client side
+retries its connection with exponential backoff (``--connect-timeout``),
+so scripts may start ``serve`` and ``query`` back to back.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import threading
 import time
 from typing import Optional
 
@@ -196,33 +205,112 @@ def _clear_stale_socket(address) -> Optional[str]:
 
 
 class _ServeState:
-    """Mutable loop state of one ``repro serve`` run."""
+    """Thread-safe loop state of one ``repro serve`` run.
+
+    The accept loop hands every client connection to its own thread, so
+    the request counter, the failure slot, and the stop signal are all
+    guarded here.  ``request_stop`` also closes the listener: that is
+    what unblocks the accept loop promptly instead of leaving it parked
+    in ``accept()`` until one more client happens to connect.
+    """
 
     def __init__(self, max_requests: Optional[int]) -> None:
         self.max_requests = max_requests
         self.handled = 0
-        # --max-requests 0 means "bind, then stop": start already done.
-        self.stop = max_requests is not None and max_requests <= 0
         self.failure: Optional[str] = None
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._listener = None
+        self._address = None
+        self._listener_closed = False
+        # --max-requests 0 means "bind, then stop": start already done.
+        if max_requests is not None and max_requests <= 0:
+            self._stop.set()
+
+    @property
+    def stop(self) -> bool:
+        return self._stop.is_set()
+
+    def wait(self, timeout: float) -> bool:
+        """Sleep until stop is requested or ``timeout`` elapses."""
+        return self._stop.wait(timeout)
+
+    def attach_listener(self, listener, address) -> None:
+        with self._lock:
+            self._listener = listener
+            self._address = address
+
+    def request_stop(self) -> None:
+        self._stop.set()
+        with self._lock:
+            listener, self._listener = self._listener, None
+            address = getattr(self, "_address", None)
+            already = self._listener_closed
+            self._listener_closed = True
+        if listener is not None and not already:
+            # Closing a listening socket does NOT wake a thread already
+            # blocked in accept() on Linux; poke it with a throwaway
+            # connection first so the accept loop observes the stop.
+            self._poke(address)
+            try:
+                listener.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _poke(address) -> None:
+        import socket
+
+        try:
+            if isinstance(address, tuple):
+                poke = socket.create_connection(address, timeout=1.0)
+            elif isinstance(address, str) and hasattr(socket, "AF_UNIX"):
+                poke = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                poke.settimeout(1.0)
+                poke.connect(address)
+            else:
+                return
+            poke.close()
+        except OSError:
+            pass  # nobody listening anymore: nothing to wake
 
     def count_request(self) -> None:
-        self.handled += 1
-        if self.max_requests is not None and self.handled >= self.max_requests:
-            self.stop = True
+        with self._lock:
+            self.handled += 1
+            reached = (self.max_requests is not None
+                       and self.handled >= self.max_requests)
+        if reached:
+            self.request_stop()
+
+    def fail(self, message: str) -> None:
+        with self._lock:
+            if self.failure is None:
+                self.failure = message
+        self.request_stop()
 
 
 def _serve_one_client(conn, server, state: _ServeState) -> None:
     """Answer one client connection until it disconnects or asks to stop.
 
-    Client-side misbehavior (vanishing mid-request, resetting the
-    connection) only ends *this* connection; a ``ServerError`` from the
-    worker pool marks the run failed and stops the serve loop.
+    One of these runs per client thread; ``server`` dispatches the
+    threads onto the worker pool in FIFO order, so clients cannot starve
+    each other.  Client-side misbehavior (vanishing mid-request,
+    resetting the connection) only ends *this* connection; a
+    ``ServerError`` from the worker pool — which supervision could not
+    recover — marks the run failed and stops the serve loop.
     """
+    from repro.io import SnapshotError
     from repro.serve import ServerError
     from repro.serve.protocol import encode_result
 
-    while True:
+    while not state.stop:
         try:
+            # Bounded recv: wake periodically to observe a stop requested
+            # by another client's shutdown even if this connection's fd
+            # never EOFs (a worker forked while it was open would hold a
+            # copy; the spawn context avoids that, this bounds the rest).
+            if not conn.poll(0.2):
+                continue
             message = conn.recv()
         except (EOFError, ConnectionResetError, OSError):
             return  # client went away; accept the next one
@@ -237,18 +325,28 @@ def _serve_one_client(conn, server, state: _ServeState) -> None:
                     continue
                 except ServerError as exc:
                     conn.send(("error", str(exc)))
-                    state.failure = str(exc)
-                    state.stop = True
+                    state.fail(str(exc))
                     return
                 conn.send(("ok", [encode_result(r) for r in results]))
                 state.count_request()
                 if state.stop:
                     return
+            elif kind == "status":
+                conn.send(("ok", server.status()))
+            elif kind == "reload":
+                path = message[1] if len(message) > 1 and message[1] else None
+                try:
+                    conn.send(("ok", server.reload(path)))
+                except (SnapshotError, ServerError) as exc:
+                    # A refused reload (junk file, version skew, wrong
+                    # dimensionality) leaves the old generation serving;
+                    # report it to this client and keep the loop alive.
+                    conn.send(("error", str(exc)))
             elif kind == "describe":
                 conn.send(("ok", server.describe()))
             elif kind == "shutdown":
                 conn.send(("ok", "shutting down"))
-                state.stop = True
+                state.request_stop()
                 return
             else:
                 conn.send(("error", f"unknown request kind {kind!r}"))
@@ -261,6 +359,45 @@ def _serve_one_client(conn, server, state: _ServeState) -> None:
                 conn.send(("error", f"malformed request: {exc}"))
             except (BrokenPipeError, ConnectionResetError, OSError):
                 return
+
+
+def _client_thread(conn, server, state: _ServeState) -> None:
+    """Own one accepted connection for its lifetime (runs in a thread)."""
+    with conn:
+        _serve_one_client(conn, server, state)
+
+
+def _watch_snapshot(server, path: str, interval: float,
+                    state: _ServeState) -> None:
+    """Poll ``path``'s mtime and hot-reload the server when it changes.
+
+    A failed reload (half-written file, junk, version skew) keeps the
+    old generation serving and is reported on stderr; the watcher keeps
+    polling, so the next complete write still gets picked up.
+    """
+    from repro.io import SnapshotError
+    from repro.serve import ServerError
+
+    def _mtime() -> Optional[int]:
+        try:
+            return os.stat(path).st_mtime_ns
+        except OSError:
+            return None  # mid-replace (writer unlinked first); retry
+
+    last = _mtime()
+    while not state.wait(interval):
+        stamp = _mtime()
+        if stamp is None or stamp == last:
+            continue
+        last = stamp
+        try:
+            info = server.reload(path)
+            print(f"[watch] reloaded {path} -> generation "
+                  f"{info['generation']} ({info['shards']} shard(s))",
+                  flush=True)
+        except (SnapshotError, ServerError) as exc:
+            print(f"[watch] reload of {path} failed ({exc}); the previous "
+                  f"generation keeps serving", file=sys.stderr, flush=True)
 
 
 _LOOPBACK_HOSTS = frozenset({"127.0.0.1", "localhost", "::1"})
@@ -291,11 +428,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(problem, file=sys.stderr)
         return 1
     state = _ServeState(args.max_requests)
-    with SnapshotServer(args.index, query_timeout=args.query_timeout) as server:
-        with Listener(address, authkey=AUTHKEY) as listener:
+    client_threads = []
+    # Workers are spawned, not forked: the serve loop is multi-threaded
+    # and holds client sockets, and a forked worker would inherit copies
+    # of those fds — after which a client hanging up no longer EOFs its
+    # server-side connection (some process still holds the fd open).
+    # Supervision restarts and reloads spawn workers mid-serve, so this
+    # matters beyond startup.  --mp-context overrides for experiments.
+    with SnapshotServer(args.index, query_timeout=args.query_timeout,
+                        mp_context=args.mp_context) as server:
+        listener = Listener(address, authkey=AUTHKEY)
+        state.attach_listener(listener, address)
+        try:
             print(server.describe())
             print(f"listening on {args.listen} "
                   f"(workers: {len(server.worker_pids)})", flush=True)
+            if args.watch:
+                threading.Thread(
+                    target=_watch_snapshot,
+                    args=(server, args.index, args.watch_interval, state),
+                    name="repro-serve-watch",
+                    daemon=True,
+                ).start()
             while not state.stop:
                 try:
                     conn = listener.accept()
@@ -303,13 +457,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     print("rejected a connection with a bad authkey",
                           file=sys.stderr)
                     continue
-                except (ConnectionResetError, EOFError, OSError):
+                except (ConnectionResetError, EOFError):
                     # A probe/scanner connected and vanished mid-handshake
                     # (repro serve's own stale-socket check does exactly
                     # this); never let a client kill the server.
                     continue
-                with conn:
-                    _serve_one_client(conn, server, state)
+                except OSError:
+                    if state.stop:
+                        break  # request_stop() closed the listener
+                    continue
+                # One thread per client: many connections multiplex onto
+                # the shared worker pool (the server's FIFO dispatch keeps
+                # it fair), and a slow client no longer blocks accept().
+                thread = threading.Thread(
+                    target=_client_thread, args=(conn, server, state),
+                    name="repro-serve-client", daemon=True,
+                )
+                thread.start()
+                # Prune finished connections so a long-lived serve does
+                # not retain one Thread object per connection ever made.
+                client_threads = [t for t in client_threads if t.is_alive()]
+                client_threads.append(thread)
+        finally:
+            state.request_stop()  # closes the listener (idempotent)
+            for thread in client_threads:
+                thread.join(timeout=30.0)
     handled, failure = state.handled, state.failure
     if failure is not None:
         # Exit nonzero so supervisors (systemd, CI) see the crash for
@@ -321,20 +493,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _connect_with_retry(address, timeout: float):
-    """Dial the server until it listens (covers serve's start-up window)."""
+def _connect_with_retry(address, timeout: float, *, initial_delay: float = 0.05,
+                        max_delay: float = 1.0, _sleep=time.sleep):
+    """Dial the server until it listens (covers serve's start-up window).
+
+    Scripts and tests race ``repro serve``'s startup all the time (shell
+    ``&``, CI jobs), so a refused or not-yet-bound address is retried
+    with exponential backoff — ``initial_delay`` doubling up to
+    ``max_delay`` — until ``timeout`` is spent, then the last error
+    propagates.  The backoff keeps the early retries snappy (a server
+    that is milliseconds away from binding is caught within
+    ``initial_delay``) without hammering a socket that is seconds away
+    with hundreds of connect attempts.  ``ConnectionResetError`` is
+    retried too: it is what a listener mid-bind/mid-handshake teardown
+    looks like from the client side.
+
+    ``_sleep`` is injectable so the regression test can record the
+    backoff schedule instead of actually waiting it out.
+    """
     from multiprocessing.connection import Client
 
     from repro.serve.protocol import AUTHKEY
 
     deadline = time.monotonic() + timeout
+    delay = initial_delay
     while True:
         try:
             return Client(address, authkey=AUTHKEY)
-        except (ConnectionRefusedError, FileNotFoundError):
-            if time.monotonic() >= deadline:
+        except (ConnectionRefusedError, FileNotFoundError,
+                ConnectionResetError):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise
-            time.sleep(0.1)
+            _sleep(min(delay, remaining))
+            delay = min(delay * 2, max_delay)
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -501,6 +693,19 @@ def build_parser() -> argparse.ArgumentParser:
                            help="exit after this many query requests "
                                 "(default: serve until a client sends "
                                 "shutdown)")
+    serve_cmd.add_argument("--watch", action="store_true",
+                           help="poll the snapshot file and hot-reload a new "
+                                "generation when it changes (in-flight "
+                                "queries finish on the old one)")
+    serve_cmd.add_argument("--watch-interval", type=float, default=1.0,
+                           dest="watch_interval",
+                           help="seconds between --watch mtime polls")
+    serve_cmd.add_argument("--mp-context", default="spawn",
+                           choices=["spawn", "fork", "forkserver"],
+                           dest="mp_context",
+                           help="worker start method (spawn keeps client "
+                                "connection fds out of workers started "
+                                "mid-serve; fork starts faster)")
 
     query_cmd = sub.add_parser(
         "query", help="answer a query set against a running serve"

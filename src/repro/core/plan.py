@@ -116,6 +116,14 @@ def merge_shard_batches(
     if not per_shard:
         return []
     m = len(per_shard[0])
+    if any(len(shard_batch) != m for shard_batch in per_shard):
+        # A transport bug (a retry merging answers from two different
+        # scatters, a worker answering a truncated block) must fail loud
+        # here, not silently zip-truncate into plausible-looking results.
+        raise ValueError(
+            f"ragged shard batches: per-shard result counts "
+            f"{[len(b) for b in per_shard]} disagree"
+        )
     return [
         merge_shard_results(
             [shard_batch[j] for shard_batch in per_shard],

@@ -171,6 +171,53 @@ def evaluate_snapshot(
     )
 
 
+class _ConcurrentClients:
+    """Drive a :class:`~repro.serve.SnapshotServer` as N client threads.
+
+    The server multiplexes concurrent callers onto its worker pool with
+    FIFO dispatch, so splitting the query block across ``clients``
+    threads measures the *concurrent-serving* path while returning the
+    batch in original order — each chunk is answered by the same server
+    against the same snapshot, so the reassembled answers are
+    bit-identical to one big ``query_batch`` call (pinned by
+    ``bench_serve.py``'s ``concurrent_clients`` parity flag).
+    """
+
+    def __init__(self, server, clients: int) -> None:
+        if clients < 1:
+            raise ValueError(f"clients must be >= 1, got {clients}")
+        self._server = server
+        self._clients = clients
+        self.name = f"{server.name}x{clients}c"
+        self.build_seconds = server.build_seconds
+        self.num_hash_functions = server.num_hash_functions
+
+    def query_batch(self, queries: np.ndarray, k: int = 1) -> List:
+        import threading
+
+        chunks = np.array_split(np.asarray(queries), self._clients)
+        answers: List = [None] * len(chunks)
+        errors: List[BaseException] = []
+
+        def run(index: int) -> None:
+            try:
+                answers[index] = self._server.query_batch(chunks[index], k=k)
+            except BaseException as exc:  # re-raised on the caller thread
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(i,), daemon=True)
+            for i in range(len(chunks))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return [result for chunk in answers for result in chunk]
+
+
 def evaluate_server(
     path: str,
     queries: np.ndarray,
@@ -179,6 +226,7 @@ def evaluate_server(
     gt_ids: Optional[np.ndarray] = None,
     gt_dists: Optional[np.ndarray] = None,
     batch: bool = True,
+    clients: int = 1,
     **server_kwargs,
 ) -> MethodResult:
     """Serve the snapshot at ``path`` from worker processes and evaluate it.
@@ -193,12 +241,21 @@ def evaluate_server(
     Ground truth is computed against the snapshot's stored data unless
     supplied.
 
-    ``server_kwargs`` are forwarded to the server constructor
-    (``query_timeout=...``, ``shm_min_bytes=...``, ...).
+    ``clients`` > 1 splits the query set across that many concurrent
+    client threads sharing the one server (the accept-loop shape of
+    ``repro serve``); answers are reassembled in order and remain
+    bit-identical to the single-client run.  ``server_kwargs`` are
+    forwarded to the server constructor (``query_timeout=...``,
+    ``shm_min_bytes=...``, ``max_retries=...``, ...).
     """
     from repro.io.snapshot import load_data
     from repro.serve import SnapshotServer
 
+    if clients > 1 and not batch:
+        # The per-query loop would bypass _ConcurrentClients entirely and
+        # measure serial single queries while claiming N clients.
+        raise ValueError("clients > 1 requires batch=True (the concurrent "
+                         "clients split one query batch)")
     with SnapshotServer(path, **server_kwargs) as server:
         if gt_ids is None or gt_dists is None:
             data = load_data(path)
@@ -209,8 +266,9 @@ def evaluate_server(
             data = np.broadcast_to(
                 np.float64(0.0), (server.num_points, server.dim)
             )
+        method = server if clients <= 1 else _ConcurrentClients(server, clients)
         return evaluate_method(
-            server,
+            method,
             data,
             queries,
             k,

@@ -18,10 +18,18 @@ Layers:
 * :mod:`repro.serve.server` — the coordinator: lifecycle, scatter-
   gather, failure surfacing.
 
+The server is a supervised, multi-client service: all public methods
+are thread-safe (FIFO dispatch onto the worker pool), a worker that dies
+mid-query is restarted from its snapshot shard with the block
+re-scattered once (``max_retries``), ``status()`` exposes the lifecycle
+state machine, and ``reload()`` hot-flips to a new snapshot generation
+while in-flight queries finish on the old one.
+
 The CLI exposes the same machinery over a socket: ``python -m repro
-serve`` / ``python -m repro query --server`` (see :mod:`repro.cli`), and
-``repro.eval.evaluate_server`` benchmarks a served snapshot like any
-other method.
+serve`` / ``python -m repro query --server`` (see :mod:`repro.cli`) —
+with a concurrent accept loop, ``status``/``reload`` verbs, and
+``--watch`` — and ``repro.eval.evaluate_server`` benchmarks a served
+snapshot like any other method (``clients=N`` for concurrent clients).
 """
 
 from repro.serve.server import ServerError, SnapshotServer

@@ -5,15 +5,27 @@ CLI's listener socket alike — is one picklable tuple whose first element
 is the message kind:
 
 ========================  =============================================
-coordinator → worker      ``("query", payload, k)``, ``("ping",)``,
-                          ``("shutdown",)``
-worker → coordinator      ``("ready", num_points)``, ``("ok", results)``,
-                          ``("pong",)``, ``("bye",)``,
-                          ``("error", traceback_text)``
+coordinator → worker      ``("query", req_id, payload, k)``,
+                          ``("ping", token)``, ``("shutdown",)``
+worker → coordinator      ``("ready", num_points)``,
+                          ``("ok", req_id, results)``,
+                          ``("pong", token)``, ``("bye",)``,
+                          ``("error", traceback_text)`` at startup /
+                          ``("error", req_id, traceback_text)`` later
 client → CLI server       ``("query_batch", queries, k)``,
+                          ``("status",)``, ``("reload", path_or_None)``,
                           ``("describe",)``, ``("shutdown",)``
 CLI server → client       ``("ok", value)``, ``("error", message)``
 ========================  =============================================
+
+``req_id`` is a coordinator-unique integer echoed back by the worker:
+the supervision retry re-scatters a query block under a *fresh* id after
+restarting a dead worker, so a stale answer from a surviving worker's
+abandoned attempt can be recognized and dropped instead of being
+mistaken for the retry's answer.  ``("status",)`` returns the server's
+lifecycle snapshot (generation, worker states, restart counters) and
+``("reload", path)`` hot-swaps the served snapshot generation — both are
+answered like any other request, on the same connection.
 
 Query blocks travel to workers either inline (pickled through the pipe,
 fine for a handful of vectors) or as a :class:`SharedMemory` block —

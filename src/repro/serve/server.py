@@ -1,4 +1,4 @@
-"""Multi-process snapshot serving: scatter-gather over worker processes.
+"""Multi-process snapshot serving: supervised scatter-gather over workers.
 
 :class:`SnapshotServer` turns a saved index snapshot into a query server
 whose shards live in separate **processes**: worker ``i`` loads shard
@@ -19,6 +19,33 @@ the aggregate candidate work bounded.  On a single-core host the IPC is
 pure overhead — ``BENCH_serve.json`` records exactly that; see
 ``docs/benchmarks.md``.
 
+Concurrency: every public method is **thread-safe**.  Callers from many
+threads (the CLI's accept loop runs one thread per client connection)
+are multiplexed onto the shared worker pool through a FIFO ticket lock,
+so requests hit the workers in arrival order — no client can starve
+another — and every scattered block carries a unique request id that the
+workers echo back, so a retry never confuses a stale answer with a fresh
+one.
+
+Supervision: a worker that **dies** mid-query (SIGKILL, OOM, segfault)
+no longer poisons the server.  The coordinator restarts the dead worker
+from its snapshot shard, re-scatters the affected query block once, and
+only raises :class:`ServerError` — naming the worker and its exit code —
+when the retry fails too (``max_retries`` bounds the attempts; ``0``
+restores the fail-fast behavior).  Because a shard snapshot is immutable
+and queries are deterministic, the retried answer is bit-identical to
+what the first attempt would have returned.  A worker that *hangs*
+(alive but silent past ``query_timeout``) still breaks the server: a
+restart cannot prove the next answer would ever come.
+
+Generations: :meth:`reload` loads a **new snapshot generation** in fresh
+workers, atomically flips new requests to it, and drains the old pool —
+in-flight queries finish against the generation they started on, then
+the old workers retire.  A reload to a junk file, a snapshot written
+under a different format version, or a snapshot of different
+dimensionality is refused (the old generation keeps serving).  The CLI
+surfaces this as ``serve --watch`` and the ``reload`` protocol verb.
+
 Lifecycle and failure discipline:
 
 * :meth:`start` spawns one daemon worker per shard and blocks until all
@@ -26,20 +53,23 @@ Lifecycle and failure discipline:
   worker's traceback).  Starting a started server raises; a closed
   server can be started again.
 * every receive is bounded by a timeout **and** watches the worker
-  process itself, so a crashed worker (OOM-killed, segfaulted, killed by
-  hand) surfaces as a prompt :class:`ServerError` naming the worker and
-  its exit code — never a hang on a silent pipe.
-* any worker failure marks the server *broken*: subsequent queries
-  refuse with the original cause until :meth:`close` + :meth:`start`.
+  process itself, so a crashed worker surfaces promptly — never a hang
+  on a silent pipe.
+* unrecoverable failures (retry exhausted, restart failed, hung worker)
+  mark the server *broken*: subsequent queries refuse with the original
+  cause until :meth:`close` + :meth:`start`.
 * :meth:`close` is idempotent, asks workers to shut down politely, then
   escalates (terminate, kill) so no orphan processes outlive the
-  coordinator; daemon workers cover even an abandoned coordinator.
+  coordinator — including workers of generations still draining; daemon
+  workers cover even an abandoned coordinator.
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
+import threading
 import time
 from typing import List, Optional, Sequence
 
@@ -59,20 +89,115 @@ class ServerError(RuntimeError):
     """A serving-layer failure: bad lifecycle call, dead or silent worker."""
 
 
+class _WorkerGone(Exception):
+    """Internal: a worker process died or closed its pipe mid-request."""
+
+    def __init__(self, worker: "_Worker", detail: str) -> None:
+        super().__init__(detail)
+        self.worker = worker
+        self.detail = detail
+
+
+class _WorkerSilent(Exception):
+    """Internal: a live worker exceeded the query timeout."""
+
+    def __init__(self, worker: "_Worker", detail: str) -> None:
+        super().__init__(detail)
+        self.worker = worker
+        self.detail = detail
+
+
+class _FifoLock:
+    """A ticket lock: acquirers proceed strictly in arrival order.
+
+    ``threading.Lock`` makes no fairness promise, so a hot client thread
+    could starve the others off the worker pool.  Tickets make dispatch
+    order equal arrival order, which is the fairness the accept loop
+    advertises.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition(threading.Lock())
+        self._next_ticket = 0
+        self._now_serving = 0
+
+    def __enter__(self) -> "_FifoLock":
+        with self._cond:
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            while ticket != self._now_serving:
+                self._cond.wait()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        with self._cond:
+            self._now_serving += 1
+            self._cond.notify_all()
+
+
+class _PoolSpec:
+    """Everything a worker pool needs from a snapshot header (no payload I/O)."""
+
+    __slots__ = ("path", "kind", "budget", "dim", "sizes", "offsets",
+                 "num_points", "hash_fns")
+
+    def __init__(self, path: str) -> None:
+        self.path = os.fspath(path)
+        header = read_header(self.path)  # raises SnapshotError on junk
+        headers = shard_headers(header)
+        first = headers[0]
+        self.kind = header["kind"]
+        self.budget = header.get("budget", "full")
+        self.dim = int(first["dim"])
+        self.sizes = [int(h["n"]) for h in headers]
+        self.offsets: List[int] = [0]
+        for size in self.sizes[:-1]:
+            self.offsets.append(self.offsets[-1] + size)
+        self.num_points = sum(self.sizes)
+        self.hash_fns = int(first["k_per_space"]) * int(first["l_spaces"])
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.sizes)
+
+
 class _Worker:
     """Coordinator-side handle for one worker process."""
 
-    __slots__ = ("shard", "process", "conn", "num_points")
+    __slots__ = ("shard", "process", "conn", "num_points", "spawn", "state")
 
-    def __init__(self, shard: int, process, conn) -> None:
+    def __init__(self, shard: int, process, conn, spawn: int = 0) -> None:
         self.shard = shard
         self.process = process
         self.conn = conn
         self.num_points = 0
+        #: How many times this shard's worker has been (re)spawned in its
+        #: pool: 0 for the original, +1 per supervision restart.
+        self.spawn = spawn
+        self.state = "starting"  # starting -> ready -> dead / restarting
 
     def describe(self) -> str:
         pid = self.process.pid
         return f"worker {self.shard} (pid {pid})"
+
+
+class _Pool:
+    """One snapshot generation: its spec, its workers, its drain state."""
+
+    __slots__ = ("spec", "generation", "workers", "dispatch", "inflight",
+                 "retired", "closed", "restarts")
+
+    def __init__(self, spec: _PoolSpec, generation: int,
+                 workers: List[_Worker]) -> None:
+        self.spec = spec
+        self.generation = generation
+        self.workers = workers
+        #: FIFO dispatch onto this pool's pipes (fair across client threads).
+        self.dispatch = _FifoLock()
+        self.inflight = 0
+        self.retired = False
+        self.closed = False
+        self.restarts = 0
 
 
 class SnapshotServer:
@@ -87,7 +212,8 @@ class SnapshotServer:
         payload is only ever read inside the workers.
     start_timeout:
         Seconds to wait for all workers to load their shards and report
-        ready before :meth:`start` fails.
+        ready before :meth:`start` (or a supervision restart, or a
+        :meth:`reload`) fails.
     query_timeout:
         Seconds to wait for any single worker's answer to one scattered
         request before declaring it hung.
@@ -99,6 +225,12 @@ class SnapshotServer:
         Optional :mod:`multiprocessing` context or start-method name
         (``"fork"``/``"spawn"``/``"forkserver"``); default is the
         platform default.
+    max_retries:
+        How many times one ``query_batch`` call may restart dead workers
+        and re-scatter its block before giving up with
+        :class:`ServerError`.  The default (1) recovers from a single
+        worker death per request; ``0`` restores the pre-supervision
+        fail-fast behavior.
 
     Examples
     --------
@@ -117,33 +249,37 @@ class SnapshotServer:
         query_timeout: float = 120.0,
         shm_min_bytes: int = SHM_MIN_BYTES,
         mp_context=None,
+        max_retries: int = 1,
     ) -> None:
         if start_timeout <= 0 or query_timeout <= 0:
             raise ValueError("timeouts must be positive")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.path = os.fspath(path)
         self.start_timeout = float(start_timeout)
         self.query_timeout = float(query_timeout)
         self.shm_min_bytes = int(shm_min_bytes)
+        self.max_retries = int(max_retries)
         if mp_context is None or isinstance(mp_context, str):
             self._ctx = multiprocessing.get_context(mp_context)
         else:
             self._ctx = mp_context
 
-        header = read_header(self.path)  # raises SnapshotError on junk
-        self._shard_headers = shard_headers(header)
-        first = self._shard_headers[0]
-        self.dim = int(first["dim"])
-        sizes = [int(h["n"]) for h in self._shard_headers]
-        self._offsets: List[int] = [0]
-        for size in sizes[:-1]:
-            self._offsets.append(self._offsets[-1] + size)
-        self._num_points = sum(sizes)
-        self._hash_fns = int(first["k_per_space"]) * int(first["l_spaces"])
-        self._kind = header["kind"]
-        self._budget = header.get("budget", "full")
+        self._spec = _PoolSpec(self.path)  # raises SnapshotError on junk
+        self.dim = self._spec.dim
+        self._kind = self._spec.kind
 
-        self._workers: List[_Worker] = []
+        #: Guards the pool pointer, drain lists, broken flag, counters.
+        self._state_lock = threading.Lock()
+        #: Serializes reloads (pool builds are slow; one at a time).
+        self._reload_lock = threading.Lock()
+        self._pool: Optional[_Pool] = None
+        self._retiring: List[_Pool] = []
+        self._generation = 0
         self._broken: Optional[str] = None
+        self._request_ids = itertools.count(1)
+        self._served = 0
+        self._restarts_total = 0
         self.startup_seconds: float = 0.0
         #: ``evaluate_method`` reports this as the method's build cost;
         #: for a server the honest figure is the worker start-up time.
@@ -155,29 +291,52 @@ class SnapshotServer:
 
     @property
     def num_shards(self) -> int:
-        return len(self._shard_headers)
+        with self._state_lock:
+            spec = self._pool.spec if self._pool is not None else self._spec
+        return spec.num_shards
 
     @property
     def num_workers(self) -> int:
-        """Live worker processes (0 unless serving)."""
-        return len(self._workers)
+        """Live worker processes of the current generation (0 unless serving)."""
+        with self._state_lock:
+            return len(self._pool.workers) if self._pool is not None else 0
 
     @property
     def serving(self) -> bool:
-        return bool(self._workers) and self._broken is None
+        with self._state_lock:
+            return self._pool is not None and self._broken is None
 
     @property
     def worker_pids(self) -> List[int]:
-        """PIDs of the live worker processes (diagnostics/tests)."""
-        return [w.process.pid for w in self._workers]
+        """PIDs of the current generation's workers (diagnostics/tests)."""
+        with self._state_lock:
+            if self._pool is None:
+                return []
+            return [w.process.pid for w in self._pool.workers]
+
+    @property
+    def generation(self) -> int:
+        """Monotonic snapshot generation counter (0 before :meth:`start`)."""
+        with self._state_lock:
+            return self._generation
+
+    @property
+    def restarts_total(self) -> int:
+        """Worker restarts performed by supervision over the server's life."""
+        with self._state_lock:
+            return self._restarts_total
 
     @property
     def num_points(self) -> int:
-        return self._num_points
+        with self._state_lock:
+            spec = self._pool.spec if self._pool is not None else self._spec
+        return spec.num_points
 
     @property
     def num_hash_functions(self) -> int:
-        return self._hash_fns
+        with self._state_lock:
+            spec = self._pool.spec if self._pool is not None else self._spec
+        return spec.hash_fns
 
     @property
     def name(self) -> str:
@@ -185,14 +344,56 @@ class SnapshotServer:
 
     def describe(self) -> str:
         """One-line human-readable summary of the served snapshot."""
-        state = "serving" if self.serving else (
-            f"broken: {self._broken}" if self._broken else "stopped"
+        with self._state_lock:
+            pool = self._pool
+            broken = self._broken
+            spec = pool.spec if pool is not None else self._spec
+            generation = self._generation
+        state = "serving" if (pool is not None and broken is None) else (
+            f"broken: {broken}" if broken else "stopped"
         )
         return (
-            f"SnapshotServer(path={os.path.basename(self.path)!r}, "
-            f"shards={self.num_shards}, n={self.num_points}, d={self.dim}, "
-            f"budget={self._budget}, {state})"
+            f"SnapshotServer(path={os.path.basename(spec.path)!r}, "
+            f"shards={spec.num_shards}, n={spec.num_points}, d={spec.dim}, "
+            f"budget={spec.budget}, generation={generation}, {state})"
         )
+
+    def status(self) -> dict:
+        """Structured lifecycle snapshot (the ``status`` protocol verb).
+
+        Returns
+        -------
+        dict
+            ``path``/``generation``/``serving``/``broken`` of the current
+            pool, per-worker rows (``shard``, ``pid``, ``state``, ``spawn``
+            — spawn counts supervision restarts of that shard's slot),
+            ``inflight`` requests on the current generation, generations
+            still ``draining``, and the lifetime ``requests`` and
+            ``restarts`` counters.
+        """
+        with self._state_lock:
+            pool = self._pool
+            spec = pool.spec if pool is not None else self._spec
+            return {
+                "path": spec.path,
+                "kind": spec.kind,
+                "budget": spec.budget,
+                "shards": spec.num_shards,
+                "num_points": spec.num_points,
+                "dim": spec.dim,
+                "generation": self._generation,
+                "serving": pool is not None and self._broken is None,
+                "broken": self._broken,
+                "workers": [
+                    {"shard": w.shard, "pid": w.process.pid,
+                     "state": w.state, "spawn": w.spawn}
+                    for w in (pool.workers if pool is not None else [])
+                ],
+                "inflight": pool.inflight if pool is not None else 0,
+                "draining": [p.generation for p in self._retiring],
+                "requests": self._served,
+                "restarts": self._restarts_total,
+            }
 
     def start(self) -> "SnapshotServer":
         """Spawn one worker per shard and wait until all are ready.
@@ -204,73 +405,134 @@ class SnapshotServer:
             ``start_timeout`` (the error carries the worker's traceback
             when it reported one).
         """
-        if self._workers:
+        with self._state_lock:
+            if self._pool is not None:
+                raise ServerError(
+                    "server already started; close() it before starting again"
+                )
+            self._broken = None
+        started = time.perf_counter()
+        pool = self._build_pool(self._spec)
+        with self._state_lock:
+            if self._pool is not None:
+                raced = pool
+            else:
+                raced = None
+                self._generation += 1
+                pool.generation = self._generation
+                self._pool = pool
+        if raced is not None:  # lost a start/start race; fold the spare pool
+            self._shutdown_pool(raced)
             raise ServerError(
                 "server already started; close() it before starting again"
             )
-        self._broken = None
-        started = time.perf_counter()
-        workers: List[_Worker] = []
-        try:
-            for shard in range(self.num_shards):
-                parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-                # The parent end rides along so the worker can close its
-                # inherited copy — otherwise a SIGKILL'd coordinator
-                # never EOFs the pipe and workers linger (see serve_shard).
-                process = self._ctx.Process(
-                    target=serve_shard,
-                    args=(self.path, shard, child_conn, parent_conn),
-                    name=f"repro-serve-{shard}",
-                    daemon=True,
-                )
-                process.start()
-                child_conn.close()  # child's end lives in the child now
-                workers.append(_Worker(shard, process, parent_conn))
-            deadline = time.monotonic() + self.start_timeout
-            for worker in workers:
-                message = self._recv(
-                    worker, max(deadline - time.monotonic(), 0.0),
-                    during="startup",
-                )
-                if message[0] != "ready":
-                    detail = message[1] if len(message) > 1 else message
-                    raise ServerError(
-                        f"{worker.describe()} failed to load shard "
-                        f"{worker.shard} of {self.path!r}:\n{detail}"
-                    )
-                worker.num_points = int(message[1])
-        except BaseException:
-            self._reap(workers)
-            raise
-        if [w.num_points for w in workers] != [
-            int(h["n"]) for h in self._shard_headers
-        ]:
-            self._reap(workers)
-            raise ServerError(
-                f"workers loaded unexpected shard sizes from {self.path!r}"
-            )
-        self._workers = workers
         self.startup_seconds = time.perf_counter() - started
         self.build_seconds = self.startup_seconds
         return self
 
+    def reload(self, path: Optional[str] = None) -> dict:
+        """Flip serving to a new snapshot generation without downtime.
+
+        Fresh workers load the snapshot at ``path`` (default: the path
+        currently served — pick up an overwritten file in place); once
+        all are ready, new requests atomically go to the new generation
+        while in-flight requests finish against the old one, whose
+        workers then retire.  Nothing is dropped and nothing is refused
+        during the flip.
+
+        The new snapshot may have a different shard count, budget mode,
+        or point count; it must have the same dimensionality (clients
+        hold the query-shape contract) and be readable under this
+        build's snapshot version.
+
+        Returns
+        -------
+        dict
+            :meth:`status` after the flip.
+
+        Raises
+        ------
+        SnapshotError
+            If the file at ``path`` is junk, truncated, or written under
+            a different snapshot format version.  The old generation
+            keeps serving.
+        ServerError
+            If the server is not serving, the new snapshot's
+            dimensionality differs from the served one, or the new
+            generation's workers fail to start.  The old generation
+            keeps serving in the dimensionality/startup cases.
+        """
+        with self._reload_lock:
+            with self._state_lock:
+                if self._broken is not None:
+                    raise ServerError(
+                        f"server is broken ({self._broken}); close() and "
+                        f"start() again instead of reloading"
+                    )
+                if self._pool is None:
+                    raise ServerError(
+                        "server is not serving; reload() only swaps a live "
+                        "generation — call start() first"
+                    )
+                current_path = self._pool.spec.path
+            new_path = os.fspath(path) if path is not None else current_path
+            spec = _PoolSpec(new_path)  # SnapshotError on junk/version skew
+            if spec.dim != self.dim:
+                raise ServerError(
+                    f"refusing to reload {new_path!r}: it is {spec.dim}-d "
+                    f"but this server serves {self.dim}-d queries"
+                )
+            pool = self._build_pool(spec)  # old generation untouched on failure
+            with self._state_lock:
+                old = self._pool
+                self._generation += 1
+                pool.generation = self._generation
+                self._pool = pool
+                # The reloaded snapshot is now the server's snapshot: a
+                # later close()/start() cycle resumes from it, not from
+                # the constructor-time path.
+                self._spec = spec
+                self.path = spec.path
+                close_now = False
+                if old is not None:
+                    old.retired = True
+                    if old.inflight == 0 and not old.closed:
+                        old.closed = True
+                        close_now = True
+                    else:
+                        self._retiring.append(old)
+            if close_now and old is not None:
+                self._shutdown_pool(old)
+        return self.status()
+
     def close(self, timeout: float = 5.0) -> None:
-        """Stop all workers; idempotent, never raises for a dead worker.
+        """Stop all workers — current and draining generations; idempotent.
 
         Polite shutdown first (a ``("shutdown",)`` message), then
         ``terminate()``, then ``kill()`` for anything still alive — a
         closed server leaves no worker processes behind.
         """
-        workers, self._workers = self._workers, []
-        # A closed server is "stopped", not "broken": the failure was
-        # acted on, and start() may bring the server back cleanly.
-        self._broken = None
-        for worker in workers:
+        with self._state_lock:
+            pools = list(self._retiring)
+            if self._pool is not None:
+                pools.append(self._pool)
+            self._pool = None
+            self._retiring = []
+            # A closed server is "stopped", not "broken": the failure was
+            # acted on, and start() may bring the server back cleanly.
+            self._broken = None
+        for pool in pools:
+            self._shutdown_pool(pool, timeout)
+
+    def _shutdown_pool(self, pool: _Pool, timeout: float = 5.0) -> None:
+        pool.retired = True
+        pool.closed = True
+        for worker in pool.workers:
             try:
                 worker.conn.send(("shutdown",))
             except (OSError, BrokenPipeError, ValueError):
                 pass  # already dead; reaped below
-        self._reap(workers, timeout)
+        self._reap(pool.workers, timeout)
 
     def _reap(self, workers: Sequence[_Worker], timeout: float = 5.0) -> None:
         deadline = time.monotonic() + timeout
@@ -282,20 +544,141 @@ class SnapshotServer:
             if worker.process.is_alive():
                 worker.process.kill()
                 worker.process.join(1.0)
+            worker.state = "dead"
             try:
                 worker.conn.close()
             except OSError:
                 pass
 
     def __enter__(self) -> "SnapshotServer":
-        if self._broken is not None:
+        with self._state_lock:
+            broken = self._broken is not None
+            started = self._pool is not None
+        if broken:
             self.close()  # recycle a broken pool rather than hand it out
-        if not self._workers:
+            started = False
+        if not started:
             self.start()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # Pool construction and supervision
+    # ------------------------------------------------------------------
+
+    def _spawn_worker(self, spec: _PoolSpec, shard: int, spawn: int) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        # The parent end rides along so the worker can close its
+        # inherited copy — otherwise a SIGKILL'd coordinator never EOFs
+        # the pipe and workers linger (see serve_shard).
+        process = self._ctx.Process(
+            target=serve_shard,
+            args=(spec.path, shard, child_conn, parent_conn, spawn),
+            name=f"repro-serve-{shard}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # child's end lives in the child now
+        return _Worker(shard, process, parent_conn, spawn)
+
+    def _await_ready(self, worker: _Worker, deadline: float,
+                     spec: _PoolSpec) -> None:
+        try:
+            message = self._recv(
+                worker, max(deadline - time.monotonic(), 0.0), during="startup"
+            )
+        except _WorkerGone as gone:
+            raise ServerError(
+                f"{self._dead_worker_detail(gone.worker, spec.path)}"
+            ) from gone
+        except _WorkerSilent as silent:
+            raise ServerError(silent.detail) from silent
+        if message[0] != "ready":
+            detail = message[1] if len(message) > 1 else message
+            raise ServerError(
+                f"{worker.describe()} failed to load shard "
+                f"{worker.shard} of {spec.path!r}:\n{detail}"
+            )
+        worker.num_points = int(message[1])
+        if worker.num_points != spec.sizes[worker.shard]:
+            raise ServerError(
+                f"{worker.describe()} loaded {worker.num_points} points for "
+                f"shard {worker.shard} of {spec.path!r}; the header promises "
+                f"{spec.sizes[worker.shard]}"
+            )
+        worker.state = "ready"
+
+    def _build_pool(self, spec: _PoolSpec) -> _Pool:
+        workers: List[_Worker] = []
+        try:
+            for shard in range(spec.num_shards):
+                workers.append(self._spawn_worker(spec, shard, 0))
+            deadline = time.monotonic() + self.start_timeout
+            for worker in workers:
+                self._await_ready(worker, deadline, spec)
+        except BaseException:
+            self._reap(workers)
+            raise
+        return _Pool(spec, generation=0, workers=workers)
+
+    def _revive(self, pool: _Pool) -> List[_Worker]:
+        """Restart every dead worker of ``pool`` from its snapshot shard.
+
+        Called between retry attempts, under the pool's dispatch lock.
+        Returns the replacements; raises :class:`ServerError` (after
+        marking the server broken) when a replacement cannot come up —
+        at that point retrying is hopeless.
+        """
+        if pool.closed:
+            # close() reaped this generation while our request was in
+            # flight; respawning workers for it would orphan them.
+            raise ServerError(
+                "server was closed while the query was in flight"
+            )
+        replaced: List[_Worker] = []
+        for i, worker in enumerate(pool.workers):
+            if worker.process.is_alive() and worker.state == "ready":
+                continue
+            worker.state = "dead"
+            replacement = self._spawn_worker(
+                pool.spec, worker.shard, worker.spawn + 1
+            )
+            replacement.state = "restarting"
+            try:
+                self._await_ready(
+                    replacement, time.monotonic() + self.start_timeout,
+                    pool.spec,
+                )
+            except ServerError as exc:
+                self._reap([replacement])
+                self._mark_broken(
+                    f"restart of worker {worker.shard} failed"
+                )
+                raise ServerError(
+                    f"supervision could not restart worker {worker.shard} "
+                    f"from shard {worker.shard} of {pool.spec.path!r}: {exc}"
+                ) from exc
+            with self._state_lock:
+                if pool.closed:
+                    closed_while_restarting = True
+                else:
+                    closed_while_restarting = False
+                    pool.workers[i] = replacement
+                    pool.restarts += 1
+                    self._restarts_total += 1
+            if closed_while_restarting:
+                # close() reaped this pool while the replacement was
+                # coming up; fold the replacement too or it would outlive
+                # close() as an orphan.
+                self._reap([replacement])
+                raise ServerError(
+                    "server was closed while the query was in flight"
+                )
+            self._reap([worker])
+            replaced.append(replacement)
+        return replaced
 
     # ------------------------------------------------------------------
     # Queries
@@ -309,6 +692,11 @@ class SnapshotServer:
     def query_batch(self, queries: np.ndarray, k: int = 1) -> List[QueryResult]:
         """Scatter a query block to every worker and merge the answers.
 
+        Thread-safe: concurrent callers are dispatched onto the worker
+        pool in FIFO order.  A request that checked out a generation
+        completes against that generation even if :meth:`reload` flips
+        the server mid-flight.
+
         Parameters
         ----------
         queries:
@@ -321,107 +709,213 @@ class SnapshotServer:
         list of QueryResult
             Identical — ids and distances — to what
             ``load_index(path).query_batch(queries, k)`` returns in one
-            process (pinned by ``tests/test_serve.py`` and the
-            ``bench_serve.py`` parity gate).
+            process for the generation that answered (pinned by
+            ``tests/test_serve.py``, ``tests/test_serve_faults.py`` and
+            the ``bench_serve.py`` parity gate).
 
         Raises
         ------
         ServerError
             If the server is not serving (never started, closed, or
-            broken by an earlier worker failure), a worker has died, or
-            a worker exceeds ``query_timeout``.
+            broken by an earlier unrecoverable failure), a worker died
+            and supervision exhausted ``max_retries``, a restart failed,
+            or a worker exceeds ``query_timeout``.
         ValueError
             If ``k < 1`` or the query block does not match the
             snapshot's dimensionality.
         """
-        self._require_serving()
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         queries = check_queries(queries, self.dim)
-        m = queries.shape[0]
-        if m == 0:
+        if queries.shape[0] == 0:
             return []
-        started = time.perf_counter()
-        payload, shm = write_query_block(queries, self.shm_min_bytes)
+        pool = self._checkout()
         try:
-            for worker in self._workers:
-                self._send(worker, ("query", payload, int(k)))
-            per_shard = []
-            for worker in self._workers:
-                message = self._recv(worker, self.query_timeout, during="query")
-                if message[0] != "ok":
-                    detail = message[1] if len(message) > 1 else message
-                    self._broken = f"{worker.describe()} failed a query"
-                    raise ServerError(
-                        f"{worker.describe()} failed the query:\n{detail}"
-                    )
-                per_shard.append([decode_result(w) for w in message[1]])
+            with pool.dispatch:
+                results = self._dispatch(pool, queries, int(k))
         finally:
-            if shm is not None:
-                shm.close()
-                shm.unlink()
-        elapsed = time.perf_counter() - started
-        return merge_shard_batches(
-            per_shard,
-            self._offsets,
-            k,
-            elapsed / m,
-            hash_evaluations=self._hash_fns,
-        )
+            self._checkin(pool)
+        with self._state_lock:
+            self._served += 1
+        return results
+
+    def _dispatch(self, pool: _Pool, queries: np.ndarray,
+                  k: int) -> List[QueryResult]:
+        """Scatter-gather one block on ``pool``, supervising worker death.
+
+        Caller holds ``pool.dispatch``.  Each attempt carries a fresh
+        request id; stale answers from an abandoned attempt are discarded
+        by id, so a re-scattered block cannot be answered twice.
+        """
+        m = queries.shape[0]
+        attempts = self.max_retries + 1
+        for attempt in range(attempts):
+            req_id = next(self._request_ids)
+            started = time.perf_counter()
+            payload, shm = write_query_block(queries, self.shm_min_bytes)
+            try:
+                for worker in pool.workers:
+                    try:
+                        worker.conn.send(("query", req_id, payload, k))
+                    except (OSError, BrokenPipeError, ValueError) as exc:
+                        worker.state = "dead"
+                        raise _WorkerGone(
+                            worker, f"send failed: {exc!r}"
+                        ) from exc
+                per_shard = []
+                for worker in pool.workers:
+                    message = self._recv_reply(worker, req_id)
+                    if message[0] != "ok":
+                        detail = message[2] if len(message) > 2 else message
+                        self._mark_broken(
+                            f"{worker.describe()} failed a query"
+                        )
+                        raise ServerError(
+                            f"{worker.describe()} failed the query:\n{detail}"
+                        )
+                    per_shard.append(
+                        [decode_result(w) for w in message[2]]
+                    )
+            except _WorkerGone as gone:
+                if attempt + 1 >= attempts:
+                    self._mark_broken(f"{gone.worker.describe()} died")
+                    raise ServerError(
+                        f"{self._dead_worker_detail(gone.worker, pool.spec.path)}"
+                        f" after {attempts} attempt(s) ({gone.detail})"
+                    ) from gone
+                self._revive(pool)  # raises ServerError when hopeless
+                continue
+            except _WorkerSilent as silent:
+                self._mark_broken(f"{silent.worker.describe()} timed out")
+                raise ServerError(
+                    f"{silent.detail}; the server is now marked broken"
+                ) from silent
+            finally:
+                if shm is not None:
+                    shm.close()
+                    shm.unlink()
+            elapsed = time.perf_counter() - started
+            return merge_shard_batches(
+                per_shard,
+                pool.spec.offsets,
+                k,
+                elapsed / m,
+                hash_evaluations=pool.spec.hash_fns,
+            )
+        raise AssertionError("unreachable: the attempt loop returns or raises")
 
     def ping(self) -> float:
-        """Round-trip every worker once; returns the wall time in seconds.
+        """Round-trip every current-generation worker once; wall seconds.
 
         A liveness probe: raises :class:`ServerError` (like a query
-        would) if any worker is dead, hung, or unresponsive.
+        would) if any worker is dead, hung, or unresponsive — but, being
+        a probe, it does **not** mark the server broken; the next query
+        gets its chance to supervise-and-recover.
         """
-        self._require_serving()
-        started = time.perf_counter()
-        for worker in self._workers:
-            self._send(worker, ("ping",))
-        for worker in self._workers:
-            message = self._recv(worker, self.query_timeout, during="ping")
-            if message[0] != "pong":
-                self._broken = f"{worker.describe()} broke protocol"
-                raise ServerError(
-                    f"{worker.describe()} answered ping with {message[0]!r}"
-                )
-        return time.perf_counter() - started
+        pool = self._checkout()
+        try:
+            with pool.dispatch:
+                token = next(self._request_ids)
+                started = time.perf_counter()
+                for worker in pool.workers:
+                    try:
+                        worker.conn.send(("ping", token))
+                    except (OSError, BrokenPipeError, ValueError) as exc:
+                        worker.state = "dead"
+                        raise ServerError(
+                            self._dead_worker_detail(worker, pool.spec.path)
+                        ) from exc
+                for worker in pool.workers:
+                    try:
+                        # _recv_reply filters to a matching pong, so a
+                        # worker answering anything else surfaces as a
+                        # timeout rather than a protocol error.
+                        self._recv_reply(worker, token, kinds=("pong",))
+                    except _WorkerGone as gone:
+                        raise ServerError(
+                            self._dead_worker_detail(worker, pool.spec.path)
+                        ) from gone
+                    except _WorkerSilent as silent:
+                        raise ServerError(silent.detail) from silent
+                return time.perf_counter() - started
+        finally:
+            self._checkin(pool)
 
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
 
-    def _require_serving(self) -> None:
-        if self._broken is not None:
-            raise ServerError(
-                f"server is broken ({self._broken}); close() and start() again"
-            )
-        if not self._workers:
-            raise ServerError(
-                "server is not serving; call start() (or use it as a "
-                "context manager) before querying"
-            )
+    def _checkout(self) -> _Pool:
+        with self._state_lock:
+            if self._broken is not None:
+                raise ServerError(
+                    f"server is broken ({self._broken}); close() and "
+                    f"start() again"
+                )
+            if self._pool is None:
+                raise ServerError(
+                    "server is not serving; call start() (or use it as a "
+                    "context manager) before querying"
+                )
+            self._pool.inflight += 1
+            return self._pool
 
-    def _send(self, worker: _Worker, message) -> None:
-        try:
-            worker.conn.send(message)
-        except (OSError, BrokenPipeError, ValueError) as exc:
-            self._broken = f"{worker.describe()} is unreachable"
-            raise ServerError(
-                f"{self._dead_worker_detail(worker)} (send failed: {exc!r})"
-            ) from exc
+    def _checkin(self, pool: _Pool) -> None:
+        close_now = False
+        with self._state_lock:
+            pool.inflight -= 1
+            if pool.retired and pool.inflight == 0 and not pool.closed:
+                pool.closed = True
+                close_now = True
+                if pool in self._retiring:
+                    self._retiring.remove(pool)
+        if close_now:
+            self._shutdown_pool(pool)
 
-    def _recv(self, worker: _Worker, timeout: float, during: str):
-        """Receive one message, bounded by ``timeout`` and worker health."""
-        deadline = time.monotonic() + timeout
+    def _mark_broken(self, reason: str) -> None:
+        with self._state_lock:
+            if self._broken is None:
+                self._broken = reason
+
+    def _recv_reply(self, worker: _Worker, req_id: int,
+                    kinds: Sequence[str] = ("ok", "error")):
+        """Receive the reply tagged ``req_id``, discarding stale answers.
+
+        After a failed attempt, surviving workers may still deliver the
+        abandoned attempt's answer; those carry the old request id and
+        are dropped here, which is what makes re-scattering safe.
+        """
+        deadline = time.monotonic() + self.query_timeout
+        while True:
+            message = self._recv(
+                worker, max(deadline - time.monotonic(), 0.0), during="query",
+                deadline=deadline,
+            )
+            if (message[0] in kinds and len(message) > 1
+                    and message[1] == req_id):
+                return message
+            # Stale reply from an abandoned attempt (or an unpaired
+            # pong): drop it and keep waiting for ours.
+
+    def _recv(self, worker: _Worker, timeout: float, during: str,
+              deadline: Optional[float] = None):
+        """Receive one message, bounded by ``timeout`` and worker health.
+
+        Raises :class:`_WorkerGone` for a dead worker or closed pipe and
+        :class:`_WorkerSilent` for a live worker that outlasts the
+        timeout; the caller decides whether that is recoverable.
+        """
+        if deadline is None:
+            deadline = time.monotonic() + timeout
         while True:
             try:
                 if worker.conn.poll(0.05):
                     return worker.conn.recv()
             except (EOFError, OSError) as exc:
-                self._broken = f"{worker.describe()} closed its pipe"
-                raise ServerError(self._dead_worker_detail(worker)) from exc
+                worker.state = "dead"
+                raise _WorkerGone(
+                    worker, f"{worker.describe()} closed its pipe"
+                ) from exc
             if not worker.process.is_alive():
                 # Drain a message the worker managed to send before dying.
                 try:
@@ -429,20 +923,20 @@ class SnapshotServer:
                         return worker.conn.recv()
                 except (EOFError, OSError):
                     pass
-                self._broken = f"{worker.describe()} died"
-                raise ServerError(self._dead_worker_detail(worker))
+                worker.state = "dead"
+                raise _WorkerGone(worker, f"{worker.describe()} died")
             if time.monotonic() >= deadline:
-                self._broken = f"{worker.describe()} timed out"
-                raise ServerError(
-                    f"{worker.describe()} did not answer within {timeout:.1f}s "
-                    f"during {during}; the server is now marked broken"
+                raise _WorkerSilent(
+                    worker,
+                    f"{worker.describe()} did not answer within "
+                    f"{timeout:.1f}s during {during}",
                 )
 
-    def _dead_worker_detail(self, worker: _Worker) -> str:
+    def _dead_worker_detail(self, worker: _Worker, path: str) -> str:
         code = worker.process.exitcode
         state = "is still running" if code is None else f"exited with code {code}"
         return (
             f"{worker.describe()} serving shard {worker.shard} of "
-            f"{self.path!r} is gone ({state}); close() and start() the "
+            f"{path!r} is gone ({state}); close() and start() the "
             f"server again"
         )

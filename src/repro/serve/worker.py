@@ -4,29 +4,70 @@
 :class:`~repro.serve.server.SnapshotServer` worker process.  It loads
 exactly one shard of the snapshot (:func:`repro.io.snapshot.load_shard`
 reads only that shard's archive members), freezes its traversals once,
-reports readiness, and then answers ``("query", payload, k)`` requests
-over its pipe until told to shut down.
+reports readiness, and then answers ``("query", req_id, payload, k)``
+requests over its pipe until told to shut down.  Every query and ping
+reply echoes the coordinator's request id, which is what lets the
+coordinator's supervision retry re-scatter a block after a worker death
+and discard any stale answer a surviving worker delivers late.
 
 Failure discipline: the worker never lets an exception escape the loop
 silently.  Startup failures and per-request failures are both reported
-to the coordinator as ``("error", traceback_text)`` messages so the
-parent can surface the *worker's* stack trace instead of a bare broken
-pipe; only a vanished coordinator (``EOFError``/``OSError`` on the pipe)
-ends the loop without a report, because there is nobody left to read
-one.  Workers are started as daemons, so even a killed coordinator
-cannot leave them behind.
+to the coordinator as ``("error", ...)`` messages so the parent can
+surface the *worker's* stack trace instead of a bare broken pipe; only a
+vanished coordinator (``EOFError``/``OSError`` on the pipe) ends the
+loop without a report, because there is nobody left to read one.
+Workers are started as daemons, so even a killed coordinator cannot
+leave them behind.
+
+Fault injection (tests only): the ``REPRO_SERVE_FAULT`` environment
+variable arms one-shot faults so the fault-injection suite can make a
+*specific* worker incarnation die or stall at a *deterministic* point —
+something ``os.kill`` from a test cannot time against an in-flight
+request.  The format is a comma-separated list of
+``<kind>:<shard>:<spawn>[:<arg>]`` specs matched against this worker's
+shard index and spawn counter (0 for the original worker of a pool, +1
+per supervision restart):
+
+* ``die-on-query:1:0`` — shard 1's original worker exits (default code
+  9, override with a fourth field) upon receiving its first query;
+  combined with ``die-on-query:1:1`` the *restarted* worker dies too,
+  which is how the retry-exhaustion path is pinned;
+* ``sleep-on-query:0:0:0.4`` — shard 0's original worker sleeps 0.4 s
+  before answering its first query, long enough for a test to overlap a
+  :meth:`~repro.serve.server.SnapshotServer.reload` with the request.
+
+The variable is read once at worker startup; production deployments
+simply never set it.
 """
 
 from __future__ import annotations
 
+import os
+import time
 import traceback
+from typing import Optional, Tuple
 
 from repro.serve.protocol import encode_result, read_query_block
 
 __all__ = ["serve_shard"]
 
 
-def serve_shard(path: str, shard: int, conn, peer=None) -> None:
+def _armed_fault(shard: int, spawn: int) -> Optional[Tuple[str, Optional[str]]]:
+    """The ``REPRO_SERVE_FAULT`` spec aimed at this worker incarnation."""
+    for part in filter(None, os.environ.get("REPRO_SERVE_FAULT", "").split(",")):
+        fields = part.split(":")
+        try:
+            kind, target_shard, target_spawn = (
+                fields[0], int(fields[1]), int(fields[2])
+            )
+        except (IndexError, ValueError):
+            continue  # malformed spec: never let a typo crash serving
+        if (target_shard, target_spawn) == (shard, spawn):
+            return kind, fields[3] if len(fields) > 3 else None
+    return None
+
+
+def serve_shard(path: str, shard: int, conn, peer=None, spawn: int = 0) -> None:
     """Load shard ``shard`` of the snapshot at ``path`` and serve ``conn``.
 
     The worker answers with shard-local ids; the coordinator owns the
@@ -40,12 +81,18 @@ def serve_shard(path: str, shard: int, conn, peer=None) -> None:
     relies on, and the workers would linger as orphans.  Closing the
     inherited copy first thing makes coordinator death observable:
     ``recv`` raises ``EOFError`` and the worker exits on its own.
+
+    ``spawn`` counts this worker's incarnation within its pool: 0 for
+    the original process, incremented by the coordinator's supervision
+    each time it restarts the shard's worker (it also selects fault
+    specs; see the module docstring).
     """
     if peer is not None:
         try:
             peer.close()
         except OSError:
             pass
+    fault = _armed_fault(shard, spawn)
     try:
         from repro.io.snapshot import load_shard
 
@@ -62,25 +109,36 @@ def serve_shard(path: str, shard: int, conn, peer=None) -> None:
             message = conn.recv()
         except (EOFError, OSError):
             break  # coordinator is gone; daemon exit
+        req_id = None
         try:
             kind = message[0]
             if kind == "shutdown":
                 _best_effort_send(conn, ("bye",))
                 break
             if kind == "ping":
-                conn.send(("pong",))
+                conn.send(("pong", message[1] if len(message) > 1 else None))
             elif kind == "query":
-                queries = read_query_block(message[1])
-                results = index.query_batch(queries, k=int(message[2]))
-                conn.send(("ok", [encode_result(r) for r in results]))
+                req_id = message[1]
+                if fault is not None:
+                    fault_kind, arg = fault
+                    fault = None  # one-shot: the next query serves normally
+                    if fault_kind == "die-on-query":
+                        os._exit(int(arg) if arg is not None else 9)
+                    if fault_kind == "sleep-on-query":
+                        time.sleep(float(arg) if arg is not None else 0.2)
+                queries = read_query_block(message[2])
+                results = index.query_batch(queries, k=int(message[3]))
+                conn.send(("ok", req_id, [encode_result(r) for r in results]))
             else:
-                conn.send(("error", f"unknown message kind {kind!r}"))
+                conn.send(("error", None, f"unknown message kind {kind!r}"))
         except (EOFError, OSError, BrokenPipeError):
             break  # coordinator vanished mid-request
         except Exception:
             # Request-level failure: report and keep serving.  The
             # coordinator decides whether that poisons the server.
-            if not _best_effort_send(conn, ("error", traceback.format_exc())):
+            if not _best_effort_send(
+                conn, ("error", req_id, traceback.format_exc())
+            ):
                 break
     try:
         conn.close()

@@ -230,11 +230,20 @@ class TestLifecycle:
 
 
 class TestFailureSurfacing:
-    """A dead or silent worker must raise promptly — never hang."""
+    """A dead or silent worker must raise promptly — never hang.
+
+    These tests pin the **fail-fast** configuration (``max_retries=0``):
+    a worker death surfaces as a prompt :class:`ServerError` and breaks
+    the server.  The default configuration instead supervises — restarts
+    the dead worker and re-scatters once — which is pinned by
+    ``tests/test_serve_faults.py``.
+    """
 
     def test_killed_worker_surfaces_within_timeout(self, snapshot_path, workload):
         _, queries = workload
-        server = SnapshotServer(snapshot_path, query_timeout=10).start()
+        server = SnapshotServer(
+            snapshot_path, query_timeout=10, max_retries=0
+        ).start()
         try:
             os.kill(server.worker_pids[1], 9)
             started = time.monotonic()
@@ -246,7 +255,9 @@ class TestFailureSurfacing:
 
     def test_broken_server_refuses_further_queries(self, snapshot_path, workload):
         _, queries = workload
-        server = SnapshotServer(snapshot_path, query_timeout=10).start()
+        server = SnapshotServer(
+            snapshot_path, query_timeout=10, max_retries=0
+        ).start()
         try:
             os.kill(server.worker_pids[0], 9)
             with pytest.raises(ServerError):
@@ -258,7 +269,9 @@ class TestFailureSurfacing:
 
     def test_crash_then_restart_recovers(self, snapshot_path, workload):
         _, queries = workload
-        server = SnapshotServer(snapshot_path, query_timeout=10).start()
+        server = SnapshotServer(
+            snapshot_path, query_timeout=10, max_retries=0
+        ).start()
         try:
             baseline = server.query_batch(queries, k=3)
             os.kill(server.worker_pids[0], 9)
@@ -280,6 +293,10 @@ class TestFailureSurfacing:
                 server.ping()
         finally:
             server.close()
+
+    def test_invalid_max_retries(self, snapshot_path):
+        with pytest.raises(ValueError, match="max_retries"):
+            SnapshotServer(snapshot_path, max_retries=-1)
 
 
 class TestProtocol:
@@ -311,6 +328,17 @@ class TestProtocol:
                                      elapsed=0.0, hash_evaluations=5)
         assert [n.id for n in merged.neighbors] == [0, 101, 2]
         assert merged.stats.hash_evaluations == 5
+
+    def test_planner_rejects_ragged_shard_batches(self):
+        """A transport bug delivering mismatched per-shard batch sizes
+        must fail loud, not zip-truncate into plausible results."""
+        from repro.core.plan import merge_shard_batches
+
+        full = [QueryResult(neighbors=[Neighbor(0, 1.0)])] * 2
+        short = [QueryResult(neighbors=[Neighbor(1, 2.0)])]
+        with pytest.raises(ValueError, match="ragged"):
+            merge_shard_batches([full, short], offsets=[0, 10], k=1,
+                                elapsed_per_query=0.0)
 
 
 class TestCLI:
@@ -535,3 +563,27 @@ class TestEvalRunner:
         # stored coordinates were never read on this path.
         assert (result.n, result.dim) == data.shape
         assert result.recall > 0.5
+
+    def test_evaluate_server_with_concurrent_clients(self, snapshot_path,
+                                                     workload):
+        from repro.eval import evaluate_server
+
+        _, queries = workload
+        solo = evaluate_server(snapshot_path, queries, k=5,
+                               dataset_name="toy")
+        fanned = evaluate_server(snapshot_path, queries, k=5,
+                                 dataset_name="toy", clients=3)
+        assert fanned.method == "DB-LSH-serve[2p]x3c"
+        # Chunked-and-reassembled answers carry the same quality as the
+        # single-client batch (same server, same snapshot).
+        assert fanned.recall == solo.recall
+        assert fanned.ratio == solo.ratio
+
+    def test_evaluate_server_rejects_unbatched_concurrent_clients(
+            self, snapshot_path, workload):
+        from repro.eval import evaluate_server
+
+        _, queries = workload
+        with pytest.raises(ValueError, match="clients"):
+            evaluate_server(snapshot_path, queries, k=5, clients=2,
+                            batch=False)
