@@ -27,7 +27,11 @@ connection, FIFO-fair onto the shared worker pool), supervises its
 workers (a killed worker is restarted and the request retried once),
 answers ``status`` and ``reload`` protocol verbs, and with ``--watch``
 hot-reloads a new snapshot generation when the file changes — in-flight
-queries finish on the generation they started on.  The client side
+queries finish on the generation they started on.  With ``--mutable``
+it also answers ``insert``/``delete``/``compact``: mutations are acked
+only after the write-ahead-log fsync, recovered on restart, and folded
+into fresh snapshot generations in the background; without the flag the
+same verbs are refused with a clear read-only error.  The client side
 retries its connection with exponential backoff (``--connect-timeout``),
 so scripts may start ``serve`` and ``query`` back to back.
 """
@@ -299,8 +303,8 @@ def _serve_one_client(conn, server, state: _ServeState) -> None:
     ``ServerError`` from the worker pool — which supervision could not
     recover — marks the run failed and stops the serve loop.
     """
-    from repro.io import SnapshotError
-    from repro.serve import ServerError
+    from repro.io import SnapshotError, WALError
+    from repro.serve import ReadOnlyError, ServerError
     from repro.serve.protocol import encode_result
 
     while not state.stop:
@@ -328,6 +332,38 @@ def _serve_one_client(conn, server, state: _ServeState) -> None:
                     state.fail(str(exc))
                     return
                 conn.send(("ok", [encode_result(r) for r in results]))
+                state.count_request()
+                if state.stop:
+                    return
+            elif kind in ("insert", "delete", "compact"):
+                # Mutation verbs: acked only after the WAL fsync inside
+                # the server method returns; a read-only serve refuses
+                # with a clear error instead of pretending.
+                if not hasattr(server, "insert"):
+                    conn.send(("error",
+                               f"server is read-only: {kind} refused "
+                               f"(restart serve with --mutable)"))
+                    continue
+                try:
+                    if kind == "insert":
+                        value = server.insert(
+                            np.asarray(message[1], dtype=np.float64)
+                        )
+                    elif kind == "delete":
+                        value = server.delete(int(message[1]))
+                    else:
+                        value = server.compact()
+                except (ValueError, ReadOnlyError) as exc:
+                    conn.send(("error", str(exc)))
+                    continue
+                except (WALError, OSError, ServerError) as exc:
+                    # A mutation that could not be made durable poisons
+                    # nothing that was already acked, but this serve can
+                    # no longer honor its durability contract: fail loud.
+                    conn.send(("error", str(exc)))
+                    state.fail(str(exc))
+                    return
+                conn.send(("ok", value))
                 state.count_request()
                 if state.stop:
                     return
@@ -407,7 +443,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import multiprocessing
     from multiprocessing.connection import Listener
 
-    from repro.serve import SnapshotServer
+    from repro.serve import MutableSnapshotServer, SnapshotServer
     from repro.serve.protocol import AUTHKEY, DEFAULT_AUTHKEY
 
     address = _parse_address(args.listen)
@@ -435,14 +471,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # server-side connection (some process still holds the fd open).
     # Supervision restarts and reloads spawn workers mid-serve, so this
     # matters beyond startup.  --mp-context overrides for experiments.
-    with SnapshotServer(args.index, query_timeout=args.query_timeout,
-                        mp_context=args.mp_context) as server:
+    if args.mutable:
+        # A mutable serve recovers snapshot + WAL on startup, acks
+        # insert/delete only after the WAL fsync, and folds the delta
+        # into fresh snapshot generations in the background.
+        server_factory = MutableSnapshotServer(
+            args.index, query_timeout=args.query_timeout,
+            mp_context=args.mp_context, wal_path=args.wal,
+            compact_threshold=args.compact_threshold,
+        )
+    else:
+        server_factory = SnapshotServer(
+            args.index, query_timeout=args.query_timeout,
+            mp_context=args.mp_context,
+        )
+    with server_factory as server:
         listener = Listener(address, authkey=AUTHKEY)
         state.attach_listener(listener, address)
         try:
             print(server.describe())
+            mode = "mutable" if args.mutable else "read-only"
             print(f"listening on {args.listen} "
-                  f"(workers: {len(server.worker_pids)})", flush=True)
+                  f"(workers: {len(server.worker_pids)}, {mode})", flush=True)
             if args.watch:
                 threading.Thread(
                     target=_watch_snapshot,
@@ -700,6 +750,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--watch-interval", type=float, default=1.0,
                            dest="watch_interval",
                            help="seconds between --watch mtime polls")
+    serve_cmd.add_argument("--mutable", action="store_true",
+                           help="accept insert/delete verbs, acked after the "
+                                "write-ahead-log fsync; recovers snapshot+WAL "
+                                "on startup (default: read-only, mutations "
+                                "refused)")
+    serve_cmd.add_argument("--wal", default=None,
+                           help="write-ahead log path for --mutable "
+                                "(default: <snapshot>.wal)")
+    serve_cmd.add_argument("--compact-threshold", type=int, default=4096,
+                           dest="compact_threshold",
+                           help="fold the delta buffer into a fresh snapshot "
+                                "generation once this many pending mutations "
+                                "accumulate (0 disables auto-compaction)")
     serve_cmd.add_argument("--mp-context", default="spawn",
                            choices=["spawn", "fork", "forkserver"],
                            dest="mp_context",

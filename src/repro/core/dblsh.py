@@ -204,6 +204,17 @@ class DBLSH:
         self._buffer: Optional[np.ndarray] = None
         self._norms2: Optional[np.ndarray] = None
         self._n: int = 0
+        # Rows ``[_frozen_n, _n)`` are the *delta buffer*: appended after
+        # the frozen traversals were built, never projected, swept
+        # brute-force at the start of every query until ``compact()``
+        # folds them in.  Non-flat paths keep ``_frozen_n == _n``.
+        self._frozen_n: int = 0
+        # Tombstoned (deleted) row ids.  Rows stay physically in the
+        # buffer — ids are never renumbered — and are pre-marked into the
+        # per-query seen mask so they are never verified, never charged
+        # against the budget, and never enter the heap.
+        self._tombstones: set = set()
+        self._tomb_cache: Optional[np.ndarray] = None
         # One scratch mask per thread: reuse across queries without
         # breaking concurrent query() calls from user threads.
         self._scratch_locals = threading.local()
@@ -240,6 +251,9 @@ class DBLSH:
         self._buffer = data
         self._norms2 = np.einsum("ij,ij->i", data, data)
         self._n = n
+        self._frozen_n = n
+        self._tombstones = set()
+        self._tomb_cache = None
         self.dim = dim
         self.params = derive_parameters(
             n,
@@ -362,19 +376,32 @@ class DBLSH:
 
         Not part of the paper's evaluation but a natural capability of the
         decoupled design: the dynamic bucketing never looks at bucket
-        boundaries, so insertion is a plain R*-tree insert per space.
+        boundaries, so insertion never repartitions anything.
+
+        On the default configuration (``rstar`` backend, vectorized
+        engine, frozen traversals materialized — the state ``fit`` with
+        ``builder="array"`` and snapshot loading both leave the index in)
+        the new points land in the **delta buffer**: an O(m) append with
+        no projection pass and no tree surgery.  Queries sweep the delta
+        brute-force before the probe rounds, so the points are visible
+        immediately; :meth:`compact` folds them into fresh traversals
+        when the sweep grows noticeable.  The pointer paths (legacy
+        engine, ``rstar-insert``, unfrozen pointer builder) keep the
+        historical per-point R*-tree insertion.
 
         The dataset lives in a capacity-doubling buffer, so a sequence of
         ``add`` calls costs amortised O(1) copies per point rather than a
-        full-dataset copy per call.  On the ``rstar`` backend each ``add``
-        invalidates the frozen traversals; they are rebuilt lazily on the
-        next query, so batch your adds between query phases.
+        full-dataset copy per call.
         """
         if self._buffer is None or self.params is None or self._hasher is None:
             raise RuntimeError("fit() must be called before add()")
         if self.backend not in ("rstar", "rstar-insert"):
             raise NotImplementedError("add() requires an R*-tree backend")
-        self._materialize_tables()
+        delta_path = self._uses_flat() and all(
+            flat is not None for flat in self._flat_tables
+        )
+        if not delta_path:
+            self._materialize_tables()
         points = check_dataset(points)
         if points.shape[1] != self.dim:
             raise ValueError(f"points have dimension {points.shape[1]}, expected {self.dim}")
@@ -392,6 +419,12 @@ class DBLSH:
         self._norms2[start_id:needed] = np.einsum(  # type: ignore[index]
             "ij,ij->i", points, points
         )
+        if delta_path:
+            # Delta append: the frozen traversals stay valid for rows
+            # [0, _frozen_n); the new rows are swept at query time.  No
+            # projections are computed until compact() folds them in.
+            self._n = needed
+            return
         projections = self._hasher.project_all(points)  # (L, m, K)
         for i, tree in enumerate(self._tables):
             for offset, projected in enumerate(projections[i]):
@@ -400,9 +433,73 @@ class DBLSH:
             self._table_high[i] = np.maximum(self._table_high[i], projections[i].max(axis=0))
         self._refresh_cover_bounds()
         self._n = needed
+        self._frozen_n = needed
         # The frozen traversals are stale snapshots now; refreeze lazily
         # (per-thread scratch masks grow on their next use).
         self._reset_flat_tables()
+
+    def delete(self, ids) -> int:
+        """Tombstone the given row ids; returns how many were newly deleted.
+
+        Deletion is logical and O(1): the rows stay in the buffer (ids
+        are **never renumbered** — a snapshot/serving invariant), but
+        every subsequent query pre-marks them into its seen mask, so a
+        deleted point is never verified, never charged against the
+        ``2tL + k`` budget, and never returned.  Deleting an id twice is
+        a no-op (write-ahead-log replay relies on that idempotence).
+        """
+        self._require_fitted()
+        ids = np.atleast_1d(np.asarray(ids, dtype=np.int64)).ravel()
+        if ids.size and (ids.min() < 0 or ids.max() >= self._n):
+            bad = ids[(ids < 0) | (ids >= self._n)][0]
+            raise ValueError(
+                f"cannot delete id {int(bad)}: ids must be in [0, {self._n})"
+            )
+        before = len(self._tombstones)
+        self._tombstones.update(int(i) for i in ids)
+        newly = len(self._tombstones) - before
+        if newly:
+            self._tomb_cache = None
+        return newly
+
+    def compact(self) -> bool:
+        """Fold the delta buffer into fresh frozen traversals.
+
+        Recomputes the projections over the whole buffer and rebuilds the
+        per-space frozen arrays (an O(n) rebuild — amortize it over many
+        ``add`` calls), after which queries stop paying the per-query
+        delta sweep.  Tombstones stay logical: rows are never removed,
+        so ids never shift.  Returns ``True`` when a fold happened,
+        ``False`` when there was no delta to fold.  No-op (``False``) on
+        the pointer paths, which index inserts eagerly.
+        """
+        self._require_fitted()
+        if self._frozen_n >= self._n or not self._uses_flat():
+            return False
+        assert self._hasher is not None
+        projections = self._hasher.project_all(self.data)  # (L, n, K)
+        self._flat_tables = [
+            build_flat_str(projections[i], max_entries=self.max_entries)
+            for i in range(len(self._flat_tables))
+        ]
+        self._tables = [None] * len(self._flat_tables)
+        self._table_low = [proj.min(axis=0) for proj in projections]
+        self._table_high = [proj.max(axis=0) for proj in projections]
+        self._refresh_cover_bounds()
+        self._frozen_n = self._n
+        return True
+
+    def _tombstone_array(self) -> Optional[np.ndarray]:
+        """The tombstoned ids as a sorted int64 array (``None`` when empty)."""
+        if not self._tombstones:
+            return None
+        if self._tomb_cache is None or self._tomb_cache.shape[0] != len(
+            self._tombstones
+        ):
+            self._tomb_cache = np.fromiter(
+                sorted(self._tombstones), dtype=np.int64, count=len(self._tombstones)
+            )
+        return self._tomb_cache
 
     # ------------------------------------------------------------------
     # Query phase
@@ -505,19 +602,28 @@ class DBLSH:
         heap = BoundedMaxHeap(k)
         budget = self.params.budget(k)
         no_improve_box = [0]
+        tombs = self._tombstone_array()
         if self.engine == "legacy":
             seen = np.zeros(self._n, dtype=bool)
+            if tombs is not None:
+                seen[tombs] = True
             reason = self._probe_round_legacy(
                 query, q_proj, radius, heap, seen, budget, stats, no_improve_box
             )
         else:
+            scratch = self._get_scratch().begin()
+            if tombs is not None:
+                scratch.mark(tombs)
+            q_norm2 = float(query @ query)
+            if self._n > self._frozen_n:
+                self._sweep_delta(query, q_norm2, heap, scratch, stats)
             reason = self._probe_round(
                 query,
                 q_proj,
-                float(query @ query),
+                q_norm2,
                 radius,
                 heap,
-                self._get_scratch().begin(),
+                scratch,
                 budget,
                 stats,
                 no_improve_box,
@@ -556,12 +662,19 @@ class DBLSH:
         # the box is shared with every probe round of this query.
         no_improve_box = [0]
         legacy = self.engine == "legacy"
+        tombs = self._tombstone_array()
         if legacy:
             seen: object = np.zeros(self._n, dtype=bool)
+            if tombs is not None:
+                seen[tombs] = True  # deleted rows count as already seen
             q_norm2 = 0.0
         else:
             seen = scratch.begin()
+            if tombs is not None:
+                seen.mark(tombs)
             q_norm2 = float(query @ query)
+            if self._n > self._frozen_n:
+                self._sweep_delta(query, q_norm2, heap, seen, stats)
 
         while True:
             stats.rounds += 1
@@ -665,6 +778,64 @@ class DBLSH:
                 if reason is not None:
                     return reason
         return None
+
+    def _sweep_delta(
+        self,
+        query: np.ndarray,
+        q_norm2: float,
+        heap: BoundedMaxHeap,
+        seen: GenerationMask,
+        stats: QueryStats,
+    ) -> None:
+        """Brute-force the delta rows ``[_frozen_n, _n)`` into the heap.
+
+        The delta buffer has no traversal — its rows were never projected
+        — so every query verifies all of it up front, with the same
+        chunked-GEMM distance evaluation as :meth:`_probe_round`
+        (precomputed ``|x|^2`` terms, catastrophic-cancellation rescue).
+        Running the sweep *before* the probe rounds pre-charges the heap,
+        which can only make the radius condition fire earlier.  The sweep
+        is mandatory work proportional to the delta size — it is counted
+        in ``distance_computations`` but not against the ``2tL + k``
+        window budget, exactly like the projection pass isn't.
+
+        Tombstoned delta rows are already marked in ``seen`` and skipped;
+        all surviving rows are marked so the probe rounds can never
+        double-count one (a folded-then-reloaded row cannot exist within
+        one index, but the invariant is kept anyway — it is what the
+        serve-layer merge relies on).
+        """
+        data = self.data
+        norms2 = self._norms2
+        assert data is not None and norms2 is not None
+        delta_ids = np.arange(self._frozen_n, self._n, dtype=np.int64)
+        for start in range(0, delta_ids.shape[0], 4096):
+            fresh = seen.fresh(delta_ids[start : start + 4096])
+            if fresh.shape[0] == 0:
+                continue
+            candidates = data[fresh]
+            norms2_f = norms2[fresh]
+            dists = norms2_f - 2.0 * (candidates @ query)
+            dists += q_norm2
+            np.maximum(dists, 0.0, out=dists)
+            suspect = dists < 1e-7 * (norms2_f + q_norm2)
+            if suspect.any():
+                close = np.flatnonzero(suspect)
+                diff = candidates[close] - query
+                dists[close] = np.einsum("ij,ij->i", diff, diff)
+            np.sqrt(dists, out=dists)
+            stats.distance_computations += int(fresh.shape[0])
+            retained = heap._heap  # [(-distance, id), ...]
+            if len(retained) + fresh.shape[0] <= heap.k:
+                heap.fill(dists.tolist(), fresh.tolist())
+                continue
+            if retained:
+                all_d = np.concatenate([[-p[0] for p in retained], dists])
+                all_i = np.concatenate([[p[1] for p in retained], fresh])
+            else:
+                all_d, all_i = dists, fresh
+            sel = np.argpartition(all_d, heap.k - 1)[: heap.k]
+            heap.rebuild(all_d[sel].tolist(), all_i[sel].tolist())
 
     def _consume_chunk(
         self,
@@ -879,7 +1050,7 @@ class DBLSH:
         """
         if self._uses_flat():
             flat = self._flat_tables[i]
-            if flat is None:  # invalidated by add(); refreeze on demand
+            if flat is None:  # pointer-built, not yet frozen: freeze now
                 if self._tables[i] is None:
                     self._materialize_tables()
                 flat = self._flat_tables[i] = self._tables[i].freeze()
@@ -919,7 +1090,23 @@ class DBLSH:
 
     @property
     def num_points(self) -> int:
+        """Physical rows in the buffer (tombstoned rows included)."""
         return self._n
+
+    @property
+    def num_live(self) -> int:
+        """Rows that queries can still return (physical minus tombstoned)."""
+        return self._n - len(self._tombstones)
+
+    @property
+    def num_pending(self) -> int:
+        """Delta-buffer rows awaiting :meth:`compact` (swept per query)."""
+        return self._n - self._frozen_n
+
+    @property
+    def num_tombstones(self) -> int:
+        """Logically deleted rows (never renumbered, skipped by queries)."""
+        return len(self._tombstones)
 
     @property
     def num_hash_functions(self) -> int:
@@ -982,13 +1169,16 @@ class DBLSH:
         flats: Optional[list],
         build_seconds: float = 0.0,
         builder: str = "array",
+        tombstones: Optional[np.ndarray] = None,
     ) -> "DBLSH":
         """Reassemble a fitted index from snapshot state (no tree build).
 
         ``flats`` carries the restored frozen traversals (or ``None`` for
         backends that snapshot without them); the mutable pointer trees
         stay unmaterialized until :meth:`add` or a legacy-engine query
-        needs them.
+        needs them.  ``tombstones`` restores logically deleted row ids —
+        the rows are physically present in ``data`` (ids never renumber)
+        but excluded from every query.
         """
         index = cls(
             c=c,
@@ -1009,6 +1199,9 @@ class DBLSH:
         index._buffer = data
         index._norms2 = np.einsum("ij,ij->i", data, data)
         index._n = n
+        index._frozen_n = n
+        if tombstones is not None and len(tombstones):
+            index.delete(tombstones)
         index.dim = dim
         index.params = derive_parameters(
             n, c=c, w0=w0, t=t, k_per_space=k_per_space, l_spaces=l_spaces

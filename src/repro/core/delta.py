@@ -1,0 +1,190 @@
+"""Mutable delta index: the in-memory side of crash-safe mutations.
+
+A frozen snapshot answers queries from immutable arrays; live inserts
+land here instead.  :class:`DeltaIndex` is an array-native append buffer
+— points, their squared norms, and their *global* ids — swept
+brute-force with the same chunked-GEMM verification the probe rounds
+use (``|x|^2 - 2 x.q + |q|^2`` with the catastrophic-cancellation
+recompute), so a delta answer is exact and merges with the snapshot
+answer by plain ``(distance, id)`` order.
+
+Deletes never touch the buffer: they accumulate in a tombstone set that
+the merge planner (:func:`repro.core.plan.merge_live_results`) applies
+to the snapshot's answers, and :meth:`sweep` applies to its own — a
+deleted row simply stops being reportable, wherever it lives.  Rows are
+never renumbered; an id stays valid for the lifetime of the dataset.
+
+Thread-safety contract: :meth:`append` and :meth:`view` must be
+serialized by the caller (the mutation lock of
+:class:`~repro.serve.mutable.MutableSnapshotServer`), but a
+:class:`DeltaView` taken under the lock stays a consistent snapshot
+*outside* it: growth reallocates (the view keeps the old arrays) and
+appends write past the view's length, so concurrent readers never see
+half-written rows.  :meth:`trim` (compaction folding the prefix into a
+new snapshot generation) likewise reallocates rather than shifting.
+"""
+
+from __future__ import annotations
+
+from typing import Container, List, Optional
+
+import numpy as np
+
+from repro.core.result import Neighbor, QueryResult, QueryStats
+
+__all__ = ["DeltaIndex", "DeltaView"]
+
+#: Relative tolerance under which a GEMM-computed squared distance is
+#: recomputed exactly — same constant as the probe-round verification.
+_RECOMPUTE_RTOL = 1e-7
+
+
+class DeltaView:
+    """An immutable snapshot of a :class:`DeltaIndex` prefix.
+
+    Holds slice views (no copies) of the buffer at capture time; see the
+    module docstring for why those stay consistent under concurrent
+    appends and trims.
+    """
+
+    __slots__ = ("ids", "points", "norms2")
+
+    def __init__(self, ids: np.ndarray, points: np.ndarray,
+                 norms2: np.ndarray) -> None:
+        self.ids = ids
+        self.points = points
+        self.norms2 = norms2
+
+    def __len__(self) -> int:
+        return self.ids.shape[0]
+
+    def sweep(self, queries: np.ndarray, k: int,
+              exclude: Optional[Container[int]] = None) -> List[QueryResult]:
+        """Exact top-``k`` of every query over the buffered rows.
+
+        Parameters
+        ----------
+        queries:
+            ``(m, d)`` query block (already validated by the caller).
+        k:
+            Neighbors per query.
+        exclude:
+            Tombstoned ids; matching rows are skipped entirely (never
+            verified, never reported) — mirroring how the frozen engine
+            pre-marks tombstones as seen.
+
+        Returns
+        -------
+        list of QueryResult
+            Per query: ascending ``(distance, id)`` neighbors carrying
+            **global** ids, with ``distance_computations`` /
+            ``candidates_verified`` counting the swept rows (the sweep
+            is verification work, like the projection pass it replaces —
+            it is not charged against any probe budget).
+        """
+        m = queries.shape[0]
+        if len(self) == 0:
+            return [QueryResult() for _ in range(m)]
+        keep = np.ones(len(self), dtype=bool)
+        if exclude is not None:
+            dropped = [i for i, pid in enumerate(self.ids) if int(pid) in exclude]
+            if dropped:
+                keep[dropped] = False
+        if not keep.any():
+            return [QueryResult() for _ in range(m)]
+        ids = self.ids[keep]
+        points = self.points[keep]
+        norms2 = self.norms2[keep]
+
+        q_norms2 = np.einsum("ij,ij->i", queries, queries)
+        d2 = q_norms2[:, None] - 2.0 * (queries @ points.T) + norms2[None, :]
+        suspect = d2 < _RECOMPUTE_RTOL * (norms2[None, :] + q_norms2[:, None])
+        if suspect.any():
+            rows, cols = np.nonzero(suspect)
+            diff = points[cols] - queries[rows]
+            d2[rows, cols] = np.einsum("ij,ij->i", diff, diff)
+        np.maximum(d2, 0.0, out=d2)
+        dists = np.sqrt(d2)
+
+        swept = int(ids.shape[0])
+        results: List[QueryResult] = []
+        for qi in range(m):
+            row = dists[qi]
+            if k < row.shape[0]:
+                top = np.argpartition(row, k - 1)[:k]
+            else:
+                top = np.arange(row.shape[0])
+            order = np.lexsort((ids[top], row[top]))
+            picked = top[order]
+            neighbors = [
+                Neighbor(int(ids[j]), float(row[j])) for j in picked
+            ]
+            stats = QueryStats(
+                candidates_verified=swept,
+                distance_computations=swept,
+                terminated_by="exhausted",
+            )
+            results.append(QueryResult(neighbors=neighbors, stats=stats))
+        return results
+
+
+class DeltaIndex:
+    """Capacity-doubling append buffer of (global id, point, squared norm)."""
+
+    def __init__(self, dim: int, capacity: int = 256) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self.dim = int(dim)
+        capacity = max(int(capacity), 1)
+        self._ids = np.zeros(capacity, dtype=np.int64)
+        self._points = np.zeros((capacity, self.dim), dtype=np.float64)
+        self._norms2 = np.zeros(capacity, dtype=np.float64)
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def append(self, point_id: int, point: np.ndarray) -> None:
+        """Buffer one inserted row (caller holds the mutation lock)."""
+        if self._n == self._ids.shape[0]:
+            grown = self._ids.shape[0] * 2
+            # Reallocate instead of resizing in place: outstanding views
+            # keep the old arrays and stay consistent.
+            ids = np.zeros(grown, dtype=np.int64)
+            points = np.zeros((grown, self.dim), dtype=np.float64)
+            norms2 = np.zeros(grown, dtype=np.float64)
+            ids[: self._n] = self._ids[: self._n]
+            points[: self._n] = self._points[: self._n]
+            norms2[: self._n] = self._norms2[: self._n]
+            self._ids, self._points, self._norms2 = ids, points, norms2
+        self._ids[self._n] = point_id
+        self._points[self._n] = point
+        self._norms2[self._n] = float(point @ point)
+        self._n += 1
+
+    def view(self, upto: Optional[int] = None) -> DeltaView:
+        """A consistent snapshot of the first ``upto`` rows (default: all)."""
+        n = self._n if upto is None else min(int(upto), self._n)
+        return DeltaView(
+            self._ids[:n], self._points[:n], self._norms2[:n]
+        )
+
+    def trim(self, folded: int) -> None:
+        """Drop the first ``folded`` rows (now baked into a snapshot).
+
+        Reallocates the remainder so views captured before the trim keep
+        their arrays; caller holds the mutation lock.
+        """
+        folded = max(0, min(int(folded), self._n))
+        if folded == 0:
+            return
+        remaining = self._n - folded
+        capacity = max(remaining, 256)
+        ids = np.zeros(capacity, dtype=np.int64)
+        points = np.zeros((capacity, self.dim), dtype=np.float64)
+        norms2 = np.zeros(capacity, dtype=np.float64)
+        ids[:remaining] = self._ids[folded:self._n]
+        points[:remaining] = self._points[folded:self._n]
+        norms2[:remaining] = self._norms2[folded:self._n]
+        self._ids, self._points, self._norms2 = ids, points, norms2
+        self._n = remaining

@@ -26,11 +26,16 @@ no full sort per query.
 from __future__ import annotations
 
 import heapq
-from typing import List, Sequence
+from typing import Container, List, Sequence
 
 from repro.core.result import Neighbor, QueryResult, QueryStats
 
-__all__ = ["merge_shard_results", "merge_shard_batches"]
+__all__ = [
+    "merge_shard_results",
+    "merge_shard_batches",
+    "merge_live_results",
+    "merge_live_batches",
+]
 
 
 def merge_shard_results(
@@ -133,4 +138,77 @@ def merge_shard_batches(
             hash_evaluations,
         )
         for j in range(m)
+    ]
+
+
+def merge_live_results(
+    base: QueryResult,
+    delta: QueryResult,
+    dropped: Container[int],
+    k: int,
+) -> QueryResult:
+    """Fold a delta-buffer answer and the tombstone set into a base answer.
+
+    The mutable-serving counterpart of :func:`merge_shard_results`: the
+    *base* answer comes from the frozen snapshot (over-fetched so that
+    tombstoned hits can be discarded without shrinking below ``k``), the
+    *delta* answer from the live append buffer — both ascending by
+    ``(distance, id)`` with **global** ids already.
+
+    ``dropped`` is the current tombstone membership (any container with
+    ``in``): matching ids are filtered from either list, because a base
+    snapshot generation predating a delete still reports the row.  Ids
+    are deduplicated keeping the first occurrence — during a compaction
+    flip the new snapshot generation and the not-yet-trimmed delta briefly
+    both hold the folded rows, and dedup is what makes that window
+    harmless.
+
+    The returned stats are the base stats with the delta sweep's
+    verification work added (the sweep is exact verification, so its
+    rows count as candidates verified and distance computations).
+    """
+    merged: List[Neighbor] = []
+    seen = set()
+    i = j = 0
+    base_nb, delta_nb = base.neighbors, delta.neighbors
+    while len(merged) < k and (i < len(base_nb) or j < len(delta_nb)):
+        if j >= len(delta_nb):
+            candidate, from_base = base_nb[i], True
+        elif i >= len(base_nb):
+            candidate, from_base = delta_nb[j], False
+        elif (base_nb[i].distance, base_nb[i].id) <= (
+            delta_nb[j].distance, delta_nb[j].id
+        ):
+            candidate, from_base = base_nb[i], True
+        else:
+            candidate, from_base = delta_nb[j], False
+        if from_base:
+            i += 1
+        else:
+            j += 1
+        if candidate.id in dropped or candidate.id in seen:
+            continue
+        seen.add(candidate.id)
+        merged.append(candidate)
+    stats = base.stats
+    stats.candidates_verified += delta.stats.candidates_verified
+    stats.distance_computations += delta.stats.distance_computations
+    return QueryResult(neighbors=merged, stats=stats)
+
+
+def merge_live_batches(
+    base_batch: Sequence[QueryResult],
+    delta_batch: Sequence[QueryResult],
+    dropped: Container[int],
+    k: int,
+) -> List[QueryResult]:
+    """Batch form of :func:`merge_live_results` (answers in query order)."""
+    if len(base_batch) != len(delta_batch):
+        raise ValueError(
+            f"ragged live merge: {len(base_batch)} base answers vs "
+            f"{len(delta_batch)} delta answers"
+        )
+    return [
+        merge_live_results(base, delta, dropped, k)
+        for base, delta in zip(base_batch, delta_batch)
     ]

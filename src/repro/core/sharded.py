@@ -406,6 +406,32 @@ class ShardedDBLSH:
         self._require_fitted()
         self._shards[-1].add(points)
 
+    def delete(self, ids) -> int:
+        """Tombstone global row ids; returns how many were newly deleted.
+
+        Ids are mapped to their shard through the contiguous partition
+        offsets and tombstoned there (:meth:`DBLSH.delete`): logical
+        deletion, no renumbering, idempotent per id.
+        """
+        self._require_fitted()
+        ids = np.atleast_1d(np.asarray(ids, dtype=np.int64)).ravel()
+        if ids.size == 0:
+            return 0
+        total = self.num_points
+        if ids.min() < 0 or ids.max() >= total:
+            bad = ids[(ids < 0) | (ids >= total)][0]
+            raise ValueError(
+                f"cannot delete id {int(bad)}: ids must be in [0, {total})"
+            )
+        offsets = np.asarray(self._offsets, dtype=np.int64)
+        owners = np.searchsorted(offsets, ids, side="right") - 1
+        deleted = 0
+        for si in range(len(self._shards)):
+            local = ids[owners == si] - offsets[si]
+            if local.size:
+                deleted += self._shards[si].delete(local)
+        return deleted
+
     # ------------------------------------------------------------------
     # Query phase
     # ------------------------------------------------------------------
@@ -637,7 +663,31 @@ class ShardedDBLSH:
 
     @property
     def num_points(self) -> int:
+        """Physical rows across shards (tombstoned rows included)."""
         return sum(shard.num_points for shard in self._shards)
+
+    @property
+    def num_live(self) -> int:
+        """Rows queries can still return (physical minus tombstoned)."""
+        return sum(shard.num_live for shard in self._shards)
+
+    @property
+    def num_pending(self) -> int:
+        """Delta-buffer rows awaiting :meth:`compact` across shards."""
+        return sum(shard.num_pending for shard in self._shards)
+
+    @property
+    def num_tombstones(self) -> int:
+        """Logically deleted rows across shards."""
+        return sum(shard.num_tombstones for shard in self._shards)
+
+    def compact(self) -> bool:
+        """Fold every shard's delta buffer (see :meth:`DBLSH.compact`)."""
+        self._require_fitted()
+        folded = False
+        for shard in self._shards:
+            folded = shard.compact() or folded
+        return folded
 
     @property
     def num_hash_functions(self) -> int:

@@ -1,11 +1,17 @@
-"""Index lifecycle I/O: versioned snapshots of fitted indexes.
+"""Index lifecycle I/O: versioned snapshots plus the mutation log.
 
 :func:`save_index` / :func:`load_index` persist and restore a fitted
 :class:`~repro.core.dblsh.DBLSH` or
 :class:`~repro.core.sharded.ShardedDBLSH` through a single versioned
 ``.npz`` archive — including the frozen R*-tree traversal arrays, so a
-loaded ``rstar``-backend index serves queries with zero rebuild.  See
-:mod:`repro.io.snapshot` for the format.
+loaded ``rstar``-backend index serves queries with zero rebuild.  The
+write is atomic (temp file + rename + fsync) and every member carries a
+CRC32 verified on read; see :mod:`repro.io.snapshot` for the format.
+
+:class:`WriteAheadLog` (:mod:`repro.io.wal`) makes live mutations
+durable: inserts/deletes are CRC-framed, fsync'd on append, and bound to
+the snapshot generation they apply on top of, so a killed server
+recovers exactly its acked mutations.
 """
 
 from repro.io.snapshot import (
@@ -15,9 +21,17 @@ from repro.io.snapshot import (
     load_data,
     load_index,
     load_shard,
+    load_tombstones,
     read_header,
     save_index,
     shard_headers,
+)
+from repro.io.wal import (
+    CheckpointRecord,
+    DeleteRecord,
+    InsertRecord,
+    WALError,
+    WriteAheadLog,
 )
 
 __all__ = [
@@ -27,7 +41,13 @@ __all__ = [
     "load_data",
     "load_index",
     "load_shard",
+    "load_tombstones",
     "read_header",
     "save_index",
     "shard_headers",
+    "CheckpointRecord",
+    "DeleteRecord",
+    "InsertRecord",
+    "WALError",
+    "WriteAheadLog",
 ]

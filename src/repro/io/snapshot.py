@@ -20,18 +20,34 @@ and rebuild their tables from the stored projection tensor at load time.
 Sharded snapshots store one such payload per shard under a ``shard{i}.``
 key prefix; the shard partition is implicit in the stored shard sizes.
 
+Durability
+----------
+``save_index`` is **atomic**: the archive is written to a temp file,
+fsync'd, and renamed over ``path`` (with a directory fsync), so a crash
+mid-save leaves the previous snapshot intact — never a half-written
+archive.  The header carries a CRC32 per payload member, verified on
+access, and a random ``uid`` naming this snapshot *generation* (plus the
+``parent_uid`` it was compacted from and the mutation id counter
+``next_id``), which is what the write-ahead log of :mod:`repro.io.wal`
+binds to.  Logically deleted rows travel as a ``tombstones`` member per
+shard — rows are never physically removed, so ids never renumber.
+
 Versioning
 ----------
 ``SNAPSHOT_VERSION`` is bumped whenever the layout changes incompatibly.
 :func:`load_index` refuses snapshots written under a different version
-with a :class:`SnapshotError` instead of guessing at the layout.
+with a :class:`SnapshotError` instead of guessing at the layout.  The
+durability fields above are all *optional* additions: snapshots written
+before them still load (their members simply go unverified).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import zipfile
 from typing import Dict, List, Optional, Tuple
+from zlib import crc32
 
 import numpy as np
 
@@ -47,6 +63,92 @@ _FLAT_FIXED_KEYS = ("meta", "leaf_ptr", "leaf_ids", "leaf_cat", "leaf_coords")
 
 class SnapshotError(RuntimeError):
     """A file is not a readable snapshot (wrong format, version, or kind)."""
+
+
+def _array_crc(array: np.ndarray) -> int:
+    """CRC32 over a member's raw bytes (layout-normalized, no copy)."""
+    return crc32(memoryview(np.ascontiguousarray(array)).cast("B"))
+
+
+def _fsync_dir(path: str) -> None:
+    """fsync the directory so a rename itself is durable."""
+    fd = os.open(path or ".", os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class _VerifiedArchive:
+    """An open ``.npz`` whose member reads are checksum-verified.
+
+    Wraps the lazy ``NpzFile`` access so every ``archive[name]`` (a) maps
+    a raw numpy/zipfile failure on truncated or corrupt member bytes to a
+    :class:`SnapshotError` naming the member and its expected-vs-actual
+    size, and (b) verifies the member against the CRC32 the header
+    recorded at save time (snapshots written before checksums existed
+    simply skip the verification).
+    """
+
+    def __init__(self, npz, path: str) -> None:
+        self._npz = npz
+        self._path = path
+        self._checksums: Dict[str, int] = {}
+
+    def set_checksums(self, checksums: Optional[Dict[str, int]]) -> None:
+        self._checksums = dict(checksums or {})
+
+    @property
+    def files(self):
+        return self._npz.files
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            array = self._npz[name]
+        except KeyError:
+            raise  # missing member: callers report it precisely
+        except (ValueError, OSError, EOFError, zipfile.BadZipFile) as exc:
+            raise SnapshotError(
+                f"{self._path!r}: snapshot member {name!r} is truncated or "
+                f"corrupt{self._size_detail(name)}"
+            ) from exc
+        expected = self._checksums.get(name)
+        if expected is not None and _array_crc(array) != int(expected):
+            raise SnapshotError(
+                f"{self._path!r}: snapshot member {name!r} failed its "
+                f"checksum (stored CRC32 {int(expected)}) — the archive "
+                f"bytes were altered after save_index() wrote them"
+            )
+        return array
+
+    def _size_detail(self, name: str) -> str:
+        """Best-effort ``(expected N bytes, recovered M)`` suffix."""
+        try:
+            zf = self._npz.zip
+            zname = name if name in zf.namelist() else name + ".npy"
+            expected = zf.NameToInfo[zname].file_size
+            recovered = 0
+            try:
+                with zf.open(zname) as member:
+                    while True:
+                        chunk = member.read(1 << 16)
+                        if not chunk:
+                            break
+                        recovered += len(chunk)
+            except Exception:
+                pass  # count whatever decompressed before the failure
+            return f" (expected {expected} bytes, recovered {recovered})"
+        except Exception:
+            return ""
+
+    def close(self) -> None:
+        self._npz.close()
+
+    def __enter__(self) -> "_VerifiedArchive":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 # ----------------------------------------------------------------------
@@ -78,6 +180,10 @@ def _pack_dblsh(index: DBLSH, prefix: str) -> Tuple[dict, Dict[str, np.ndarray]]
     if index.data is None or index.params is None or index._hasher is None:
         raise RuntimeError("fit() must be called before saving a snapshot")
     params = index.params
+    # A pending delta buffer has no traversal arrays to serialize: fold
+    # it first so the snapshot round-trips add()ed points (a no-op when
+    # nothing is pending or the backend indexes inserts eagerly).
+    index.compact()
     flats = _frozen_tables(index)
     header = {
         "n": int(index.num_points),
@@ -96,6 +202,7 @@ def _pack_dblsh(index: DBLSH, prefix: str) -> Tuple[dict, Dict[str, np.ndarray]]
         "seed": int(index.seed) if isinstance(index.seed, (int, np.integer)) else None,
         "build_seconds": float(index.build_seconds),
         "has_flat": flats is not None,
+        "has_tombstones": bool(index._tombstones),
     }
     arrays: Dict[str, np.ndarray] = {
         prefix + "data": index.data,
@@ -103,6 +210,9 @@ def _pack_dblsh(index: DBLSH, prefix: str) -> Tuple[dict, Dict[str, np.ndarray]]
         prefix + "table_low": np.stack(index._table_low),
         prefix + "table_high": np.stack(index._table_high),
     }
+    tombstones = index._tombstone_array()
+    if tombstones is not None:
+        arrays[prefix + "tombstones"] = tombstones
     if flats is not None:
         for i, flat in enumerate(flats):
             for key, array in flat.to_arrays().items():
@@ -110,7 +220,15 @@ def _pack_dblsh(index: DBLSH, prefix: str) -> Tuple[dict, Dict[str, np.ndarray]]
     return header, arrays
 
 
-def save_index(index, path: str, compress: bool = False) -> None:
+def save_index(
+    index,
+    path: str,
+    compress: bool = False,
+    *,
+    uid: Optional[str] = None,
+    parent_uid: Optional[str] = None,
+    next_id: Optional[int] = None,
+) -> None:
     """Persist a fitted :class:`DBLSH` or ``ShardedDBLSH`` to ``path``.
 
     The file is an ``.npz`` archive; see the module docstring for the
@@ -120,13 +238,33 @@ def save_index(index, path: str, compress: bool = False) -> None:
     knobs), which is what lets serving workers later load single shards
     with :func:`load_shard` without touching the rest of the archive.
 
+    The write is **crash-safe**: the archive lands in a temp file that is
+    fsync'd and then atomically renamed over ``path`` (directory fsync
+    included).  A process killed mid-save leaves the previous snapshot
+    readable; it never corrupts it in place.  Every payload member's
+    CRC32 is recorded in the header and re-verified when the member is
+    read back.
+
     Parameters
     ----------
     index:
         A fitted :class:`DBLSH` or ``ShardedDBLSH``.
     path:
-        Output path, conventionally ending in ``.npz`` (numpy appends
-        the suffix if missing).
+        Output path, conventionally ending in ``.npz`` (the suffix is
+        appended if missing).
+    uid:
+        Generation identity recorded in the header; a fresh random hex
+        uid is generated when omitted.  The write-ahead log
+        (:mod:`repro.io.wal`) binds to this value.
+    parent_uid:
+        Uid of the snapshot generation this one was compacted from
+        (``None`` for a from-scratch build) — recovery accepts a log
+        bound to either end of that edge.
+    next_id:
+        Mutation id counter to persist (first id a future insert may
+        use).  Defaults to the physical row count; a serving layer that
+        has deleted the highest ids passes its own counter so ids are
+        never reused.
     compress:
         By default the archive is **uncompressed**: the payload is dense
         float64 coordinates that deflate poorly (~10% on typical data),
@@ -183,8 +321,31 @@ def save_index(index, path: str, compress: bool = False) -> None:
         }
     else:
         raise TypeError(f"cannot snapshot object of type {type(index).__name__}")
+    header["uid"] = str(uid) if uid is not None else os.urandom(8).hex()
+    header["parent_uid"] = None if parent_uid is None else str(parent_uid)
+    header["next_id"] = (
+        int(next_id) if next_id is not None else int(index.num_points)
+    )
+    header["checksums"] = {
+        name: _array_crc(array) for name, array in arrays.items()
+    }
     writer = np.savez_compressed if compress else np.savez
-    writer(path, header=np.bytes_(json.dumps(header).encode()), **arrays)
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            writer(handle, header=np.bytes_(json.dumps(header).encode()), **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(os.path.dirname(path))
 
 
 # ----------------------------------------------------------------------
@@ -200,7 +361,7 @@ def _open_archive(path: str):
     zip archive becomes a :class:`SnapshotError`.
     """
     try:
-        return np.load(path, allow_pickle=False)
+        return _VerifiedArchive(np.load(path, allow_pickle=False), path)
     except FileNotFoundError:
         raise
     except (ValueError, OSError, zipfile.BadZipFile) as exc:
@@ -225,6 +386,9 @@ def _parse_header(archive, path: str) -> dict:
             f"{path!r} is snapshot version {version!r}; this build reads "
             f"version {SNAPSHOT_VERSION} (re-save the index with this build)"
         )
+    if isinstance(archive, _VerifiedArchive):
+        # Arm per-member CRC verification for every later payload read.
+        archive.set_checksums(header.get("checksums"))
     return header
 
 
@@ -275,6 +439,11 @@ def _unpack_dblsh(header: dict, archive, prefix: str) -> DBLSH:
         flats=_unpack_flats(header, archive, prefix),
         build_seconds=float(header.get("build_seconds", 0.0)),
         builder=str(header.get("builder", "array")),
+        tombstones=(
+            archive[prefix + "tombstones"]
+            if header.get("has_tombstones")
+            else None
+        ),
     )
 
 
@@ -442,3 +611,34 @@ def load_data(path: str) -> np.ndarray:
             raise SnapshotError(
                 f"{path!r} is missing snapshot payload entry {exc.args[0]!r}"
             ) from exc
+
+
+def load_tombstones(path: str) -> np.ndarray:
+    """Global ids of the snapshot's logically deleted rows (sorted int64).
+
+    Reads only the per-shard ``tombstones`` members (shard-local ids are
+    mapped to global through the header's shard sizes) — no traversal
+    arrays, no data.  Recovery uses this to replay a write-ahead log
+    idempotently over a freshly compacted snapshot: a logged delete whose
+    id is already baked in here is a no-op.
+    """
+    with _open_archive(path) as archive:
+        header = _parse_header(archive, path)
+        parts: List[np.ndarray] = []
+        offset = 0
+        try:
+            for i, shard_header in enumerate(shard_headers(header)):
+                prefix = "" if header["kind"] == "dblsh" else f"shard{i}."
+                if shard_header.get("has_tombstones"):
+                    local = np.asarray(
+                        archive[prefix + "tombstones"], dtype=np.int64
+                    )
+                    parts.append(local + offset)
+                offset += int(shard_header["n"])
+        except KeyError as exc:
+            raise SnapshotError(
+                f"{path!r} is missing snapshot payload entry {exc.args[0]!r}"
+            ) from exc
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(parts))

@@ -1,0 +1,369 @@
+"""Write-ahead log for live mutations (insert / delete / checkpoint).
+
+The mutation path promises: *an acked mutation survives* ``kill -9``.
+The snapshot alone cannot provide that — rewriting a multi-megabyte
+``.npz`` per insert is absurd — so accepted mutations are first appended
+to this log and ``fsync``'d, and only then acknowledged.  On restart the
+server replays the log over the snapshot it was bound to and recovers
+exactly the acked state.
+
+Format (all integers little-endian)::
+
+    magic     8 bytes   b"REPROWAL"
+    header    [u32 len][u32 crc32][len bytes of JSON]
+    records   [u32 len][u32 crc32][len bytes of payload] ...
+
+The JSON header binds the log to one snapshot *generation*: it names the
+``snapshot_uid`` the records apply on top of (and that snapshot's
+``parent_uid``, so recovery can accept a log written just *before* a
+compaction flip — see below), plus the id counter ``next_id`` at
+creation time.  :meth:`WriteAheadLog.open` refuses a log whose header
+names neither of the uids the caller will replay against — replaying
+someone else's mutations over the wrong snapshot would fabricate state.
+
+Record payloads are binary, one mutation each:
+
+* ``insert`` — ``u8 op=1, u64 id, u32 dim,`` then ``dim`` float64s;
+* ``delete`` — ``u8 op=2, u64 id``;
+* ``checkpoint`` — ``u8 op=3,`` then a UTF-8 snapshot uid: everything
+  up to this record is folded into that snapshot generation.
+
+Durability discipline: every append is written, flushed, and
+``os.fsync``'d before the method returns — the caller acks only after
+that return.  Recovery (:meth:`WriteAheadLog.open`) replays records in
+order and **truncates the torn tail** at the first record whose length
+field runs past EOF or whose CRC32 does not match: a crash mid-append
+loses only the unacked record being written, never an acked one.
+
+Fault injection (tests only): the ``REPRO_WAL_FAULT`` environment
+variable arms a one-shot crash at a deterministic point of the *nth*
+append (0-based), mirroring the ``REPRO_SERVE_FAULT`` idiom of
+:mod:`repro.serve.worker`.  Specs are comma-separated
+``<point>[:<nth>]`` with points:
+
+* ``pre-append`` — exit before writing anything (mutation fully lost,
+  never acked);
+* ``torn`` — write *half* the record, fsync the fragment, exit: the
+  torn-tail case recovery must truncate;
+* ``post-fsync`` — complete the append (durable) but exit before the
+  caller can ack: recovery may surface the record, the client just
+  never heard the ack.
+
+Production deployments simply never set the variable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from typing import List, NamedTuple, Optional, Sequence, Union
+from zlib import crc32
+
+import numpy as np
+
+__all__ = [
+    "WALError",
+    "WriteAheadLog",
+    "InsertRecord",
+    "DeleteRecord",
+    "CheckpointRecord",
+]
+
+WAL_MAGIC = b"REPROWAL"
+WAL_FORMAT = "repro-wal"
+WAL_VERSION = 1
+
+_FRAME = struct.Struct("<II")  # (length, crc32) framing both header and records
+_OP_INSERT, _OP_DELETE, _OP_CHECKPOINT = 1, 2, 3
+_INSERT_HEAD = struct.Struct("<BQI")  # op, id, dim
+_DELETE_HEAD = struct.Struct("<BQ")  # op, id
+# A corrupt length field must not make recovery try to materialize
+# gigabytes: no legitimate record (a point payload) approaches this.
+_MAX_RECORD = 1 << 26
+
+
+class WALError(Exception):
+    """Raised for unreadable, mismatched, or corrupt write-ahead logs."""
+
+
+class InsertRecord(NamedTuple):
+    """An acked insert: global ``id`` and its float64 ``point``."""
+
+    id: int
+    point: np.ndarray
+
+
+class DeleteRecord(NamedTuple):
+    """An acked delete of global ``id``."""
+
+    id: int
+
+
+class CheckpointRecord(NamedTuple):
+    """Everything before this record is folded into snapshot ``uid``."""
+
+    uid: str
+
+
+Record = Union[InsertRecord, DeleteRecord, CheckpointRecord]
+
+
+def _fsync_dir(path: str) -> None:
+    """fsync the directory so a rename/creation itself is durable."""
+    fd = os.open(path or ".", os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _decode(payload: bytes) -> Record:
+    op = payload[0]
+    if op == _OP_INSERT:
+        _, rec_id, dim = _INSERT_HEAD.unpack_from(payload)
+        point = np.frombuffer(
+            payload, dtype="<f8", count=dim, offset=_INSERT_HEAD.size
+        )
+        return InsertRecord(int(rec_id), point.copy())
+    if op == _OP_DELETE:
+        _, rec_id = _DELETE_HEAD.unpack_from(payload)
+        return DeleteRecord(int(rec_id))
+    if op == _OP_CHECKPOINT:
+        return CheckpointRecord(payload[1:].decode("utf-8"))
+    # A valid CRC with an unknown op is not a torn tail — it is a log
+    # written by something newer than this reader.  Refusing beats
+    # silently dropping an acked mutation we cannot interpret.
+    raise WALError(f"unknown WAL record op {op}")
+
+
+class WriteAheadLog:
+    """An append-only, CRC-framed, fsync-on-append mutation log.
+
+    Construct via :meth:`create` (new log bound to a snapshot uid) or
+    :meth:`open` (existing log: validates the header binding, replays
+    the records into :attr:`recovered`, truncates any torn tail, and
+    positions the file for further appends).
+    """
+
+    def __init__(self, path, file, header, recovered, truncated_bytes, size):
+        # Internal: use WriteAheadLog.create() / WriteAheadLog.open().
+        self.path = path
+        self._file = file
+        self._header = header
+        #: Records replayed by :meth:`open` (empty for a fresh log).
+        self.recovered: List[Record] = recovered
+        #: Bytes of torn tail discarded by :meth:`open`.
+        self.truncated_bytes = truncated_bytes
+        self._size = size
+        self._appends = 0
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: str,
+        snapshot_uid: str,
+        parent_uid: Optional[str] = None,
+        next_id: int = 0,
+    ) -> "WriteAheadLog":
+        """Create a fresh log at ``path`` bound to ``snapshot_uid``.
+
+        The header is written to a temp file, fsync'd, and renamed into
+        place (directory fsync included), so a crash during creation
+        leaves either the old log or the new one — never a torn header.
+        An existing file at ``path`` is replaced.
+        """
+        header = {
+            "format": WAL_FORMAT,
+            "version": WAL_VERSION,
+            "snapshot_uid": str(snapshot_uid),
+            "parent_uid": None if parent_uid is None else str(parent_uid),
+            "next_id": int(next_id),
+        }
+        blob = json.dumps(header, sort_keys=True).encode("utf-8")
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as handle:
+            handle.write(WAL_MAGIC)
+            handle.write(_FRAME.pack(len(blob), crc32(blob)))
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        _fsync_dir(os.path.dirname(path))
+        return cls.open(path)
+
+    @classmethod
+    def open(
+        cls, path: str, accept_uids: Optional[Sequence[str]] = None
+    ) -> "WriteAheadLog":
+        """Open an existing log, replaying records and truncating a torn tail.
+
+        ``accept_uids`` — when given, the uids of the snapshot(s) the
+        caller intends to replay against (typically the live snapshot's
+        ``uid`` *and* its ``parent_uid``, to cover a crash between a
+        compaction's snapshot flip and its log swap).  A log bound to
+        none of them raises :class:`WALError` rather than replaying
+        mutations onto the wrong data.
+        """
+        file = open(path, "r+b")
+        try:
+            magic = file.read(len(WAL_MAGIC))
+            if magic != WAL_MAGIC:
+                raise WALError(f"{path!r} is not a repro write-ahead log")
+            head = file.read(_FRAME.size)
+            if len(head) < _FRAME.size:
+                raise WALError(f"{path!r}: truncated WAL header")
+            length, checksum = _FRAME.unpack(head)
+            blob = file.read(length)
+            if len(blob) < length or crc32(blob) != checksum:
+                # The header is written atomically at create(); a bad
+                # one is corruption, not a torn append.
+                raise WALError(f"{path!r}: corrupt WAL header")
+            header = json.loads(blob.decode("utf-8"))
+            if header.get("format") != WAL_FORMAT:
+                raise WALError(
+                    f"{path!r}: unknown WAL format {header.get('format')!r}"
+                )
+            if int(header.get("version", -1)) > WAL_VERSION:
+                raise WALError(
+                    f"{path!r}: WAL version {header['version']} is newer "
+                    f"than supported version {WAL_VERSION}"
+                )
+            if accept_uids is not None:
+                accepted = {u for u in accept_uids if u}
+                if header.get("snapshot_uid") not in accepted:
+                    raise WALError(
+                        f"{path!r} is bound to snapshot uid "
+                        f"{header.get('snapshot_uid')!r}, not one of "
+                        f"{sorted(accepted)} — refusing to replay it"
+                    )
+
+            recovered: List[Record] = []
+            offset = file.tell()
+            file_size = os.fstat(file.fileno()).st_size
+            while True:
+                head = file.read(_FRAME.size)
+                if len(head) < _FRAME.size:
+                    break  # clean EOF or torn frame header
+                length, checksum = _FRAME.unpack(head)
+                if length > _MAX_RECORD:
+                    break  # corrupt length field: treat as torn tail
+                payload = file.read(length)
+                if len(payload) < length or crc32(payload) != checksum:
+                    break  # torn or bit-flipped tail record
+                recovered.append(_decode(payload))
+                offset = file.tell()
+
+            truncated = file_size - offset
+            if truncated:
+                file.truncate(offset)
+                file.flush()
+                os.fsync(file.fileno())
+            file.seek(offset)
+            return cls(path, file, header, recovered, truncated, offset)
+        except BaseException:
+            file.close()
+            raise
+
+    # -- metadata ------------------------------------------------------
+
+    @property
+    def snapshot_uid(self) -> str:
+        """Uid of the snapshot generation this log applies on top of."""
+        return self._header["snapshot_uid"]
+
+    @property
+    def parent_uid(self) -> Optional[str]:
+        """The bound snapshot's own parent uid (compaction lineage)."""
+        return self._header.get("parent_uid")
+
+    @property
+    def next_id(self) -> int:
+        """Id counter recorded at creation (before replaying inserts)."""
+        return int(self._header.get("next_id", 0))
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes of durable log (header plus acked records)."""
+        return self._size
+
+    # -- appends -------------------------------------------------------
+
+    def append_insert(self, point_id: int, point: np.ndarray) -> int:
+        """Durably log an insert; returns the log size after the append."""
+        vector = np.ascontiguousarray(point, dtype="<f8").ravel()
+        payload = (
+            _INSERT_HEAD.pack(_OP_INSERT, int(point_id), vector.shape[0])
+            + vector.tobytes()
+        )
+        return self._append(payload)
+
+    def append_delete(self, point_id: int) -> int:
+        """Durably log a delete; returns the log size after the append."""
+        return self._append(_DELETE_HEAD.pack(_OP_DELETE, int(point_id)))
+
+    def append_checkpoint(self, uid: str) -> int:
+        """Durably log that snapshot ``uid`` folds all prior records."""
+        return self._append(bytes([_OP_CHECKPOINT]) + uid.encode("utf-8"))
+
+    def _append(self, payload: bytes) -> int:
+        if self._file is None:
+            raise WALError(f"{self.path!r}: log is closed")
+        fault = self._armed_fault()
+        if fault == "pre-append":
+            os._exit(9)
+        record = _FRAME.pack(len(payload), crc32(payload)) + payload
+        if fault == "torn":
+            # Half a record, made durable, then death: the exact state
+            # recovery's torn-tail truncation exists for.
+            self._file.write(record[: max(1, len(record) // 2)])
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            os._exit(9)
+        self._file.write(record)
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._size += len(record)
+        if fault == "post-fsync":
+            os._exit(9)
+        return self._size
+
+    def _armed_fault(self) -> Optional[str]:
+        nth_append = self._appends
+        self._appends += 1
+        for part in filter(
+            None, os.environ.get("REPRO_WAL_FAULT", "").split(",")
+        ):
+            fields = part.split(":")
+            try:
+                target = int(fields[1]) if len(fields) > 1 else 0
+            except ValueError:
+                continue  # malformed spec: never let a typo crash serving
+            if fields[0] in ("pre-append", "torn", "post-fsync"):
+                if nth_append == target:
+                    return fields[0]
+        return None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Close the underlying file (appends already durable)."""
+        if self._file is not None:
+            try:
+                self._file.close()
+            finally:
+                self._file = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WriteAheadLog(path={self.path!r}, "
+            f"snapshot_uid={self.snapshot_uid!r}, bytes={self._size})"
+        )

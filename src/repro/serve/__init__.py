@@ -16,7 +16,11 @@ Layers:
   results, shared-memory query-block scatter;
 * :mod:`repro.serve.worker` — the worker process loop;
 * :mod:`repro.serve.server` — the coordinator: lifecycle, scatter-
-  gather, failure surfacing.
+  gather, failure surfacing;
+* :mod:`repro.serve.mutable` — the crash-safe mutable coordinator:
+  WAL-acked ``insert``/``delete``, delta-buffer sweeps merged into the
+  snapshot answers, background compaction into fresh generations, and
+  exactly-the-acked-mutations recovery after a kill.
 
 The server is a supervised, multi-client service: all public methods
 are thread-safe (FIFO dispatch onto the worker pool), a worker that dies
@@ -32,6 +36,12 @@ with a concurrent accept loop, ``status``/``reload`` verbs, and
 snapshot like any other method (``clients=N`` for concurrent clients).
 """
 
+from repro.serve.mutable import MutableSnapshotServer, ReadOnlyError
 from repro.serve.server import ServerError, SnapshotServer
 
-__all__ = ["ServerError", "SnapshotServer"]
+__all__ = [
+    "MutableSnapshotServer",
+    "ReadOnlyError",
+    "ServerError",
+    "SnapshotServer",
+]

@@ -1,0 +1,517 @@
+"""Crash-safe mutable serving: snapshot + write-ahead log + delta buffer.
+
+:class:`MutableSnapshotServer` extends the read-only
+:class:`~repro.serve.server.SnapshotServer` with durable ``insert`` /
+``delete``.  The frozen snapshot generation keeps answering from its
+worker processes untouched; mutations follow the classic LSM discipline:
+
+1. **log** — the mutation is appended to a
+   :class:`~repro.io.wal.WriteAheadLog` bound to the served snapshot's
+   uid and fsync'd; only then is it acknowledged.  A crash at any
+   instant loses at most un-acked work.
+2. **apply** — an insert lands in an in-memory
+   :class:`~repro.core.delta.DeltaIndex`; a delete lands in a tombstone
+   set.  Queries answer from *snapshot + delta − tombstones*: the base
+   answer is over-fetched by the live tombstone count, the delta buffer
+   is swept exactly, and :func:`repro.core.plan.merge_live_results`
+   folds the three together.
+3. **compact** — once the delta (plus tombstones) crosses
+   ``compact_threshold``, a background thread folds them into a fresh
+   snapshot generation: it rebuilds the index (base rows + folded delta,
+   tombstones applied), writes it atomically with a new ``uid`` whose
+   ``parent_uid`` is the old generation, hot-flips the workers through
+   :meth:`reload` (in-flight queries drain on the generation they
+   checked out), then swaps in a fresh WAL — a checkpoint record
+   followed by the re-logged still-pending mutations — via
+   ``os.replace``.  Queries racing the flip may briefly see a folded row
+   in both the new snapshot and the not-yet-trimmed delta; the merge
+   dedups by id, so the window is harmless.
+
+Recovery is the mirror image: :meth:`start` reads the snapshot header's
+``uid``/``parent_uid``/``next_id``, opens the WAL **accepting either
+uid** — a crash between a compaction's snapshot flip and its log swap
+leaves a log bound to the parent — and replays it idempotently: an
+insert whose id is already a snapshot row is skipped, a delete already
+baked into the snapshot's tombstones is skipped, and everything else
+rebuilds the delta buffer and tombstone set exactly as acked.  A log
+replayed through the parent binding is immediately rewritten against the
+live uid, completing the interrupted compaction's log swap.
+
+Fault injection (tests only): ``REPRO_COMPACT_FAULT`` holds
+comma-separated ``<point>[:<nth>]`` specs — points ``pre-snapshot-replace``,
+``post-snapshot-replace``, ``post-wal-replace``; ``nth`` is the 0-based
+compaction ordinal — each killing the process with ``os._exit(9)`` at
+that point, complementing the WAL-level ``REPRO_WAL_FAULT`` hooks.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.delta import DeltaIndex
+from repro.core.plan import merge_live_batches
+from repro.io.snapshot import (
+    load_index,
+    load_tombstones,
+    read_header,
+    save_index,
+)
+from repro.io.wal import DeleteRecord, InsertRecord, WriteAheadLog, _fsync_dir
+from repro.core.result import QueryResult
+from repro.serve.server import ServerError, SnapshotServer
+from repro.utils.validation import check_queries, check_query
+
+__all__ = ["MutableSnapshotServer", "ReadOnlyError"]
+
+_COMPACT_FAULT_POINTS = (
+    "pre-snapshot-replace", "post-snapshot-replace", "post-wal-replace",
+)
+
+
+class ReadOnlyError(ServerError):
+    """A mutation was sent to a server running in read-only mode."""
+
+
+def _armed_compact_fault(point: str, ordinal: int) -> bool:
+    """True when ``REPRO_COMPACT_FAULT`` arms ``point`` for this compaction."""
+    for part in filter(
+        None, os.environ.get("REPRO_COMPACT_FAULT", "").split(",")
+    ):
+        fields = part.split(":")
+        try:
+            target = int(fields[1]) if len(fields) > 1 else 0
+        except ValueError:
+            continue  # malformed spec: never let a typo crash serving
+        if fields[0] == point and fields[0] in _COMPACT_FAULT_POINTS:
+            if ordinal == target:
+                return True
+    return False
+
+
+class MutableSnapshotServer(SnapshotServer):
+    """Serve a snapshot *and* accept durable inserts/deletes.
+
+    Parameters (beyond :class:`SnapshotServer`'s)
+    ---------------------------------------------
+    wal_path:
+        Where the write-ahead log lives; default ``<snapshot>.wal``.  An
+        existing log found at :meth:`start` is recovered (replayed,
+        torn tail truncated); a missing one is created bound to the
+        served snapshot's uid.
+    compact_threshold:
+        Fold the delta buffer and tombstones into a fresh snapshot
+        generation once their combined count reaches this; ``0``
+        disables automatic compaction (``compact()`` still works).
+    read_only:
+        Refuse ``insert``/``delete`` with :class:`ReadOnlyError` and
+        never touch (or create) the WAL — a mutable-capable binary
+        serving a snapshot it must not change.
+
+    Mutations are acknowledged only after the WAL append has been
+    fsync'd: the id returned by :meth:`insert` (and the ``True`` from
+    :meth:`delete`) is a durability receipt, pinned by the kill-based
+    tests in ``tests/test_serve_mutations.py``.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        wal_path: Optional[str] = None,
+        compact_threshold: int = 4096,
+        read_only: bool = False,
+        **kwargs,
+    ) -> None:
+        super().__init__(path, **kwargs)
+        if compact_threshold < 0:
+            raise ValueError(
+                f"compact_threshold must be >= 0, got {compact_threshold}"
+            )
+        self.wal_path = (
+            os.fspath(wal_path) if wal_path is not None else self.path + ".wal"
+        )
+        self.compact_threshold = int(compact_threshold)
+        self.read_only = bool(read_only)
+        #: Guards every mutable view: delta, tombstones, WAL handle,
+        #: id counter, base-generation bookkeeping.
+        self._mutation_lock = threading.Lock()
+        #: Serializes compactions (at most one folds at a time).
+        self._compact_lock = threading.Lock()
+        self._delta: Optional[DeltaIndex] = None
+        self._tombstones: set = set()
+        self._baked: frozenset = frozenset()
+        self._wal: Optional[WriteAheadLog] = None
+        self._next_id = 0
+        self._base_rows = 0
+        self._snapshot_uid: Optional[str] = None
+        self._compactions = 0
+        self._last_compaction_uid: Optional[str] = None
+        self._compactor: Optional[threading.Thread] = None
+        self._compactor_wake = threading.Event()
+        self._compactor_stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle: recovery on start, WAL teardown on close
+    # ------------------------------------------------------------------
+
+    def start(self) -> "MutableSnapshotServer":
+        super().start()
+        try:
+            self._recover()
+        except BaseException:
+            super().close()
+            raise
+        if not self.read_only and self.compact_threshold > 0:
+            self._compactor_stop.clear()
+            self._compactor_wake.clear()
+            self._compactor = threading.Thread(
+                target=self._compactor_loop,
+                name="repro-serve-compactor",
+                daemon=True,
+            )
+            self._compactor.start()
+        return self
+
+    def close(self, timeout: float = 5.0) -> None:
+        self._compactor_stop.set()
+        self._compactor_wake.set()
+        compactor = self._compactor
+        if compactor is not None:
+            compactor.join(timeout=max(timeout, 30.0))
+            self._compactor = None
+        with self._mutation_lock:
+            if self._wal is not None:
+                self._wal.close()
+                self._wal = None
+        super().close(timeout)
+
+    def _recover(self) -> None:
+        """Rebuild delta + tombstones from the snapshot header and the WAL."""
+        header = read_header(self.path)
+        uid = header.get("uid")
+        if uid is None and not self.read_only:
+            raise ServerError(
+                f"snapshot {self.path!r} predates generation uids; re-save it "
+                f"(repro.io.save_index) before serving it mutably"
+            )
+        baked = frozenset(int(t) for t in load_tombstones(self.path))
+        base_rows = self.num_points
+        next_id = int(header.get("next_id", base_rows))
+        delta = DeltaIndex(self.dim)
+        tombstones: set = set()
+
+        wal: Optional[WriteAheadLog] = None
+        rebound = False
+        if not self.read_only:
+            if os.path.exists(self.wal_path):
+                wal = WriteAheadLog.open(
+                    self.wal_path,
+                    accept_uids={uid, header.get("parent_uid")},
+                )
+                next_id = max(next_id, wal.next_id)
+                for record in wal.recovered:
+                    if isinstance(record, InsertRecord):
+                        if record.point.shape[0] != self.dim:
+                            wal.close()
+                            raise ServerError(
+                                f"WAL {self.wal_path!r} logs a "
+                                f"{record.point.shape[0]}-d insert for the "
+                                f"{self.dim}-d snapshot {self.path!r}"
+                            )
+                        if record.id < base_rows:
+                            continue  # already folded into the snapshot
+                        delta.append(record.id, record.point)
+                        next_id = max(next_id, record.id + 1)
+                    elif isinstance(record, DeleteRecord):
+                        if record.id in baked:
+                            continue  # already baked into the snapshot
+                        tombstones.add(record.id)
+                    # CheckpointRecord: lineage breadcrumb, nothing to apply.
+                rebound = wal.snapshot_uid != uid
+            else:
+                wal = WriteAheadLog.create(
+                    self.wal_path, snapshot_uid=uid, next_id=next_id
+                )
+
+        with self._mutation_lock:
+            self._delta = delta
+            self._tombstones = tombstones
+            self._baked = baked
+            self._wal = wal
+            self._next_id = max(next_id, base_rows)
+            self._base_rows = base_rows
+            self._snapshot_uid = uid
+        if rebound:
+            # The crash happened between a compaction's snapshot flip and
+            # its log swap: finish the swap now, so the log binds to the
+            # generation actually on disk.
+            with self._mutation_lock:
+                self._swap_wal(parent_uid=header.get("parent_uid"))
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+
+    def _refuse_read_only(self, verb: str) -> None:
+        if self.read_only:
+            raise ReadOnlyError(
+                f"server is read-only: {verb} refused (start the server "
+                f"with mutations enabled to change the index)"
+            )
+
+    def insert(self, point: np.ndarray) -> int:
+        """Durably insert one point; returns its permanent id.
+
+        The id is acknowledged only after the WAL record is fsync'd — a
+        crash after the return can never lose the point.
+        """
+        self._refuse_read_only("insert")
+        point = check_query(np.asarray(point, dtype=np.float64), self.dim)
+        with self._mutation_lock:
+            if self._wal is None or self._delta is None:
+                raise ServerError(
+                    "server is not serving; call start() before insert()"
+                )
+            point_id = self._next_id
+            self._wal.append_insert(point_id, point)  # fsync before ack
+            self._delta.append(point_id, point)
+            self._next_id = point_id + 1
+        self._maybe_wake_compactor()
+        return point_id
+
+    def delete(self, point_id: int) -> bool:
+        """Durably delete one id; ``False`` when it was already deleted.
+
+        Idempotent: deleting a tombstoned (or snapshot-baked-deleted) id
+        is a no-op that appends nothing to the log.
+        """
+        self._refuse_read_only("delete")
+        point_id = int(point_id)
+        with self._mutation_lock:
+            if self._wal is None:
+                raise ServerError(
+                    "server is not serving; call start() before delete()"
+                )
+            if point_id < 0 or point_id >= self._next_id:
+                raise ValueError(
+                    f"point id {point_id} out of range [0, {self._next_id})"
+                )
+            if point_id in self._tombstones or point_id in self._baked:
+                return False
+            self._wal.append_delete(point_id)  # fsync before ack
+            self._tombstones.add(point_id)
+        self._maybe_wake_compactor()
+        return True
+
+    # ------------------------------------------------------------------
+    # Queries: snapshot + delta - tombstones
+    # ------------------------------------------------------------------
+
+    def query_batch(self, queries: np.ndarray, k: int = 1) -> List[QueryResult]:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        queries = check_queries(queries, self.dim)
+        if queries.shape[0] == 0:
+            return []
+        with self._mutation_lock:
+            delta_view = self._delta.view() if self._delta is not None else None
+            tombstones = set(self._tombstones)
+            base_rows = self._base_rows
+        if delta_view is None or (len(delta_view) == 0 and not tombstones):
+            return super().query_batch(queries, k)
+        # Over-fetch by the tombstones the frozen generation can still
+        # report (ids below its row count); the merge discards them
+        # without the answer shrinking below k.
+        base_k = k + sum(1 for t in tombstones if t < base_rows)
+        base = super().query_batch(queries, base_k)
+        delta = delta_view.sweep(queries, k, exclude=tombstones)
+        return merge_live_batches(base, delta, tombstones, k)
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+
+    def _maybe_wake_compactor(self) -> None:
+        if self.compact_threshold <= 0 or self.read_only:
+            return
+        with self._mutation_lock:
+            pending = (
+                (len(self._delta) if self._delta is not None else 0)
+                + len(self._tombstones)
+            )
+        if pending >= self.compact_threshold:
+            self._compactor_wake.set()
+
+    def _compactor_loop(self) -> None:
+        while not self._compactor_stop.is_set():
+            self._compactor_wake.wait()
+            self._compactor_wake.clear()
+            if self._compactor_stop.is_set():
+                return
+            try:
+                self.compact()
+            except Exception as exc:  # pragma: no cover - diagnostics only
+                # A failed background fold must not kill serving: the
+                # delta keeps answering, and the next mutation retries.
+                import sys
+
+                print(
+                    f"[compact] background compaction failed: {exc}",
+                    file=sys.stderr, flush=True,
+                )
+
+    def compact(self) -> dict:
+        """Fold delta + tombstones into a fresh snapshot generation.
+
+        Safe to call concurrently with queries and mutations; mutations
+        arriving during the fold stay pending and survive in the swapped
+        log.  No-op (``{"compacted": False}``) when there is nothing to
+        fold.  Returns a summary dict either way.
+        """
+        self._refuse_read_only("compact")
+        with self._compact_lock:
+            with self._mutation_lock:
+                if self._wal is None or self._delta is None:
+                    raise ServerError(
+                        "server is not serving; call start() before compact()"
+                    )
+                fold = len(self._delta)
+                fold_tombs = set(self._tombstones)
+                fold_view = self._delta.view(fold)
+                old_uid = self._snapshot_uid
+                next_id = self._next_id
+            if fold == 0 and not fold_tombs:
+                return {"compacted": False, "generation_uid": old_uid}
+            ordinal = self._compactions
+
+            # 1. Build the folded index off the query path (the frozen
+            #    generation keeps serving from its workers).
+            index = load_index(self.path)
+            if fold:
+                index.add(np.array(fold_view.points, copy=True))
+            if fold_tombs:
+                index.delete(np.fromiter(
+                    sorted(fold_tombs), dtype=np.int64, count=len(fold_tombs)
+                ))
+            new_uid = os.urandom(8).hex()
+            if _armed_compact_fault("pre-snapshot-replace", ordinal):
+                os._exit(9)
+            # 2. Atomically replace the snapshot: the new generation names
+            #    the old as parent, so a crash before the log swap leaves
+            #    a recoverable (snapshot=new, wal=old-bound) pair.
+            save_index(
+                index, self.path,
+                uid=new_uid, parent_uid=old_uid, next_id=next_id,
+            )
+            del index
+            if _armed_compact_fault("post-snapshot-replace", ordinal):
+                os._exit(9)
+            # 3. Hot-flip the workers; in-flight queries drain on the old
+            #    generation.  Until step 4 swaps the views, queries see the
+            #    folded rows in both snapshot and delta — dedup covers it.
+            self.reload(self.path)
+            # 4. Swap the WAL and trim the folded state, atomically with
+            #    respect to mutations.
+            with self._mutation_lock:
+                self._swap_wal(
+                    new_uid=new_uid, parent_uid=old_uid,
+                    fold=fold, fold_tombs=fold_tombs, ordinal=ordinal,
+                )
+                self._delta.trim(fold)
+                self._tombstones -= fold_tombs
+                self._baked = frozenset(self._baked | fold_tombs)
+                self._base_rows = self.num_points
+                self._snapshot_uid = new_uid
+                self._compactions += 1
+                self._last_compaction_uid = new_uid
+                wal_bytes = self._wal.size_bytes
+            return {
+                "compacted": True,
+                "generation_uid": new_uid,
+                "folded_inserts": fold,
+                "folded_tombstones": len(fold_tombs),
+                "wal_bytes": wal_bytes,
+            }
+
+    def _swap_wal(
+        self,
+        new_uid: Optional[str] = None,
+        parent_uid: Optional[str] = None,
+        fold: int = 0,
+        fold_tombs: Optional[set] = None,
+        ordinal: Optional[int] = None,
+    ) -> None:
+        """Replace the live WAL with one bound to the current generation.
+
+        Caller holds the mutation lock.  The replacement starts with a
+        checkpoint record naming the generation, then re-logs every
+        still-pending mutation (delta rows past ``fold``, tombstones not
+        in ``fold_tombs``), and lands via ``os.replace`` — the old log
+        stays intact and replayable until the very last instant.
+        """
+        uid = new_uid if new_uid is not None else self._snapshot_uid
+        fold_tombs = fold_tombs or set()
+        tmp = f"{self.wal_path}.tmp.{os.getpid()}"
+        fresh = WriteAheadLog.create(
+            tmp, snapshot_uid=uid, parent_uid=parent_uid,
+            next_id=self._next_id,
+        )
+        try:
+            fresh.append_checkpoint(uid)
+            pending = self._delta.view()
+            for pos in range(fold, len(pending)):
+                fresh.append_insert(
+                    int(pending.ids[pos]), pending.points[pos]
+                )
+            for tomb in sorted(self._tombstones - fold_tombs):
+                fresh.append_delete(int(tomb))
+        except BaseException:
+            fresh.close()
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        fresh.close()
+        os.replace(tmp, self.wal_path)
+        _fsync_dir(os.path.dirname(self.wal_path))
+        if ordinal is not None and _armed_compact_fault(
+            "post-wal-replace", ordinal
+        ):
+            os._exit(9)
+        old = self._wal
+        self._wal = WriteAheadLog.open(self.wal_path, accept_uids={uid})
+        if old is not None:
+            old.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def status(self) -> dict:
+        """Base status plus the mutation state (the ``status`` verb)."""
+        info = super().status()
+        with self._mutation_lock:
+            delta_rows = len(self._delta) if self._delta is not None else 0
+            tombstones = len(self._tombstones)
+            baked = len(self._baked)
+            info.update({
+                "mutable": not self.read_only,
+                "read_only": self.read_only,
+                "delta_rows": delta_rows,
+                "tombstones": tombstones,
+                "live_points": (
+                    self._base_rows - baked + delta_rows - tombstones
+                ),
+                "next_id": self._next_id,
+                "wal_path": self.wal_path if self._wal is not None else None,
+                "wal_bytes": (
+                    self._wal.size_bytes if self._wal is not None else 0
+                ),
+                "snapshot_uid": self._snapshot_uid,
+                "compactions": self._compactions,
+                "last_compaction_uid": self._last_compaction_uid,
+            })
+        return info

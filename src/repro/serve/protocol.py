@@ -13,6 +13,8 @@ worker → coordinator      ``("ready", num_points)``,
                           ``("error", traceback_text)`` at startup /
                           ``("error", req_id, traceback_text)`` later
 client → CLI server       ``("query_batch", queries, k)``,
+                          ``("insert", point)``, ``("delete", id)``,
+                          ``("compact",)``,
                           ``("status",)``, ``("reload", path_or_None)``,
                           ``("describe",)``, ``("shutdown",)``
 CLI server → client       ``("ok", value)``, ``("error", message)``
@@ -26,6 +28,13 @@ mistaken for the retry's answer.  ``("status",)`` returns the server's
 lifecycle snapshot (generation, worker states, restart counters) and
 ``("reload", path)`` hot-swaps the served snapshot generation — both are
 answered like any other request, on the same connection.
+
+``("insert", point)`` and ``("delete", id)`` are the mutation verbs: a
+``serve --mutable`` answers ``("ok", id)`` / ``("ok", deleted_bool)``
+only after the write-ahead-log append is fsync'd (the ack is a
+durability receipt), and ``("compact",)`` folds the delta into a fresh
+snapshot generation on demand.  A read-only serve refuses all three
+with a clear ``("error", ...)`` instead of pretending.
 
 Query blocks travel to workers either inline (pickled through the pipe,
 fine for a handful of vectors) or as a :class:`SharedMemory` block —

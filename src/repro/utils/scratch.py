@@ -71,3 +71,13 @@ class GenerationMask:
             fresh = ids[unseen]
         self._stamp[fresh] = self._gen
         return fresh
+
+    def mark(self, ids: np.ndarray) -> None:
+        """Mark ``ids`` seen for this query without reporting freshness.
+
+        Used to pre-mark tombstoned ids before the probe rounds start:
+        a deleted point is then never verified, never charged against
+        the candidate budget, and never enters the heap — the same
+        footprint it would have in a from-scratch rebuild without it.
+        """
+        self._stamp[ids] = self._gen

@@ -180,14 +180,25 @@ class TestBuilderEngineParity:
         for q in queries:
             assert array_index.query(q, k=10).ids == legacy.query(q, k=10).ids
 
-    def test_add_rematerializes_pointer_trees(self, workload):
+    def test_add_appends_to_delta_without_rebuilding(self, workload):
+        # add() on a frozen array-built index lands in the delta buffer:
+        # no pointer tree is materialized, the frozen traversals stay
+        # valid, and the new point is immediately queryable.
         data, queries = workload
         index = DBLSH(builder="array", **self.COMMON).fit(data)
+        flats_before = list(index._flat_tables)
         far = data.mean(axis=0) + 300.0
         index.add(far[None, :])
-        assert all(table is not None for table in index._tables)
+        assert all(table is None for table in index._tables)
+        assert index._flat_tables == flats_before
+        assert index.num_pending == 1
         result = index.query(far, k=1)
         assert result.neighbors[0].id == data.shape[0]
+        # compact() folds the delta into fresh traversals; the point
+        # stays queryable and the sweep cost disappears.
+        assert index.compact() is True
+        assert index.num_pending == 0
+        assert index.query(far, k=1).neighbors[0].id == data.shape[0]
 
     def test_invalid_builder_rejected(self):
         with pytest.raises(ValueError, match="builder"):

@@ -236,12 +236,32 @@ class TestEvaluateSnapshot:
         assert result.candidates_per_query > 0
 
     def test_header_payload_mismatch_rejected(self, fitted, tmp_path):
+        # A member altered after save is caught by its CRC32 before the
+        # shape validation can even run.
         path = str(tmp_path / "mismatch.npz")
         save_index(fitted, path)
         with np.load(path, allow_pickle=False) as archive:
             payload = {key: archive[key] for key in archive.files}
         payload["tensor"] = payload["tensor"][:-1]  # drop one space
         np.savez(path, **payload)
+        with pytest.raises(SnapshotError, match="failed its checksum"):
+            load_index(path)
+
+    def test_header_payload_mismatch_rejected_without_checksums(
+        self, fitted, tmp_path
+    ):
+        # Snapshots written before per-member checksums existed fall
+        # back to the header-vs-payload shape validation.
+        path = str(tmp_path / "mismatch-old.npz")
+        save_index(fitted, path)
+        with np.load(path, allow_pickle=False) as archive:
+            payload = {key: archive[key] for key in archive.files}
+        header = json.loads(bytes(payload.pop("header")).decode())
+        del header["checksums"]
+        payload["tensor"] = payload["tensor"][:-1]  # drop one space
+        np.savez(
+            path, header=np.bytes_(json.dumps(header).encode()), **payload
+        )
         with pytest.raises(SnapshotError, match="disagrees with its header"):
             load_index(path)
 
@@ -254,6 +274,62 @@ class TestEvaluateSnapshot:
         np.savez(path, **payload)
         with pytest.raises(SnapshotError, match="missing snapshot payload"):
             load_index(path)
+
+    def test_truncated_member_names_itself_and_sizes(self, fitted, tmp_path):
+        # A member whose stored bytes end early (half-copied file, torn
+        # download) is reported with its name and expected-vs-recovered
+        # sizes, not as a cryptic numpy/zipfile traceback.
+        import zipfile
+
+        path = str(tmp_path / "shortmember.npz")
+        save_index(fitted, path)
+        with zipfile.ZipFile(path) as archive:
+            members = {name: archive.read(name) for name in archive.namelist()}
+        victim = "tensor.npy"
+        with zipfile.ZipFile(path, "w") as archive:
+            for name, blob in members.items():
+                if name == victim:
+                    info = zipfile.ZipInfo(name)
+                    info.file_size = len(blob)  # header promises full size
+                    with archive.open(info, "w") as out:
+                        out.write(blob[: len(blob) // 2])  # ...bytes end early
+                else:
+                    archive.writestr(name, blob)
+        with pytest.raises(SnapshotError, match="'tensor'.*truncated or corrupt"):
+            load_index(path)
+        with pytest.raises(SnapshotError, match=r"expected \d+ bytes"):
+            load_index(path)
+
+    def test_crash_mid_save_leaves_old_snapshot_intact(
+        self, workload, fitted, tmp_path, monkeypatch
+    ):
+        # save_index writes to a temp file and renames; a failure at the
+        # rename (the last possible instant) must leave the previous
+        # snapshot byte-identical and clean up the temp file.
+        import os as os_module
+
+        _, queries = workload
+        path = str(tmp_path / "stable.npz")
+        save_index(fitted, path)
+        before_bytes = open(path, "rb").read()
+
+        real_replace = os_module.replace
+
+        def exploding_replace(src, dst):
+            if dst == path:
+                raise OSError("disk full at the worst moment")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("repro.io.snapshot.os.replace", exploding_replace)
+        with pytest.raises(OSError, match="disk full"):
+            save_index(fitted, path)
+        monkeypatch.undo()
+        assert open(path, "rb").read() == before_bytes
+        assert [p for p in os_module.listdir(tmp_path) if ".tmp." in p] == []
+        restored = load_index(path)
+        assert restored.query(queries[0], k=5).ids == fitted.query(
+            queries[0], k=5
+        ).ids
 
     def test_numpy_integer_seed_survives_roundtrip(self, workload, tmp_path):
         data, _ = workload

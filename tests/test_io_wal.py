@@ -1,0 +1,212 @@
+"""Tests for the write-ahead log (repro.io.wal).
+
+The contract under test is the durability spine of mutable serving:
+every acked append is fsync'd and CRC-framed, recovery replays exactly
+the durable records, a torn tail is truncated (not fatal), a flipped
+bit is treated as torn tail, and a log refuses to replay onto a
+snapshot generation it was not written against.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import struct
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    CheckpointRecord,
+    DeleteRecord,
+    InsertRecord,
+    WALError,
+    WriteAheadLog,
+)
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return str(tmp_path / "mutations.wal")
+
+
+class TestRoundtrip:
+    def test_records_replay_in_order(self, wal_path, rng):
+        points = rng.standard_normal((3, 8))
+        with WriteAheadLog.create(wal_path, snapshot_uid="gen0",
+                                  next_id=100) as wal:
+            wal.append_insert(100, points[0])
+            wal.append_delete(7)
+            wal.append_insert(101, points[1])
+            wal.append_checkpoint("gen1")
+            wal.append_insert(102, points[2])
+
+        recovered = WriteAheadLog.open(wal_path)
+        assert recovered.snapshot_uid == "gen0"
+        assert recovered.next_id == 100
+        assert recovered.truncated_bytes == 0
+        kinds = [type(r).__name__ for r in recovered.recovered]
+        assert kinds == ["InsertRecord", "DeleteRecord", "InsertRecord",
+                        "CheckpointRecord", "InsertRecord"]
+        inserts = [r for r in recovered.recovered if isinstance(r, InsertRecord)]
+        assert [r.id for r in inserts] == [100, 101, 102]
+        for record, point in zip(inserts, points):
+            assert np.array_equal(record.point, point)
+        deletes = [r for r in recovered.recovered if isinstance(r, DeleteRecord)]
+        assert deletes == [DeleteRecord(7)]
+        checkpoints = [r for r in recovered.recovered
+                       if isinstance(r, CheckpointRecord)]
+        assert checkpoints == [CheckpointRecord("gen1")]
+        recovered.close()
+
+    def test_appends_resume_after_recovery(self, wal_path, rng):
+        with WriteAheadLog.create(wal_path, snapshot_uid="gen0") as wal:
+            wal.append_insert(0, rng.standard_normal(4))
+        with WriteAheadLog.open(wal_path) as wal:
+            wal.append_insert(1, rng.standard_normal(4))
+        with WriteAheadLog.open(wal_path) as wal:
+            assert [r.id for r in wal.recovered] == [0, 1]
+
+    def test_size_grows_monotonically(self, wal_path, rng):
+        with WriteAheadLog.create(wal_path, snapshot_uid="gen0") as wal:
+            sizes = [wal.append_insert(i, rng.standard_normal(4))
+                     for i in range(4)]
+        assert sizes == sorted(sizes) and len(set(sizes)) == 4
+        assert os.path.getsize(wal_path) == sizes[-1]
+
+    def test_parent_uid_travels(self, wal_path):
+        WriteAheadLog.create(wal_path, snapshot_uid="child",
+                             parent_uid="parent").close()
+        with WriteAheadLog.open(wal_path) as wal:
+            assert wal.parent_uid == "parent"
+
+
+class TestTornTail:
+    def _sizes(self, wal_path, rng, n=4):
+        with WriteAheadLog.create(wal_path, snapshot_uid="gen0") as wal:
+            return [wal.append_insert(i, rng.standard_normal(6))
+                    for i in range(n)]
+
+    def test_half_written_tail_record_is_truncated(self, wal_path, rng):
+        sizes = self._sizes(wal_path, rng)
+        # Chop the file mid-way through the last record: exactly the
+        # state a kill between write() and fsync() leaves behind.
+        torn = (sizes[-2] + sizes[-1]) // 2
+        with open(wal_path, "r+b") as handle:
+            handle.truncate(torn)
+        with WriteAheadLog.open(wal_path) as wal:
+            assert [r.id for r in wal.recovered] == [0, 1, 2]
+            assert wal.truncated_bytes == torn - sizes[-2]
+        assert os.path.getsize(wal_path) == sizes[-2]
+
+    def test_bit_flip_truncates_from_the_flip(self, wal_path, rng):
+        sizes = self._sizes(wal_path, rng)
+        # Flip one payload bit inside record 2: its CRC fails, so it and
+        # everything after it are discarded as torn tail.
+        with open(wal_path, "r+b") as handle:
+            handle.seek(sizes[1] + 12)
+            byte = handle.read(1)
+            handle.seek(sizes[1] + 12)
+            handle.write(bytes([byte[0] ^ 0x40]))
+        with WriteAheadLog.open(wal_path) as wal:
+            assert [r.id for r in wal.recovered] == [0, 1]
+        assert os.path.getsize(wal_path) == sizes[1]
+
+    def test_absurd_length_field_is_torn_tail(self, wal_path, rng):
+        sizes = self._sizes(wal_path, rng)
+        with open(wal_path, "r+b") as handle:
+            handle.seek(sizes[2])
+            handle.write(struct.pack("<I", 1 << 30))  # bogus frame length
+        with WriteAheadLog.open(wal_path) as wal:
+            assert [r.id for r in wal.recovered] == [0, 1, 2]
+
+    def test_recovery_is_idempotent(self, wal_path, rng):
+        sizes = self._sizes(wal_path, rng)
+        with open(wal_path, "r+b") as handle:
+            handle.truncate(sizes[-1] - 3)
+        WriteAheadLog.open(wal_path).close()
+        with WriteAheadLog.open(wal_path) as wal:
+            assert wal.truncated_bytes == 0
+            assert [r.id for r in wal.recovered] == [0, 1, 2]
+
+
+class TestRejection:
+    def test_uid_binding_refused(self, wal_path):
+        WriteAheadLog.create(wal_path, snapshot_uid="gen0").close()
+        with pytest.raises(WALError, match="refusing to replay"):
+            WriteAheadLog.open(wal_path, accept_uids={"other"})
+        # Either the bound uid or the parent lineage is acceptable.
+        WriteAheadLog.open(wal_path, accept_uids={"gen0", "older"}).close()
+        WriteAheadLog.open(wal_path, accept_uids={"new", "gen0"}).close()
+
+    def test_non_wal_file_refused(self, tmp_path):
+        junk = str(tmp_path / "junk.wal")
+        with open(junk, "wb") as handle:
+            handle.write(b"definitely not a log")
+        with pytest.raises(WALError, match="not a repro write-ahead log"):
+            WriteAheadLog.open(junk)
+
+    def test_corrupt_header_refused(self, wal_path):
+        WriteAheadLog.create(wal_path, snapshot_uid="gen0").close()
+        with open(wal_path, "r+b") as handle:
+            handle.seek(10)
+            handle.write(b"\xff")
+        with pytest.raises(WALError, match="corrupt WAL header"):
+            WriteAheadLog.open(wal_path)
+
+    def test_closed_log_refuses_appends(self, wal_path):
+        wal = WriteAheadLog.create(wal_path, snapshot_uid="gen0")
+        wal.close()
+        with pytest.raises(WALError, match="closed"):
+            wal.append_delete(0)
+
+
+def _append_under_fault(path, fault, count, conn):
+    """Child-process driver: append ``count`` inserts with a fault armed."""
+    os.environ["REPRO_WAL_FAULT"] = fault
+    acked = []
+    wal = WriteAheadLog.create(path, snapshot_uid="gen0")
+    for i in range(count):
+        wal.append_insert(i, np.full(4, float(i)))
+        acked.append(i)
+        conn.send(("acked", i))
+    conn.send(("done", acked))
+    conn.close()
+
+
+class TestFaultInjection:
+    """REPRO_WAL_FAULT kills: recovery yields exactly the acked appends."""
+
+    @pytest.mark.parametrize("fault,acked_survive", [
+        ("pre-append:2", [0, 1]),   # killed before touching the file
+        ("torn:2", [0, 1]),         # killed after half the record hit disk
+        ("post-fsync:2", [0, 1]),   # durable but never acked
+    ])
+    def test_kill_mid_append(self, tmp_path, fault, acked_survive):
+        path = str(tmp_path / "fault.wal")
+        ctx = multiprocessing.get_context("spawn")
+        parent, child = ctx.Pipe()
+        proc = ctx.Process(target=_append_under_fault,
+                           args=(path, fault, 4, child))
+        proc.start()
+        child.close()
+        acked = []
+        while True:
+            try:
+                kind, value = parent.recv()
+            except EOFError:
+                break
+            if kind == "acked":
+                acked.append(value)
+        proc.join(30)
+        assert proc.exitcode == 9  # died at the armed fault point
+        assert acked == acked_survive
+
+        with WriteAheadLog.open(path) as wal:
+            recovered = [r.id for r in wal.recovered]
+        # Every acked append survived; at most the one in-flight,
+        # fsync'd-but-unacked record may additionally appear.
+        assert recovered[: len(acked)] == acked
+        assert len(recovered) <= len(acked) + 1
+        if fault.startswith(("pre-append", "torn")):
+            assert recovered == acked  # exactly the acked appends

@@ -1,0 +1,321 @@
+"""Crash-recovery acceptance for mutable serving (repro.serve.mutable).
+
+The invariant under test — the PR's headline contract — is: after a
+SIGKILL-equivalent death at *any* injected point (mid-WAL-append, before
+/ after a compaction's snapshot flip, after its log swap), a restarted
+server serves **exactly the acked mutations**: every acked insert/delete
+is visible, no unacked mutation is invented (the one fsync'd-but-unacked
+record a ``post-fsync`` kill can leave is the only tolerated extra, and
+only for that fault).
+
+The dying server runs in a spawned child process driven over a pipe;
+faults are armed through the ``REPRO_WAL_FAULT`` / ``REPRO_COMPACT_FAULT``
+environment contracts of :mod:`repro.io.wal` and
+:mod:`repro.serve.mutable`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro import DBLSH
+from repro.data.generators import gaussian_mixture
+from repro.io import WALError, WriteAheadLog, read_header, save_index
+from repro.serve import MutableSnapshotServer, ReadOnlyError
+
+N, DIM = 400, 12
+PARAMS = dict(
+    c=1.5, l_spaces=3, k_per_space=6, t=32, seed=0, auto_initial_radius=True
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data = gaussian_mixture(N, DIM, n_clusters=5, seed=0)
+    inserts = data[:8] + 60.0  # far from the data: unambiguous top-1 hits
+    return data, inserts
+
+
+@pytest.fixture
+def snapshot(tmp_path, workload):
+    data, _ = workload
+    path = str(tmp_path / "base.npz")
+    save_index(DBLSH(**PARAMS).fit(data), path)
+    return path
+
+
+def _mutation_driver(snapshot, wal, env, conn):
+    """Child-process serve loop (module-level for spawn picklability)."""
+    os.environ.update(env)
+    server = MutableSnapshotServer(
+        snapshot, wal_path=wal, compact_threshold=0, mp_context="fork",
+        start_timeout=120.0,
+    )
+    server.start()
+    conn.send(("ready", None))
+    while True:
+        message = conn.recv()
+        kind = message[0]
+        try:
+            if kind == "insert":
+                value = server.insert(np.asarray(message[1]))
+            elif kind == "delete":
+                value = server.delete(int(message[1]))
+            elif kind == "compact":
+                value = server.compact()
+            elif kind == "stop":
+                server.close()
+                conn.send(("ok", None))
+                return
+            else:
+                raise ValueError(f"unknown driver verb {kind!r}")
+        except Exception as exc:  # surfaced to the test, not swallowed
+            conn.send(("error", repr(exc)))
+        else:
+            conn.send(("ok", value))
+
+
+class _Child:
+    """Drive a mutable serve in a spawned child; record what it acks."""
+
+    def __init__(self, snapshot, wal, env=None):
+        ctx = multiprocessing.get_context("spawn")
+        self.conn, child_end = ctx.Pipe()
+        self.process = ctx.Process(
+            target=_mutation_driver,
+            args=(snapshot, wal, env or {}, child_end),
+        )
+        self.process.start()
+        child_end.close()
+        kind, _ = self.conn.recv()
+        assert kind == "ready"
+        self.acked_inserts = []
+        self.acked_deletes = []
+
+    def call(self, *message):
+        """Send one verb; returns the ack value, or None if the child died."""
+        self.conn.send(message)
+        try:
+            kind, value = self.conn.recv()
+        except EOFError:
+            return None  # the armed fault killed the child mid-verb
+        assert kind == "ok", value
+        if message[0] == "insert":
+            self.acked_inserts.append((value, np.asarray(message[1])))
+        elif message[0] == "delete" and value:
+            self.acked_deletes.append(int(message[1]))
+        return value
+
+    def join_dead(self, expected_exitcode=9):
+        self.process.join(60)
+        assert self.process.exitcode == expected_exitcode
+
+    def stop(self):
+        self.call("stop")
+        self.process.join(30)
+
+
+def _assert_exactly_acked(snapshot, wal, child, *, tolerate_inflight=0):
+    """Restart from disk and check the served state == the acked mutations."""
+    server = MutableSnapshotServer(
+        snapshot, wal_path=wal, compact_threshold=0, mp_context="fork",
+    )
+    server.start()
+    try:
+        info = server.status()
+        acked_ids = {pid for pid, _ in child.acked_inserts}
+        recovered = info["delta_rows"] + (info["num_points"] - N)
+        assert len(acked_ids) <= recovered <= len(acked_ids) + tolerate_inflight
+        # Every acked insert answers as its own exact nearest neighbor.
+        for pid, point in child.acked_inserts:
+            result = server.query(point, k=1)
+            assert result.ids == [pid]
+            assert result.distances[0] == pytest.approx(0.0)
+        # Every acked delete stays deleted (idempotent re-delete: False).
+        for pid in child.acked_deletes:
+            assert pid not in server.query(np.zeros(DIM), k=N).ids
+            assert server.delete(pid) is False
+    finally:
+        server.close()
+
+
+class TestKillMidAppend:
+    def test_torn_append_recovers_exactly_acked(self, snapshot, tmp_path,
+                                                workload):
+        _, inserts = workload
+        wal = str(tmp_path / "m.wal")
+        # Appends 0,1 (insert, delete) ack; append 2 dies half-written.
+        child = _Child(snapshot, wal, env={"REPRO_WAL_FAULT": "torn:2"})
+        assert child.call("insert", inserts[0]) == N
+        assert child.call("delete", 3) is True
+        assert child.call("insert", inserts[1]) is None  # killed mid-append
+        child.join_dead()
+        _assert_exactly_acked(snapshot, wal, child)
+
+    def test_pre_append_kill_loses_nothing_acked(self, snapshot, tmp_path,
+                                                 workload):
+        _, inserts = workload
+        wal = str(tmp_path / "m.wal")
+        child = _Child(snapshot, wal, env={"REPRO_WAL_FAULT": "pre-append:3"})
+        for i in range(3):
+            assert child.call("insert", inserts[i]) == N + i
+        assert child.call("insert", inserts[3]) is None
+        child.join_dead()
+        _assert_exactly_acked(snapshot, wal, child)
+
+    def test_post_fsync_kill_may_keep_the_inflight_record(
+        self, snapshot, tmp_path, workload
+    ):
+        _, inserts = workload
+        wal = str(tmp_path / "m.wal")
+        child = _Child(snapshot, wal, env={"REPRO_WAL_FAULT": "post-fsync:1"})
+        assert child.call("insert", inserts[0]) == N
+        assert child.call("insert", inserts[1]) is None  # durable, unacked
+        child.join_dead()
+        # The durable-but-unacked insert is the classic WAL ambiguity:
+        # it may legitimately survive, but nothing acked may be lost and
+        # nothing else may be invented.
+        _assert_exactly_acked(snapshot, wal, child, tolerate_inflight=1)
+
+
+class TestKillMidCompaction:
+    def _mutate(self, child, inserts):
+        assert child.call("insert", inserts[0]) == N
+        assert child.call("insert", inserts[1]) == N + 1
+        assert child.call("delete", 7) is True
+
+    @pytest.mark.parametrize("point", [
+        "pre-snapshot-replace", "post-snapshot-replace", "post-wal-replace",
+    ])
+    def test_kill_at_compaction_point(self, snapshot, tmp_path, workload,
+                                      point):
+        _, inserts = workload
+        wal = str(tmp_path / "m.wal")
+        uid_before = read_header(snapshot)["uid"]
+        child = _Child(snapshot, wal, env={"REPRO_COMPACT_FAULT": point})
+        self._mutate(child, inserts)
+        assert child.call("compact") is None  # killed at the armed point
+        child.join_dead()
+
+        uid_after = read_header(snapshot)["uid"]
+        if point == "pre-snapshot-replace":
+            assert uid_after == uid_before  # old generation intact
+        else:
+            assert uid_after != uid_before  # new generation landed
+            assert read_header(snapshot)["parent_uid"] == uid_before
+        _assert_exactly_acked(snapshot, wal, child)
+
+    def test_recovery_rebinds_a_parent_bound_wal(self, snapshot, tmp_path,
+                                                 workload):
+        # A crash between the snapshot flip and the log swap leaves the
+        # WAL bound to the parent generation; recovery must accept it,
+        # replay idempotently, and rebind it to the live uid.
+        _, inserts = workload
+        wal = str(tmp_path / "m.wal")
+        child = _Child(
+            snapshot, wal, env={"REPRO_COMPACT_FAULT": "post-snapshot-replace"}
+        )
+        self._mutate(child, inserts)
+        assert child.call("compact") is None
+        child.join_dead()
+        live_uid = read_header(snapshot)["uid"]
+        with WriteAheadLog.open(wal) as stale:
+            assert stale.snapshot_uid != live_uid
+        _assert_exactly_acked(snapshot, wal, child)
+        with WriteAheadLog.open(wal) as rebound:
+            assert rebound.snapshot_uid == live_uid
+
+
+class TestRecoveryGuards:
+    def test_wal_for_another_snapshot_refused(self, snapshot, tmp_path,
+                                              workload):
+        data, _ = workload
+        wal = str(tmp_path / "m.wal")
+        server = MutableSnapshotServer(snapshot, wal_path=wal,
+                                       compact_threshold=0, mp_context="fork")
+        server.start()
+        server.insert(data[0] + 9.0)
+        server.close()
+        # Overwrite the snapshot with an unrelated build (fresh uid, no
+        # lineage): replaying the old log onto it would be corruption.
+        save_index(DBLSH(**PARAMS).fit(data[:200]), snapshot)
+        fresh = MutableSnapshotServer(snapshot, wal_path=wal,
+                                      compact_threshold=0, mp_context="fork")
+        with pytest.raises(WALError, match="refusing to replay"):
+            fresh.start()
+        assert not fresh.serving  # the refused start left no live pool
+
+    def test_read_only_mode_refuses_mutations(self, snapshot):
+        server = MutableSnapshotServer(snapshot, read_only=True,
+                                       mp_context="fork")
+        server.start()
+        try:
+            with pytest.raises(ReadOnlyError, match="read-only"):
+                server.insert(np.zeros(DIM))
+            with pytest.raises(ReadOnlyError, match="read-only"):
+                server.delete(0)
+            with pytest.raises(ReadOnlyError, match="read-only"):
+                server.compact()
+            # Read-only serving never creates a WAL next to the snapshot.
+            assert not os.path.exists(snapshot + ".wal")
+            assert server.status()["read_only"] is True
+        finally:
+            server.close()
+
+    def test_status_reports_mutation_state(self, snapshot, tmp_path,
+                                           workload):
+        _, inserts = workload
+        wal = str(tmp_path / "m.wal")
+        server = MutableSnapshotServer(snapshot, wal_path=wal,
+                                      compact_threshold=0, mp_context="fork")
+        server.start()
+        try:
+            server.insert(inserts[0])
+            server.insert(inserts[1])
+            server.delete(5)
+            info = server.status()
+            assert info["mutable"] is True
+            assert info["delta_rows"] == 2
+            assert info["tombstones"] == 1
+            assert info["live_points"] == N + 2 - 1
+            assert info["next_id"] == N + 2
+            assert info["wal_bytes"] == os.path.getsize(wal)
+            assert info["compactions"] == 0
+            out = server.compact()
+            info = server.status()
+            assert info["compactions"] == 1
+            assert info["last_compaction_uid"] == out["generation_uid"]
+            assert info["delta_rows"] == 0 and info["tombstones"] == 0
+            assert info["live_points"] == N + 1
+        finally:
+            server.close()
+
+    def test_auto_compaction_triggers_at_threshold(self, snapshot, tmp_path,
+                                                   workload):
+        data, _ = workload
+        wal = str(tmp_path / "m.wal")
+        server = MutableSnapshotServer(snapshot, wal_path=wal,
+                                      compact_threshold=4, mp_context="fork")
+        server.start()
+        try:
+            for i in range(4):
+                server.insert(data[i] + 50.0 + i)
+            deadline = 30.0
+            import time
+
+            waited = 0.0
+            while server.status()["compactions"] == 0 and waited < deadline:
+                time.sleep(0.1)
+                waited += 0.1
+            info = server.status()
+            assert info["compactions"] >= 1
+            assert info["delta_rows"] < 4
+            # The folded inserts still answer exactly.
+            result = server.query(data[0] + 50.0, k=1)
+            assert result.ids == [N]
+        finally:
+            server.close()
