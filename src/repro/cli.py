@@ -34,6 +34,13 @@ into fresh snapshot generations in the background; without the flag the
 same verbs are refused with a clear read-only error.  The client side
 retries its connection with exponential backoff (``--connect-timeout``),
 so scripts may start ``serve`` and ``query`` back to back.
+
+``serve --http HOST:PORT`` additionally opens the HTTP/JSON front door
+(:mod:`repro.serve.http`): ``POST /query`` with micro-batching and 429
+admission shedding, ``POST /insert``/``/delete`` when ``--mutable``,
+``GET /healthz``/``/status``/``/metrics`` — composing with ``--watch``
+and ``--mutable``, since the gateway fronts the same server object the
+socket loop serves.
 """
 
 from __future__ import annotations
@@ -166,6 +173,21 @@ def _parse_address(addr: str):
     if host and port.isdigit():
         return (host, int(port))
     return addr
+
+
+def _parse_http_address(addr: str) -> tuple:
+    """``HOST:PORT``/``:PORT``/``PORT`` -> (host, port) for --http.
+
+    HTTP has no unix-socket mode here, so a bare port is accepted and a
+    missing host defaults to loopback (the gateway carries no auth; a
+    non-loopback bind is the operator's deliberate choice).
+    """
+    host, _, port = addr.rpartition(":")
+    if not port.isdigit():
+        raise SystemExit(
+            f"--http expects HOST:PORT, :PORT or PORT, got {addr!r}"
+        )
+    return (host or "127.0.0.1", int(port))
 
 
 def _clear_stale_socket(address) -> Optional[str]:
@@ -485,6 +507,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             args.index, query_timeout=args.query_timeout,
             mp_context=args.mp_context,
         )
+    gateway = None
     with server_factory as server:
         listener = Listener(address, authkey=AUTHKEY)
         state.attach_listener(listener, address)
@@ -493,6 +516,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             mode = "mutable" if args.mutable else "read-only"
             print(f"listening on {args.listen} "
                   f"(workers: {len(server.worker_pids)}, {mode})", flush=True)
+            if args.http:
+                from repro.serve import GatewayError, HttpGateway
+
+                host, port = _parse_http_address(args.http)
+                try:
+                    gateway = HttpGateway(
+                        server, host, port,
+                        batch_window=args.http_batch_window,
+                        max_batch=args.http_max_batch,
+                        queue_limit=args.http_queue_limit,
+                    ).start()
+                except GatewayError as exc:
+                    print(f"could not open the HTTP front door: {exc}",
+                          file=sys.stderr)
+                    return 1
+                print(f"http on {gateway.address} "
+                      f"(batch window {gateway.batch_window * 1e3:g} ms, "
+                      f"max batch {gateway.max_batch}, "
+                      f"queue limit {gateway.queue_limit})", flush=True)
             if args.watch:
                 threading.Thread(
                     target=_watch_snapshot,
@@ -530,6 +572,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 client_threads.append(thread)
         finally:
             state.request_stop()  # closes the listener (idempotent)
+            if gateway is not None:
+                gateway.close()
             for thread in client_threads:
                 thread.join(timeout=30.0)
     handled, failure = state.handled, state.failure
@@ -763,6 +807,24 @@ def build_parser() -> argparse.ArgumentParser:
                            help="fold the delta buffer into a fresh snapshot "
                                 "generation once this many pending mutations "
                                 "accumulate (0 disables auto-compaction)")
+    serve_cmd.add_argument("--http", default=None,
+                           help="also serve HTTP/JSON on HOST:PORT (or :PORT "
+                                "/ PORT, loopback by default): POST /query "
+                                "with micro-batching, GET /healthz /status "
+                                "/metrics; insert/delete need --mutable")
+    serve_cmd.add_argument("--http-batch-window", type=float, default=0.002,
+                           dest="http_batch_window", metavar="SECONDS",
+                           help="micro-batch collection window: concurrent "
+                                "POST /query requests arriving within it are "
+                                "answered by one batched GEMM (0 = coalesce "
+                                "only what is already queued)")
+    serve_cmd.add_argument("--http-max-batch", type=int, default=32,
+                           dest="http_max_batch",
+                           help="max requests coalesced into one batch")
+    serve_cmd.add_argument("--http-queue-limit", type=int, default=256,
+                           dest="http_queue_limit",
+                           help="bounded admission queue: further requests "
+                                "are shed with 429 + Retry-After")
     serve_cmd.add_argument("--mp-context", default="spawn",
                            choices=["spawn", "fork", "forkserver"],
                            dest="mp_context",

@@ -20,7 +20,13 @@ Layers:
 * :mod:`repro.serve.mutable` — the crash-safe mutable coordinator:
   WAL-acked ``insert``/``delete``, delta-buffer sweeps merged into the
   snapshot answers, background compaction into fresh generations, and
-  exactly-the-acked-mutations recovery after a kill.
+  exactly-the-acked-mutations recovery after a kill;
+* :mod:`repro.serve.http` — the HTTP/JSON front door: an asyncio
+  gateway that micro-batches concurrent ``POST /query`` requests into
+  single ``query_batch`` GEMMs behind a bounded admission queue (429
+  shedding), with ``/healthz``, ``/status`` and ``/metrics``;
+* :mod:`repro.serve.metrics` — the gateway's counters and fixed-bucket
+  latency/batch-size histograms, snapshotted on read.
 
 The server is a supervised, multi-client service: all public methods
 are thread-safe (FIFO dispatch onto the worker pool), a worker that dies
@@ -36,10 +42,15 @@ with a concurrent accept loop, ``status``/``reload`` verbs, and
 snapshot like any other method (``clients=N`` for concurrent clients).
 """
 
+from repro.serve.http import GatewayError, HttpGateway
+from repro.serve.metrics import GatewayMetrics
 from repro.serve.mutable import MutableSnapshotServer, ReadOnlyError
 from repro.serve.server import ServerError, SnapshotServer
 
 __all__ = [
+    "GatewayError",
+    "GatewayMetrics",
+    "HttpGateway",
     "MutableSnapshotServer",
     "ReadOnlyError",
     "ServerError",

@@ -1,0 +1,240 @@
+"""Tier-1 coverage for tools/check_bench_gates.py.
+
+The gate checker is first-class code now (it used to be an inline CI
+heredoc), so it gets what every other module gets: tests that feed it
+known-good and deliberately broken smoke reports and pin down exactly
+which violations it raises — plus the file-level failure modes (missing
+file, corrupt JSON, schema drift) that an inline heredoc handled with a
+bare traceback.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+import check_bench_gates as gates  # noqa: E402
+
+# ----------------------------------------------------------------------
+# Minimal passing fixtures: one per benchmark, just the gated fields.
+# ----------------------------------------------------------------------
+
+GOOD = {
+    "BENCH_query_engine.smoke.json": {
+        "regimes": {
+            "easy": {"neighbors_identical": True},
+            "hard": {"neighbors_identical": True},
+        },
+    },
+    "BENCH_sharding.smoke.json": {
+        "unsharded_recall": 0.9,
+        "shards": {
+            "2": {"topk_sets_match_unsharded": True, "recall": 0.9},
+            "4": {"topk_sets_match_unsharded": False, "recall": 0.95},
+        },
+        "snapshot": {"results_identical_after_reload": True},
+    },
+    "BENCH_build.smoke.json": {
+        "single": {"1000": {"answers_identical": True}},
+        "sharded": {"2": {"process_matches": True}},
+        "snapshot": {"results_identical_after_reload": True},
+    },
+    "BENCH_serve.smoke.json": {
+        "workers": {
+            "1": {"server_matches_inprocess": True,
+                  "server_sets_match_unsharded": True},
+        },
+        "workers_budget_split": {
+            "1": {"server_matches_inprocess": True},
+        },
+        "concurrent_clients": {
+            "2": {"matches_inprocess": True},
+        },
+        "supervision": {
+            "all_answers_bit_identical_to_a_generation": True,
+            "worker_restarts": 1,
+            "post_reload_matches_new_snapshot": True,
+            "no_orphans_after_close": True,
+            "failures": [],
+        },
+    },
+    "BENCH_mutations.smoke.json": {
+        "mutations": {
+            "mutation_parity_vs_refit": True,
+            "post_compaction_parity_vs_refit": True,
+            "answers_stable_across_compaction": True,
+        },
+        "recovery": {
+            "killed_with_exitcode": 9,
+            "recovered_exactly_acked": True,
+        },
+    },
+    "BENCH_http.smoke.json": {
+        "grid": {
+            "0": {"1": {"matches_inprocess": True, "failures": []}},
+            "2": {"4": {"matches_inprocess": True, "failures": []}},
+        },
+        "overload": {
+            "sheds": 3,
+            "dropped_inflight": 0,
+            "dropped": [],
+            "completed_match_inprocess": True,
+        },
+    },
+}
+
+#: (file, mutation breaking one gate, substring the violation must name)
+BREAKS = [
+    ("BENCH_query_engine.smoke.json",
+     lambda r: r["regimes"]["hard"].update(neighbors_identical=False),
+     "engines diverged"),
+    ("BENCH_sharding.smoke.json",
+     lambda r: r["shards"]["4"].update(recall=0.5),
+     "worse neighbors"),
+    ("BENCH_sharding.smoke.json",
+     lambda r: r["snapshot"].update(results_identical_after_reload=False),
+     "save/load"),
+    ("BENCH_build.smoke.json",
+     lambda r: r["single"]["1000"].update(answers_identical=False),
+     "builders diverged"),
+    ("BENCH_build.smoke.json",
+     lambda r: r["sharded"]["2"].update(process_matches=False),
+     "process-parallel"),
+    ("BENCH_serve.smoke.json",
+     lambda r: r["workers"]["1"].update(server_matches_inprocess=False),
+     "in-process snapshot"),
+    ("BENCH_serve.smoke.json",
+     lambda r: r["workers_budget_split"]["1"].update(
+         server_matches_inprocess=False),
+     "budget=split"),
+    ("BENCH_serve.smoke.json",
+     lambda r: r["concurrent_clients"]["2"].update(matches_inprocess=False),
+     "concurrent answers"),
+    ("BENCH_serve.smoke.json",
+     lambda r: r["supervision"].update(worker_restarts=0),
+     "never exercised a restart"),
+    ("BENCH_serve.smoke.json",
+     lambda r: r["supervision"].update(no_orphans_after_close=False),
+     "outlived close()"),
+    ("BENCH_mutations.smoke.json",
+     lambda r: r["mutations"].update(mutation_parity_vs_refit=False),
+     "refit"),
+    ("BENCH_mutations.smoke.json",
+     lambda r: r["recovery"].update(killed_with_exitcode=1),
+     "exited 1"),
+    ("BENCH_mutations.smoke.json",
+     lambda r: r["recovery"].update(recovered_exactly_acked=False),
+     "lost or invented"),
+    ("BENCH_http.smoke.json",
+     lambda r: r["grid"]["2"]["4"].update(matches_inprocess=False),
+     "window=2ms clients=4"),
+    ("BENCH_http.smoke.json",
+     lambda r: r["overload"].update(sheds=0),
+     "admission control untested"),
+    ("BENCH_http.smoke.json",
+     lambda r: r["overload"].update(dropped_inflight=2, dropped=["x", "y"]),
+     "2 admitted requests dropped"),
+    ("BENCH_http.smoke.json",
+     lambda r: r["overload"].update(completed_match_inprocess=False),
+     "completed answers"),
+]
+
+
+def test_every_benchmark_has_a_checker_and_a_good_fixture():
+    assert set(GOOD) == set(gates.CHECKERS)
+
+
+def test_good_fixtures_pass_every_checker():
+    for name, report in GOOD.items():
+        assert gates.CHECKERS[name](report) == [], name
+
+
+@pytest.mark.parametrize(
+    "name,mutate,expected", BREAKS,
+    ids=[f"{n.split('.')[0][6:]}-{s[:18]}" for n, _, s in BREAKS],
+)
+def test_broken_fixture_raises_the_named_violation(name, mutate, expected):
+    report = copy.deepcopy(GOOD[name])
+    mutate(report)
+    violations = gates.CHECKERS[name](report)
+    assert violations, f"{name}: broken report produced no violation"
+    assert any(expected in v for v in violations), violations
+
+
+def test_one_break_means_exactly_one_violation():
+    """Gates are independent: breaking one flag does not cascade."""
+    report = copy.deepcopy(GOOD["BENCH_serve.smoke.json"])
+    report["supervision"]["worker_restarts"] = 0
+    assert len(gates.CHECKERS["BENCH_serve.smoke.json"](report)) == 1
+
+
+def test_multiple_breaks_are_all_reported():
+    report = copy.deepcopy(GOOD["BENCH_http.smoke.json"])
+    report["overload"].update(sheds=0, completed_match_inprocess=False)
+    report["grid"]["0"]["1"]["matches_inprocess"] = False
+    assert len(gates.CHECKERS["BENCH_http.smoke.json"](report)) == 3
+
+
+# ----------------------------------------------------------------------
+# File-level behavior (check_file + main)
+# ----------------------------------------------------------------------
+
+
+def _write(tmp_path, name, payload) -> str:
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_check_file_passes_and_fails_on_disk(tmp_path):
+    good = _write(tmp_path, "BENCH_http.smoke.json",
+                  GOOD["BENCH_http.smoke.json"])
+    assert gates.check_file(good) == []
+    broken = copy.deepcopy(GOOD["BENCH_http.smoke.json"])
+    broken["overload"]["sheds"] = 0
+    bad = _write(tmp_path, "BENCH_http.smoke.json", broken)
+    violations = gates.check_file(bad)
+    assert len(violations) == 1
+    assert violations[0].startswith("BENCH_http.smoke.json:")
+
+
+def test_check_file_missing_corrupt_and_unknown(tmp_path):
+    missing = gates.check_file(str(tmp_path / "BENCH_serve.smoke.json"))
+    assert missing and "missing" in missing[0]
+    corrupt = tmp_path / "BENCH_serve.smoke.json"
+    corrupt.write_text("{not json")
+    assert "unparseable" in gates.check_file(str(corrupt))[0]
+    unknown = gates.check_file(str(tmp_path / "BENCH_novel.smoke.json"))
+    assert "no gate checker" in unknown[0]
+
+
+def test_check_file_reports_schema_drift_not_traceback(tmp_path):
+    path = _write(tmp_path, "BENCH_serve.smoke.json", {"workers": {}})
+    violations = gates.check_file(path)
+    assert violations and "drifted" in violations[0]
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    paths = [_write(tmp_path, name, report) for name, report in GOOD.items()]
+    assert gates.main(paths) == 0
+    assert "bench gates OK (6 file(s))" in capsys.readouterr().out
+
+    broken = copy.deepcopy(GOOD["BENCH_mutations.smoke.json"])
+    broken["recovery"]["recovered_exactly_acked"] = False
+    paths[-2] = _write(tmp_path, "BENCH_mutations.smoke.json", broken)
+    assert gates.main(paths) == 1
+    err = capsys.readouterr().err
+    assert "GATE FAILED" in err and "lost or invented" in err
+
+
+def test_main_default_set_requires_all_files(tmp_path, monkeypatch, capsys):
+    """No arguments = the full CI set; absent files are violations."""
+    monkeypatch.chdir(tmp_path)
+    assert gates.main([]) == 1
+    assert capsys.readouterr().err.count("missing") == len(gates.CHECKERS)

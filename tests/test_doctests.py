@@ -9,12 +9,14 @@ import pytest
 import repro
 import repro.core.sharded
 import repro.io.snapshot
+import repro.serve.metrics
 import repro.utils.timing
 
 
 @pytest.mark.parametrize(
     "module",
-    [repro, repro.core.sharded, repro.io.snapshot, repro.utils.timing],
+    [repro, repro.core.sharded, repro.io.snapshot, repro.serve.metrics,
+     repro.utils.timing],
 )
 def test_doctests(module):
     result = doctest.testmod(module, verbose=False)

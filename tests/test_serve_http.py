@@ -1,0 +1,708 @@
+"""Tests for the HTTP front door: parity, batching, shedding, metrics.
+
+The gateway's contract, in the order the classes below pin it:
+
+* **parity** — answers served over HTTP (micro-batched or not, one
+  client or many) are bit-identical to ``load_index(path).query_batch``
+  in process: same ids, same distances, surviving the JSON float round
+  trip (``repr`` shortest-round-trip on both ends);
+* **batching** — requests arriving within the window coalesce into one
+  dispatch (observable in the batch-size histogram), a zero window
+  never waits, ``max_batch`` caps coalescing, and mixed ``k`` values
+  share a window but dispatch separately;
+* **admission control** — a full queue sheds with ``429`` +
+  ``Retry-After`` while every admitted request still completes (zero
+  dropped in-flight work);
+* **metrics** — the registry's counts reconcile exactly with the
+  requests made against it;
+* **health** — ``/healthz`` flips 200/503 with the serving state
+  machine, through reloads and brokenness.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import DBLSH
+from repro.data.generators import gaussian_mixture
+from repro.io import load_index, save_index
+from repro.serve import (
+    GatewayError,
+    GatewayMetrics,
+    HttpGateway,
+    MutableSnapshotServer,
+    SnapshotServer,
+)
+from repro.serve.metrics import Counter, Histogram
+
+COMMON = dict(c=1.5, l_spaces=3, k_per_space=6, t=32, seed=0, auto_initial_radius=True)
+
+
+# ----------------------------------------------------------------------
+# HTTP helpers (stdlib http.client: keep-alive by default, like a real
+# client fleet would behave)
+# ----------------------------------------------------------------------
+
+
+def _request(port, method, path, payload=None, timeout=30.0):
+    """One HTTP request; returns (status, parsed body, headers dict)."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        data = response.read()
+        return response.status, json.loads(data), dict(response.getheaders())
+    finally:
+        conn.close()
+
+
+def _post(port, path, payload, timeout=30.0):
+    return _request(port, "POST", path, payload, timeout)
+
+
+def _get(port, path, timeout=30.0):
+    return _request(port, "GET", path, None, timeout)
+
+
+def _raw(port, data: bytes, timeout=10.0) -> bytes:
+    """Send raw bytes, return everything the server answers."""
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as sock:
+        sock.sendall(data)
+        chunks = []
+        try:
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        except socket.timeout:
+            pass
+    return b"".join(chunks)
+
+
+def _results_match(json_results, expected) -> bool:
+    """JSON rows == QueryResult rows, ids and distances exactly."""
+    return len(json_results) == len(expected) and all(
+        row["ids"] == r.ids and row["distances"] == r.distances
+        for row, r in zip(json_results, expected)
+    )
+
+
+# ----------------------------------------------------------------------
+# Fixtures
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data = gaussian_mixture(1000, 12, n_clusters=5, seed=3)
+    rng = np.random.default_rng(7)
+    queries = data[rng.choice(1000, 12, replace=False)] + 0.02
+    return data, queries
+
+
+@pytest.fixture(scope="module")
+def snapshot_path(workload, tmp_path_factory):
+    data, _ = workload
+    path = str(tmp_path_factory.mktemp("http") / "index.npz")
+    save_index(DBLSH(**COMMON).fit(data), path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def server(snapshot_path):
+    server = SnapshotServer(snapshot_path, start_timeout=60, query_timeout=60)
+    server.start()
+    yield server
+    server.close()
+
+
+@pytest.fixture(scope="module")
+def gateway(server):
+    gateway = HttpGateway(server, batch_window=0.01, max_batch=16).start()
+    yield gateway
+    gateway.close()
+
+
+class _FakeServer:
+    """A stand-in server: controllable blocking, real in-process answers.
+
+    ``query_batch`` signals ``entered``, waits for ``release``, then
+    answers from a real in-process index — so shedding tests can hold
+    the dispatch open deterministically while parity still holds for
+    everything admitted.
+    """
+
+    def __init__(self, index):
+        self.index = index
+        self.dim = index.dim
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        self.release.set()
+        self.calls = []
+
+    def query_batch(self, queries, k=1):
+        self.calls.append(queries.shape[0])
+        self.entered.set()
+        assert self.release.wait(30), "test never released the fake server"
+        return self.index.query_batch(queries, k=k)
+
+    def status(self):
+        return {"serving": True, "generation": 1, "broken": None}
+
+
+@pytest.fixture()
+def fake_server(snapshot_path):
+    return _FakeServer(load_index(snapshot_path))
+
+
+# ----------------------------------------------------------------------
+# Parity
+# ----------------------------------------------------------------------
+
+
+class TestParity:
+    def test_batch_matches_inprocess(self, workload, snapshot_path, gateway):
+        _, queries = workload
+        expected = load_index(snapshot_path).query_batch(queries, k=5)
+        status, body, _ = _post(
+            gateway.port, "/query", {"queries": queries.tolist(), "k": 5}
+        )
+        assert status == 200
+        assert _results_match(body["results"], expected)
+
+    def test_single_query_matches_batch(self, workload, snapshot_path, gateway):
+        _, queries = workload
+        expected = load_index(snapshot_path).query_batch(queries, k=3)
+        for q, exp in zip(queries, expected):
+            status, body, _ = _post(
+                gateway.port, "/query", {"query": q.tolist(), "k": 3}
+            )
+            assert status == 200
+            assert _results_match(body["results"], [exp])
+
+    def test_concurrent_clients_reassemble_bit_identical(
+        self, workload, snapshot_path, gateway
+    ):
+        """N clients, one slice each, answers coalesced by the batcher:
+        reassembled answers equal the in-process batch exactly."""
+        _, queries = workload
+        expected = load_index(snapshot_path).query_batch(queries, k=4)
+        slices = np.array_split(np.arange(queries.shape[0]), 4)
+        answers = {}
+        failures = []
+
+        def run(idx, rows):
+            try:
+                status, body, _ = _post(
+                    gateway.port,
+                    "/query",
+                    {"queries": queries[rows].tolist(), "k": 4},
+                )
+                assert status == 200, body
+                answers[idx] = body["results"]
+            except Exception as exc:  # surfaced after join
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(i, rows))
+            for i, rows in enumerate(slices)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert not failures
+        reassembled = [row for i in range(len(slices)) for row in answers[i]]
+        assert _results_match(reassembled, expected)
+
+
+# ----------------------------------------------------------------------
+# Micro-batching semantics
+# ----------------------------------------------------------------------
+
+
+class TestBatching:
+    def test_window_coalesces_concurrent_requests(self, workload, fake_server):
+        """Two requests inside one window -> one dispatch of 2 requests."""
+        _, queries = workload
+        with HttpGateway(fake_server, batch_window=0.5, max_batch=2) as gateway:
+            results = []
+
+            def post_one(i):
+                results.append(
+                    _post(gateway.port, "/query", {"query": queries[i].tolist(), "k": 2})
+                )
+
+            threads = [threading.Thread(target=post_one, args=(i,)) for i in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(60)
+            assert [status for status, _, _ in results] == [200, 200]
+            snap = gateway.metrics.snapshot()
+            # max_batch=2 closed the window as soon as both arrived; the
+            # histogram must have seen the coalesced pair.
+            assert snap["batch"]["max"] == 2
+            # ...and the server saw them as ONE query_batch call of 2 rows.
+            assert 2 in fake_server.calls
+
+    def test_zero_window_serves_sequential_requests_alone(
+        self, workload, fake_server
+    ):
+        _, queries = workload
+        with HttpGateway(fake_server, batch_window=0.0) as gateway:
+            for i in range(3):
+                status, _, _ = _post(
+                    gateway.port, "/query", {"query": queries[i].tolist(), "k": 2}
+                )
+                assert status == 200
+            snap = gateway.metrics.snapshot()
+            assert snap["batch"]["count"] == 3
+            assert snap["batch"]["max"] == 1
+
+    def test_mixed_k_share_window_but_dispatch_separately(
+        self, workload, snapshot_path, fake_server
+    ):
+        _, queries = workload
+        index = load_index(snapshot_path)
+        with HttpGateway(fake_server, batch_window=0.5, max_batch=2) as gateway:
+            results = {}
+
+            def post_one(i, k):
+                results[k] = _post(
+                    gateway.port, "/query", {"query": queries[i].tolist(), "k": k}
+                )
+
+            threads = [
+                threading.Thread(target=post_one, args=(0, 3)),
+                threading.Thread(target=post_one, args=(1, 7)),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(60)
+            for k, i in ((3, 0), (7, 1)):
+                status, body, _ = results[k]
+                assert status == 200
+                assert _results_match(
+                    body["results"], index.query_batch(queries[i][None, :], k=k)
+                )
+            # One window, two dispatches of one request each (distinct k).
+            assert gateway.metrics.snapshot()["batch"]["max"] == 1
+            assert sorted(fake_server.calls) == [1, 1]
+
+    def test_max_batch_caps_coalescing(self, workload, fake_server):
+        _, queries = workload
+        with HttpGateway(
+            fake_server, batch_window=0.5, max_batch=2, queue_limit=16
+        ) as gateway:
+            statuses = []
+
+            def post_one(i):
+                status, _, _ = _post(
+                    gateway.port, "/query", {"query": queries[i].tolist(), "k": 2}
+                )
+                statuses.append(status)
+
+            threads = [threading.Thread(target=post_one, args=(i,)) for i in range(5)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(60)
+            assert statuses == [200] * 5
+            assert gateway.metrics.snapshot()["batch"]["max"] <= 2
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+
+
+class TestShedding:
+    def test_full_queue_sheds_429_and_inflight_completes(
+        self, workload, snapshot_path, fake_server
+    ):
+        """queue_limit pending + 1 -> 429 with Retry-After; everything
+        admitted before and during the overload still answers exactly."""
+        _, queries = workload
+        index = load_index(snapshot_path)
+        fake_server.release.clear()  # hold the first dispatch open
+        admitted = {}
+        failures = []
+
+        def post_one(i):
+            try:
+                admitted[i] = _post(
+                    gateway.port,
+                    "/query",
+                    {"query": queries[i].tolist(), "k": 2},
+                    timeout=60.0,
+                )
+            except Exception as exc:
+                failures.append(exc)
+
+        with HttpGateway(
+            fake_server, batch_window=0.0, max_batch=8, queue_limit=2
+        ) as gateway:
+            # R0 is pulled by the batcher and blocks inside the fake
+            # server; the queue is empty again once it is dispatched.
+            t0 = threading.Thread(target=post_one, args=(0,))
+            t0.start()
+            assert fake_server.entered.wait(30)
+            # R1, R2 fill the bounded queue while the dispatch is held.
+            waiters = [threading.Thread(target=post_one, args=(i,)) for i in (1, 2)]
+            for t in waiters:
+                t.start()
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if gateway.metrics.snapshot()["queue_depth"] >= 2:
+                    break
+                time.sleep(0.005)
+            assert gateway.metrics.snapshot()["queue_depth"] == 2
+
+            # R3 finds the queue full: shed, not parked.
+            status, body, headers = _post(
+                gateway.port, "/query", {"query": queries[3].tolist(), "k": 2}
+            )
+            assert status == 429
+            assert "admission queue full" in body["error"]
+            assert int(headers["Retry-After"]) >= 1
+
+            # Release: every admitted request completes, bit-identical.
+            fake_server.release.set()
+            t0.join(60)
+            for t in waiters:
+                t.join(60)
+            assert not failures
+            for i in range(3):
+                status, body, _ = admitted[i]
+                assert status == 200
+                assert _results_match(
+                    body["results"], index.query_batch(queries[i][None, :], k=2)
+                )
+            snap = gateway.metrics.snapshot()
+            assert snap["shed_total"] == 1
+            assert snap["endpoints"]["query"]["statuses"]["429"] == 1
+            assert snap["endpoints"]["query"]["statuses"]["200"] == 3
+
+
+# ----------------------------------------------------------------------
+# Metrics accounting
+# ----------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_registry_reconciles_with_requests_made(self, workload, server):
+        _, queries = workload
+        metrics = GatewayMetrics()
+        with HttpGateway(
+            server, batch_window=0.0, metrics=metrics
+        ) as gateway:
+            for i in range(3):
+                status, _, _ = _post(
+                    gateway.port, "/query", {"query": queries[i].tolist(), "k": 2}
+                )
+                assert status == 200
+            assert _get(gateway.port, "/healthz")[0] == 200
+            assert _get(gateway.port, "/status")[0] == 200
+            assert _post(gateway.port, "/query", {"bad": 1})[0] == 400
+            _get(gateway.port, "/metrics")
+            _, snap, _ = _get(gateway.port, "/metrics")
+
+        query = snap["endpoints"]["query"]
+        assert query["count"] == 4
+        assert query["statuses"] == {"200": 3, "400": 1}
+        assert snap["endpoints"]["healthz"]["statuses"] == {"200": 1}
+        assert snap["endpoints"]["status"]["statuses"] == {"200": 1}
+        # The second /metrics read sees exactly the first one recorded.
+        assert snap["endpoints"]["metrics"]["count"] == 1
+        assert snap["requests_total"] == 4 + 1 + 1 + 1
+        assert snap["shed_total"] == 0
+        assert snap["queue_depth"] == 0
+        assert snap["batch"]["count"] == 3  # the 400 never reached the batcher
+        latency = query["latency_seconds"]
+        assert latency["count"] == 4
+        assert 0 <= latency["p50"] <= latency["p90"] <= latency["p99"]
+        assert latency["sum"] > 0
+
+    def test_histogram_quantiles_interpolate_and_saturate(self):
+        h = Histogram((1.0, 2.0, 4.0))
+        assert h.quantile(0.5) == 0.0  # empty
+        for v in (0.5, 1.5, 1.5, 3.0):
+            h.observe(v)
+        assert h.count == 4 and h.sum == pytest.approx(6.5)
+        # Rank 2 of 4 lands mid-bucket (1, 2]: interpolated inside it.
+        assert 1.0 <= h.quantile(0.5) <= 2.0
+        assert 2.0 <= h.quantile(0.99) <= 4.0
+        h.observe(1000.0)  # overflow bucket
+        assert h.quantile(1.0) == 4.0  # saturates at the last bound
+        snap = h.snapshot()
+        assert snap["buckets"]["le_inf"] == 1
+        assert snap["max"] == 1000.0
+        with pytest.raises(ValueError):
+            h.quantile(0.0)
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((2.0, 1.0))
+
+    def test_counter_and_bad_depth_probe(self):
+        c = Counter()
+        c.add()
+        c.add(4)
+        assert c.value == 5
+        m = GatewayMetrics()
+        m.set_queue_depth_probe(lambda: 1 / 0)
+        assert m.snapshot()["queue_depth"] == -1
+
+
+# ----------------------------------------------------------------------
+# Health and lifecycle
+# ----------------------------------------------------------------------
+
+
+class TestHealth:
+    def test_healthz_tracks_reload_generations(self, snapshot_path, server):
+        with HttpGateway(server, batch_window=0.0) as gateway:
+            status, body, _ = _get(gateway.port, "/healthz")
+            assert (status, body["ok"]) == (200, True)
+            generation = body["generation"]
+            server.reload(snapshot_path)
+            status, body, _ = _get(gateway.port, "/healthz")
+            assert (status, body["ok"]) == (200, True)
+            assert body["generation"] == generation + 1
+
+    def test_healthz_503_when_stopped_or_broken(self, snapshot_path, workload):
+        stopped = SnapshotServer(snapshot_path)  # never started
+        with HttpGateway(stopped, batch_window=0.0) as gateway:
+            status, body, _ = _get(gateway.port, "/healthz")
+            assert (status, body["ok"]) == (503, False)
+
+        class _Broken:
+            dim = workload[0].shape[1]
+
+            def status(self):
+                return {
+                    "serving": False,
+                    "generation": 3,
+                    "broken": "worker 0 (pid 1) died",
+                }
+
+        with HttpGateway(_Broken(), batch_window=0.0) as gateway:
+            status, body, _ = _get(gateway.port, "/healthz")
+            assert status == 503
+            assert body["broken"] == "worker 0 (pid 1) died"
+
+    def test_query_on_stopped_server_is_503_not_hang(self, snapshot_path, workload):
+        _, queries = workload
+        stopped = SnapshotServer(snapshot_path)
+        with HttpGateway(stopped, batch_window=0.0) as gateway:
+            status, body, _ = _post(
+                gateway.port, "/query", {"query": queries[0].tolist(), "k": 2}
+            )
+            assert status == 503
+            assert "not serving" in body["error"]
+
+    def test_status_carries_gateway_block(self, gateway, server):
+        status, body, _ = _get(gateway.port, "/status")
+        assert status == 200
+        assert body["serving"] is True
+        block = body["gateway"]
+        assert block["address"] == gateway.address
+        assert block["max_batch"] == gateway.max_batch
+        assert block["queue_limit"] == gateway.queue_limit
+        assert block["mutable"] is False
+
+    def test_lifecycle_double_start_and_conflicting_bind(self, server):
+        gateway = HttpGateway(server).start()
+        try:
+            with pytest.raises(GatewayError, match="already started"):
+                gateway.start()
+            with pytest.raises(GatewayError, match="could not listen"):
+                HttpGateway(server, port=gateway.port).start()
+        finally:
+            gateway.close()
+        gateway.close()  # idempotent
+        # A closed gateway can be started again (fresh port).
+        reopened = gateway.start()
+        try:
+            assert _get(reopened.port, "/healthz")[0] == 200
+        finally:
+            gateway.close()
+
+    def test_constructor_validation(self, server):
+        with pytest.raises(ValueError, match="batch_window"):
+            HttpGateway(server, batch_window=-1)
+        with pytest.raises(ValueError, match="max_batch"):
+            HttpGateway(server, max_batch=0)
+        with pytest.raises(ValueError, match="queue_limit"):
+            HttpGateway(server, queue_limit=0)
+
+
+# ----------------------------------------------------------------------
+# Protocol edges
+# ----------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_unknown_path_and_wrong_methods(self, gateway):
+        assert _get(gateway.port, "/nope")[0] == 404
+        assert _get(gateway.port, "/query")[0] == 405
+        assert _post(gateway.port, "/healthz", {})[0] == 405
+        assert _post(gateway.port, "/metrics", {})[0] == 405
+
+    def test_malformed_bodies_are_400(self, gateway, workload):
+        _, queries = workload
+        q = queries[0].tolist()
+        cases = [
+            {"k": 2},  # neither query nor queries
+            {"query": q, "queries": [q], "k": 2},  # both
+            {"query": q, "k": 0},  # bad k
+            {"query": q, "k": True},  # bool is not an int here
+            {"query": [[1.0, 2.0]], "k": 2},  # nested single query
+            {"query": q[:-1], "k": 2},  # wrong dimensionality
+            {"queries": [], "k": 2},  # empty batch
+            {"query": ["a"] * len(q), "k": 2},  # non-numeric
+            {"query": [float("nan")] * len(q), "k": 2},  # non-finite
+        ]
+        for payload in cases:
+            status, body, _ = _post(gateway.port, "/query", payload)
+            assert status == 400, payload
+            assert "error" in body
+        conn = http.client.HTTPConnection("127.0.0.1", gateway.port, timeout=30)
+        try:
+            conn.request("POST", "/query", body="{not json")
+            assert conn.getresponse().status == 400
+        finally:
+            conn.close()
+
+    def test_raw_protocol_violations(self, gateway):
+        assert b"400" in _raw(gateway.port, b"NONSENSE\r\n\r\n").split(b"\r\n")[0]
+        assert (
+            b"411"
+            in _raw(
+                gateway.port, b"POST /query HTTP/1.1\r\nHost: x\r\n\r\n"
+            ).split(b"\r\n")[0]
+        )
+        assert (
+            b"501"
+            in _raw(
+                gateway.port,
+                b"POST /query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            ).split(b"\r\n")[0]
+        )
+
+    def test_oversized_body_is_413(self, workload, server):
+        _, queries = workload
+        with HttpGateway(server, batch_window=0.0, max_body_bytes=64) as gateway:
+            status, body, _ = _post(
+                gateway.port, "/query", {"queries": queries.tolist(), "k": 2}
+            )
+            assert status == 413
+
+    def test_keep_alive_reuses_one_connection(self, gateway, workload):
+        _, queries = workload
+        conn = http.client.HTTPConnection("127.0.0.1", gateway.port, timeout=30)
+        try:
+            for i in range(3):
+                conn.request(
+                    "POST",
+                    "/query",
+                    body=json.dumps({"query": queries[i].tolist(), "k": 2}),
+                )
+                response = conn.getresponse()
+                assert response.status == 200
+                response.read()  # drain so the connection can be reused
+        finally:
+            conn.close()
+
+
+# ----------------------------------------------------------------------
+# Mutations over HTTP
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def mutable_setup(tmp_path):
+    data = gaussian_mixture(400, 8, n_clusters=3, seed=11)
+    path = str(tmp_path / "mutable.npz")
+    save_index(DBLSH(c=1.5, l_spaces=3, k_per_space=6, t=16, seed=0,
+                     auto_initial_radius=True).fit(data), path)
+    server = MutableSnapshotServer(path, compact_threshold=0)
+    server.start()
+    yield data, server
+    server.close()
+
+
+class TestMutableHttp:
+    def test_insert_query_delete_roundtrip(self, mutable_setup):
+        data, server = mutable_setup
+        with HttpGateway(server, batch_window=0.0) as gateway:
+            point = (data.mean(axis=0) + 5.0).tolist()
+            status, body, _ = _post(gateway.port, "/insert", {"point": point})
+            assert status == 200
+            new_id = body["id"]
+            assert new_id >= data.shape[0]
+
+            status, body, _ = _post(
+                gateway.port, "/query", {"query": point, "k": 1}
+            )
+            assert status == 200
+            assert body["results"][0]["ids"] == [new_id]
+            assert body["results"][0]["distances"] == [0.0]
+
+            status, body, _ = _post(gateway.port, "/delete", {"id": new_id})
+            assert (status, body["deleted"]) == (200, True)
+            status, body, _ = _post(gateway.port, "/delete", {"id": new_id})
+            assert (status, body["deleted"]) == (200, False)
+
+            status, body, _ = _post(
+                gateway.port, "/query", {"query": point, "k": 1}
+            )
+            assert status == 200
+            assert body["results"][0]["ids"] != [new_id]
+
+            status, body, _ = _post(gateway.port, "/compact", {})
+            assert status == 200
+            assert body["compacted"] is True
+
+    def test_mutation_validation_errors(self, mutable_setup):
+        _, server = mutable_setup
+        with HttpGateway(server, batch_window=0.0) as gateway:
+            assert _post(gateway.port, "/insert", {})[0] == 400
+            assert _post(gateway.port, "/insert", {"point": [1.0]})[0] == 400
+            assert _post(gateway.port, "/delete", {})[0] == 400
+            assert _post(gateway.port, "/delete", {"id": "x"})[0] == 400
+            status, body, _ = _post(gateway.port, "/delete", {"id": 10**9})
+            assert status == 400
+            assert "out of range" in body["error"]
+            assert _get(gateway.port, "/status")[1]["gateway"]["mutable"] is True
+
+    def test_read_only_serves_refuse_mutations_with_403(self, gateway, snapshot_path):
+        # Plain SnapshotServer: the verbs do not exist -> 403.
+        status, body, _ = _post(gateway.port, "/insert", {"point": [0.0] * 12})
+        assert status == 403
+        assert "read-only" in body["error"]
+        assert _post(gateway.port, "/delete", {"id": 1})[0] == 403
+        assert _post(gateway.port, "/compact", {})[0] == 403
+        # Mutable-capable server running read_only: still 403.
+        server = MutableSnapshotServer(snapshot_path, read_only=True)
+        server.start()
+        try:
+            with HttpGateway(server, batch_window=0.0) as ro_gateway:
+                status, body, _ = _post(
+                    ro_gateway.port, "/insert", {"point": [0.0] * 12}
+                )
+                assert status == 403
+                assert "read-only" in body["error"]
+        finally:
+            server.close()

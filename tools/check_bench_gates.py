@@ -1,0 +1,212 @@
+"""CI bench gates: assert the parity/robustness flags in BENCH_*.smoke.json.
+
+Every benchmark smoke run records *correctness flags* next to its
+timings — transport parity, crash-recovery exactness, shed accounting.
+This checker is the single place those flags become CI gates: one
+checker function per benchmark file, each returning a list of
+violations (empty = the gate holds), so a red run names every broken
+gate at once instead of stopping at the first assert.
+
+Usage::
+
+    python tools/check_bench_gates.py                  # all six, repo root
+    python tools/check_bench_gates.py BENCH_serve.smoke.json [...]
+
+Exit status 0 when every gate in every file holds; 1 otherwise (missing
+or unparseable files are violations too — a smoke run that silently
+wrote nothing must not pass).  Run from the repo root, or pass paths.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Callable, Dict, List
+
+
+def check_query_engine(report: dict) -> List[str]:
+    """Both query engines (loop and GEMM) must return identical neighbors
+    in every measured regime — the PR 1 equivalence that everything
+    downstream (sharding, serving, HTTP) inherits."""
+    return [
+        f"regime {name}: engines diverged (neighbors_identical is false)"
+        for name, regime in report["regimes"].items()
+        if not regime["neighbors_identical"]
+    ]
+
+
+def check_sharding(report: dict) -> List[str]:
+    """Sharded answers must agree with unsharded: exact top-k set parity,
+    or strictly-no-worse recall (per-shard budgets may verify candidates
+    the unsharded budget truncated).  Snapshots must round-trip."""
+    violations = [
+        f"shards={shards}: worse neighbors than unsharded "
+        f"(sets differ and recall {row['recall']} < {report['unsharded_recall']})"
+        for shards, row in report["shards"].items()
+        if not (row["topk_sets_match_unsharded"]
+                or row["recall"] >= report["unsharded_recall"])
+    ]
+    if not report["snapshot"]["results_identical_after_reload"]:
+        violations.append("snapshot: results changed across save/load")
+    return violations
+
+
+def check_build(report: dict) -> List[str]:
+    """Bulk builders must answer identically to incremental fit; the
+    process-parallel shard build must match in-process; snapshots must
+    round-trip."""
+    violations = [
+        f"n={n}: bulk and incremental builders diverged"
+        for n, row in report["single"].items() if not row["answers_identical"]
+    ]
+    violations += [
+        f"shards={shards}: process-parallel build != in-process build"
+        for shards, row in report["sharded"].items() if not row["process_matches"]
+    ]
+    if not report["snapshot"]["results_identical_after_reload"]:
+        violations.append("snapshot: results changed across save/load")
+    return violations
+
+
+def check_serve(report: dict) -> List[str]:
+    """Served answers must be bit-identical to the in-process snapshot
+    sweep (shared merge planner — any gap is a transport bug); the
+    full-budget rows must also match unsharded sets; concurrent clients
+    must reassemble exactly; the supervision scenario (SIGKILL + hot
+    reload under 4 clients) must hold all four of its flags."""
+    violations = []
+    for workers, row in report["workers"].items():
+        if not row["server_matches_inprocess"]:
+            violations.append(
+                f"workers={workers}: served answers != in-process snapshot"
+            )
+        if not row["server_sets_match_unsharded"]:
+            violations.append(
+                f"workers={workers}: served sets != unsharded query_batch"
+            )
+    violations += [
+        f"workers={workers} (budget=split): served answers != in-process"
+        for workers, row in report["workers_budget_split"].items()
+        if not row["server_matches_inprocess"]
+    ]
+    violations += [
+        f"clients={clients}: concurrent answers != single-client answers"
+        for clients, row in report["concurrent_clients"].items()
+        if not row["matches_inprocess"]
+    ]
+    sup = report["supervision"]
+    if not sup["all_answers_bit_identical_to_a_generation"]:
+        violations.append(
+            f"supervision: answers match neither generation: {sup['failures']}"
+        )
+    if sup["worker_restarts"] < 1:
+        violations.append("supervision: the SIGKILL never exercised a restart")
+    if not sup["post_reload_matches_new_snapshot"]:
+        violations.append(
+            "supervision: post-reload answers != new snapshot's answers"
+        )
+    if not sup["no_orphans_after_close"]:
+        violations.append("supervision: worker processes outlived close()")
+    return violations
+
+
+def check_mutations(report: dict) -> List[str]:
+    """A WAL-mutated server must answer exactly like a from-scratch refit
+    on the surviving rows — before and after compaction — and a restart
+    after an injected mid-append kill must recover exactly the acked
+    mutations, nothing more, nothing less."""
+    violations = []
+    mut = report["mutations"]
+    if not mut["mutation_parity_vs_refit"]:
+        violations.append("mutations: mutated server != refit on surviving rows")
+    if not mut["post_compaction_parity_vs_refit"]:
+        violations.append("mutations: post-compaction answers != refit")
+    if not mut["answers_stable_across_compaction"]:
+        violations.append("mutations: compaction changed the served neighbors")
+    rec = report["recovery"]
+    if rec["killed_with_exitcode"] != 9:
+        violations.append(
+            f"recovery: injected WAL fault exited "
+            f"{rec['killed_with_exitcode']}, not SIGKILL's 9"
+        )
+    if not rec["recovered_exactly_acked"]:
+        violations.append("recovery: restart lost or invented acked mutations")
+    return violations
+
+
+def check_http(report: dict) -> List[str]:
+    """Every cell of the clients × batch-window grid must answer
+    bit-identically to the in-process query_batch (micro-batching must
+    be invisible in the results), and the overload scenario must have
+    shed at least once while dropping zero admitted requests."""
+    violations = [
+        f"window={window}ms clients={clients}: HTTP answers != in-process "
+        f"query_batch ({row['failures'] or 'results diverged'})"
+        for window, column in report["grid"].items()
+        for clients, row in column.items()
+        if not row["matches_inprocess"]
+    ]
+    over = report["overload"]
+    if over["sheds"] < 1:
+        violations.append(
+            "overload: no request was ever shed — admission control untested"
+        )
+    if over["dropped_inflight"] != 0:
+        violations.append(
+            f"overload: {over['dropped_inflight']} admitted requests dropped "
+            f"({over['dropped']})"
+        )
+    if not over["completed_match_inprocess"]:
+        violations.append("overload: completed answers != in-process answers")
+    return violations
+
+
+#: filename -> checker; also the default set of files the CI job expects.
+CHECKERS: Dict[str, Callable[[dict], List[str]]] = {
+    "BENCH_query_engine.smoke.json": check_query_engine,
+    "BENCH_sharding.smoke.json": check_sharding,
+    "BENCH_build.smoke.json": check_build,
+    "BENCH_serve.smoke.json": check_serve,
+    "BENCH_mutations.smoke.json": check_mutations,
+    "BENCH_http.smoke.json": check_http,
+}
+
+
+def check_file(path: str) -> List[str]:
+    """All violations for one smoke file (missing/corrupt file included)."""
+    name = path.rsplit("/", 1)[-1]
+    checker = CHECKERS.get(name)
+    if checker is None:
+        return [f"no gate checker registered for {name!r}"]
+    try:
+        with open(path) as handle:
+            report = json.load(handle)
+    except FileNotFoundError:
+        return [f"{name}: missing — did the smoke run write it?"]
+    except json.JSONDecodeError as exc:
+        return [f"{name}: unparseable JSON ({exc})"]
+    try:
+        return [f"{name}: {violation}" for violation in checker(report)]
+    except (KeyError, TypeError) as exc:
+        return [
+            f"{name}: malformed report — expected field missing ({exc!r}); "
+            f"benchmark output schema and gate checker have drifted apart"
+        ]
+
+
+def main(argv: List[str] | None = None) -> int:
+    paths = list(sys.argv[1:] if argv is None else argv)
+    if not paths:
+        paths = list(CHECKERS)
+    violations = [v for path in paths for v in check_file(path)]
+    for violation in violations:
+        print(f"GATE FAILED: {violation}", file=sys.stderr)
+    if violations:
+        print(f"{len(violations)} bench gate(s) failed", file=sys.stderr)
+        return 1
+    print(f"bench gates OK ({len(paths)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
