@@ -40,7 +40,19 @@ so scripts may start ``serve`` and ``query`` back to back.
 admission shedding, ``POST /insert``/``/delete`` when ``--mutable``,
 ``GET /healthz``/``/status``/``/metrics`` — composing with ``--watch``
 and ``--mutable``, since the gateway fronts the same server object the
-socket loop serves.
+socket loop serves.  HTTP requests that reach the engine count toward
+``--max-requests`` exactly like raw-socket verbs.
+
+Resilience knobs: ``--query-timeout`` bounds any single worker answer
+and arms the hang watchdog (``--hang-policy retry|fail`` decides
+whether a killed hung worker's request is re-dispatched or failed with
+a typed deadline error); ``query --timeout-ms`` sends a per-request
+budget the server enforces end to end; ``--idle-timeout`` /
+``--max-connections`` reap silent or excess raw-socket connections,
+and ``--http-default-timeout`` / ``--http-idle-timeout`` /
+``--http-max-connections`` do the same for the HTTP front door (HTTP
+clients can also set a per-request ``X-Timeout-Ms`` header, answered
+with 504 on overrun).
 """
 
 from __future__ import annotations
@@ -315,7 +327,103 @@ class _ServeState:
         self.request_stop()
 
 
-def _serve_one_client(conn, server, state: _ServeState) -> None:
+class _ConnectionTable:
+    """Raw-socket connection lifecycle: a hard cap and idle reaping.
+
+    Every accepted connection is registered here; each received request
+    refreshes its last-active stamp.  When ``max_connections`` is set
+    and the table is full, admitting one more evicts the
+    least-recently-active connection (the client that went quiet first
+    loses its slot, not the newcomer).  A reaper thread periodically
+    closes connections idle past ``idle_timeout``.  Closing happens
+    from *this* side while the owning client thread is parked in
+    ``conn.poll``; the poll observes the closed handle as an ``OSError``
+    and the thread exits its loop cleanly — the double ``close()`` from
+    the thread's ``with conn:`` is a no-op on an already-closed
+    :class:`multiprocessing.connection.Connection`.
+    """
+
+    def __init__(self, max_connections: Optional[int] = None,
+                 idle_timeout: Optional[float] = None) -> None:
+        if max_connections is not None and max_connections < 1:
+            raise ValueError(
+                f"max_connections must be >= 1, got {max_connections}")
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ValueError(
+                f"idle_timeout must be > 0 seconds, got {idle_timeout}")
+        self.max_connections = max_connections
+        self.idle_timeout = idle_timeout
+        self.reaped_idle = 0
+        self.reaped_overflow = 0
+        self._lock = threading.Lock()
+        self._entries: dict = {}  # key -> [conn, last_active]
+        self._next_key = 0
+
+    def admit(self, conn):
+        """Register ``conn``; evict the least-recently-active one at cap."""
+        victim = None
+        with self._lock:
+            if (self.max_connections is not None
+                    and len(self._entries) >= self.max_connections):
+                oldest = min(self._entries,
+                             key=lambda k: self._entries[k][1])
+                victim = self._entries.pop(oldest)[0]
+                self.reaped_overflow += 1
+            key = self._next_key
+            self._next_key += 1
+            self._entries[key] = [conn, time.monotonic()]
+        if victim is not None:
+            self._close(victim)
+        return key
+
+    def touch(self, key) -> None:
+        """Refresh a connection's last-active stamp (one per request)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                entry[1] = time.monotonic()
+
+    def drop(self, key) -> None:
+        """Forget a connection that closed on its own (no reap counted)."""
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def reap_idle(self) -> None:
+        """Close every connection idle past ``idle_timeout``."""
+        if self.idle_timeout is None:
+            return
+        cutoff = time.monotonic() - self.idle_timeout
+        victims = []
+        with self._lock:
+            for key in [k for k, (_, last) in self._entries.items()
+                        if last < cutoff]:
+                victims.append(self._entries.pop(key)[0])
+                self.reaped_idle += 1
+        for conn in victims:
+            self._close(conn)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @staticmethod
+    def _close(conn) -> None:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _connection_reaper(table: _ConnectionTable, state: _ServeState) -> None:
+    """Periodically reap idle raw-socket connections until the serve stops."""
+    interval = max(min(table.idle_timeout / 4.0, 1.0), 0.05)
+    while not state.wait(interval):
+        table.reap_idle()
+
+
+def _serve_one_client(conn, server, state: _ServeState,
+                      table: Optional[_ConnectionTable] = None,
+                      key=None) -> None:
     """Answer one client connection until it disconnects or asks to stop.
 
     One of these runs per client thread; ``server`` dispatches the
@@ -323,10 +431,13 @@ def _serve_one_client(conn, server, state: _ServeState) -> None:
     each other.  Client-side misbehavior (vanishing mid-request,
     resetting the connection) only ends *this* connection; a
     ``ServerError`` from the worker pool — which supervision could not
-    recover — marks the run failed and stops the serve loop.
+    recover — marks the run failed and stops the serve loop.  A
+    ``DeadlineExceeded`` is *not* such a failure: the request simply ran
+    out of its client-supplied ``timeout_ms`` budget, so it is answered
+    with a typed error and the connection keeps serving.
     """
     from repro.io import SnapshotError, WALError
-    from repro.serve import ReadOnlyError, ServerError
+    from repro.serve import DeadlineExceeded, ReadOnlyError, ServerError
     from repro.serve.protocol import encode_result
 
     while not state.stop:
@@ -339,13 +450,32 @@ def _serve_one_client(conn, server, state: _ServeState) -> None:
                 continue
             message = conn.recv()
         except (EOFError, ConnectionResetError, OSError):
-            return  # client went away; accept the next one
+            return  # client went away (or the reaper closed this slot)
+        if table is not None:
+            table.touch(key)
         try:
             kind = message[0] if isinstance(message, tuple) and message else None
             if kind == "query_batch":
                 queries = np.asarray(message[1], dtype=np.float64)
+                timeout_ms = message[3] if len(message) > 3 else None
                 try:
-                    results = server.query_batch(queries, k=int(message[2]))
+                    if timeout_ms is not None:
+                        results = server.query_batch(
+                            queries, k=int(message[2]),
+                            timeout=float(timeout_ms) / 1000.0,
+                        )
+                    else:
+                        results = server.query_batch(queries, k=int(message[2]))
+                except DeadlineExceeded as exc:
+                    # Typed, expected, recoverable: the request spent its
+                    # budget.  Answer it and keep both the connection and
+                    # the serve loop alive (it still counts as handled —
+                    # the request reached the engine).
+                    conn.send(("error", f"deadline exceeded: {exc}"))
+                    state.count_request()
+                    if state.stop:
+                        return
+                    continue
                 except ValueError as exc:
                     conn.send(("error", str(exc)))
                     continue
@@ -419,10 +549,15 @@ def _serve_one_client(conn, server, state: _ServeState) -> None:
                 return
 
 
-def _client_thread(conn, server, state: _ServeState) -> None:
+def _client_thread(conn, server, state: _ServeState,
+                   table: Optional[_ConnectionTable] = None, key=None) -> None:
     """Own one accepted connection for its lifetime (runs in a thread)."""
-    with conn:
-        _serve_one_client(conn, server, state)
+    try:
+        with conn:
+            _serve_one_client(conn, server, state, table, key)
+    finally:
+        if table is not None:
+            table.drop(key)
 
 
 def _watch_snapshot(server, path: str, interval: float,
@@ -486,6 +621,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(problem, file=sys.stderr)
         return 1
     state = _ServeState(args.max_requests)
+    table = _ConnectionTable(max_connections=args.max_connections,
+                             idle_timeout=args.idle_timeout)
     client_threads = []
     # Workers are spawned, not forked: the serve loop is multi-threaded
     # and holds client sockets, and a forked worker would inherit copies
@@ -499,12 +636,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # into fresh snapshot generations in the background.
         server_factory = MutableSnapshotServer(
             args.index, query_timeout=args.query_timeout,
+            hang_policy=args.hang_policy,
             mp_context=args.mp_context, wal_path=args.wal,
             compact_threshold=args.compact_threshold,
         )
     else:
         server_factory = SnapshotServer(
             args.index, query_timeout=args.query_timeout,
+            hang_policy=args.hang_policy,
             mp_context=args.mp_context,
         )
     gateway = None
@@ -526,6 +665,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         batch_window=args.http_batch_window,
                         max_batch=args.http_max_batch,
                         queue_limit=args.http_queue_limit,
+                        default_timeout=args.http_default_timeout,
+                        idle_timeout=args.http_idle_timeout,
+                        max_connections=args.http_max_connections,
+                        # HTTP requests that reach the engine count
+                        # toward --max-requests like raw-socket verbs.
+                        on_request=lambda endpoint: state.count_request(),
                     ).start()
                 except GatewayError as exc:
                     print(f"could not open the HTTP front door: {exc}",
@@ -541,6 +686,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     args=(server, args.index, args.watch_interval, state),
                     name="repro-serve-watch",
                     daemon=True,
+                ).start()
+            if table.idle_timeout is not None:
+                threading.Thread(
+                    target=_connection_reaper, args=(table, state),
+                    name="repro-serve-reaper", daemon=True,
                 ).start()
             while not state.stop:
                 try:
@@ -561,8 +711,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 # One thread per client: many connections multiplex onto
                 # the shared worker pool (the server's FIFO dispatch keeps
                 # it fair), and a slow client no longer blocks accept().
+                # Admission may evict the least-recently-active
+                # connection when --max-connections is reached.
+                key = table.admit(conn)
                 thread = threading.Thread(
-                    target=_client_thread, args=(conn, server, state),
+                    target=_client_thread, args=(conn, server, state,
+                                                 table, key),
                     name="repro-serve-client", daemon=True,
                 )
                 thread.start()
@@ -577,6 +731,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             for thread in client_threads:
                 thread.join(timeout=30.0)
     handled, failure = state.handled, state.failure
+    if table.reaped_idle or table.reaped_overflow:
+        print(f"reaped {table.reaped_idle} idle and {table.reaped_overflow} "
+              f"over-cap connection(s)", flush=True)
     if failure is not None:
         # Exit nonzero so supervisors (systemd, CI) see the crash for
         # what it is rather than a clean, intentional shutdown.
@@ -587,20 +744,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Consecutive connection *resets* tolerated before the dial gives up.
+#: A reset means somebody IS listening and actively dropped us — after
+#: this many in a row it is a refusal (authkey gate, a proxy, a port
+#: squatter), not a startup race, and retrying until the timeout just
+#: delays the inevitable error by the full --connect-timeout.
+_MAX_CONSECUTIVE_RESETS = 8
+
+
 def _connect_with_retry(address, timeout: float, *, initial_delay: float = 0.05,
                         max_delay: float = 1.0, _sleep=time.sleep):
     """Dial the server until it listens (covers serve's start-up window).
 
     Scripts and tests race ``repro serve``'s startup all the time (shell
-    ``&``, CI jobs), so a refused or not-yet-bound address is retried
-    with exponential backoff — ``initial_delay`` doubling up to
+    ``&``, CI jobs), so a refused-connect or not-yet-bound address is
+    retried with exponential backoff — ``initial_delay`` doubling up to
     ``max_delay`` — until ``timeout`` is spent, then the last error
     propagates.  The backoff keeps the early retries snappy (a server
     that is milliseconds away from binding is caught within
     ``initial_delay``) without hammering a socket that is seconds away
-    with hundreds of connect attempts.  ``ConnectionResetError`` is
-    retried too: it is what a listener mid-bind/mid-handshake teardown
-    looks like from the client side.
+    with hundreds of connect attempts.
+
+    Not every connect error means "keep trying": a
+    ``ConnectionResetError`` can be a listener mid-bind/mid-handshake
+    teardown (transient — retry), but a *streak* of them means a live
+    server is deliberately dropping this client, which no amount of
+    waiting fixes; after :data:`_MAX_CONSECUTIVE_RESETS` in a row the
+    dial fails immediately with a message saying so instead of burning
+    the whole timeout.  One refused/unbound attempt resets the streak —
+    a server restarting underneath us is back to being a startup race.
 
     ``_sleep`` is injectable so the regression test can record the
     backoff schedule instead of actually waiting it out.
@@ -611,16 +783,28 @@ def _connect_with_retry(address, timeout: float, *, initial_delay: float = 0.05,
 
     deadline = time.monotonic() + timeout
     delay = initial_delay
+    resets = 0
     while True:
         try:
             return Client(address, authkey=AUTHKEY)
-        except (ConnectionRefusedError, FileNotFoundError,
-                ConnectionResetError):
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                raise
-            _sleep(min(delay, remaining))
-            delay = min(delay * 2, max_delay)
+        except (ConnectionRefusedError, FileNotFoundError) as exc:
+            resets = 0
+            error = exc
+        except ConnectionResetError as exc:
+            resets += 1
+            if resets >= _MAX_CONSECUTIVE_RESETS:
+                raise ConnectionResetError(
+                    f"server at {address!r} reset the connection {resets} "
+                    f"times in a row: something is listening but refusing "
+                    f"this client (authkey mismatch? not a repro serve?); "
+                    f"giving up early instead of retrying for the full "
+                    f"timeout") from exc
+            error = exc
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise error
+        _sleep(min(delay, remaining))
+        delay = min(delay * 2, max_delay)
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -644,7 +828,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
     with client as conn:
         started = time.perf_counter()
         try:
-            conn.send(("query_batch", queries, args.k))
+            if args.timeout_ms is not None:
+                # 4-tuple form: the server enforces this budget end to
+                # end and answers ("error", "deadline exceeded: ...") on
+                # overrun.  Older 3-tuple form kept for old servers.
+                conn.send(("query_batch", queries, args.k, args.timeout_ms))
+            else:
+                conn.send(("query_batch", queries, args.k))
             if not conn.poll(args.reply_timeout):
                 print(f"server did not reply within {args.reply_timeout:.0f}s",
                       file=sys.stderr)
@@ -782,6 +972,22 @@ def build_parser() -> argparse.ArgumentParser:
                            dest="query_timeout",
                            help="seconds before a silent worker is declared "
                                 "hung")
+    serve_cmd.add_argument("--hang-policy", choices=["retry", "fail"],
+                           default="retry", dest="hang_policy",
+                           help="after the watchdog kills a hung worker: "
+                                "retry re-dispatches the request on a fresh "
+                                "worker, fail answers it with a typed "
+                                "deadline error (the worker restarts either "
+                                "way)")
+    serve_cmd.add_argument("--idle-timeout", type=float, default=None,
+                           dest="idle_timeout", metavar="SECONDS",
+                           help="close raw-socket connections idle this long "
+                                "(default: never reap)")
+    serve_cmd.add_argument("--max-connections", type=int, default=None,
+                           dest="max_connections",
+                           help="cap concurrent raw-socket connections; at "
+                                "the cap, admitting one more evicts the "
+                                "least-recently-active (default: unlimited)")
     serve_cmd.add_argument("--max-requests", type=int, default=None,
                            dest="max_requests",
                            help="exit after this many query requests "
@@ -825,6 +1031,19 @@ def build_parser() -> argparse.ArgumentParser:
                            dest="http_queue_limit",
                            help="bounded admission queue: further requests "
                                 "are shed with 429 + Retry-After")
+    serve_cmd.add_argument("--http-default-timeout", type=float, default=None,
+                           dest="http_default_timeout", metavar="SECONDS",
+                           help="deadline applied to HTTP requests that send "
+                                "no X-Timeout-Ms header; overruns answer 504 "
+                                "(default: no deadline)")
+    serve_cmd.add_argument("--http-idle-timeout", type=float, default=60.0,
+                           dest="http_idle_timeout", metavar="SECONDS",
+                           help="close HTTP keep-alive connections idle this "
+                                "long")
+    serve_cmd.add_argument("--http-max-connections", type=int, default=512,
+                           dest="http_max_connections",
+                           help="cap concurrent HTTP connections; at the cap "
+                                "the least-recently-active one is evicted")
     serve_cmd.add_argument("--mp-context", default="spawn",
                            choices=["spawn", "fork", "forkserver"],
                            dest="mp_context",
@@ -847,6 +1066,11 @@ def build_parser() -> argparse.ArgumentParser:
     query_cmd.add_argument("--reply-timeout", type=float, default=600.0,
                            dest="reply_timeout",
                            help="seconds to wait for the server's answer")
+    query_cmd.add_argument("--timeout-ms", type=float, default=None,
+                           dest="timeout_ms",
+                           help="per-request deadline budget in milliseconds, "
+                                "enforced end to end by the server (overrun "
+                                "answers a typed deadline-exceeded error)")
     query_cmd.add_argument("--shutdown", action="store_true",
                            help="ask the server to shut down after answering")
     return parser

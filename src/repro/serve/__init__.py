@@ -45,9 +45,10 @@ snapshot like any other method (``clients=N`` for concurrent clients).
 from repro.serve.http import GatewayError, HttpGateway
 from repro.serve.metrics import GatewayMetrics
 from repro.serve.mutable import MutableSnapshotServer, ReadOnlyError
-from repro.serve.server import ServerError, SnapshotServer
+from repro.serve.server import DeadlineExceeded, ServerError, SnapshotServer
 
 __all__ = [
+    "DeadlineExceeded",
     "GatewayError",
     "GatewayMetrics",
     "HttpGateway",

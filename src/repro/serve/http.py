@@ -37,11 +37,32 @@ authenticated-pickle socket protocol.  Three ideas carry the design:
   batch-size histogram, shed counts — served as one JSON document from
   ``GET /metrics``.
 
+On top of those, the resilience layer bounds every resource a client or
+a worker could otherwise hold forever:
+
+* **Per-request deadlines.**  A ``POST /query`` may carry an
+  ``X-Timeout-Ms`` header (``--http-default-timeout`` supplies a
+  default); the budget becomes an absolute deadline that follows the
+  request through the admission queue, the micro-batcher, and the
+  coordinator (``query_batch(timeout=...)``) all the way into the
+  worker protocol.  A request whose deadline passes — queued, batched,
+  or mid-GEMM — answers ``504 Gateway Timeout``; the gateway enforces
+  the bound itself (``asyncio.wait_for`` on the demux future), so the
+  504 lands within the budget even when the server side is stuck, and
+  the coordinator's watchdog kills the stuck worker underneath.
+* **Connection lifecycle.**  Keep-alive connections idle past
+  ``idle_timeout`` are reaped; when more than ``max_connections`` are
+  open, the least-recently-active one is closed to admit the newcomer;
+  ``close()`` drains gracefully — stop accepting, give admitted work
+  ``drain_timeout`` seconds to finish, then fail stragglers with 503.
+  Every reap and the drain duration land in the metrics registry.
+
 Endpoints (all bodies JSON)::
 
     POST /query    {"query": [..], "k": 5}            single query
                    {"queries": [[..], ..], "k": 5}    batch
                    -> {"results": [{"ids": [...], "distances": [...]}, ...]}
+                   optional X-Timeout-Ms header: per-request deadline
     POST /insert   {"point": [..]}    -> {"id": 7}        (mutable serves)
     POST /delete   {"id": 7}          -> {"deleted": true} (mutable serves)
     POST /compact  {}                 -> compaction summary (mutable serves)
@@ -50,27 +71,31 @@ Endpoints (all bodies JSON)::
     GET  /metrics  the GatewayMetrics snapshot
 
 Mutations on a read-only serve answer ``403``; admission shedding
-answers ``429`` with ``Retry-After``; a broken worker pool answers
-``503``.  The gateway owns a background thread running its event loop:
-``start()`` binds and returns once the port is live (``port`` reports
-the kernel-assigned port when constructed with port 0), ``close()``
-drains in-flight work and stops the loop — both composing with the
-server's own lifecycle, which the gateway never manages.
+answers ``429`` with a ``Retry-After`` computed from the observed p50
+batch latency × the current queue depth (how long the backlog actually
+takes to clear, not a constant); a deadline overrun answers ``504``; a
+broken worker pool answers ``503``.  The gateway owns a background
+thread running its event loop: ``start()`` binds and returns once the
+port is live (``port`` reports the kernel-assigned port when
+constructed with port 0), ``close()`` drains in-flight work and stops
+the loop — both composing with the server's own lifecycle, which the
+gateway never manages.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import math
 import threading
 from functools import partial
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.serve.metrics import GatewayMetrics
 from repro.serve.mutable import ReadOnlyError
-from repro.serve.server import ServerError
+from repro.serve.server import DeadlineExceeded, ServerError
 from repro.utils.validation import check_queries
 
 __all__ = ["HttpGateway", "GatewayError"]
@@ -93,14 +118,22 @@ class _BadRequest(Exception):
 
 
 class _Pending:
-    """One admitted /query request waiting in the batcher."""
+    """One admitted /query request waiting in the batcher.
 
-    __slots__ = ("queries", "k", "future")
+    ``deadline`` is the request's absolute expiry on the event loop's
+    clock (``loop.time()``), or ``None`` for no bound.  The batcher
+    checks it at dispatch time so an already-expired request is failed
+    instead of burning a GEMM slot on an answer nobody will read.
+    """
 
-    def __init__(self, queries: np.ndarray, k: int, future: "asyncio.Future") -> None:
+    __slots__ = ("queries", "k", "future", "deadline")
+
+    def __init__(self, queries: np.ndarray, k: int, future: "asyncio.Future",
+                 deadline: Optional[float] = None) -> None:
         self.queries = queries
         self.k = k
         self.future = future
+        self.deadline = deadline
 
 
 _REASONS = {
@@ -116,6 +149,7 @@ _REASONS = {
     500: "Internal Server Error",
     501: "Not Implemented",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -146,6 +180,25 @@ class HttpGateway:
         :class:`GatewayMetrics`.
     max_body_bytes:
         Request bodies above this answer ``413``.
+    default_timeout:
+        Default per-request deadline in seconds for ``POST /query``
+        when the client sends no ``X-Timeout-Ms`` header.  ``None``
+        (default) means unbounded unless the client asks.
+    idle_timeout:
+        Keep-alive connections silent this many seconds are closed
+        (counted in ``metrics.reaped_idle``).  A slow client mid-request
+        is held to the same bound.
+    max_connections:
+        Open-connection cap; a newcomer beyond it evicts the
+        least-recently-active connection (``metrics.reaped_overflow``).
+    on_request:
+        Optional callable invoked (from the event-loop thread) with the
+        endpoint name for every ``query``/``insert``/``delete``/
+        ``compact`` request that reached the engine — what lets the CLI
+        count HTTP traffic toward ``serve --max-requests``.
+    drain_timeout:
+        Seconds :meth:`close` lets admitted work finish before failing
+        stragglers with 503.
 
     Examples
     --------
@@ -168,6 +221,11 @@ class HttpGateway:
         queue_limit: int = 256,
         metrics: Optional[GatewayMetrics] = None,
         max_body_bytes: int = 64 * 1024 * 1024,
+        default_timeout: Optional[float] = None,
+        idle_timeout: float = 60.0,
+        max_connections: int = 512,
+        on_request: Optional[Callable[[str], None]] = None,
+        drain_timeout: float = 5.0,
     ) -> None:
         if batch_window < 0:
             raise ValueError(f"batch_window must be >= 0, got {batch_window}")
@@ -175,6 +233,18 @@ class HttpGateway:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        if default_timeout is not None and default_timeout <= 0:
+            raise ValueError(
+                f"default_timeout must be positive, got {default_timeout}"
+            )
+        if idle_timeout <= 0:
+            raise ValueError(f"idle_timeout must be positive, got {idle_timeout}")
+        if max_connections < 1:
+            raise ValueError(
+                f"max_connections must be >= 1, got {max_connections}"
+            )
+        if drain_timeout < 0:
+            raise ValueError(f"drain_timeout must be >= 0, got {drain_timeout}")
         self.server = server
         self.host = host
         self.port = int(port)
@@ -182,7 +252,14 @@ class HttpGateway:
         self.max_batch = int(max_batch)
         self.queue_limit = int(queue_limit)
         self.max_body_bytes = int(max_body_bytes)
+        self.default_timeout = (
+            float(default_timeout) if default_timeout is not None else None
+        )
+        self.idle_timeout = float(idle_timeout)
+        self.max_connections = int(max_connections)
+        self.drain_timeout = float(drain_timeout)
         self.metrics = metrics if metrics is not None else GatewayMetrics()
+        self._on_request = on_request
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._queue: Optional[asyncio.Queue] = None
@@ -190,6 +267,9 @@ class HttpGateway:
         self._started = threading.Event()
         self._startup_error: Optional[BaseException] = None
         self._inflight = 0
+        self._draining = False
+        #: writer -> last-active loop.time(); event-loop thread only.
+        self._connections: Dict[asyncio.StreamWriter, float] = {}
         self._mutable = hasattr(server, "insert")
 
     # ------------------------------------------------------------------
@@ -267,7 +347,10 @@ class HttpGateway:
         self._loop = asyncio.get_running_loop()
         self._queue = asyncio.Queue(maxsize=self.queue_limit)
         self._stop_event = asyncio.Event()
+        self._draining = False
+        self._connections = {}
         self.metrics.set_queue_depth_probe(self._queue.qsize)
+        self.metrics.set_connections_probe(lambda: len(self._connections))
         try:
             listener = await asyncio.start_server(
                 self._handle_connection, self.host, self.port
@@ -283,6 +366,12 @@ class HttpGateway:
             async with listener:
                 await self._stop_event.wait()
         finally:
+            # Graceful drain: the listener is closed (no new admissions),
+            # so give everything already admitted a bounded chance to be
+            # batched, dispatched, and answered before failing leftovers.
+            self._draining = True
+            drain_started = self._loop.time()
+            await self._await_inflight(self.drain_timeout)
             batcher.cancel()
             try:
                 await batcher
@@ -290,9 +379,10 @@ class HttpGateway:
                 pass
             await self._drain_queue()
             await self._await_inflight()
+            self.metrics.observe_drain(self._loop.time() - drain_started)
 
     async def _drain_queue(self) -> None:
-        """Fail everything still queued at close time with 503."""
+        """Fail everything still queued when the drain budget ran out."""
         assert self._queue is not None
         while not self._queue.empty():
             pending = self._queue.get_nowait()
@@ -352,23 +442,46 @@ class HttpGateway:
 
     async def _dispatch_group(self, k: int, group: List[_Pending]) -> None:
         """Run one coalesced ``query_batch`` and demux the answers."""
-        block = (
-            group[0].queries
-            if len(group) == 1
-            else np.concatenate([p.queries for p in group], axis=0)
-        )
         loop = asyncio.get_running_loop()
+        now = loop.time()
+        live: List[_Pending] = []
+        for pending in group:
+            if pending.deadline is not None and now >= pending.deadline:
+                # Expired while queued: its handler has answered (or is
+                # answering) 504 — don't spend GEMM rows on it.
+                if not pending.future.done():
+                    pending.future.set_exception(DeadlineExceeded(
+                        "request deadline expired in the admission queue"
+                    ))
+                continue
+            live.append(pending)
+        if not live:
+            return
+        block = (
+            live[0].queries
+            if len(live) == 1
+            else np.concatenate([p.queries for p in live], axis=0)
+        )
+        # Thread the tightest *group-wide* bound to the coordinator: the
+        # batch may outlive individual members (each handler 504s its own
+        # request on time), but must not outlive the slackest deadline.
+        deadlines = [p.deadline for p in live if p.deadline is not None]
+        call = partial(self.server.query_batch, block, k)
+        if len(deadlines) == len(live):
+            budget = max(0.001, max(deadlines) - now)
+            call = partial(self.server.query_batch, block, k, timeout=budget)
+        started = loop.time()
         try:
-            results = await loop.run_in_executor(
-                None, partial(self.server.query_batch, block, k)
-            )
+            results = await loop.run_in_executor(None, call)
         except BaseException as exc:
-            for pending in group:
+            self.metrics.batch_latency.observe(loop.time() - started)
+            for pending in live:
                 if not pending.future.done():
                     pending.future.set_exception(exc)
             return
+        self.metrics.batch_latency.observe(loop.time() - started)
         offset = 0
-        for pending in group:
+        for pending in live:
             rows = pending.queries.shape[0]
             if not pending.future.done():
                 pending.future.set_result(results[offset : offset + rows])
@@ -378,12 +491,30 @@ class HttpGateway:
     # HTTP plumbing
     # ------------------------------------------------------------------
 
+    def _admit_connection(self, writer) -> None:
+        """Register a new connection, evicting the LRA one over the cap."""
+        assert self._loop is not None
+        if len(self._connections) >= self.max_connections:
+            victim = min(self._connections, key=self._connections.get)
+            self._connections.pop(victim, None)
+            self.metrics.reaped_overflow.add()
+            victim.close()  # its handler sees EOF and unwinds
+        self._connections[writer] = self._loop.time()
+
     async def _handle_connection(self, reader, writer) -> None:
         assert self._loop is not None
+        self._admit_connection(writer)
         try:
             while True:
                 try:
-                    request = await self._read_request(reader)
+                    request = await asyncio.wait_for(
+                        self._read_request(reader), self.idle_timeout
+                    )
+                except asyncio.TimeoutError:
+                    # Idle keep-alive (or a client trickling a request):
+                    # reap the connection, it can reconnect when alive.
+                    self.metrics.reaped_idle.add()
+                    return
                 except _BadRequest as bad:
                     started = self._loop.time()
                     await self._respond(
@@ -395,22 +526,39 @@ class HttpGateway:
                     return
                 if request is None:
                     return  # clean EOF between requests
+                self._connections[writer] = self._loop.time()
                 method, path, headers, body = request
                 started = self._loop.time()
                 self._inflight += 1
                 try:
                     endpoint, status, payload, extra = await self._route(
-                        method, path, body
+                        method, path, headers, body
                     )
                 finally:
                     self._inflight -= 1
-                keep_alive = headers.get("connection", "").lower() != "close"
+                # During drain every response says close: the listener is
+                # gone, so a kept-alive connection would only idle out.
+                keep_alive = (
+                    headers.get("connection", "").lower() != "close"
+                    and not self._draining
+                )
                 await self._respond(
                     writer, status, payload, close=not keep_alive, extra=extra
                 )
                 self.metrics.observe_request(
                     endpoint, status, self._loop.time() - started
                 )
+                if self._on_request is not None and status in (200, 504) and (
+                    endpoint in ("query", "insert", "delete", "compact")
+                ):
+                    # The request reached the engine (answered, or spent
+                    # its deadline doing so): it counts toward the CLI's
+                    # --max-requests budget like a raw-socket verb does.
+                    try:
+                        self._on_request(endpoint)
+                    except Exception:
+                        pass  # a budget hook must never kill a connection
+                self._connections[writer] = self._loop.time()
                 if not keep_alive:
                     return
         except (
@@ -420,11 +568,22 @@ class HttpGateway:
             TimeoutError,
         ):
             pass  # client went away; nothing to answer
+        except asyncio.CancelledError:
+            # Loop shutdown cancels handlers parked on keep-alive reads.
+            # A task that ends *cancelled* trips CPython 3.11's
+            # StreamReaderProtocol done-callback (`task.exception()`
+            # raises, gh-109538) and logs a spurious traceback — end
+            # clean instead; the finally still closes the socket.
+            pass
         finally:
+            self._connections.pop(writer, None)
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError, OSError):
+            except (ConnectionResetError, BrokenPipeError, OSError,
+                    asyncio.CancelledError):
+                # CancelledError: shutdown cancelled us while flushing
+                # the close — same gh-109538 noise as above.
                 pass
 
     async def _read_request(
@@ -510,7 +669,7 @@ class HttpGateway:
     # ------------------------------------------------------------------
 
     async def _route(
-        self, method: str, path: str, body: bytes
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
     ) -> Tuple[str, int, dict, Optional[Dict[str, str]]]:
         """Dispatch one parsed request; returns (endpoint, status, payload, extra)."""
         if path == "/healthz":
@@ -528,7 +687,7 @@ class HttpGateway:
         if path == "/query":
             if method != "POST":
                 return "query", 405, {"error": "query is POST-only"}, None
-            return await self._handle_query(body)
+            return await self._handle_query(headers, body)
         if path in ("/insert", "/delete", "/compact"):
             endpoint = path[1:]
             if method != "POST":
@@ -558,6 +717,11 @@ class HttpGateway:
             "queue_limit": self.queue_limit,
             "queue_depth": self._queue.qsize() if self._queue is not None else 0,
             "mutable": self._mutable,
+            "default_timeout_seconds": self.default_timeout,
+            "idle_timeout_seconds": self.idle_timeout,
+            "max_connections": self.max_connections,
+            "open_connections": len(self._connections),
+            "draining": self._draining,
         }
         return status
 
@@ -571,23 +735,56 @@ class HttpGateway:
             raise _BadRequest(400, "body must be a JSON object")
         return payload
 
+    def _request_budget(self, headers: Dict[str, str]) -> Optional[float]:
+        """Seconds of deadline budget for this request, or ``None``."""
+        raw = headers.get("x-timeout-ms")
+        if raw is None:
+            return self.default_timeout
+        try:
+            millis = float(raw)
+        except ValueError as exc:
+            raise _BadRequest(
+                400, f"X-Timeout-Ms must be a number of milliseconds, got {raw!r}"
+            ) from exc
+        if not math.isfinite(millis) or millis <= 0:
+            raise _BadRequest(
+                400, f"X-Timeout-Ms must be positive and finite, got {raw!r}"
+            )
+        return millis / 1000.0
+
+    def _retry_after_hint(self) -> int:
+        """Seconds until the current backlog plausibly clears.
+
+        Observed p50 seconds per dispatched batch × batches queued in
+        front of a retrier — an estimate of actual drain time, clamped
+        to [1, 60].  Before any batch has been observed (cold gateway)
+        fall back to ten batch windows.
+        """
+        assert self._queue is not None
+        latency = self.metrics.batch_latency
+        if latency.count == 0:
+            return max(1, round(self.batch_window * 10))
+        backlog = max(1, math.ceil(self._queue.qsize() / self.max_batch))
+        return max(1, min(60, math.ceil(latency.quantile(0.5) * backlog)))
+
     async def _handle_query(
-        self, body: bytes
+        self, headers: Dict[str, str], body: bytes
     ) -> Tuple[str, int, dict, Optional[Dict[str, str]]]:
         try:
+            budget = self._request_budget(headers)
             payload = self._parse_json(body)
             queries, k = self._parse_query_payload(payload)
         except _BadRequest as bad:
             return "query", bad.status, {"error": bad.message}, None
         assert self._queue is not None and self._loop is not None
         future: asyncio.Future = self._loop.create_future()
+        deadline = self._loop.time() + budget if budget is not None else None
         try:
-            self._queue.put_nowait(_Pending(queries, k, future))
+            self._queue.put_nowait(_Pending(queries, k, future, deadline))
         except asyncio.QueueFull:
             # Admission control: shed now rather than queue into a tail
-            # latency no client would survive.  Retry-After names one
-            # batch round-trip as the polite revisit time.
-            retry = max(1, round(self.batch_window * 10))
+            # latency no client would survive.  Retry-After estimates
+            # when the backlog will actually have drained.
             return (
                 "query",
                 429,
@@ -597,10 +794,25 @@ class HttpGateway:
                         f"retry shortly"
                     )
                 },
-                {"Retry-After": str(retry)},
+                {"Retry-After": str(self._retry_after_hint())},
             )
         try:
-            results = await future
+            if deadline is None:
+                results = await future
+            else:
+                # The gateway enforces the deadline itself: the 504 lands
+                # on time even if the server side is stuck (the watchdog
+                # deals with the stuck worker underneath).
+                results = await asyncio.wait_for(
+                    future, max(deadline - self._loop.time(), 0.0)
+                )
+        except (asyncio.TimeoutError, DeadlineExceeded) as exc:
+            self.metrics.deadline_hits.add()
+            detail = (
+                str(exc) if isinstance(exc, DeadlineExceeded)
+                else f"request exceeded its {budget * 1000.0:.0f}ms deadline"
+            )
+            return "query", 504, {"error": detail}, None
         except ServerError as exc:
             return "query", 503, {"error": str(exc)}, None
         except ValueError as exc:

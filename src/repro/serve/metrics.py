@@ -188,9 +188,13 @@ class GatewayMetrics:
 
     Per endpoint: a latency histogram and per-status response counters.
     Gateway-wide: total sheds (429 responses from admission control),
-    the micro-batch size histogram, and a queue-depth probe sampled at
-    snapshot time (depth is a property of the live admission queue, not
-    an accumulated series).
+    the micro-batch size histogram, the batch *dispatch latency*
+    histogram (wall seconds per ``query_batch`` GEMM — the p50 here
+    feeds the computed ``Retry-After``), the resilience counters
+    (deadline hits, connections reaped for idleness or by the
+    max-connections cap), the last graceful-drain duration, and live
+    queue-depth / open-connections probes sampled at snapshot time
+    (both are properties of live structures, not accumulated series).
 
     >>> m = GatewayMetrics()
     >>> m.observe_request("query", 200, 0.004)
@@ -213,11 +217,30 @@ class GatewayMetrics:
         self._statuses: Dict[str, Dict[int, Counter]] = {}
         self.shed = Counter()
         self.batch_sizes = Histogram(batch_buckets)
+        #: Wall seconds per dispatched micro-batch (queue → answer).
+        self.batch_latency = Histogram(latency_buckets)
+        #: Requests that ran out of their deadline budget (HTTP 504s and
+        #: server-side ``DeadlineExceeded`` surfaced through the gateway).
+        self.deadline_hits = Counter()
+        #: Connections closed for exceeding the keep-alive idle timeout.
+        self.reaped_idle = Counter()
+        #: Least-recently-active connections closed by the cap.
+        self.reaped_overflow = Counter()
+        self._drain_seconds: Optional[float] = None
         self._queue_depth_probe: Optional[Callable[[], int]] = None
+        self._connections_probe: Optional[Callable[[], int]] = None
 
     def set_queue_depth_probe(self, probe: Callable[[], int]) -> None:
         """Register a callable sampled for ``queue_depth`` at snapshot time."""
         self._queue_depth_probe = probe
+
+    def set_connections_probe(self, probe: Callable[[], int]) -> None:
+        """Register a callable sampled for open connections at snapshot time."""
+        self._connections_probe = probe
+
+    def observe_drain(self, seconds: float) -> None:
+        """Record how long the last graceful shutdown drain took."""
+        self._drain_seconds = float(seconds)
 
     def _endpoint(self, endpoint: str) -> Histogram:
         histogram = self._latencies.get(endpoint)
@@ -274,12 +297,26 @@ class GatewayMetrics:
                 depth = int(self._queue_depth_probe())
             except Exception:
                 depth = -1  # a dying queue must not take /metrics with it
+        open_connections = 0
+        if self._connections_probe is not None:
+            try:
+                open_connections = int(self._connections_probe())
+            except Exception:
+                open_connections = -1
         return {
             "uptime_seconds": uptime,
             "requests_total": total,
             "qps": total / uptime,
             "queue_depth": depth,
             "shed_total": self.shed.value,
+            "deadline_exceeded_total": self.deadline_hits.value,
             "batch": self.batch_sizes.snapshot(),
+            "batch_latency_seconds": self.batch_latency.snapshot(),
+            "connections": {
+                "open": open_connections,
+                "reaped_idle": self.reaped_idle.value,
+                "reaped_overflow": self.reaped_overflow.value,
+            },
+            "drain_seconds": self._drain_seconds,
             "endpoints": endpoints,
         }

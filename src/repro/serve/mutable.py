@@ -311,7 +311,8 @@ class MutableSnapshotServer(SnapshotServer):
     # Queries: snapshot + delta - tombstones
     # ------------------------------------------------------------------
 
-    def query_batch(self, queries: np.ndarray, k: int = 1) -> List[QueryResult]:
+    def query_batch(self, queries: np.ndarray, k: int = 1, *,
+                    timeout: Optional[float] = None) -> List[QueryResult]:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         queries = check_queries(queries, self.dim)
@@ -322,12 +323,12 @@ class MutableSnapshotServer(SnapshotServer):
             tombstones = set(self._tombstones)
             base_rows = self._base_rows
         if delta_view is None or (len(delta_view) == 0 and not tombstones):
-            return super().query_batch(queries, k)
+            return super().query_batch(queries, k, timeout=timeout)
         # Over-fetch by the tombstones the frozen generation can still
         # report (ids below its row count); the merge discards them
         # without the answer shrinking below k.
         base_k = k + sum(1 for t in tombstones if t < base_rows)
-        base = super().query_batch(queries, base_k)
+        base = super().query_batch(queries, base_k, timeout=timeout)
         delta = delta_view.sweep(queries, k, exclude=tombstones)
         return merge_live_batches(base, delta, tombstones, k)
 

@@ -5,14 +5,15 @@ CLI's listener socket alike — is one picklable tuple whose first element
 is the message kind:
 
 ========================  =============================================
-coordinator → worker      ``("query", req_id, payload, k)``,
+coordinator → worker      ``("query", req_id, payload, k[, deadline])``,
                           ``("ping", token)``, ``("shutdown",)``
 worker → coordinator      ``("ready", num_points)``,
                           ``("ok", req_id, results)``,
+                          ``("expired", req_id)``,
                           ``("pong", token)``, ``("bye",)``,
                           ``("error", traceback_text)`` at startup /
                           ``("error", req_id, traceback_text)`` later
-client → CLI server       ``("query_batch", queries, k)``,
+client → CLI server       ``("query_batch", queries, k[, timeout_ms])``,
                           ``("insert", point)``, ``("delete", id)``,
                           ``("compact",)``,
                           ``("status",)``, ``("reload", path_or_None)``,
@@ -28,6 +29,19 @@ mistaken for the retry's answer.  ``("status",)`` returns the server's
 lifecycle snapshot (generation, worker states, restart counters) and
 ``("reload", path)`` hot-swaps the served snapshot generation — both are
 answered like any other request, on the same connection.
+
+``deadline``, when present and not ``None``, is the request's absolute
+``time.monotonic()`` deadline — valid across processes on one host
+because ``CLOCK_MONOTONIC`` is host-wide.  A worker that picks up a
+query whose deadline has already passed answers ``("expired", req_id)``
+instead of doing the work; the coordinator turns that into the typed
+``DeadlineExceeded``.  The client-side ``timeout_ms`` field of
+``query_batch`` is a *relative* budget in milliseconds (clients and
+servers do not share a clock origin guarantee at that layer); the CLI
+server converts it to seconds and passes it to
+``SnapshotServer.query_batch(timeout=...)``, answering a budget overrun
+with ``("error", "deadline exceeded: ...")`` while the connection and
+the server keep serving.
 
 ``("insert", point)`` and ``("delete", id)`` are the mutation verbs: a
 ``serve --mutable`` answers ``("ok", id)`` / ``("ok", deleted_bool)``

@@ -34,9 +34,21 @@ only raises :class:`ServerError` — naming the worker and its exit code —
 when the retry fails too (``max_retries`` bounds the attempts; ``0``
 restores the fail-fast behavior).  Because a shard snapshot is immutable
 and queries are deterministic, the retried answer is bit-identical to
-what the first attempt would have returned.  A worker that *hangs*
-(alive but silent past ``query_timeout``) still breaks the server: a
-restart cannot prove the next answer would ever come.
+what the first attempt would have returned.
+
+Deadlines and the hang watchdog: ``query_batch(..., timeout=...)``
+converts the caller's budget into an absolute deadline that bounds the
+wait for the dispatch ticket *and* every worker receive, and rides the
+worker protocol so a worker can skip work whose answer nobody will read.
+A worker that *hangs* (alive but silent past ``query_timeout`` or the
+request deadline, whichever is sooner) is SIGKILLed by the watchdog and
+the request is re-dispatched on a fresh worker (``hang_policy="retry"``,
+budget permitting) or failed with the typed :class:`DeadlineExceeded`
+(``hang_policy="fail"``, or when the budget is spent).  Either way the
+server keeps serving: the killed worker is restarted from its immutable
+shard — synchronously before a retry, lazily by the next request's
+supervision otherwise — instead of the pre-watchdog behavior of marking
+the whole server broken.
 
 Generations: :meth:`reload` loads a **new snapshot generation** in fresh
 workers, atomically flips new requests to it, and drains the old pool —
@@ -55,9 +67,11 @@ Lifecycle and failure discipline:
 * every receive is bounded by a timeout **and** watches the worker
   process itself, so a crashed worker surfaces promptly — never a hang
   on a silent pipe.
-* unrecoverable failures (retry exhausted, restart failed, hung worker)
-  mark the server *broken*: subsequent queries refuse with the original
-  cause until :meth:`close` + :meth:`start`.
+* unrecoverable failures (death-retry exhausted, restart failed) mark
+  the server *broken*: subsequent queries refuse with the original
+  cause until :meth:`close` + :meth:`start`.  Hangs and deadline
+  overruns are **not** unrecoverable: the watchdog kills the hung
+  worker and the server stays serving.
 * :meth:`close` is idempotent, asks workers to shut down politely, then
   escalates (terminate, kill) so no orphan processes outlive the
   coordinator — including workers of generations still draining; daemon
@@ -82,11 +96,24 @@ from repro.serve.protocol import SHM_MIN_BYTES, decode_result, write_query_block
 from repro.serve.worker import serve_shard
 from repro.utils.validation import check_queries, check_query
 
-__all__ = ["ServerError", "SnapshotServer"]
+__all__ = ["DeadlineExceeded", "ServerError", "SnapshotServer"]
 
 
 class ServerError(RuntimeError):
     """A serving-layer failure: bad lifecycle call, dead or silent worker."""
+
+
+class DeadlineExceeded(ServerError):
+    """A request ran out of its time budget.
+
+    Raised when a ``query_batch(..., timeout=...)`` budget expires —
+    waiting for the dispatch ticket, waiting on a worker, or reported
+    by a worker that skipped already-expired work — and when the hang
+    watchdog kills a silent worker under ``hang_policy="fail"`` (or
+    with no budget left to retry).  A ``ServerError`` subclass so
+    existing broad handlers keep working, but typed so transports can
+    map it to a distinct client-visible outcome (HTTP 504).
+    """
 
 
 class _WorkerGone(Exception):
@@ -114,25 +141,48 @@ class _FifoLock:
     could starve the others off the worker pool.  Tickets make dispatch
     order equal arrival order, which is the fairness the accept loop
     advertises.
+
+    :meth:`acquire` optionally takes an absolute monotonic deadline: a
+    waiter whose deadline passes abandons its ticket and returns
+    ``False`` instead of holding its place in line forever.  Abandoned
+    tickets are skipped when the line advances, so a timed-out waiter
+    cannot stall the waiters behind it.
     """
 
     def __init__(self) -> None:
         self._cond = threading.Condition(threading.Lock())
         self._next_ticket = 0
         self._now_serving = 0
+        self._abandoned: set = set()
 
-    def __enter__(self) -> "_FifoLock":
+    def acquire(self, deadline: Optional[float] = None) -> bool:
+        """Take the lock in FIFO order; ``False`` if ``deadline`` passes."""
         with self._cond:
             ticket = self._next_ticket
             self._next_ticket += 1
             while ticket != self._now_serving:
-                self._cond.wait()
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    self._abandoned.add(ticket)
+                    return False
+                self._cond.wait(remaining)
+        return True
+
+    def release(self) -> None:
+        with self._cond:
+            self._now_serving += 1
+            while self._now_serving in self._abandoned:
+                self._abandoned.discard(self._now_serving)
+                self._now_serving += 1
+            self._cond.notify_all()
+
+    def __enter__(self) -> "_FifoLock":
+        self.acquire()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        with self._cond:
-            self._now_serving += 1
-            self._cond.notify_all()
+        self.release()
 
 
 class _PoolSpec:
@@ -231,6 +281,15 @@ class SnapshotServer:
         :class:`ServerError`.  The default (1) recovers from a single
         worker death per request; ``0`` restores the pre-supervision
         fail-fast behavior.
+    hang_policy:
+        What the watchdog does with the in-flight request after it
+        SIGKILLs a hung worker (alive but silent past ``query_timeout``
+        or the request deadline).  ``"retry"`` (default) restarts the
+        worker and re-scatters the block when the request still has
+        budget and attempts left; ``"fail"`` raises
+        :class:`DeadlineExceeded` immediately and leaves the restart to
+        the next request's supervision.  Either way the server stays
+        serving.
 
     Examples
     --------
@@ -250,16 +309,22 @@ class SnapshotServer:
         shm_min_bytes: int = SHM_MIN_BYTES,
         mp_context=None,
         max_retries: int = 1,
+        hang_policy: str = "retry",
     ) -> None:
         if start_timeout <= 0 or query_timeout <= 0:
             raise ValueError("timeouts must be positive")
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if hang_policy not in ("retry", "fail"):
+            raise ValueError(
+                f"hang_policy must be 'retry' or 'fail', got {hang_policy!r}"
+            )
         self.path = os.fspath(path)
         self.start_timeout = float(start_timeout)
         self.query_timeout = float(query_timeout)
         self.shm_min_bytes = int(shm_min_bytes)
         self.max_retries = int(max_retries)
+        self.hang_policy = hang_policy
         if mp_context is None or isinstance(mp_context, str):
             self._ctx = multiprocessing.get_context(mp_context)
         else:
@@ -280,6 +345,8 @@ class SnapshotServer:
         self._request_ids = itertools.count(1)
         self._served = 0
         self._restarts_total = 0
+        self._hang_kills_total = 0
+        self._deadline_hits_total = 0
         self.startup_seconds: float = 0.0
         #: ``evaluate_method`` reports this as the method's build cost;
         #: for a server the honest figure is the worker start-up time.
@@ -325,6 +392,18 @@ class SnapshotServer:
         """Worker restarts performed by supervision over the server's life."""
         with self._state_lock:
             return self._restarts_total
+
+    @property
+    def hang_kills_total(self) -> int:
+        """Hung workers SIGKILLed by the watchdog over the server's life."""
+        with self._state_lock:
+            return self._hang_kills_total
+
+    @property
+    def deadline_hits_total(self) -> int:
+        """Requests failed with :class:`DeadlineExceeded` over the life."""
+        with self._state_lock:
+            return self._deadline_hits_total
 
     @property
     def num_points(self) -> int:
@@ -393,6 +472,9 @@ class SnapshotServer:
                 "draining": [p.generation for p in self._retiring],
                 "requests": self._served,
                 "restarts": self._restarts_total,
+                "hang_policy": self.hang_policy,
+                "hang_kills": self._hang_kills_total,
+                "deadline_hits": self._deadline_hits_total,
             }
 
     def start(self) -> "SnapshotServer":
@@ -684,12 +766,14 @@ class SnapshotServer:
     # Queries
     # ------------------------------------------------------------------
 
-    def query(self, query: np.ndarray, k: int = 1) -> QueryResult:
+    def query(self, query: np.ndarray, k: int = 1, *,
+              timeout: Optional[float] = None) -> QueryResult:
         """(c, k)-ANN over the served snapshot (a batch of one)."""
         query = check_query(np.asarray(query, dtype=np.float64), self.dim)
-        return self.query_batch(query[None, :], k=k)[0]
+        return self.query_batch(query[None, :], k=k, timeout=timeout)[0]
 
-    def query_batch(self, queries: np.ndarray, k: int = 1) -> List[QueryResult]:
+    def query_batch(self, queries: np.ndarray, k: int = 1, *,
+                    timeout: Optional[float] = None) -> List[QueryResult]:
         """Scatter a query block to every worker and merge the answers.
 
         Thread-safe: concurrent callers are dispatched onto the worker
@@ -703,6 +787,14 @@ class SnapshotServer:
             Query block of shape ``(m, d)`` (or a single ``(d,)`` row).
         k:
             Neighbors per query, ``k >= 1``.
+        timeout:
+            Optional time budget in seconds for this call, converted to
+            an absolute deadline on entry — time spent waiting for the
+            dispatch ticket counts against it.  When it expires the call
+            raises :class:`DeadlineExceeded`; a worker still grinding on
+            the block past the deadline is killed by the watchdog and
+            restarted.  ``None`` (default) bounds each worker receive by
+            ``query_timeout`` only.
 
         Returns
         -------
@@ -715,32 +807,49 @@ class SnapshotServer:
 
         Raises
         ------
+        DeadlineExceeded
+            If ``timeout`` expires before the answer is merged, or the
+            hang watchdog killed a silent worker and the policy or the
+            remaining budget forbade a retry.
         ServerError
             If the server is not serving (never started, closed, or
             broken by an earlier unrecoverable failure), a worker died
-            and supervision exhausted ``max_retries``, a restart failed,
-            or a worker exceeds ``query_timeout``.
+            and supervision exhausted ``max_retries``, or a restart
+            failed.
         ValueError
-            If ``k < 1`` or the query block does not match the
-            snapshot's dimensionality.
+            If ``k < 1``, ``timeout <= 0``, or the query block does not
+            match the snapshot's dimensionality.
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
+        deadline = None
+        if timeout is not None:
+            if timeout <= 0:
+                raise ValueError(f"timeout must be positive, got {timeout}")
+            deadline = time.monotonic() + float(timeout)
         queries = check_queries(queries, self.dim)
         if queries.shape[0] == 0:
             return []
         pool = self._checkout()
         try:
-            with pool.dispatch:
-                results = self._dispatch(pool, queries, int(k))
+            if not pool.dispatch.acquire(deadline):
+                self._note_deadline()
+                raise DeadlineExceeded(
+                    f"request spent its {timeout:.3f}s budget waiting for "
+                    f"dispatch (queue too deep for the deadline)"
+                )
+            try:
+                results = self._dispatch(pool, queries, int(k), deadline)
+            finally:
+                pool.dispatch.release()
         finally:
             self._checkin(pool)
         with self._state_lock:
             self._served += 1
         return results
 
-    def _dispatch(self, pool: _Pool, queries: np.ndarray,
-                  k: int) -> List[QueryResult]:
+    def _dispatch(self, pool: _Pool, queries: np.ndarray, k: int,
+                  deadline: Optional[float] = None) -> List[QueryResult]:
         """Scatter-gather one block on ``pool``, supervising worker death.
 
         Caller holds ``pool.dispatch``.  Each attempt carries a fresh
@@ -750,13 +859,20 @@ class SnapshotServer:
         m = queries.shape[0]
         attempts = self.max_retries + 1
         for attempt in range(attempts):
+            if deadline is not None and time.monotonic() >= deadline:
+                self._note_deadline()
+                raise DeadlineExceeded(
+                    "request deadline expired before dispatch "
+                    f"(attempt {attempt + 1}/{attempts})"
+                )
             req_id = next(self._request_ids)
             started = time.perf_counter()
             payload, shm = write_query_block(queries, self.shm_min_bytes)
             try:
                 for worker in pool.workers:
                     try:
-                        worker.conn.send(("query", req_id, payload, k))
+                        worker.conn.send(("query", req_id, payload, k,
+                                          deadline))
                     except (OSError, BrokenPipeError, ValueError) as exc:
                         worker.state = "dead"
                         raise _WorkerGone(
@@ -764,7 +880,16 @@ class SnapshotServer:
                         ) from exc
                 per_shard = []
                 for worker in pool.workers:
-                    message = self._recv_reply(worker, req_id)
+                    message = self._recv_reply(worker, req_id,
+                                               deadline=deadline)
+                    if message[0] == "expired":
+                        # The worker saw the deadline already past and
+                        # skipped the block; nobody would read the answer.
+                        self._note_deadline()
+                        raise DeadlineExceeded(
+                            f"request deadline expired before "
+                            f"{worker.describe()} started the block"
+                        )
                     if message[0] != "ok":
                         detail = message[2] if len(message) > 2 else message
                         self._mark_broken(
@@ -786,9 +911,23 @@ class SnapshotServer:
                 self._revive(pool)  # raises ServerError when hopeless
                 continue
             except _WorkerSilent as silent:
-                self._mark_broken(f"{silent.worker.describe()} timed out")
-                raise ServerError(
-                    f"{silent.detail}; the server is now marked broken"
+                # Watchdog: a live worker outlasted its receive bound
+                # (query_timeout, or the request deadline — whichever
+                # came first).  Kill it; decide retry vs fail below.
+                # The server is NOT marked broken: the shard snapshot is
+                # immutable, so a fresh worker serves it correctly.
+                self._watchdog_kill(silent.worker)
+                out_of_time = (deadline is not None
+                               and time.monotonic() >= deadline)
+                if (self.hang_policy == "retry" and not out_of_time
+                        and attempt + 1 < attempts):
+                    self._revive(pool)  # raises ServerError when hopeless
+                    continue
+                self._note_deadline()
+                raise DeadlineExceeded(
+                    f"{silent.detail}; the watchdog killed the hung worker "
+                    f"(hang_policy={self.hang_policy!r}; it restarts on the "
+                    f"next request)"
                 ) from silent
             finally:
                 if shm is not None:
@@ -803,6 +942,25 @@ class SnapshotServer:
                 hash_evaluations=pool.spec.hash_fns,
             )
         raise AssertionError("unreachable: the attempt loop returns or raises")
+
+    def _watchdog_kill(self, worker: _Worker) -> None:
+        """SIGKILL a hung worker (sleep/hang fault, stuck GEMM, livelock).
+
+        Only marks the slot dead; revival happens synchronously before a
+        retry or lazily via the next request's supervision (a send/recv
+        on the dead slot raises ``_WorkerGone`` → ``_revive``).
+        """
+        worker.state = "dead"
+        try:
+            worker.process.kill()
+        except (OSError, AttributeError):
+            pass  # already gone
+        with self._state_lock:
+            self._hang_kills_total += 1
+
+    def _note_deadline(self) -> None:
+        with self._state_lock:
+            self._deadline_hits_total += 1
 
     def ping(self) -> float:
         """Round-trip every current-generation worker once; wall seconds.
@@ -878,18 +1036,23 @@ class SnapshotServer:
                 self._broken = reason
 
     def _recv_reply(self, worker: _Worker, req_id: int,
-                    kinds: Sequence[str] = ("ok", "error")):
+                    kinds: Sequence[str] = ("ok", "error", "expired"),
+                    deadline: Optional[float] = None):
         """Receive the reply tagged ``req_id``, discarding stale answers.
 
         After a failed attempt, surviving workers may still deliver the
         abandoned attempt's answer; those carry the old request id and
-        are dropped here, which is what makes re-scattering safe.
+        are dropped here, which is what makes re-scattering safe.  The
+        wait is bounded by ``query_timeout`` or the request's absolute
+        ``deadline``, whichever comes first.
         """
-        deadline = time.monotonic() + self.query_timeout
+        bound = time.monotonic() + self.query_timeout
+        if deadline is not None:
+            bound = min(bound, deadline)
         while True:
             message = self._recv(
-                worker, max(deadline - time.monotonic(), 0.0), during="query",
-                deadline=deadline,
+                worker, max(bound - time.monotonic(), 0.0), during="query",
+                deadline=bound,
             )
             if (message[0] in kinds and len(message) > 1
                     and message[1] == req_id):

@@ -35,9 +35,22 @@ per supervision restart):
 * ``sleep-on-query:0:0:0.4`` — shard 0's original worker sleeps 0.4 s
   before answering its first query, long enough for a test to overlap a
   :meth:`~repro.serve.server.SnapshotServer.reload` with the request.
+* ``hang-on-query:0:0`` — shard 0's original worker sleeps effectively
+  forever (3600 s, override with a fourth field) on its first query:
+  the deterministic "worker stuck in a GEMM" stand-in the coordinator's
+  hang watchdog is pinned against.  Unlike ``sleep-on-query`` it is
+  expected to be SIGKILLed, never to answer.
 
 The variable is read once at worker startup; production deployments
 simply never set it.
+
+Deadlines: a query message may carry a fifth element — the request's
+absolute ``time.monotonic()`` deadline on the coordinator's clock.
+``CLOCK_MONOTONIC`` is shared by all processes on the host, so the
+worker can compare directly: if the deadline has already passed when
+the message is picked up, it answers ``("expired", req_id)`` without
+touching the index — the coordinator has already given up on (or is
+about to give up on) the answer, so the GEMM would be pure waste heat.
 """
 
 from __future__ import annotations
@@ -126,6 +139,13 @@ def serve_shard(path: str, shard: int, conn, peer=None, spawn: int = 0) -> None:
                         os._exit(int(arg) if arg is not None else 9)
                     if fault_kind == "sleep-on-query":
                         time.sleep(float(arg) if arg is not None else 0.2)
+                    if fault_kind == "hang-on-query":
+                        # Deterministic hang: the watchdog SIGKILLs us.
+                        time.sleep(float(arg) if arg is not None else 3600.0)
+                deadline = message[4] if len(message) > 4 else None
+                if deadline is not None and time.monotonic() >= deadline:
+                    conn.send(("expired", req_id))
+                    continue
                 queries = read_query_block(message[2])
                 results = index.query_batch(queries, k=int(message[3]))
                 conn.send(("ok", req_id, [encode_result(r) for r in results]))

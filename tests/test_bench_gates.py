@@ -87,6 +87,27 @@ GOOD = {
             "completed_match_inprocess": True,
         },
     },
+    "BENCH_chaos.smoke.json": {
+        "invariants": {
+            "all_requests_terminated": True,
+            "undetermined_requests": [],
+            "answers_bit_identical": True,
+            "mismatches": [],
+            "server_ready_after_each_iteration": True,
+            "not_ready": [],
+            "deadline_overruns": [],
+            "acked_mutations_survived": True,
+            "wal_failures": [],
+            "zero_orphans": True,
+            "orphan_pids": [],
+        },
+        "counters": {
+            "watchdog_kills": 2,
+            "deadline_hits": 3,
+            "supervision_restarts": 4,
+            "wal_kills": 1,
+        },
+    },
 }
 
 #: (file, mutation breaking one gate, substring the violation must name)
@@ -143,6 +164,32 @@ BREAKS = [
     ("BENCH_http.smoke.json",
      lambda r: r["overload"].update(completed_match_inprocess=False),
      "completed answers"),
+    ("BENCH_chaos.smoke.json",
+     lambda r: r["invariants"].update(
+         all_requests_terminated=False,
+         undetermined_requests=["iter3/hang-fail: untyped KeyError"]),
+     "never terminated or failed untyped"),
+    ("BENCH_chaos.smoke.json",
+     lambda r: r["invariants"].update(
+         server_ready_after_each_iteration=False,
+         not_ready=["iter5/worker-die: post-fault probe did not answer"]),
+     "did not return to ready"),
+    ("BENCH_chaos.smoke.json",
+     lambda r: r["invariants"].update(
+         deadline_overruns=["iter2/hang-fail: typed failure took 9.00s"]),
+     "typed failure took"),
+    ("BENCH_chaos.smoke.json",
+     lambda r: r["invariants"].update(zero_orphans=False,
+                                      orphan_pids=[4242]),
+     "orphan processes"),
+    ("BENCH_chaos.smoke.json",
+     lambda r: r["invariants"].update(
+         acked_mutations_survived=False,
+         wal_failures=["iter7/wal-kill: acked insert 700 lost"]),
+     "acked mutations lost"),
+    ("BENCH_chaos.smoke.json",
+     lambda r: r["counters"].update(watchdog_kills=0),
+     "watchdog never killed"),
 ]
 
 
@@ -223,11 +270,11 @@ def test_check_file_reports_schema_drift_not_traceback(tmp_path):
 def test_main_exit_codes(tmp_path, capsys):
     paths = [_write(tmp_path, name, report) for name, report in GOOD.items()]
     assert gates.main(paths) == 0
-    assert "bench gates OK (6 file(s))" in capsys.readouterr().out
+    assert "bench gates OK (7 file(s))" in capsys.readouterr().out
 
     broken = copy.deepcopy(GOOD["BENCH_mutations.smoke.json"])
     broken["recovery"]["recovered_exactly_acked"] = False
-    paths[-2] = _write(tmp_path, "BENCH_mutations.smoke.json", broken)
+    paths[-3] = _write(tmp_path, "BENCH_mutations.smoke.json", broken)
     assert gates.main(paths) == 1
     err = capsys.readouterr().err
     assert "GATE FAILED" in err and "lost or invented" in err

@@ -246,6 +246,60 @@ class TestConnectRetry:
         # to the remaining budget instead of overshooting the deadline.
         assert sleeps == pytest.approx([0.05, 0.1, 0.2, 0.4, 0.8, 1.0, 0.45])
 
+    def test_reset_streak_is_terminal_well_before_the_timeout(self,
+                                                              monkeypatch):
+        """Something listening but refusing us (authkey mismatch, wrong
+        service) must fail fast with a typed error, not burn the whole
+        connect timeout retrying a hopeless dial."""
+        import multiprocessing.connection
+
+        from repro import cli
+
+        attempts = []
+
+        def always_reset(address, authkey=None):
+            attempts.append(address)
+            raise ConnectionResetError("peer reset")
+
+        monkeypatch.setattr(multiprocessing.connection, "Client", always_reset)
+        sleeps = []
+        with pytest.raises(ConnectionResetError,
+                           match="reset the connection .* in a row"):
+            cli._connect_with_retry("/tmp/hostile.sock", timeout=3600.0,
+                                    _sleep=sleeps.append)
+        # Terminal after the streak bound -- nowhere near the hour.
+        assert len(attempts) == cli._MAX_CONSECUTIVE_RESETS
+        assert len(sleeps) == cli._MAX_CONSECUTIVE_RESETS - 1
+
+    def test_a_refusal_resets_the_reset_streak(self, monkeypatch):
+        """Resets interleaved with refusals look like a server restarting
+        underneath us: the deadline governs, not the streak heuristic."""
+        import multiprocessing.connection
+
+        from repro import cli
+
+        clock = {"now": 0.0}
+        monkeypatch.setattr(cli.time, "monotonic", lambda: clock["now"])
+        calls = {"n": 0}
+
+        def flaky(address, authkey=None):
+            calls["n"] += 1
+            if calls["n"] % 2:
+                raise ConnectionResetError("peer reset")
+            raise ConnectionRefusedError(address)
+
+        monkeypatch.setattr(multiprocessing.connection, "Client", flaky)
+
+        def fake_sleep(seconds):
+            clock["now"] += seconds
+
+        with pytest.raises((ConnectionResetError,
+                            ConnectionRefusedError)) as excinfo:
+            cli._connect_with_retry("/tmp/flappy.sock", timeout=30.0,
+                                    _sleep=fake_sleep)
+        assert "in a row" not in str(excinfo.value)
+        assert calls["n"] > cli._MAX_CONSECUTIVE_RESETS
+
     def test_connect_retry_covers_late_server_bind(self, snapshots, tmp_path):
         from repro import cli
         from repro.cli import main

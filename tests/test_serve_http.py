@@ -51,12 +51,12 @@ COMMON = dict(c=1.5, l_spaces=3, k_per_space=6, t=32, seed=0, auto_initial_radiu
 # ----------------------------------------------------------------------
 
 
-def _request(port, method, path, payload=None, timeout=30.0):
+def _request(port, method, path, payload=None, timeout=30.0, headers=None):
     """One HTTP request; returns (status, parsed body, headers dict)."""
     conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
     try:
         body = None if payload is None else json.dumps(payload)
-        conn.request(method, path, body=body)
+        conn.request(method, path, body=body, headers=headers or {})
         response = conn.getresponse()
         data = response.read()
         return response.status, json.loads(data), dict(response.getheaders())
@@ -149,7 +149,7 @@ class _FakeServer:
         self.release.set()
         self.calls = []
 
-    def query_batch(self, queries, k=1):
+    def query_batch(self, queries, k=1, timeout=None):
         self.calls.append(queries.shape[0])
         self.entered.set()
         assert self.release.wait(30), "test never released the fake server"
@@ -624,6 +624,230 @@ class TestProtocol:
                 response.read()  # drain so the connection can be reused
         finally:
             conn.close()
+
+
+# ----------------------------------------------------------------------
+# Resilience: deadlines, connection lifecycle, drain, request counting
+# ----------------------------------------------------------------------
+
+
+class TestDeadlines:
+    def test_x_timeout_ms_answers_504_within_twice_the_budget(
+        self, workload, fake_server
+    ):
+        """A stuck backend must not hold a deadlined request hostage:
+        the gateway itself fails it with 504 on time, and serving
+        resumes once the backend unblocks."""
+        _, queries = workload
+        fake_server.release.clear()
+        with HttpGateway(fake_server, batch_window=0.0) as gateway:
+            started = time.monotonic()
+            status, body, _ = _request(
+                gateway.port, "POST", "/query",
+                {"query": queries[0].tolist(), "k": 2},
+                headers={"X-Timeout-Ms": "300"},
+            )
+            elapsed = time.monotonic() - started
+            assert status == 504
+            assert "deadline" in body["error"]
+            assert elapsed < 0.6, f"504 took {elapsed:.2f}s for a 0.3s budget"
+            fake_server.release.set()
+            status, _, _ = _post(
+                gateway.port, "/query", {"query": queries[1].tolist(), "k": 2}
+            )
+            assert status == 200
+            snap = gateway.metrics.snapshot()
+            assert snap["deadline_exceeded_total"] == 1
+            assert snap["endpoints"]["query"]["statuses"]["504"] == 1
+
+    def test_default_timeout_applies_without_a_header(
+        self, workload, fake_server
+    ):
+        _, queries = workload
+        fake_server.release.clear()
+        with HttpGateway(fake_server, batch_window=0.0,
+                         default_timeout=0.3) as gateway:
+            status, body, _ = _post(
+                gateway.port, "/query", {"query": queries[0].tolist(), "k": 2}
+            )
+            assert status == 504
+            fake_server.release.set()
+
+    def test_generous_budget_is_invisible(self, workload, snapshot_path,
+                                          gateway):
+        _, queries = workload
+        expected = load_index(snapshot_path).query_batch(queries[:1], k=3)
+        status, body, _ = _request(
+            gateway.port, "POST", "/query",
+            {"query": queries[0].tolist(), "k": 3},
+            headers={"X-Timeout-Ms": "30000"},
+        )
+        assert status == 200
+        assert _results_match(body["results"], expected)
+
+    def test_invalid_timeout_header_is_400(self, workload, gateway):
+        _, queries = workload
+        payload = {"query": queries[0].tolist(), "k": 2}
+        for bad in ("nope", "-5", "0", "inf"):
+            status, body, _ = _request(
+                gateway.port, "POST", "/query", payload,
+                headers={"X-Timeout-Ms": bad},
+            )
+            assert status == 400, bad
+            assert "X-Timeout-Ms" in body["error"]
+
+    def test_server_side_deadline_maps_to_504_not_503(self, workload):
+        """A typed DeadlineExceeded from the engine is a deadline miss
+        (504), not a serving failure (503) — even though the exception
+        subclasses ServerError."""
+        from repro.serve import DeadlineExceeded
+
+        _, queries = workload
+
+        class _Expired:
+            dim = queries.shape[1]
+
+            def query_batch(self, queries, k=1, timeout=None):
+                raise DeadlineExceeded("request spent its budget")
+
+            def status(self):
+                return {"serving": True, "generation": 1, "broken": None}
+
+        with HttpGateway(_Expired(), batch_window=0.0) as gateway:
+            status, body, _ = _request(
+                gateway.port, "POST", "/query",
+                {"query": queries[0].tolist(), "k": 2},
+                headers={"X-Timeout-Ms": "5000"},
+            )
+            assert status == 504
+            # The engine's own typed message is surfaced verbatim.
+            assert "spent its budget" in body["error"]
+
+    def test_retry_after_hint_tracks_observed_batch_latency(self, server):
+        with HttpGateway(server, batch_window=0.002, max_batch=8) as gateway:
+            # Cold gateway: nothing observed yet, fall back to a small
+            # constant derived from the batch window.
+            assert gateway._retry_after_hint() == 1
+            for _ in range(10):
+                gateway.metrics.batch_latency.observe(2.0)
+            # p50 ~ 1.75s (bucket interpolation), one batch of backlog.
+            assert gateway._retry_after_hint() == 2
+            for _ in range(50):
+                gateway.metrics.batch_latency.observe(100.0)
+            # Saturated histogram still clamps into [1, 60].
+            assert 1 <= gateway._retry_after_hint() <= 60
+
+
+class TestConnectionLifecycle:
+    def test_idle_connections_are_reaped(self, server):
+        with HttpGateway(server, batch_window=0.0,
+                         idle_timeout=0.3) as gateway:
+            with socket.create_connection(
+                ("127.0.0.1", gateway.port), timeout=10.0
+            ) as idle:
+                idle.settimeout(10.0)
+                assert idle.recv(1) == b"", "idle connection was not closed"
+            snap = gateway.metrics.snapshot()
+            assert snap["connections"]["reaped_idle"] >= 1
+
+    def test_connection_cap_evicts_least_recently_active(self, server):
+        with HttpGateway(server, batch_window=0.0,
+                         max_connections=1) as gateway:
+            first = socket.create_connection(
+                ("127.0.0.1", gateway.port), timeout=10.0
+            )
+            try:
+                first.settimeout(10.0)
+                time.sleep(0.1)  # let the loop register the connection
+                with socket.create_connection(
+                    ("127.0.0.1", gateway.port), timeout=10.0
+                ):
+                    # Admitting the second evicts the idle first.
+                    assert first.recv(1) == b"", "over-cap connection survived"
+            finally:
+                first.close()
+            snap = gateway.metrics.snapshot()
+            assert snap["connections"]["reaped_overflow"] >= 1
+
+    def test_open_connections_are_reported(self, gateway):
+        _, snap, _ = _get(gateway.port, "/metrics")
+        # The probing connection itself is open at snapshot time.
+        assert snap["connections"]["open"] >= 1
+
+    def test_status_reports_the_lifecycle_knobs(self, workload, fake_server):
+        with HttpGateway(fake_server, batch_window=0.0, default_timeout=1.5,
+                         idle_timeout=7.0, max_connections=9) as gateway:
+            _, body, _ = _get(gateway.port, "/status")
+            block = body["gateway"]
+            assert block["default_timeout_seconds"] == 1.5
+            assert block["idle_timeout_seconds"] == 7.0
+            assert block["max_connections"] == 9
+            assert block["draining"] is False
+
+    def test_lifecycle_constructor_validation(self, server):
+        with pytest.raises(ValueError, match="default_timeout"):
+            HttpGateway(server, default_timeout=0)
+        with pytest.raises(ValueError, match="idle_timeout"):
+            HttpGateway(server, idle_timeout=0)
+        with pytest.raises(ValueError, match="max_connections"):
+            HttpGateway(server, max_connections=0)
+        with pytest.raises(ValueError, match="drain_timeout"):
+            HttpGateway(server, drain_timeout=-1)
+
+
+class TestGracefulDrain:
+    def test_inflight_request_finishes_during_drain(self, workload,
+                                                    snapshot_path,
+                                                    fake_server):
+        """close() stops admitting but lets the admitted request finish:
+        the client gets its exact answer, not a reset."""
+        _, queries = workload
+        index = load_index(snapshot_path)
+        fake_server.release.clear()
+        gateway = HttpGateway(fake_server, batch_window=0.0).start()
+        outcome = {}
+
+        def post_one():
+            outcome["answer"] = _post(
+                gateway.port, "/query",
+                {"query": queries[0].tolist(), "k": 2}, timeout=60.0,
+            )
+
+        thread = threading.Thread(target=post_one)
+        thread.start()
+        assert fake_server.entered.wait(30)
+        closer = threading.Thread(target=gateway.close)
+        closer.start()
+        time.sleep(0.1)
+        fake_server.release.set()
+        closer.join(30)
+        thread.join(30)
+        status, body, _ = outcome["answer"]
+        assert status == 200
+        assert _results_match(
+            body["results"], index.query_batch(queries[0][None, :], k=2)
+        )
+        assert gateway.metrics.snapshot()["drain_seconds"] is not None
+
+
+class TestRequestCounting:
+    def test_on_request_counts_engine_work_only(self, workload, snapshot_path,
+                                                server):
+        """The hook fires for requests that reached the engine (200/504
+        on the work verbs), not for probes or rejected input — the rule
+        serve --max-requests counts by."""
+        _, queries = workload
+        counted = []
+        with HttpGateway(server, batch_window=0.0,
+                         on_request=counted.append) as gateway:
+            assert _post(gateway.port, "/query",
+                         {"query": queries[0].tolist(), "k": 2})[0] == 200
+            assert _post(gateway.port, "/query", {"bad": 1})[0] == 400
+            assert _get(gateway.port, "/healthz")[0] == 200
+            assert _get(gateway.port, "/status")[0] == 200
+            assert _post(gateway.port, "/insert",
+                         {"point": [0.0] * 12})[0] == 403
+        assert counted == ["query"]
 
 
 # ----------------------------------------------------------------------

@@ -9,7 +9,7 @@ gate at once instead of stopping at the first assert.
 
 Usage::
 
-    python tools/check_bench_gates.py                  # all six, repo root
+    python tools/check_bench_gates.py                  # all seven, repo root
     python tools/check_bench_gates.py BENCH_serve.smoke.json [...]
 
 Exit status 0 when every gate in every file holds; 1 otherwise (missing
@@ -161,6 +161,48 @@ def check_http(report: dict) -> List[str]:
     return violations
 
 
+def check_chaos(report: dict) -> List[str]:
+    """The chaos sweep's resilience invariants: every admitted request
+    terminated with an answer or a typed error, every answer matched the
+    in-process reference, the server came back ready after every fault
+    iteration, acked mutations survived the WAL kills, nothing leaked a
+    process — and the sweep actually exercised the watchdog (a run that
+    never killed a hung worker gates nothing)."""
+    inv = report["invariants"]
+    violations = []
+    if not inv["all_requests_terminated"]:
+        violations.append(
+            f"chaos: requests never terminated or failed untyped: "
+            f"{inv['undetermined_requests'][:3]}"
+        )
+    if not inv["answers_bit_identical"]:
+        violations.append(
+            f"chaos: answers diverged from the in-process reference: "
+            f"{inv['mismatches'][:3]}"
+        )
+    if not inv["server_ready_after_each_iteration"]:
+        violations.append(
+            f"chaos: server did not return to ready: {inv['not_ready'][:3]}"
+        )
+    violations += [
+        f"chaos: {overrun}" for overrun in inv["deadline_overruns"]
+    ]
+    if not inv["acked_mutations_survived"]:
+        violations.append(
+            f"chaos: acked mutations lost: {inv['wal_failures'][:3]}"
+        )
+    if not inv["zero_orphans"]:
+        violations.append(
+            f"chaos: orphan processes survived the sweep: {inv['orphan_pids']}"
+        )
+    if report["counters"]["watchdog_kills"] < 1:
+        violations.append(
+            "chaos: the watchdog never killed a hung worker — the hang "
+            "scenarios did not run"
+        )
+    return violations
+
+
 #: filename -> checker; also the default set of files the CI job expects.
 CHECKERS: Dict[str, Callable[[dict], List[str]]] = {
     "BENCH_query_engine.smoke.json": check_query_engine,
@@ -169,6 +211,7 @@ CHECKERS: Dict[str, Callable[[dict], List[str]]] = {
     "BENCH_serve.smoke.json": check_serve,
     "BENCH_mutations.smoke.json": check_mutations,
     "BENCH_http.smoke.json": check_http,
+    "BENCH_chaos.smoke.json": check_chaos,
 }
 
 
