@@ -144,10 +144,10 @@ def _cmd_save(args: argparse.Namespace) -> int:
     else:
         index = DBLSH(**common)
     index.fit(data)
-    # np.savez appends .npz when missing; report the path it actually wrote.
+    # save_index appends .npz when missing; report the path it actually wrote.
     out = args.out if args.out.endswith(".npz") else args.out + ".npz"
     started = time.perf_counter()
-    save_index(index, out, compress=args.compress)
+    save_index(index, out, compress=args.compress, format=args.snapshot_format)
     save_seconds = time.perf_counter() - started
     size_mb = os.path.getsize(out) / 1e6
     print(index.describe())
@@ -161,9 +161,13 @@ def _cmd_load(args: argparse.Namespace) -> int:
     started = time.perf_counter()
     index = load_index(args.index)
     load_seconds = time.perf_counter() - started
+    container = "arena" if header["version"] >= 3 else "npz"
+    mapped = bool(getattr(index, "is_mapped", False))
     print(index.describe())
-    print(f"snapshot kind={header['kind']} version={header['version']}; "
-          f"loaded in {load_seconds:.3f}s (zero rebuild)")
+    print(f"snapshot kind={header['kind']} version={header['version']} "
+          f"container={container}; loaded in {load_seconds:.3f}s "
+          f"({'zero-copy mapped views' if mapped else 'private copy'}, "
+          f"zero rebuild)")
     if args.queries < 1:
         return 0
     # Smoke-test the loaded index against its own stored points: perturbed
@@ -944,9 +948,15 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "save":
             cmd.add_argument("--out", default="index.npz",
                              help="snapshot output path (.npz)")
+            cmd.add_argument("--snapshot-format", choices=["arena", "npz"],
+                             default="arena", dest="snapshot_format",
+                             help="container: arena (v3, zero-copy mmap "
+                                  "loads) or npz (legacy v1)")
             cmd.add_argument("--compress", action="store_true",
                              help="deflate the snapshot archive (smaller file, "
-                                  "much slower save)")
+                                  "much slower save; forces the npz "
+                                  "container — deflated bytes cannot be "
+                                  "mapped)")
 
     load_cmd = sub.add_parser(
         "load", help="restore a snapshot (zero rebuild) and smoke-test it"

@@ -407,7 +407,11 @@ class DBLSH:
             raise ValueError(f"points have dimension {points.shape[1]}, expected {self.dim}")
         start_id = self._n
         needed = self._n + points.shape[0]
-        if needed > self._buffer.shape[0]:
+        # Reallocate when out of capacity *or* when the buffer is a
+        # read-only mapped snapshot view (arena loads): first-write after
+        # a zero-copy load promotes the dataset to private heap; until
+        # then the snapshot pages stay shared across processes.
+        if needed > self._buffer.shape[0] or not self._buffer.flags.writeable:
             capacity = max(2 * self._buffer.shape[0], needed)
             buffer = np.empty((capacity, self.dim), dtype=np.float64)
             buffer[: self._n] = self._buffer[: self._n]
@@ -1121,18 +1125,39 @@ class DBLSH:
             return 0
         return self.num_points * self.num_hash_functions
 
-    def save(self, path: str) -> None:
+    @property
+    def is_mapped(self) -> bool:
+        """True when the dataset buffer is a zero-copy mapped snapshot view.
+
+        Arena-snapshot loads hand the index read-only ``np.memmap``-backed
+        arrays, so the physical pages belong to the kernel page cache and
+        are shared by every process mapping the same file.  The first
+        :meth:`add` promotes the buffer to private heap (see the
+        reallocation guard there), after which this turns ``False``.
+        """
+        if self._buffer is None:
+            return False
+        base = self._buffer
+        while isinstance(base, np.ndarray):
+            if isinstance(base, np.memmap):
+                return True
+            base = base.base
+        return False
+
+    def save(self, path: str, *, format: str = "arena") -> None:
         """Persist the fitted index as a versioned snapshot.
 
         On the default ``rstar`` backend the snapshot contains the frozen
         traversal arrays, so :meth:`load` answers queries without any
-        bulk loading; see :mod:`repro.io.snapshot` for the format.
+        bulk loading; see :mod:`repro.io.snapshot` for the format.  The
+        default ``arena`` container loads back as zero-copy mapped views;
+        pass ``format="npz"`` for the legacy v1 container.
         """
         if self._buffer is None or self.params is None or self._hasher is None:
             raise RuntimeError("fit() must be called before save()")
         from repro.io.snapshot import save_index
 
-        save_index(self, path)
+        save_index(self, path, format=format)
 
     @classmethod
     def load(cls, path: str) -> "DBLSH":
@@ -1170,6 +1195,7 @@ class DBLSH:
         build_seconds: float = 0.0,
         builder: str = "array",
         tombstones: Optional[np.ndarray] = None,
+        norms2: Optional[np.ndarray] = None,
     ) -> "DBLSH":
         """Reassemble a fitted index from snapshot state (no tree build).
 
@@ -1178,7 +1204,10 @@ class DBLSH:
         stay unmaterialized until :meth:`add` or a legacy-engine query
         needs them.  ``tombstones`` restores logically deleted row ids —
         the rows are physically present in ``data`` (ids never renumber)
-        but excluded from every query.
+        but excluded from every query.  ``norms2`` adopts precomputed
+        squared norms shipped in the snapshot; without them restore pays
+        an O(n*d) einsum over the dataset, which both costs time and
+        faults every data page of a freshly mapped arena.
         """
         index = cls(
             c=c,
@@ -1197,7 +1226,10 @@ class DBLSH:
         data = check_dataset(data)
         n, dim = data.shape
         index._buffer = data
-        index._norms2 = np.einsum("ij,ij->i", data, data)
+        if norms2 is not None and norms2.shape == (n,):
+            index._norms2 = np.ascontiguousarray(norms2, dtype=np.float64)
+        else:
+            index._norms2 = np.einsum("ij,ij->i", data, data)
         index._n = n
         index._frozen_n = n
         if tombstones is not None and len(tombstones):

@@ -163,11 +163,23 @@ class DeltaIndex:
         self._n += 1
 
     def view(self, upto: Optional[int] = None) -> DeltaView:
-        """A consistent snapshot of the first ``upto`` rows (default: all)."""
+        """A consistent snapshot of the first ``upto`` rows (default: all).
+
+        The captured slices are marked read-only: a view is a promise of
+        immutability, and handing out writeable windows into the live
+        buffer would let a consumer corrupt rows the index still serves.
+        (Slice views carry their own flags — the underlying buffer stays
+        writeable for :meth:`append`, matching how snapshot loads hand
+        the query engine read-only mapped arrays.)
+        """
         n = self._n if upto is None else min(int(upto), self._n)
-        return DeltaView(
-            self._ids[:n], self._points[:n], self._norms2[:n]
-        )
+        ids = self._ids[:n]
+        points = self._points[:n]
+        norms2 = self._norms2[:n]
+        ids.flags.writeable = False
+        points.flags.writeable = False
+        norms2.flags.writeable = False
+        return DeltaView(ids, points, norms2)
 
     def trim(self, folded: int) -> None:
         """Drop the first ``folded`` rows (now baked into a snapshot).

@@ -667,6 +667,13 @@ class ShardedDBLSH:
         return sum(shard.num_points for shard in self._shards)
 
     @property
+    def is_mapped(self) -> bool:
+        """True when every shard serves zero-copy mapped snapshot views."""
+        return bool(self._shards) and all(
+            shard.is_mapped for shard in self._shards
+        )
+
+    @property
     def num_live(self) -> int:
         """Rows queries can still return (physical minus tombstoned)."""
         return sum(shard.num_live for shard in self._shards)

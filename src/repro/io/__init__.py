@@ -3,10 +3,14 @@
 :func:`save_index` / :func:`load_index` persist and restore a fitted
 :class:`~repro.core.dblsh.DBLSH` or
 :class:`~repro.core.sharded.ShardedDBLSH` through a single versioned
-``.npz`` archive — including the frozen R*-tree traversal arrays, so a
-loaded ``rstar``-backend index serves queries with zero rebuild.  The
-write is atomic (temp file + rename + fsync) and every member carries a
-CRC32 verified on read; see :mod:`repro.io.snapshot` for the format.
+archive — including the frozen R*-tree traversal arrays, so a loaded
+``rstar``-backend index serves queries with zero rebuild.  The default
+container is the v3 **arena** (one mmap-able file; loads are zero-copy
+page mappings shared across processes); ``format="npz"`` writes the
+legacy v1 ``.npz``.  Both writes are atomic (temp file + rename +
+fsync) and carry CRC32 checksums — eagerly verified on read for npz,
+on demand via :func:`verify_snapshot` for arenas; see
+:mod:`repro.io.snapshot` for the formats.
 
 :class:`WriteAheadLog` (:mod:`repro.io.wal`) makes live mutations
 durable: inserts/deletes are CRC-framed, fsync'd on append, and bound to
@@ -15,6 +19,7 @@ recovers exactly its acked mutations.
 """
 
 from repro.io.snapshot import (
+    ARENA_VERSION,
     SNAPSHOT_FORMAT,
     SNAPSHOT_VERSION,
     SnapshotError,
@@ -25,6 +30,7 @@ from repro.io.snapshot import (
     read_header,
     save_index,
     shard_headers,
+    verify_snapshot,
 )
 from repro.io.wal import (
     CheckpointRecord,
@@ -35,6 +41,7 @@ from repro.io.wal import (
 )
 
 __all__ = [
+    "ARENA_VERSION",
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_VERSION",
     "SnapshotError",
@@ -45,6 +52,7 @@ __all__ = [
     "read_header",
     "save_index",
     "shard_headers",
+    "verify_snapshot",
     "CheckpointRecord",
     "DeleteRecord",
     "InsertRecord",

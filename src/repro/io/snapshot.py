@@ -1,12 +1,29 @@
 """Versioned binary snapshots of fitted indexes (build once, serve anywhere).
 
-Format
-------
-A snapshot is a single ``.npz`` archive.  The ``header`` entry is a JSON
-document (stored as bytes) carrying the format name, the format *version*,
-the snapshot *kind* (``"dblsh"`` or ``"sharded"``) and every scalar needed
-to reconstruct the index; all array payloads live beside it as plain
-``.npy`` members, so a snapshot is readable with nothing but numpy.
+Containers
+----------
+Two on-disk containers share one logical layout (a JSON header carrying
+the format name, the format *version*, the snapshot *kind* (``"dblsh"``
+or ``"sharded"``) and every scalar needed to reconstruct the index,
+plus named array members):
+
+* **arena** (version ``ARENA_VERSION``, the default): one flat file —
+  magic, a CRC-protected JSON header mapping each member to a 64-byte-
+  aligned byte range, then the raw little-endian array bytes.  Loading
+  maps the file once (``np.memmap``, read-only) and returns each member
+  as a **zero-copy view** of the mapping: O(1) page mapping instead of
+  a full read, and every process serving the same snapshot shares one
+  physical copy of the pages through the page cache.
+* **npz** (version ``SNAPSHOT_VERSION``, the legacy container): a
+  ``.npz`` archive whose ``header`` entry is the JSON document and whose
+  array payloads are plain ``.npy`` members, readable with nothing but
+  numpy.  Loading copies members into private heap.  ``save_index``
+  keeps writing it under ``format="npz"`` (and always for
+  ``compress=True`` — deflated bytes cannot be mapped), and every
+  snapshot ever written by it keeps loading.
+
+The loader sniffs the container from the file's first bytes, so paths
+keep their conventional ``.npz`` suffix regardless of container.
 
 For the default ``rstar`` backend the payload includes the frozen
 :class:`~repro.index.flat.FlatRStarTree` arrays of every projected space.
@@ -34,17 +51,30 @@ shard — rows are never physically removed, so ids never renumber.
 
 Versioning
 ----------
-``SNAPSHOT_VERSION`` is bumped whenever the layout changes incompatibly.
-:func:`load_index` refuses snapshots written under a different version
-with a :class:`SnapshotError` instead of guessing at the layout.  The
-durability fields above are all *optional* additions: snapshots written
-before them still load (their members simply go unverified).
+Each container has its own version constant, bumped whenever its layout
+changes incompatibly: ``SNAPSHOT_VERSION`` for the npz container,
+``ARENA_VERSION`` for the arena.  :func:`load_index` refuses snapshots
+written under a different version with a :class:`SnapshotError` instead
+of guessing at the layout.  The durability fields above are all
+*optional* additions: snapshots written before them still load (their
+members simply go unverified).
+
+Verification discipline
+-----------------------
+Opening an arena validates its preamble, its header CRC32, and the
+*structure* of every member (the byte range each one claims must exist
+in the file) — all without faulting a single data page, so the O(1)
+load cost holds.  Member *content* CRCs are checked only by the
+explicit :func:`verify_snapshot` pass, which reads every byte.  The npz
+container keeps its historical behavior: member CRCs verified on every
+access (npz loading reads the bytes anyway).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import struct
 import zipfile
 from typing import Dict, List, Optional, Tuple
 from zlib import crc32
@@ -55,10 +85,27 @@ from repro.core.dblsh import DBLSH
 from repro.index.flat import FlatRStarTree
 
 SNAPSHOT_FORMAT = "repro-index-snapshot"
+#: Layout version of the legacy ``.npz`` container.
 SNAPSHOT_VERSION = 1
+#: Layout version of the mmap arena container (the ``save_index`` default).
+ARENA_VERSION = 3
 
-#: Keys every serialized flat tree carries besides its per-level arrays.
-_FLAT_FIXED_KEYS = ("meta", "leaf_ptr", "leaf_ids", "leaf_cat", "leaf_coords")
+#: First bytes of every arena snapshot (the npz container starts with the
+#: zip magic ``PK``, so one read disambiguates them).
+ARENA_MAGIC = b"REPRO-ARENA\x00"
+#: Fixed preamble after the magic: container version (u32), header CRC32
+#: (u32), header length in bytes (u64), data-section start offset (u64).
+_ARENA_PREAMBLE = struct.Struct("<IIQQ")
+_ARENA_PREAMBLE_LEN = len(ARENA_MAGIC) + _ARENA_PREAMBLE.size
+#: Every member's byte range starts on this alignment (relative to the
+#: data section, which is itself aligned), so mapped views satisfy any
+#: dtype's alignment and never share a cache line across members.
+ARENA_ALIGN = 64
+
+#: Keys every serialized flat tree carries besides its per-level arrays
+#: and its coordinate member (``leaf_coords`` single-sided in the npz
+#: container, ``coords_cat`` pre-mirrored in the arena).
+_FLAT_FIXED_KEYS = ("meta", "leaf_ptr", "leaf_ids", "leaf_cat")
 
 
 class SnapshotError(RuntimeError):
@@ -67,7 +114,10 @@ class SnapshotError(RuntimeError):
 
 def _array_crc(array: np.ndarray) -> int:
     """CRC32 over a member's raw bytes (layout-normalized, no copy)."""
-    return crc32(memoryview(np.ascontiguousarray(array)).cast("B"))
+    arr = np.ascontiguousarray(array)
+    if arr.nbytes == 0:
+        return 0  # crc32(b""); memoryview.cast rejects zero-sized shapes
+    return crc32(memoryview(arr).cast("B"))
 
 
 def _fsync_dir(path: str) -> None:
@@ -151,6 +201,134 @@ class _VerifiedArchive:
         self.close()
 
 
+def _align_up(offset: int, alignment: int = ARENA_ALIGN) -> int:
+    """Round ``offset`` up to the next multiple of ``alignment``."""
+    return -(-offset // alignment) * alignment
+
+
+def _member_names(archive) -> "object":
+    """Member-name membership view over any payload source.
+
+    Works for :class:`_VerifiedArchive` and :class:`_ArenaArchive` (their
+    ``files`` list) and for the plain dicts the sharded process builders
+    pass straight to :func:`_unpack_dblsh` (their keys).
+    """
+    files = getattr(archive, "files", None)
+    return files if files is not None else archive.keys()
+
+
+class _ArenaArchive:
+    """An open arena snapshot: parsed header + lazy zero-copy member views.
+
+    Construction reads and validates the preamble and the JSON header
+    (magic, container version, header CRC32) and *structurally* checks
+    every member — the byte range the header claims for it must exist in
+    the file, otherwise a :class:`SnapshotError` names the member with
+    its expected-vs-recovered sizes.  No data page is read or faulted.
+
+    ``archive[name]`` maps the whole file once (``np.memmap``, read-only)
+    and returns the member as a dtype/shape view of that mapping: the
+    view's ``base`` chain leads to the memmap, ``writeable`` is False,
+    and no bytes are copied.  Views hold their own reference to the
+    mapping, so they outlive :meth:`close` (which merely drops this
+    archive's reference).
+    """
+
+    def __init__(self, path: str) -> None:
+        self._path = path
+        self._arena: Optional[np.ndarray] = None
+        with open(path, "rb") as handle:
+            blob = handle.read(_ARENA_PREAMBLE_LEN)
+            if len(blob) < _ARENA_PREAMBLE_LEN or not blob.startswith(ARENA_MAGIC):
+                raise SnapshotError(
+                    f"{path!r}: arena preamble is truncated or corrupt "
+                    f"(expected {_ARENA_PREAMBLE_LEN} bytes, recovered {len(blob)})"
+                )
+            version, header_crc, header_len, data_start = _ARENA_PREAMBLE.unpack(
+                blob[len(ARENA_MAGIC):]
+            )
+            if version != ARENA_VERSION:
+                raise SnapshotError(
+                    f"{path!r} is arena snapshot version {version}; this build "
+                    f"reads version {ARENA_VERSION} (re-save the index with "
+                    f"this build)"
+                )
+            header_bytes = handle.read(header_len)
+        if len(header_bytes) != header_len:
+            raise SnapshotError(
+                f"{path!r}: arena header is truncated (expected {header_len} "
+                f"bytes, recovered {len(header_bytes)})"
+            )
+        if crc32(header_bytes) != header_crc:
+            raise SnapshotError(
+                f"{path!r}: arena header failed its checksum (stored CRC32 "
+                f"{header_crc}) — the file bytes were altered after "
+                f"save_index() wrote them"
+            )
+        try:
+            header = json.loads(header_bytes.decode())
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise SnapshotError(
+                f"{path!r} has an unreadable snapshot header"
+            ) from exc
+        if not isinstance(header, dict) or header.get("format") != SNAPSHOT_FORMAT:
+            raise SnapshotError(f"{path!r} is not a {SNAPSHOT_FORMAT} file")
+        members = header.get("members")
+        if not isinstance(members, dict):
+            raise SnapshotError(f"{path!r}: arena header has no member table")
+        self.header = header
+        self._data_start = int(data_start)
+        self._members: Dict[str, dict] = members
+        size = os.path.getsize(path)
+        for name, meta in sorted(
+            members.items(), key=lambda item: int(item[1]["offset"])
+        ):
+            start = self._data_start + int(meta["offset"])
+            nbytes = int(meta["nbytes"])
+            if start + nbytes > size:
+                raise SnapshotError(
+                    f"{path!r}: snapshot member {name!r} is truncated or "
+                    f"corrupt (expected {nbytes} bytes, recovered "
+                    f"{max(0, size - start)})"
+                )
+
+    @property
+    def files(self) -> List[str]:
+        return list(self._members)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        meta = self._members[name]  # KeyError: callers report it precisely
+        if self._arena is None:
+            self._arena = np.memmap(self._path, dtype=np.uint8, mode="r")
+        start = self._data_start + int(meta["offset"])
+        raw = self._arena[start : start + int(meta["nbytes"])]
+        try:
+            return raw.view(np.dtype(str(meta["dtype"]))).reshape(
+                tuple(int(s) for s in meta["shape"])
+            )
+        except (TypeError, ValueError) as exc:
+            raise SnapshotError(
+                f"{self._path!r}: snapshot member {name!r} has an "
+                f"inconsistent dtype/shape/nbytes record ({exc})"
+            ) from exc
+
+    def member_crc(self, name: str) -> Optional[int]:
+        """The CRC32 the header recorded for ``name`` (None if absent)."""
+        stored = self._members[name].get("crc32")
+        return None if stored is None else int(stored)
+
+    def close(self) -> None:
+        # Views returned by __getitem__ keep the mapping alive through
+        # their base chain; dropping our reference is all close() means.
+        self._arena = None
+
+    def __enter__(self) -> "_ArenaArchive":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 # ----------------------------------------------------------------------
 # Packing
 # ----------------------------------------------------------------------
@@ -175,8 +353,18 @@ def _frozen_tables(index: DBLSH) -> Optional[List[FlatRStarTree]]:
     return list(index._flat_tables)
 
 
-def _pack_dblsh(index: DBLSH, prefix: str) -> Tuple[dict, Dict[str, np.ndarray]]:
-    """One index's header dict + array payload (keys under ``prefix``)."""
+def _pack_dblsh(
+    index: DBLSH, prefix: str, *, mirrored_coords: bool = False
+) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """One index's header dict + array payload (keys under ``prefix``).
+
+    ``mirrored_coords`` stores each flat tree's coordinates in the
+    pre-mirrored ``[x, -x]`` form (``coords_cat``) the query engine
+    actually uses, instead of the single-sided ``leaf_coords`` the npz
+    container stores.  The arena pays those extra bytes on disk so a
+    mapped load adopts the member as-is — re-mirroring at load time
+    would copy every coordinate and defeat zero-copy.
+    """
     if index.data is None or index.params is None or index._hasher is None:
         raise RuntimeError("fit() must be called before saving a snapshot")
     params = index.params
@@ -203,10 +391,14 @@ def _pack_dblsh(index: DBLSH, prefix: str) -> Tuple[dict, Dict[str, np.ndarray]]
         "build_seconds": float(index.build_seconds),
         "has_flat": flats is not None,
         "has_tombstones": bool(index._tombstones),
+        "has_norms2": True,
     }
     arrays: Dict[str, np.ndarray] = {
         prefix + "data": index.data,
         prefix + "tensor": index._hasher.tensor,
+        # Ship the precomputed squared norms the chunked-GEMM verifier
+        # needs, so loading never pays the O(n d) einsum recompute.
+        prefix + "norms2": index._norms2[: index._n],
         prefix + "table_low": np.stack(index._table_low),
         prefix + "table_high": np.stack(index._table_high),
     }
@@ -215,9 +407,67 @@ def _pack_dblsh(index: DBLSH, prefix: str) -> Tuple[dict, Dict[str, np.ndarray]]
         arrays[prefix + "tombstones"] = tombstones
     if flats is not None:
         for i, flat in enumerate(flats):
-            for key, array in flat.to_arrays().items():
+            for key, array in flat.to_arrays(mirrored=mirrored_coords).items():
                 arrays[f"{prefix}flat{i}.{key}"] = array
     return header, arrays
+
+
+def _write_arena(path: str, header: dict, arrays: Dict[str, np.ndarray]) -> None:
+    """Atomically write ``header`` + ``arrays`` as an arena file at ``path``.
+
+    Lays out every member C-contiguously on an :data:`ARENA_ALIGN`
+    boundary, records its ``(offset, nbytes, dtype, shape, crc32)`` in
+    the header's member table, and lands the whole file through the same
+    tmp + fsync + ``os.replace`` + directory-fsync dance as the npz
+    writer, so a crash mid-save never touches the previous snapshot.
+    """
+    members: Dict[str, dict] = {}
+    blobs: List[Tuple[int, np.ndarray]] = []
+    offset = 0
+    for name, array in arrays.items():
+        arr = np.ascontiguousarray(array)
+        offset = _align_up(offset)
+        members[name] = {
+            "offset": offset,
+            "nbytes": int(arr.nbytes),
+            "dtype": arr.dtype.str,
+            # The *original* shape: ascontiguousarray promotes 0-d
+            # members to 1-d, which must not leak into the round-trip.
+            "shape": [int(s) for s in np.shape(array)],
+            "crc32": _array_crc(arr),
+        }
+        blobs.append((offset, arr))
+        offset += arr.nbytes
+    span = offset
+    header = dict(header, members=members)
+    header_bytes = json.dumps(header).encode()
+    data_start = _align_up(_ARENA_PREAMBLE_LEN + len(header_bytes))
+    preamble = ARENA_MAGIC + _ARENA_PREAMBLE.pack(
+        ARENA_VERSION, crc32(header_bytes), len(header_bytes), data_start
+    )
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(preamble)
+            handle.write(header_bytes)
+            handle.write(b"\x00" * (data_start - _ARENA_PREAMBLE_LEN - len(header_bytes)))
+            pos = 0  # relative to data_start from here on
+            for member_offset, arr in blobs:
+                handle.write(b"\x00" * (member_offset - pos))
+                if arr.nbytes:  # memoryview.cast rejects zero-sized shapes
+                    handle.write(memoryview(arr).cast("B"))
+                pos = member_offset + arr.nbytes
+            handle.write(b"\x00" * (span - pos))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(os.path.dirname(path))
 
 
 def save_index(
@@ -225,18 +475,24 @@ def save_index(
     path: str,
     compress: bool = False,
     *,
+    format: str = "arena",
     uid: Optional[str] = None,
     parent_uid: Optional[str] = None,
     next_id: Optional[int] = None,
 ) -> None:
     """Persist a fitted :class:`DBLSH` or ``ShardedDBLSH`` to ``path``.
 
-    The file is an ``.npz`` archive; see the module docstring for the
-    layout.  A sharded index is stored shard-by-shard under ``shard{i}.``
-    key prefixes (together with the parent's ``t`` and ``budget`` mode,
-    so a ``budget="split"`` index round-trips its per-shard ``t/S``
-    knobs), which is what lets serving workers later load single shards
-    with :func:`load_shard` without touching the rest of the archive.
+    By default the snapshot is an **arena** file (see the module
+    docstring): loading maps it read-only in O(1) and adopts every array
+    as a zero-copy view, and concurrent serving workers share one
+    physical copy of its pages.  ``format="npz"`` writes the legacy
+    ``.npz`` container instead (version :data:`SNAPSHOT_VERSION`), which
+    any numpy can read back without this package.  A sharded index is
+    stored shard-by-shard under ``shard{i}.`` key prefixes in either
+    container (together with the parent's ``t`` and ``budget`` mode, so
+    a ``budget="split"`` index round-trips its per-shard ``t/S`` knobs),
+    which is what lets serving workers later load single shards with
+    :func:`load_shard` without touching the rest of the file.
 
     The write is **crash-safe**: the archive lands in a temp file that is
     fsync'd and then atomically renamed over ``path`` (directory fsync
@@ -251,7 +507,11 @@ def save_index(
         A fitted :class:`DBLSH` or ``ShardedDBLSH``.
     path:
         Output path, conventionally ending in ``.npz`` (the suffix is
-        appended if missing).
+        appended if missing — for both containers; the loader sniffs
+        the container from the file's first bytes, never the suffix).
+    format:
+        ``"arena"`` (default) or ``"npz"``.  ``compress=True`` always
+        writes the npz container: deflated bytes cannot be mapped.
     uid:
         Generation identity recorded in the header; a fresh random hex
         uid is generated when omitted.  The write-ahead log
@@ -295,16 +555,24 @@ def save_index(
     """
     from repro.core.sharded import ShardedDBLSH
 
+    if format not in ("arena", "npz"):
+        raise ValueError(f"format must be 'arena' or 'npz', got {format!r}")
+    if compress:
+        format = "npz"  # a deflated arena could not be mapped
+    version = ARENA_VERSION if format == "arena" else SNAPSHOT_VERSION
+    mirrored = format == "arena"
     if isinstance(index, ShardedDBLSH):
         shard_headers = []
         arrays: Dict[str, np.ndarray] = {}
         for i, shard in enumerate(index.shard_indexes):
-            shard_header, shard_arrays = _pack_dblsh(shard, f"shard{i}.")
+            shard_header, shard_arrays = _pack_dblsh(
+                shard, f"shard{i}.", mirrored_coords=mirrored
+            )
             shard_headers.append(shard_header)
             arrays.update(shard_arrays)
         header = {
             "format": SNAPSHOT_FORMAT,
-            "version": SNAPSHOT_VERSION,
+            "version": version,
             "kind": "sharded",
             "build_seconds": float(index.build_seconds),
             "t": int(index.t),
@@ -312,10 +580,10 @@ def save_index(
             "shard_headers": shard_headers,
         }
     elif isinstance(index, DBLSH):
-        index_header, arrays = _pack_dblsh(index, "")
+        index_header, arrays = _pack_dblsh(index, "", mirrored_coords=mirrored)
         header = {
             "format": SNAPSHOT_FORMAT,
-            "version": SNAPSHOT_VERSION,
+            "version": version,
             "kind": "dblsh",
             "index": index_header,
         }
@@ -326,12 +594,15 @@ def save_index(
     header["next_id"] = (
         int(next_id) if next_id is not None else int(index.num_points)
     )
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    if format == "arena":
+        _write_arena(path, header, arrays)
+        return
     header["checksums"] = {
         name: _array_crc(array) for name, array in arrays.items()
     }
     writer = np.savez_compressed if compress else np.savez
-    if not path.endswith(".npz"):
-        path = path + ".npz"
     tmp = f"{path}.tmp.{os.getpid()}"
     try:
         with open(tmp, "wb") as handle:
@@ -354,24 +625,46 @@ def save_index(
 
 
 def _open_archive(path: str):
-    """Open ``path`` as an ``.npz`` archive, mapping junk to SnapshotError.
+    """Open ``path`` as a snapshot archive, mapping junk to SnapshotError.
 
-    ``FileNotFoundError`` propagates unchanged (the caller's path is
-    wrong, not the file's contents); anything numpy cannot parse as a
-    zip archive becomes a :class:`SnapshotError`.
+    Sniffs the container from the file's first bytes: the arena magic
+    opens an :class:`_ArenaArchive` (zero-copy mapped views), anything
+    else is tried as an ``.npz`` archive.  ``FileNotFoundError``
+    propagates unchanged (the caller's path is wrong, not the file's
+    contents); anything that parses as neither container becomes a
+    :class:`SnapshotError`.
     """
+    try:
+        with open(path, "rb") as handle:
+            magic = handle.read(len(ARENA_MAGIC))
+    except FileNotFoundError:
+        raise
+    except OSError as exc:
+        raise SnapshotError(
+            f"{path!r} is not a readable {SNAPSHOT_FORMAT} file"
+        ) from exc
+    if magic == ARENA_MAGIC:
+        return _ArenaArchive(path)
     try:
         return _VerifiedArchive(np.load(path, allow_pickle=False), path)
     except FileNotFoundError:
         raise
     except (ValueError, OSError, zipfile.BadZipFile) as exc:
         raise SnapshotError(
-            f"{path!r} is not a {SNAPSHOT_FORMAT} file (not an .npz archive)"
+            f"{path!r} is not a {SNAPSHOT_FORMAT} file (neither an arena "
+            f"snapshot nor an .npz archive)"
         ) from exc
 
 
 def _parse_header(archive, path: str) -> dict:
-    """Extract and validate the JSON header of an open ``.npz`` archive."""
+    """Validated JSON header of an open archive (either container).
+
+    An arena archive validated its header (magic, version, CRC, member
+    structure) when it was opened; the npz container stores the header
+    as a member and validates it here.
+    """
+    if isinstance(archive, _ArenaArchive):
+        return archive.header
     if "header" not in archive.files:
         raise SnapshotError(f"{path!r} is not a {SNAPSHOT_FORMAT} file (no header)")
     try:
@@ -398,9 +691,15 @@ def _unpack_flats(
     if not header.get("has_flat"):
         return None
     flats = []
+    names = _member_names(archive)
     for i in range(int(header["l_spaces"])):
         p = f"{prefix}flat{i}."
         arrays = {key: archive[p + key] for key in _FLAT_FIXED_KEYS}
+        # Arena snapshots store the pre-mirrored [x, -x] coordinates the
+        # engine uses (adopted as a mapped view, no copy); npz snapshots
+        # store the single-sided form and pay the mirror copy at load.
+        coords_key = "coords_cat" if p + "coords_cat" in names else "leaf_coords"
+        arrays[coords_key] = archive[p + coords_key]
         n_levels = int(np.asarray(arrays["meta"]).reshape(-1)[4])
         for j in range(n_levels):
             for part in ("cat", "start", "end"):
@@ -436,6 +735,9 @@ def _unpack_dblsh(header: dict, archive, prefix: str) -> DBLSH:
         seed=0 if seed is None else int(seed),
         table_low=archive[prefix + "table_low"],
         table_high=archive[prefix + "table_high"],
+        norms2=(
+            archive[prefix + "norms2"] if header.get("has_norms2") else None
+        ),
         flats=_unpack_flats(header, archive, prefix),
         build_seconds=float(header.get("build_seconds", 0.0)),
         builder=str(header.get("builder", "array")),
@@ -642,3 +944,55 @@ def load_tombstones(path: str) -> np.ndarray:
         if not parts:
             return np.empty(0, dtype=np.int64)
         return np.sort(np.concatenate(parts))
+
+
+def verify_snapshot(path: str) -> dict:
+    """Full-content integrity pass over every member of the snapshot.
+
+    The default load path deliberately stays O(1) for arena snapshots —
+    it validates the preamble, the header CRC, and every member's byte
+    range without faulting data pages.  This function is the explicit
+    opposite trade: it reads **every member's bytes** and checks them
+    against the CRC32 recorded at save time, raising a
+    :class:`SnapshotError` that names the first corrupt member.  Run it
+    after a copy, a download, or a suspected disk fault; serving setups
+    can run it once per generation before ``reload``.
+
+    Returns
+    -------
+    dict
+        ``{"path", "container" ("arena" or "npz"), "version", "members",
+        "payload_bytes"}`` summary of what was verified.
+
+    Raises
+    ------
+    SnapshotError
+        If the file is not a snapshot, its header is corrupt, or any
+        member's bytes fail their recorded checksum.
+    """
+    with _open_archive(path) as archive:
+        header = _parse_header(archive, path)
+        container = "arena" if isinstance(archive, _ArenaArchive) else "npz"
+        members = 0
+        payload_bytes = 0
+        for name in sorted(archive.files):
+            if container == "npz" and name == "header":
+                continue
+            array = archive[name]  # npz: CRC verified by the archive itself
+            members += 1
+            payload_bytes += int(array.nbytes)
+            if container == "arena":
+                stored = archive.member_crc(name)
+                if stored is not None and _array_crc(array) != stored:
+                    raise SnapshotError(
+                        f"{path!r}: snapshot member {name!r} failed its "
+                        f"checksum (stored CRC32 {stored}) — the file bytes "
+                        f"were altered after save_index() wrote them"
+                    )
+        return {
+            "path": path,
+            "container": container,
+            "version": int(header["version"]),
+            "members": members,
+            "payload_bytes": payload_bytes,
+        }

@@ -94,6 +94,7 @@ from repro.core.result import QueryResult
 from repro.io.snapshot import read_header, shard_headers
 from repro.serve.protocol import SHM_MIN_BYTES, decode_result, write_query_block
 from repro.serve.worker import serve_shard
+from repro.utils.meminfo import mapping_memory, process_memory
 from repro.utils.validation import check_queries, check_query
 
 __all__ = ["DeadlineExceeded", "ServerError", "SnapshotServer"]
@@ -214,7 +215,8 @@ class _PoolSpec:
 class _Worker:
     """Coordinator-side handle for one worker process."""
 
-    __slots__ = ("shard", "process", "conn", "num_points", "spawn", "state")
+    __slots__ = ("shard", "process", "conn", "num_points", "spawn", "state",
+                 "mapped")
 
     def __init__(self, shard: int, process, conn, spawn: int = 0) -> None:
         self.shard = shard
@@ -225,6 +227,9 @@ class _Worker:
         #: pool: 0 for the original, +1 per supervision restart.
         self.spawn = spawn
         self.state = "starting"  # starting -> ready -> dead / restarting
+        #: True when the worker reported serving zero-copy mapped views
+        #: (arena snapshot) in its ready handshake.
+        self.mapped = False
 
     def describe(self) -> str:
         pid = self.process.pid
@@ -380,6 +385,60 @@ class SnapshotServer:
             if self._pool is None:
                 return []
             return [w.process.pid for w in self._pool.workers]
+
+    def memory_status(self) -> dict:
+        """Physical-memory accounting for the current generation's workers.
+
+        For each worker: whole-process RSS/PSS (``smaps_rollup``) plus
+        the RSS/PSS attributed to mappings of the serving snapshot file
+        (``smaps`` filtered by path) and the ``mapped`` flag from its
+        ready handshake.  On an arena snapshot the interesting signal is
+        ``snapshot_pss_kb`` vs ``snapshot_rss_kb`` summed across workers:
+        shared physical pages make each worker's proportional share a
+        fraction of its resident share.  Reads ``/proc`` directly from
+        the coordinator — no worker round-trip, safe to call while
+        queries are in flight.  On platforms without smaps every counter
+        is 0 and ``available`` is False.
+        """
+        with self._state_lock:
+            if self._pool is None:
+                rows: List[tuple] = []
+                path = self._spec.path
+            else:
+                path = self._pool.spec.path
+                rows = [
+                    (w.shard, w.process.pid, w.mapped)
+                    for w in self._pool.workers
+                ]
+        workers = []
+        available = False
+        for shard, pid, mapped in rows:
+            proc = process_memory(pid)
+            snap = mapping_memory(path, pid)
+            available = available or proc["available"]
+            workers.append({
+                "shard": shard,
+                "pid": pid,
+                "mapped": mapped,
+                "rss_kb": proc["rss_kb"],
+                "pss_kb": proc["pss_kb"],
+                "snapshot_rss_kb": snap["rss_kb"],
+                "snapshot_pss_kb": snap["pss_kb"],
+                "snapshot_mappings": snap["mappings"],
+            })
+        return {
+            "snapshot_path": path,
+            "available": available,
+            "workers": workers,
+            "total_rss_kb": sum(w["rss_kb"] for w in workers),
+            "total_pss_kb": sum(w["pss_kb"] for w in workers),
+            "total_snapshot_rss_kb": sum(
+                w["snapshot_rss_kb"] for w in workers
+            ),
+            "total_snapshot_pss_kb": sum(
+                w["snapshot_pss_kb"] for w in workers
+            ),
+        }
 
     @property
     def generation(self) -> int:
@@ -684,6 +743,8 @@ class SnapshotServer:
                 f"{worker.shard} of {spec.path!r}:\n{detail}"
             )
         worker.num_points = int(message[1])
+        if len(message) > 2 and isinstance(message[2], dict):
+            worker.mapped = bool(message[2].get("mapped", False))
         if worker.num_points != spec.sizes[worker.shard]:
             raise ServerError(
                 f"{worker.describe()} loaded {worker.num_points} points for "

@@ -113,7 +113,14 @@ def serve_shard(path: str, shard: int, conn, peer=None, spawn: int = 0) -> None:
         # Freeze now so the first query doesn't pay a lazy rebuild (a
         # no-op on rstar snapshots, which store the frozen arrays).
         index._ensure_frozen()
-        conn.send(("ready", index.num_points))
+        # The info dict rides third so older coordinators (which index
+        # only [0] and [1]) keep working; "mapped" reports whether this
+        # worker serves zero-copy mapped views (arena snapshot) or a
+        # private heap copy (npz).
+        conn.send(
+            ("ready", index.num_points,
+             {"mapped": bool(getattr(index, "is_mapped", False))})
+        )
     except Exception:
         _best_effort_send(conn, ("error", traceback.format_exc()))
         return

@@ -6,6 +6,7 @@ without import cycles.
 """
 
 from repro.utils.heaps import BoundedMaxHeap
+from repro.utils.meminfo import drop_page_cache, mapping_memory, process_memory
 from repro.utils.rng import SeedSequence, default_rng, spawn_rngs
 from repro.utils.scratch import GenerationMask
 from repro.utils.timing import Timer
@@ -21,6 +22,9 @@ __all__ = [
     "GenerationMask",
     "SeedSequence",
     "default_rng",
+    "drop_page_cache",
+    "mapping_memory",
+    "process_memory",
     "spawn_rngs",
     "Timer",
     "check_dataset",

@@ -1,0 +1,142 @@
+"""Process and mapping memory accounting from ``/proc`` (Linux).
+
+The zero-copy snapshot work (arena container, :mod:`repro.io.snapshot`)
+makes two physical-memory claims that plain RSS cannot check:
+
+* a mapped load should *allocate* almost nothing — the data pages live in
+  the kernel page cache, not the process heap;
+* N processes serving the same arena should *share* one physical copy —
+  each process's proportional share (PSS) of the mapping should be about
+  ``size / N``, far below its RSS for the same mapping.
+
+Both need per-mapping **PSS** (proportional set size), which the kernel
+exports in ``/proc/<pid>/smaps`` (per mapping) and
+``/proc/<pid>/smaps_rollup`` (whole process).  This module wraps those
+files behind two functions that degrade gracefully — every result dict
+carries an ``available`` flag, and callers (the memory benchmark, the
+serve-layer ``memory_status``) skip the assertions rather than crash on
+kernels or platforms without smaps.
+
+Nothing here imports numpy or any repro subsystem; like the rest of
+:mod:`repro.utils` it stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = ["process_memory", "mapping_memory", "drop_page_cache"]
+
+#: smaps fields we aggregate, in kB, keyed by the name we report them as.
+_FIELDS = {
+    "Rss:": "rss_kb",
+    "Pss:": "pss_kb",
+    "Shared_Clean:": "shared_clean_kb",
+    "Shared_Dirty:": "shared_dirty_kb",
+    "Private_Clean:": "private_clean_kb",
+    "Private_Dirty:": "private_dirty_kb",
+}
+
+
+def _blank(available: bool) -> dict:
+    out = {name: 0 for name in _FIELDS.values()}
+    out["available"] = available
+    return out
+
+
+def process_memory(pid: Optional[int] = None) -> dict:
+    """Whole-process memory from ``/proc/<pid>/smaps_rollup``.
+
+    Returns ``{"rss_kb", "pss_kb", "shared_clean_kb", "shared_dirty_kb",
+    "private_clean_kb", "private_dirty_kb", "available"}``.  When the
+    rollup file does not exist (non-Linux, old kernel, pid gone) every
+    counter is 0 and ``available`` is False — callers must gate their
+    assertions on the flag.
+    """
+    pid_part = "self" if pid is None else str(int(pid))
+    try:
+        with open(f"/proc/{pid_part}/smaps_rollup", "r") as handle:
+            lines = handle.readlines()
+    except OSError:
+        return _blank(False)
+    out = _blank(True)
+    for line in lines:
+        parts = line.split()
+        name = _FIELDS.get(parts[0]) if parts else None
+        if name is not None and len(parts) >= 2:
+            out[name] += int(parts[1])
+    return out
+
+
+def mapping_memory(path: str, pid: Optional[int] = None) -> dict:
+    """Memory attributed to mappings of ``path`` in ``/proc/<pid>/smaps``.
+
+    Filters the per-mapping smaps entries down to those whose backing
+    file resolves to ``path`` (realpath comparison; a trailing
+    `` (deleted)`` marker from an unlinked-but-mapped file is tolerated)
+    and sums the same counters as :func:`process_memory`, plus
+    ``"mappings"`` — how many VMAs matched.  This is the precise probe
+    for "do these workers share the snapshot?": the whole-process rollup
+    is dominated by each interpreter's private heap, while the mapping
+    view isolates exactly the arena pages.
+    """
+    target = os.path.realpath(path)
+    pid_part = "self" if pid is None else str(int(pid))
+    try:
+        with open(f"/proc/{pid_part}/smaps", "r") as handle:
+            lines = handle.readlines()
+    except OSError:
+        out = _blank(False)
+        out["mappings"] = 0
+        return out
+    out = _blank(True)
+    out["mappings"] = 0
+    in_target = False
+    for line in lines:
+        parts = line.split()
+        if not parts:
+            continue
+        # Mapping header lines look like
+        # ``7f..-7f.. r--s 0000 08:01 123  /path/to/file (deleted)`` —
+        # distinguish them from field lines by the address-range shape.
+        if "-" in parts[0] and not parts[0].endswith(":"):
+            mapped_to = " ".join(parts[5:]) if len(parts) > 5 else ""
+            if mapped_to.endswith(" (deleted)"):
+                mapped_to = mapped_to[: -len(" (deleted)")]
+            in_target = bool(mapped_to) and os.path.realpath(mapped_to) == target
+            if in_target:
+                out["mappings"] += 1
+            continue
+        if in_target:
+            name = _FIELDS.get(parts[0])
+            if name is not None and len(parts) >= 2:
+                out[name] += int(parts[1])
+    return out
+
+
+def drop_page_cache(path: str) -> bool:
+    """Ask the kernel to evict ``path``'s pages from the page cache.
+
+    Uses ``posix_fadvise(POSIX_FADV_DONTNEED)`` — an unprivileged hint,
+    so this is best-effort: returns True when the advice was delivered,
+    False when the platform lacks fadvise or the file cannot be opened.
+    The memory benchmark uses it to measure a genuinely cold arena load
+    without needing root for ``/proc/sys/vm/drop_caches``.
+    """
+    fadvise = getattr(os, "posix_fadvise", None)
+    dontneed = getattr(os, "POSIX_FADV_DONTNEED", None)
+    if fadvise is None or dontneed is None:
+        return False
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return False
+    try:
+        os.fsync(fd)
+        fadvise(fd, 0, 0, dontneed)
+        return True
+    except OSError:
+        return False
+    finally:
+        os.close(fd)

@@ -108,6 +108,23 @@ GOOD = {
             "wal_kills": 1,
         },
     },
+    "BENCH_memory.smoke.json": {
+        "zero_copy": {
+            "arena_alloc_fraction": 0.05,
+            "npz_alloc_fraction": 1.1,
+            "arena_is_mapped": True,
+        },
+        "parity": {
+            "v2_v3_identical": True,
+            "served_matches_inprocess": True,
+        },
+        "sharing": {
+            "available": True,
+            "servers": 4,
+            "all_workers_mapped": True,
+            "pss_over_rss": 0.25,
+        },
+    },
 }
 
 #: (file, mutation breaking one gate, substring the violation must name)
@@ -190,6 +207,24 @@ BREAKS = [
     ("BENCH_chaos.smoke.json",
      lambda r: r["counters"].update(watchdog_kills=0),
      "watchdog never killed"),
+    ("BENCH_memory.smoke.json",
+     lambda r: r["zero_copy"].update(arena_alloc_fraction=0.5),
+     "the arena load is copying"),
+    ("BENCH_memory.smoke.json",
+     lambda r: r["zero_copy"].update(npz_alloc_fraction=0.01),
+     "probe is not measuring copies"),
+    ("BENCH_memory.smoke.json",
+     lambda r: r["parity"].update(v2_v3_identical=False),
+     "answered differently"),
+    ("BENCH_memory.smoke.json",
+     lambda r: r["parity"].update(served_matches_inprocess=False),
+     "served arena answers"),
+    ("BENCH_memory.smoke.json",
+     lambda r: r["sharing"].update(pss_over_rss=0.98),
+     "physical pages are not shared"),
+    ("BENCH_memory.smoke.json",
+     lambda r: r["sharing"].update(all_workers_mapped=False),
+     "private copy"),
 ]
 
 
@@ -212,6 +247,16 @@ def test_broken_fixture_raises_the_named_violation(name, mutate, expected):
     violations = gates.CHECKERS[name](report)
     assert violations, f"{name}: broken report produced no violation"
     assert any(expected in v for v in violations), violations
+
+
+def test_memory_sharing_gate_skipped_when_smaps_unavailable():
+    """Platforms without smaps record available=False; the sharing gate
+    must skip rather than fail on counters that are all zero."""
+    report = copy.deepcopy(GOOD["BENCH_memory.smoke.json"])
+    report["sharing"].update(
+        available=False, all_workers_mapped=False, pss_over_rss=None
+    )
+    assert gates.CHECKERS["BENCH_memory.smoke.json"](report) == []
 
 
 def test_one_break_means_exactly_one_violation():
@@ -270,7 +315,7 @@ def test_check_file_reports_schema_drift_not_traceback(tmp_path):
 def test_main_exit_codes(tmp_path, capsys):
     paths = [_write(tmp_path, name, report) for name, report in GOOD.items()]
     assert gates.main(paths) == 0
-    assert "bench gates OK (7 file(s))" in capsys.readouterr().out
+    assert f"bench gates OK ({len(GOOD)} file(s))" in capsys.readouterr().out
 
     broken = copy.deepcopy(GOOD["BENCH_mutations.smoke.json"])
     broken["recovery"]["recovered_exactly_acked"] = False

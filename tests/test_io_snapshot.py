@@ -81,7 +81,7 @@ class TestRoundtrip:
 
     def test_header_is_inspectable(self, fitted, tmp_path):
         path = str(tmp_path / "index.npz")
-        save_index(fitted, path)
+        save_index(fitted, path, format="npz")
         header = read_header(path)
         assert header["version"] == SNAPSHOT_VERSION
         assert header["kind"] == "dblsh"
@@ -196,7 +196,7 @@ class TestShardedRoundtrip:
 class TestRejection:
     def test_version_mismatch_rejected(self, fitted, tmp_path):
         path = str(tmp_path / "future.npz")
-        save_index(fitted, path)
+        save_index(fitted, path, format="npz")
         with np.load(path, allow_pickle=False) as archive:
             payload = {key: archive[key] for key in archive.files}
         header = json.loads(bytes(payload.pop("header")).decode())
@@ -239,7 +239,7 @@ class TestEvaluateSnapshot:
         # A member altered after save is caught by its CRC32 before the
         # shape validation can even run.
         path = str(tmp_path / "mismatch.npz")
-        save_index(fitted, path)
+        save_index(fitted, path, format="npz")
         with np.load(path, allow_pickle=False) as archive:
             payload = {key: archive[key] for key in archive.files}
         payload["tensor"] = payload["tensor"][:-1]  # drop one space
@@ -253,7 +253,7 @@ class TestEvaluateSnapshot:
         # Snapshots written before per-member checksums existed fall
         # back to the header-vs-payload shape validation.
         path = str(tmp_path / "mismatch-old.npz")
-        save_index(fitted, path)
+        save_index(fitted, path, format="npz")
         with np.load(path, allow_pickle=False) as archive:
             payload = {key: archive[key] for key in archive.files}
         header = json.loads(bytes(payload.pop("header")).decode())
@@ -267,7 +267,7 @@ class TestEvaluateSnapshot:
 
     def test_missing_payload_member_rejected(self, fitted, tmp_path):
         path = str(tmp_path / "truncated.npz")
-        save_index(fitted, path)
+        save_index(fitted, path, format="npz")
         with np.load(path, allow_pickle=False) as archive:
             payload = {key: archive[key] for key in archive.files}
         del payload["flat0.meta"]
@@ -282,7 +282,7 @@ class TestEvaluateSnapshot:
         import zipfile
 
         path = str(tmp_path / "shortmember.npz")
-        save_index(fitted, path)
+        save_index(fitted, path, format="npz")
         with zipfile.ZipFile(path) as archive:
             members = {name: archive.read(name) for name in archive.namelist()}
         victim = "tensor.npy"

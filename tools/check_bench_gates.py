@@ -9,7 +9,7 @@ gate at once instead of stopping at the first assert.
 
 Usage::
 
-    python tools/check_bench_gates.py                  # all seven, repo root
+    python tools/check_bench_gates.py                  # all eight, repo root
     python tools/check_bench_gates.py BENCH_serve.smoke.json [...]
 
 Exit status 0 when every gate in every file holds; 1 otherwise (missing
@@ -203,6 +203,53 @@ def check_chaos(report: dict) -> List[str]:
     return violations
 
 
+def check_memory(report: dict) -> List[str]:
+    """The arena snapshot's physical claims: a mapped load must allocate
+    almost nothing (< 10% of the payload bytes — the npz control must
+    allocate ≥ 30%, proving the tracemalloc probe measures real copies),
+    v3 must answer bit-identically to v2 and to the served path, and the
+    replica fleet must actually share pages (snapshot PSS/RSS < 0.75)
+    whenever the platform can measure it."""
+    violations = []
+    zero = report["zero_copy"]
+    if zero["arena_alloc_fraction"] >= 0.10:
+        violations.append(
+            f"zero-copy: mapped load allocated "
+            f"{zero['arena_alloc_fraction']:.1%} of the payload bytes "
+            f"(>= 10% — the arena load is copying)"
+        )
+    if zero["npz_alloc_fraction"] < 0.30:
+        violations.append(
+            f"zero-copy: npz control allocated only "
+            f"{zero['npz_alloc_fraction']:.1%} of the payload — the "
+            f"allocation probe is not measuring copies"
+        )
+    if not zero["arena_is_mapped"]:
+        violations.append("zero-copy: arena load did not report is_mapped")
+    parity = report["parity"]
+    if not parity["v2_v3_identical"]:
+        violations.append("parity: v2 and v3 snapshots answered differently")
+    if not parity["served_matches_inprocess"]:
+        violations.append(
+            "parity: served arena answers != in-process load_index answers"
+        )
+    sharing = report["sharing"]
+    if sharing["available"]:
+        if not sharing["all_workers_mapped"]:
+            violations.append(
+                "sharing: a replica worker served a private copy, not the "
+                "mapped arena"
+            )
+        ratio = sharing["pss_over_rss"]
+        if ratio is None or ratio >= 0.75:
+            violations.append(
+                f"sharing: snapshot PSS/RSS is {ratio} across "
+                f"{sharing['servers']} replicas (>= 0.75 — physical pages "
+                f"are not shared)"
+            )
+    return violations
+
+
 #: filename -> checker; also the default set of files the CI job expects.
 CHECKERS: Dict[str, Callable[[dict], List[str]]] = {
     "BENCH_query_engine.smoke.json": check_query_engine,
@@ -212,6 +259,7 @@ CHECKERS: Dict[str, Callable[[dict], List[str]]] = {
     "BENCH_mutations.smoke.json": check_mutations,
     "BENCH_http.smoke.json": check_http,
     "BENCH_chaos.smoke.json": check_chaos,
+    "BENCH_memory.smoke.json": check_memory,
 }
 
 
