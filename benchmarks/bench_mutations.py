@@ -19,6 +19,13 @@ one served snapshot it answers:
 * **Recovery after an injected kill** (CI-gated) — a child process is
   killed mid-WAL-append (``REPRO_WAL_FAULT=torn``); the restart must
   recover in the reported time and serve exactly the acked mutations.
+* **Group commit** (CI-gated) — acked insert throughput with the
+  group-commit window on versus per-record synchronous fsyncs, under
+  concurrent writers.  ``REPRO_WAL_SLOW_FSYNC_MS`` injects a fixed
+  fsync latency for both modes so the ratio measures *fsyncs saved by
+  batching* deterministically instead of whatever the host disk's sync
+  cost happens to be; the injected delay is recorded in the report.
+  The gate requires grouped >= 3x ungrouped.
 
 Usage::
 
@@ -35,7 +42,9 @@ import argparse
 import json
 import multiprocessing
 import os
+import shutil
 import sys
+import threading
 import time
 
 import numpy as np
@@ -51,6 +60,14 @@ from repro.serve import MutableSnapshotServer  # noqa: E402
 
 DEFAULT_OUT = os.path.join(os.path.dirname(os.path.dirname(__file__)),
                            "BENCH_mutations.json")
+
+
+def _remove(path: str) -> None:
+    """Delete a WAL (now a segment directory) or any leftover file."""
+    if os.path.isdir(path):
+        shutil.rmtree(path)
+    elif os.path.exists(path):
+        os.remove(path)
 
 
 def _same_answers(a, b) -> bool:
@@ -215,6 +232,90 @@ def bench_recovery(snapshot_path, wal_path, acked_before_kill, k):
     return row
 
 
+def _concurrent_insert_qps(snapshot_path, wal_path, points, clients,
+                           group_commit_ms):
+    """Acked inserts/second with ``clients`` writer threads."""
+    with MutableSnapshotServer(snapshot_path, wal_path=wal_path,
+                               compact_threshold=0,
+                               group_commit_ms=group_commit_ms,
+                               mp_context="fork") as server:
+        errors = []
+
+        def run(chunk):
+            try:
+                for point in chunk:
+                    server.insert(point)
+            except BaseException as exc:  # surfaced on the caller thread
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(chunk,), daemon=True)
+            for chunk in np.array_split(points, clients) if len(chunk)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+        if errors:
+            raise errors[0]
+        info = server.status()
+        return {
+            "qps": points.shape[0] / wall,
+            "wall_seconds": wall,
+            "groups_committed": info["wal_groups_committed"],
+            "mean_group_records": info["wal_mean_group_records"],
+        }
+
+
+def bench_group_commit(snapshot_path, out_stem, n_insert, dim, *,
+                       clients=16, window_ms=2.0, fsync_delay_ms=2.0):
+    """Grouped vs ungrouped acked-insert throughput (CI-gated >= 3x).
+
+    Both modes run with the same injected fsync latency
+    (``REPRO_WAL_SLOW_FSYNC_MS``), so the ratio is determined by how
+    many records share each fsync — not by the host disk.  Ungrouped
+    (window 0) pays one fsync per record; grouped amortizes one fsync
+    over every record that arrived within the window.
+    """
+    points = gaussian_mixture(n_insert, dim, n_clusters=8, seed=7)
+    wal_path = f"{out_stem}.group.wal"
+    os.environ["REPRO_WAL_SLOW_FSYNC_MS"] = str(fsync_delay_ms)
+    try:
+        _remove(wal_path)
+        ungrouped = _concurrent_insert_qps(
+            snapshot_path, wal_path, points, clients, group_commit_ms=0.0
+        )
+        _remove(wal_path)
+        grouped = _concurrent_insert_qps(
+            snapshot_path, wal_path, points, clients,
+            group_commit_ms=window_ms,
+        )
+    finally:
+        os.environ.pop("REPRO_WAL_SLOW_FSYNC_MS", None)
+        _remove(wal_path)
+    row = {
+        "inserts": int(n_insert),
+        "clients": int(clients),
+        "group_window_ms": float(window_ms),
+        "fsync_delay_ms": float(fsync_delay_ms),
+        "ungrouped_qps": round(ungrouped["qps"], 1),
+        "grouped_qps": round(grouped["qps"], 1),
+        "speedup": round(grouped["qps"] / max(ungrouped["qps"], 1e-9), 2),
+        "grouped_groups_committed": int(grouped["groups_committed"]),
+        "grouped_mean_group_records": round(
+            grouped["mean_group_records"], 2
+        ),
+    }
+    print(f"  group commit: grouped {row['grouped_qps']} vs ungrouped "
+          f"{row['ungrouped_qps']} inserts/s -> x{row['speedup']} "
+          f"({row['grouped_groups_committed']} groups, mean "
+          f"{row['grouped_mean_group_records']} records/group, "
+          f"fsync delay {fsync_delay_ms}ms injected)")
+    return row
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
@@ -265,9 +366,13 @@ def main(argv=None) -> int:
         snapshot_path, wal_path,
         acked_before_kill=10 if args.smoke else 100, k=args.k,
     )
+    group_rows = bench_group_commit(
+        snapshot_path, out_stem,
+        n_insert=160 if args.smoke else 1_000, dim=args.dim,
+        clients=16, window_ms=2.0, fsync_delay_ms=2.0,
+    )
     for path in (snapshot_path, wal_path):
-        if os.path.exists(path):
-            os.remove(path)
+        _remove(path)
 
     report = {
         "benchmark": "mutations",
@@ -280,6 +385,7 @@ def main(argv=None) -> int:
         "host_cpus": os.cpu_count(),
         "mutations": mutation_rows,
         "recovery": recovery_rows,
+        "group_commit": group_rows,
     }
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)

@@ -643,6 +643,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             hang_policy=args.hang_policy,
             mp_context=args.mp_context, wal_path=args.wal,
             compact_threshold=args.compact_threshold,
+            compact_wal_bytes=args.compact_wal_bytes,
+            compact_overhead=args.compact_overhead,
+            group_commit_ms=args.wal_group_commit_ms,
+            group_bytes=args.wal_group_bytes,
+            segment_bytes=args.wal_segment_bytes,
         )
     else:
         server_factory = SnapshotServer(
@@ -1022,7 +1027,35 @@ def build_parser() -> argparse.ArgumentParser:
                            dest="compact_threshold",
                            help="fold the delta buffer into a fresh snapshot "
                                 "generation once this many pending mutations "
-                                "accumulate (0 disables auto-compaction)")
+                                "accumulate (0 disables auto-compaction "
+                                "entirely, including the byte/overhead "
+                                "triggers below)")
+    serve_cmd.add_argument("--compact-wal-bytes", type=int,
+                           default=64 * 1024 * 1024, dest="compact_wal_bytes",
+                           metavar="BYTES",
+                           help="also compact once the live WAL segments "
+                                "total this many bytes (bounds recovery "
+                                "replay time; 0 disables this trigger)")
+    serve_cmd.add_argument("--compact-overhead", type=float, default=0.25,
+                           dest="compact_overhead", metavar="FRACTION",
+                           help="also compact once the delta brute-force "
+                                "sweep is measured at this fraction of query "
+                                "time (EMA over recent batches; 0 disables "
+                                "this trigger)")
+    serve_cmd.add_argument("--wal-group-commit-ms", type=float, default=2.0,
+                           dest="wal_group_commit_ms", metavar="MS",
+                           help="group-commit window: concurrent mutations "
+                                "arriving within it share one WAL fsync "
+                                "(0 = fsync each record synchronously)")
+    serve_cmd.add_argument("--wal-group-bytes", type=int, default=1 << 20,
+                           dest="wal_group_bytes", metavar="BYTES",
+                           help="flush a commit group early once its pending "
+                                "records reach this many bytes")
+    serve_cmd.add_argument("--wal-segment-bytes", type=int, default=4 << 20,
+                           dest="wal_segment_bytes", metavar="BYTES",
+                           help="rotate the WAL to a new segment file once "
+                                "the live one reaches this size; compaction "
+                                "deletes whole checkpointed segments")
     serve_cmd.add_argument("--http", default=None,
                            help="also serve HTTP/JSON on HOST:PORT (or :PORT "
                                 "/ PORT, loopback by default): POST /query "

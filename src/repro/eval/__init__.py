@@ -4,7 +4,9 @@ from repro.eval.metrics import overall_ratio, recall
 from repro.eval.report import format_table
 from repro.eval.runner import (
     MethodResult,
+    MutablePhaseResult,
     evaluate_method,
+    evaluate_mutable_workload,
     evaluate_server,
     evaluate_snapshot,
     run_comparison,
@@ -15,7 +17,9 @@ __all__ = [
     "recall",
     "format_table",
     "MethodResult",
+    "MutablePhaseResult",
     "evaluate_method",
+    "evaluate_mutable_workload",
     "evaluate_server",
     "evaluate_snapshot",
     "run_comparison",

@@ -280,6 +280,192 @@ def evaluate_server(
         )
 
 
+@dataclass
+class MutablePhaseResult:
+    """One phase of a mixed read/write workload trajectory.
+
+    A phase applies a block of mutations (inserts plus a fraction of
+    deletes), then answers the full query set against whatever the
+    server now holds.  Ground truth is recomputed against the *live*
+    point set each phase, so ``recall`` measures the served quality of
+    the mutated index — the delta sweep, the tombstones and any
+    background compaction included — not the stale base snapshot.
+    """
+
+    phase: int
+    inserts: int
+    deletes: int
+    live_points: int
+    mutation_seconds: float
+    mutation_qps: float
+    query_time_ms: float
+    recall: float
+    ratio: float
+    wal_bytes: int
+    wal_segments: int
+    compactions: int
+    compaction_trigger: Optional[str]
+
+    def row(self) -> Dict[str, object]:
+        """Flat dict for table rendering / JSON reports."""
+        return {
+            "phase": self.phase,
+            "inserts": self.inserts,
+            "deletes": self.deletes,
+            "live": self.live_points,
+            "mut_qps": round(self.mutation_qps, 1),
+            "query_ms": round(self.query_time_ms, 3),
+            "recall": round(self.recall, 4),
+            "ratio": round(self.ratio, 4),
+            "wal_bytes": self.wal_bytes,
+            "wal_segments": self.wal_segments,
+            "compactions": self.compactions,
+            "trigger": self.compaction_trigger,
+        }
+
+
+def evaluate_mutable_workload(
+    server,
+    base_data: np.ndarray,
+    insert_points: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    *,
+    phases: int = 4,
+    delete_fraction: float = 0.25,
+    mutation_clients: int = 1,
+    seed: int = 0,
+) -> List[MutablePhaseResult]:
+    """Drive a mutable server through interleaved write and read phases.
+
+    ``insert_points`` is split into ``phases`` blocks.  Each phase
+    inserts one block (across ``mutation_clients`` concurrent threads,
+    so group commit actually gets groups to merge), deletes
+    ``delete_fraction`` of the ids that phase just inserted, then runs
+    the whole query set and scores recall/ratio against exact k-NN over
+    the live point set at that instant.  The returned trajectory shows
+    how serving quality and cost evolve as the delta grows and
+    compactions fold it away — the mixed-workload curve a static
+    ``evaluate_method`` run cannot produce.
+
+    ``server`` must expose ``insert``/``delete``/``query_batch``/
+    ``status`` (a started
+    :class:`~repro.serve.mutable.MutableSnapshotServer`); ``base_data``
+    must be the point set its snapshot was built from, ids ``0..n-1``.
+    """
+    import threading
+
+    if phases < 1:
+        raise ValueError(f"phases must be >= 1, got {phases}")
+    if not 0.0 <= delete_fraction <= 1.0:
+        raise ValueError(
+            f"delete_fraction must be in [0, 1], got {delete_fraction}"
+        )
+    if mutation_clients < 1:
+        raise ValueError(
+            f"mutation_clients must be >= 1, got {mutation_clients}"
+        )
+    base_data = np.asarray(base_data, dtype=np.float64)
+    insert_points = np.atleast_2d(np.asarray(insert_points, dtype=np.float64))
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    rng = np.random.default_rng(seed)
+
+    # id -> point for every live row, maintained in lockstep with the
+    # server so each phase can recompute exact ground truth.
+    live: Dict[int, np.ndarray] = {
+        i: base_data[i] for i in range(base_data.shape[0])
+    }
+
+    trajectory: List[MutablePhaseResult] = []
+    for phase_index, block in enumerate(np.array_split(insert_points, phases)):
+        inserted: List[tuple] = []
+        errors: List[BaseException] = []
+        lock = threading.Lock()
+
+        def insert_chunk(chunk: np.ndarray) -> None:
+            try:
+                for point in chunk:
+                    new_id = server.insert(point)
+                    with lock:
+                        inserted.append((new_id, point))
+            except BaseException as exc:  # re-raised on the caller thread
+                errors.append(exc)
+
+        mutation_started = time.perf_counter()
+        if len(block):
+            threads = [
+                threading.Thread(target=insert_chunk, args=(chunk,),
+                                 daemon=True)
+                for chunk in np.array_split(block, mutation_clients)
+                if len(chunk)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        if errors:
+            raise errors[0]
+        doomed = (
+            rng.choice(
+                len(inserted),
+                size=int(len(inserted) * delete_fraction),
+                replace=False,
+            )
+            if inserted
+            else np.empty(0, dtype=int)
+        )
+        doomed_ids = {inserted[i][0] for i in doomed}
+        for doomed_id in sorted(doomed_ids):
+            server.delete(doomed_id)
+        mutation_seconds = time.perf_counter() - mutation_started
+
+        for new_id, point in inserted:
+            live[new_id] = point
+        for doomed_id in doomed_ids:
+            del live[doomed_id]
+
+        id_array = np.fromiter(live.keys(), dtype=np.int64, count=len(live))
+        matrix = np.stack([live[i] for i in id_array])
+        gt_rows, gt_dists = exact_knn(queries, matrix, k)
+        gt_ids = id_array[gt_rows]
+
+        query_started = time.perf_counter()
+        results = server.query_batch(queries, k=k)
+        query_seconds = time.perf_counter() - query_started
+
+        recalls = [
+            recall(result.ids, gt_ids[qi]) for qi, result in enumerate(results)
+        ]
+        ratios = [
+            overall_ratio(result.distances, gt_dists[qi])
+            for qi, result in enumerate(results)
+        ]
+        finite = [r for r in ratios if np.isfinite(r)]
+        info = server.status()
+        mutations = len(inserted) + len(doomed_ids)
+        trajectory.append(
+            MutablePhaseResult(
+                phase=phase_index,
+                inserts=len(inserted),
+                deletes=len(doomed_ids),
+                live_points=len(live),
+                mutation_seconds=mutation_seconds,
+                mutation_qps=(
+                    mutations / mutation_seconds if mutation_seconds > 0
+                    else 0.0
+                ),
+                query_time_ms=query_seconds / queries.shape[0] * 1e3,
+                recall=float(np.mean(recalls)),
+                ratio=float(np.mean(finite)) if finite else float("inf"),
+                wal_bytes=int(info.get("wal_bytes", 0)),
+                wal_segments=int(info.get("wal_segments", 0)),
+                compactions=int(info.get("compactions", 0)),
+                compaction_trigger=info.get("last_compaction_trigger"),
+            )
+        )
+    return trajectory
+
+
 def run_comparison(
     methods: Iterable,
     data: np.ndarray,

@@ -13,9 +13,10 @@ on demand via :func:`verify_snapshot` for arenas; see
 :mod:`repro.io.snapshot` for the formats.
 
 :class:`WriteAheadLog` (:mod:`repro.io.wal`) makes live mutations
-durable: inserts/deletes are CRC-framed, fsync'd on append, and bound to
-the snapshot generation they apply on top of, so a killed server
-recovers exactly its acked mutations.
+durable: inserts/deletes are CRC-framed into rotating segments, group-
+commit fsync'd before the ack, and bound to the snapshot generation
+they apply on top of, so a killed server recovers exactly its acked
+mutations.
 """
 
 from repro.io.snapshot import (
@@ -34,10 +35,12 @@ from repro.io.snapshot import (
 )
 from repro.io.wal import (
     CheckpointRecord,
+    CommitTicket,
     DeleteRecord,
     InsertRecord,
     WALError,
     WriteAheadLog,
+    wal_present,
 )
 
 __all__ = [
@@ -54,8 +57,10 @@ __all__ = [
     "shard_headers",
     "verify_snapshot",
     "CheckpointRecord",
+    "CommitTicket",
     "DeleteRecord",
     "InsertRecord",
     "WALError",
     "WriteAheadLog",
+    "wal_present",
 ]

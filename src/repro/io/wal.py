@@ -1,4 +1,4 @@
-"""Write-ahead log for live mutations (insert / delete / checkpoint).
+"""Segmented, group-commit write-ahead log for live mutations.
 
 The mutation path promises: *an acked mutation survives* ``kill -9``.
 The snapshot alone cannot provide that — rewriting a multi-megabyte
@@ -7,57 +7,100 @@ to this log and ``fsync``'d, and only then acknowledged.  On restart the
 server replays the log over the snapshot it was bound to and recovers
 exactly the acked state.
 
-Format (all integers little-endian)::
+Layout
+------
+
+The log is a **directory** of CRC-framed segments::
+
+    <path>/
+        wal.000001.seg
+        wal.000002.seg
+        ...
+
+Each segment (all integers little-endian)::
 
     magic     8 bytes   b"REPROWAL"
     header    [u32 len][u32 crc32][len bytes of JSON]
     records   [u32 len][u32 crc32][len bytes of payload] ...
 
-The JSON header binds the log to one snapshot *generation*: it names the
-``snapshot_uid`` the records apply on top of (and that snapshot's
+The JSON header binds the segment to one snapshot *generation*: it names
+the ``snapshot_uid`` the records apply on top of (and that snapshot's
 ``parent_uid``, so recovery can accept a log written just *before* a
-compaction flip — see below), plus the id counter ``next_id`` at
-creation time.  :meth:`WriteAheadLog.open` refuses a log whose header
-names neither of the uids the caller will replay against — replaying
-someone else's mutations over the wrong snapshot would fabricate state.
+compaction flip), the id counter ``next_id``, and the segment's ordinal.
+A log created as a single regular file by older builds is migrated into
+the directory layout (the file becomes ``wal.000001.seg``) on open.
 
 Record payloads are binary, one mutation each:
 
 * ``insert`` — ``u8 op=1, u64 id, u32 dim,`` then ``dim`` float64s;
 * ``delete`` — ``u8 op=2, u64 id``;
 * ``checkpoint`` — ``u8 op=3,`` then a UTF-8 snapshot uid: everything
-  up to this record is folded into that snapshot generation.
+  before this record is folded into that snapshot generation.
 
-Durability discipline: every append is written, flushed, and
-``os.fsync``'d before the method returns — the caller acks only after
-that return.  Recovery (:meth:`WriteAheadLog.open`) replays records in
-order and **truncates the torn tail** at the first record whose length
-field runs past EOF or whose CRC32 does not match: a crash mid-append
-loses only the unacked record being written, never an acked one.
+Group commit
+------------
+
+With ``group_window > 0`` appends go through a single **committer
+thread**: concurrent submitters enqueue framed records into a bounded
+in-memory batch and receive a :class:`CommitTicket`; the committer
+flushes + ``fsync``'s the whole batch once — when the window elapses
+after the batch's first record, or the batch reaches ``group_bytes``,
+whichever comes first — and only then resolves the tickets.  One disk
+sync amortizes over every mutation in the group, but the fsync-before-
+ack invariant is untouched: ``CommitTicket.wait`` returns only after
+the group's fsync.  ``group_window == 0`` keeps the classic synchronous
+one-fsync-per-append path (the ungrouped baseline the benchmarks
+compare against).
+
+Segments rotate when the live segment would exceed ``segment_bytes``.
+Compaction no longer rewrites one monolithic file: it calls
+:meth:`WriteAheadLog.roll_checkpoint`, which seals the live segment,
+opens a fresh one bound to the new generation whose first record is a
+checkpoint, re-logs the still-pending mutations, fsyncs, and only then
+deletes the fully-checkpointed older segments.  Recovery replays
+segments in ordinal order starting at the newest segment that *begins*
+with a checkpoint record, truncates a torn tail **only in the last
+segment** (a torn record in a sealed segment is corruption, not a
+crash), and deletes stale pre-checkpoint segments left by a crash
+between the checkpoint fsync and the deletes.
 
 Fault injection (tests only): the ``REPRO_WAL_FAULT`` environment
-variable arms a one-shot crash at a deterministic point of the *nth*
-append (0-based), mirroring the ``REPRO_SERVE_FAULT`` idiom of
-:mod:`repro.serve.worker`.  Specs are comma-separated
-``<point>[:<nth>]`` with points:
+variable arms a one-shot crash at a deterministic point, mirroring the
+``REPRO_SERVE_FAULT`` idiom of :mod:`repro.serve.worker`.  Specs are
+comma-separated ``<point>[:<nth>]``:
 
-* ``pre-append`` — exit before writing anything (mutation fully lost,
-  never acked);
-* ``torn`` — write *half* the record, fsync the fragment, exit: the
-  torn-tail case recovery must truncate;
-* ``post-fsync`` — complete the append (durable) but exit before the
-  caller can ack: recovery may surface the record, the client just
-  never heard the ack.
+* ``pre-append`` — exit before writing the *nth* submitted record
+  (mutation fully lost, never acked);
+* ``torn`` — write *half* of the *nth* record, fsync the fragment,
+  exit: the torn-tail case recovery must truncate;
+* ``post-fsync`` — the group containing the *nth* record is fully
+  durable but the process exits before any ticket resolves: recovery
+  may surface the records, the clients just never heard the ack;
+* ``mid-group`` — the *nth* flush group is written only up to its
+  midpoint, that prefix fsync'd, then death: a partially-durable group
+  none of whose mutations were acked;
+* ``between-segment`` — exit right after the *nth* rotation makes the
+  new segment's header durable, before any record lands in it;
+* ``pre-segment-delete`` — exit after the *nth* checkpoint segment is
+  durable but before the folded older segments are deleted: recovery
+  must pick the checkpoint as base and clean the stale segments.
 
-Production deployments simply never set the variable.
+An additional ``REPRO_WAL_SLOW_FSYNC_MS`` variable injects a simulated
+per-``fsync`` latency so group-commit amortization is measurable on
+hosts whose real disk sync is faster than a scheduler tick.  Production
+deployments simply never set either variable.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
+import shutil
 import struct
-from typing import List, NamedTuple, Optional, Sequence, Union
+import threading
+import time
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
 from zlib import crc32
 
 import numpy as np
@@ -65,14 +108,16 @@ import numpy as np
 __all__ = [
     "WALError",
     "WriteAheadLog",
+    "CommitTicket",
     "InsertRecord",
     "DeleteRecord",
     "CheckpointRecord",
+    "wal_present",
 ]
 
 WAL_MAGIC = b"REPROWAL"
 WAL_FORMAT = "repro-wal"
-WAL_VERSION = 1
+WAL_VERSION = 2
 
 _FRAME = struct.Struct("<II")  # (length, crc32) framing both header and records
 _OP_INSERT, _OP_DELETE, _OP_CHECKPOINT = 1, 2, 3
@@ -81,6 +126,14 @@ _DELETE_HEAD = struct.Struct("<BQ")  # op, id
 # A corrupt length field must not make recovery try to materialize
 # gigabytes: no legitimate record (a point payload) approaches this.
 _MAX_RECORD = 1 << 26
+
+_SEGMENT_RE = re.compile(r"^wal\.(\d{6,})\.seg$")
+
+DEFAULT_GROUP_BYTES = 1 << 20
+DEFAULT_SEGMENT_BYTES = 1 << 22
+
+#: Fault points that target one submitted record (0-based record ordinal).
+_RECORD_FAULTS = ("pre-append", "torn", "post-fsync")
 
 
 class WALError(Exception):
@@ -109,6 +162,10 @@ class CheckpointRecord(NamedTuple):
 Record = Union[InsertRecord, DeleteRecord, CheckpointRecord]
 
 
+def _segment_name(ordinal: int) -> str:
+    return f"wal.{ordinal:06d}.seg"
+
+
 def _fsync_dir(path: str) -> None:
     """fsync the directory so a rename/creation itself is durable."""
     fd = os.open(path or ".", os.O_RDONLY)
@@ -116,6 +173,65 @@ def _fsync_dir(path: str) -> None:
         os.fsync(fd)
     finally:
         os.close(fd)
+
+
+def wal_present(path: str) -> bool:
+    """True when a log (directory, legacy file, or mid-migration staging
+    directory) exists at ``path`` — the check recovery must use so a
+    crash mid-migration never looks like a missing log."""
+    return os.path.exists(path) or os.path.isdir(path + ".migrating")
+
+
+def _parse_faults() -> List[Tuple[str, int]]:
+    out = []
+    for part in filter(None, os.environ.get("REPRO_WAL_FAULT", "").split(",")):
+        fields = part.split(":")
+        try:
+            target = int(fields[1]) if len(fields) > 1 else 0
+        except ValueError:
+            continue  # malformed spec: never let a typo crash serving
+        out.append((fields[0], target))
+    return out
+
+
+def _armed_fault(point: str, ordinal: int) -> bool:
+    """True when ``REPRO_WAL_FAULT`` arms ``point`` at this ordinal."""
+    return any(p == point and t == ordinal for p, t in _parse_faults())
+
+
+def _fsync_delay() -> float:
+    """Injected per-fsync latency (seconds) from ``REPRO_WAL_SLOW_FSYNC_MS``."""
+    raw = os.environ.get("REPRO_WAL_SLOW_FSYNC_MS", "")
+    try:
+        return max(0.0, float(raw)) / 1000.0 if raw else 0.0
+    except ValueError:
+        return 0.0
+
+
+def _encode_insert(point_id: int, point: np.ndarray) -> bytes:
+    vector = np.ascontiguousarray(point, dtype="<f8").ravel()
+    return (
+        _INSERT_HEAD.pack(_OP_INSERT, int(point_id), vector.shape[0])
+        + vector.tobytes()
+    )
+
+
+def _encode_delete(point_id: int) -> bytes:
+    return _DELETE_HEAD.pack(_OP_DELETE, int(point_id))
+
+
+def _encode_checkpoint(uid: str) -> bytes:
+    return bytes([_OP_CHECKPOINT]) + uid.encode("utf-8")
+
+
+def _encode_record(record: Record) -> bytes:
+    if isinstance(record, InsertRecord):
+        return _encode_insert(record.id, record.point)
+    if isinstance(record, DeleteRecord):
+        return _encode_delete(record.id)
+    if isinstance(record, CheckpointRecord):
+        return _encode_checkpoint(record.uid)
+    raise TypeError(f"not a WAL record: {record!r}")
 
 
 def _decode(payload: bytes) -> Record:
@@ -137,16 +253,72 @@ def _decode(payload: bytes) -> Record:
     raise WALError(f"unknown WAL record op {op}")
 
 
+class CommitTicket:
+    """A pending group-commit acknowledgement.
+
+    :meth:`wait` blocks until the group holding this record has been
+    flushed and ``fsync``'d (or the commit failed), returning the log's
+    durable byte count — the durability receipt the caller acks on.
+    """
+
+    __slots__ = ("_event", "_error", "_size")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._size = 0
+
+    def _resolve(self, size: int) -> None:
+        self._size = size
+        self._event.set()
+
+    def _fail(self, exc: BaseException) -> None:
+        self._error = exc
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> int:
+        if not self._event.wait(timeout):
+            raise WALError("timed out waiting for the group commit fsync")
+        if self._error is not None:
+            raise self._error
+        return self._size
+
+
+class _PendingRecord(NamedTuple):
+    payload: bytes
+    ticket: CommitTicket
+    fault: Optional[str]
+
+
 class WriteAheadLog:
-    """An append-only, CRC-framed, fsync-on-append mutation log.
+    """An append-only, CRC-framed, segmented, group-commit mutation log.
 
     Construct via :meth:`create` (new log bound to a snapshot uid) or
     :meth:`open` (existing log: validates the header binding, replays
-    the records into :attr:`recovered`, truncates any torn tail, and
-    positions the file for further appends).
+    the segments into :attr:`recovered`, truncates a torn tail in the
+    last segment, deletes stale pre-checkpoint segments, and positions
+    the live segment for further appends).
     """
 
-    def __init__(self, path, file, header, recovered, truncated_bytes, size):
+    def __init__(
+        self,
+        path,
+        file,
+        header,
+        recovered,
+        truncated_bytes,
+        *,
+        ordinal,
+        seg_size,
+        seg_records,
+        sealed,
+        group_window,
+        group_bytes,
+        segment_bytes,
+    ):
         # Internal: use WriteAheadLog.create() / WriteAheadLog.open().
         self.path = path
         self._file = file
@@ -155,8 +327,41 @@ class WriteAheadLog:
         self.recovered: List[Record] = recovered
         #: Bytes of torn tail discarded by :meth:`open`.
         self.truncated_bytes = truncated_bytes
-        self._size = size
-        self._appends = 0
+        self._ordinal = ordinal  # ordinal of the live (appendable) segment
+        self._seg_size = seg_size  # bytes in the live segment
+        self._seg_records = seg_records  # records in the live segment
+        #: Sealed (read-only) live segments: [(ordinal, bytes)].
+        self._sealed: List[Tuple[int, int]] = list(sealed)
+        self._size = seg_size + sum(size for _, size in self._sealed)
+        self.group_window = max(0.0, float(group_window))
+        self.group_bytes = max(1, int(group_bytes))
+        self.segment_bytes = max(_FRAME.size + 1, int(segment_bytes))
+
+        # Group-commit state.  _cond guards the pending batch; _io_lock
+        # serializes the actual file writes so submitters can keep
+        # enqueueing while a group's fsync is in flight.
+        self._cond = threading.Condition()
+        self._io_lock = threading.Lock()
+        self._pending: List[_PendingRecord] = []
+        self._pending_bytes = 0
+        self._first_ts = 0.0
+        self._flushing = False
+        self._hurry = False
+        self._closed = False
+        self._records_submitted = 0  # record-fault ordinal counter
+        self._groups = 0
+        self._records_committed = 0
+        self._rotations = 0
+        self._checkpoints = 0
+        self._last_group_records = 0
+        self._committer: Optional[threading.Thread] = None
+        if self.group_window > 0:
+            self._committer = threading.Thread(
+                target=self._committer_loop,
+                name="repro-wal-committer",
+                daemon=True,
+            )
+            self._committer.start()
 
     # -- construction --------------------------------------------------
 
@@ -167,102 +372,209 @@ class WriteAheadLog:
         snapshot_uid: str,
         parent_uid: Optional[str] = None,
         next_id: int = 0,
+        *,
+        group_window: float = 0.0,
+        group_bytes: int = DEFAULT_GROUP_BYTES,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
     ) -> "WriteAheadLog":
-        """Create a fresh log at ``path`` bound to ``snapshot_uid``.
+        """Create a fresh segmented log at directory ``path``.
 
-        The header is written to a temp file, fsync'd, and renamed into
-        place (directory fsync included), so a crash during creation
-        leaves either the old log or the new one — never a torn header.
-        An existing file at ``path`` is replaced.
+        The first segment's header is written and fsync'd (file and
+        directory both) before :meth:`open` takes over, so a crash
+        during creation leaves either no log or a replayable empty one.
+        An existing log (directory or legacy file) at ``path`` is
+        replaced.
         """
+        if os.path.isdir(path):
+            shutil.rmtree(path)
+        elif os.path.exists(path):
+            os.unlink(path)
         header = {
             "format": WAL_FORMAT,
             "version": WAL_VERSION,
             "snapshot_uid": str(snapshot_uid),
             "parent_uid": None if parent_uid is None else str(parent_uid),
             "next_id": int(next_id),
+            "segment": 1,
         }
-        blob = json.dumps(header, sort_keys=True).encode("utf-8")
-        tmp = f"{path}.tmp.{os.getpid()}"
-        with open(tmp, "wb") as handle:
-            handle.write(WAL_MAGIC)
-            handle.write(_FRAME.pack(len(blob), crc32(blob)))
-            handle.write(blob)
+        os.mkdir(path)
+        seg = os.path.join(path, _segment_name(1))
+        with open(seg, "wb") as handle:
+            _write_segment_header(handle, header)
             handle.flush()
             os.fsync(handle.fileno())
-        os.replace(tmp, path)
+        _fsync_dir(path)
         _fsync_dir(os.path.dirname(path))
-        return cls.open(path)
+        return cls.open(
+            path,
+            group_window=group_window,
+            group_bytes=group_bytes,
+            segment_bytes=segment_bytes,
+        )
+
+    @staticmethod
+    def _migrate_legacy(path: str) -> None:
+        """Turn a pre-segmentation single-file log into a directory.
+
+        The regular file becomes ``wal.000001.seg`` via a hardlink into
+        a staging directory, so every crash window leaves either the
+        original file, both, or the finished directory — never neither.
+        :meth:`open` (via this method) finishes an interrupted move.
+        """
+        staging = path + ".migrating"
+        if os.path.isfile(path):
+            if os.path.isdir(staging):
+                shutil.rmtree(staging)  # stale attempt; the file is intact
+            os.mkdir(staging)
+            os.link(path, os.path.join(staging, _segment_name(1)))
+            _fsync_dir(staging)
+            os.unlink(path)
+            _fsync_dir(os.path.dirname(path))
+            os.rename(staging, path)
+            _fsync_dir(os.path.dirname(path))
+        elif os.path.isdir(staging) and not os.path.exists(path):
+            # Crashed after unlinking the file, before the final rename.
+            os.rename(staging, path)
+            _fsync_dir(os.path.dirname(path))
 
     @classmethod
     def open(
-        cls, path: str, accept_uids: Optional[Sequence[str]] = None
+        cls,
+        path: str,
+        accept_uids: Optional[Sequence[str]] = None,
+        *,
+        group_window: float = 0.0,
+        group_bytes: int = DEFAULT_GROUP_BYTES,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
     ) -> "WriteAheadLog":
-        """Open an existing log, replaying records and truncating a torn tail.
+        """Open an existing log, replaying segments and truncating a torn tail.
 
         ``accept_uids`` — when given, the uids of the snapshot(s) the
         caller intends to replay against (typically the live snapshot's
         ``uid`` *and* its ``parent_uid``, to cover a crash between a
-        compaction's snapshot flip and its log swap).  A log bound to
-        none of them raises :class:`WALError` rather than replaying
-        mutations onto the wrong data.
+        compaction's snapshot flip and its checkpoint roll).  A log
+        bound to none of them raises :class:`WALError` rather than
+        replaying mutations onto the wrong data.
+
+        Replay starts at the **base segment** — the highest-ordinal
+        segment whose first record is a checkpoint (everything older is
+        folded into a snapshot and is deleted here), or the oldest
+        segment when no checkpoint segment exists.  A torn record is
+        truncated only in the last segment; inside a sealed segment it
+        is corruption and raises.
         """
-        file = open(path, "r+b")
-        try:
-            magic = file.read(len(WAL_MAGIC))
-            if magic != WAL_MAGIC:
-                raise WALError(f"{path!r} is not a repro write-ahead log")
-            head = file.read(_FRAME.size)
-            if len(head) < _FRAME.size:
-                raise WALError(f"{path!r}: truncated WAL header")
-            length, checksum = _FRAME.unpack(head)
-            blob = file.read(length)
-            if len(blob) < length or crc32(blob) != checksum:
-                # The header is written atomically at create(); a bad
-                # one is corruption, not a torn append.
-                raise WALError(f"{path!r}: corrupt WAL header")
-            header = json.loads(blob.decode("utf-8"))
-            if header.get("format") != WAL_FORMAT:
+        cls._migrate_legacy(path)
+        if not os.path.isdir(path):
+            raise WALError(f"{path!r} is not a repro write-ahead log")
+        entries: List[Tuple[int, str]] = []
+        for name in os.listdir(path):
+            match = _SEGMENT_RE.match(name)
+            if match:
+                entries.append((int(match.group(1)), os.path.join(path, name)))
+        if not entries:
+            raise WALError(f"{path!r}: log directory holds no segments")
+        entries.sort()
+
+        headers: Dict[int, dict] = {}
+        base_idx = 0
+        for idx, (ordinal, seg_path) in enumerate(entries):
+            with open(seg_path, "rb") as handle:
+                headers[ordinal] = _read_segment_header(handle, seg_path)
+                if _peek_checkpoint(handle):
+                    base_idx = idx
+
+        base_header = headers[entries[base_idx][0]]
+        if accept_uids is not None:
+            accepted = {u for u in accept_uids if u}
+            if base_header.get("snapshot_uid") not in accepted:
                 raise WALError(
-                    f"{path!r}: unknown WAL format {header.get('format')!r}"
+                    f"{path!r} is bound to snapshot uid "
+                    f"{base_header.get('snapshot_uid')!r}, not one of "
+                    f"{sorted(accepted)} — refusing to replay it"
                 )
-            if int(header.get("version", -1)) > WAL_VERSION:
+
+        # Segments older than the base are fully folded into a snapshot
+        # (a crash between a checkpoint roll's fsync and its deletes
+        # leaves them behind): finish the cleanup.
+        if base_idx:
+            for _, seg_path in entries[:base_idx]:
+                os.unlink(seg_path)
+            _fsync_dir(path)
+            entries = entries[base_idx:]
+
+        recovered: List[Record] = []
+        truncated = 0
+        next_id = 0
+        sealed: List[Tuple[int, int]] = []
+        last = len(entries) - 1
+        live_offset = 0
+        live_records = 0
+        for idx, (ordinal, seg_path) in enumerate(entries):
+            header = headers[ordinal]
+            if header.get("snapshot_uid") != base_header.get("snapshot_uid"):
                 raise WALError(
-                    f"{path!r}: WAL version {header['version']} is newer "
-                    f"than supported version {WAL_VERSION}"
+                    f"{seg_path!r} is bound to snapshot uid "
+                    f"{header.get('snapshot_uid')!r} but the base segment "
+                    f"binds {base_header.get('snapshot_uid')!r} — mixed log"
                 )
-            if accept_uids is not None:
-                accepted = {u for u in accept_uids if u}
-                if header.get("snapshot_uid") not in accepted:
+            next_id = max(next_id, int(header.get("next_id", 0)))
+            with open(seg_path, "rb") as handle:
+                _read_segment_header(handle, seg_path)
+                offset = handle.tell()
+                size = os.fstat(handle.fileno()).st_size
+                count = 0
+                while True:
+                    head = handle.read(_FRAME.size)
+                    if len(head) < _FRAME.size:
+                        break  # clean EOF or torn frame header
+                    length, checksum = _FRAME.unpack(head)
+                    if length > _MAX_RECORD:
+                        break  # corrupt length field: treat as torn tail
+                    payload = handle.read(length)
+                    if len(payload) < length or crc32(payload) != checksum:
+                        break  # torn or bit-flipped tail record
+                    recovered.append(_decode(payload))
+                    count += 1
+                    offset = handle.tell()
+            torn = size - offset
+            if idx < last:
+                if torn:
+                    # Sealed segments were fsync'd before the next one
+                    # opened: a bad record here lost acked data.
                     raise WALError(
-                        f"{path!r} is bound to snapshot uid "
-                        f"{header.get('snapshot_uid')!r}, not one of "
-                        f"{sorted(accepted)} — refusing to replay it"
+                        f"{seg_path!r}: torn record inside a sealed segment "
+                        f"— only the last segment may have a torn tail"
                     )
+                sealed.append((ordinal, size))
+            else:
+                truncated = torn
+                live_offset = offset
+                live_records = count
 
-            recovered: List[Record] = []
-            offset = file.tell()
-            file_size = os.fstat(file.fileno()).st_size
-            while True:
-                head = file.read(_FRAME.size)
-                if len(head) < _FRAME.size:
-                    break  # clean EOF or torn frame header
-                length, checksum = _FRAME.unpack(head)
-                if length > _MAX_RECORD:
-                    break  # corrupt length field: treat as torn tail
-                payload = file.read(length)
-                if len(payload) < length or crc32(payload) != checksum:
-                    break  # torn or bit-flipped tail record
-                recovered.append(_decode(payload))
-                offset = file.tell()
-
-            truncated = file_size - offset
+        live_ordinal, live_path = entries[last]
+        file = open(live_path, "r+b")
+        try:
             if truncated:
-                file.truncate(offset)
+                file.truncate(live_offset)
                 file.flush()
                 os.fsync(file.fileno())
-            file.seek(offset)
-            return cls(path, file, header, recovered, truncated, offset)
+            file.seek(live_offset)
+            header = dict(headers[live_ordinal])
+            header["next_id"] = max(next_id, int(header.get("next_id", 0)))
+            return cls(
+                path,
+                file,
+                header,
+                recovered,
+                truncated,
+                ordinal=live_ordinal,
+                seg_size=live_offset,
+                seg_records=live_records,
+                sealed=sealed,
+                group_window=group_window,
+                group_bytes=group_bytes,
+                segment_bytes=segment_bytes,
+            )
         except BaseException:
             file.close()
             raise
@@ -286,75 +598,315 @@ class WriteAheadLog:
 
     @property
     def size_bytes(self) -> int:
-        """Bytes of durable log (header plus acked records)."""
+        """Bytes of durable log across all live segments."""
         return self._size
+
+    @property
+    def segment_count(self) -> int:
+        """Live segments on disk (sealed plus the appendable one)."""
+        return len(self._sealed) + 1
+
+    def segment_paths(self) -> List[str]:
+        """Paths of the live segments, oldest first."""
+        ordinals = [ordinal for ordinal, _ in self._sealed] + [self._ordinal]
+        return [
+            os.path.join(self.path, _segment_name(ordinal))
+            for ordinal in sorted(ordinals)
+        ]
+
+    def stats(self) -> dict:
+        """Group-commit and rotation counters (monotonic, lock-free reads)."""
+        groups = self._groups
+        records = self._records_committed
+        return {
+            "groups_committed": groups,
+            "records_committed": records,
+            "mean_group_records": (records / groups) if groups else 0.0,
+            "last_group_records": self._last_group_records,
+            "rotations": self._rotations,
+            "checkpoints": self._checkpoints,
+            "segments": self.segment_count,
+        }
 
     # -- appends -------------------------------------------------------
 
+    def submit_insert(self, point_id: int, point: np.ndarray) -> CommitTicket:
+        """Enqueue an insert; the ticket resolves after its group's fsync."""
+        return self._submit(_encode_insert(point_id, point))
+
+    def submit_delete(self, point_id: int) -> CommitTicket:
+        """Enqueue a delete; the ticket resolves after its group's fsync."""
+        return self._submit(_encode_delete(point_id))
+
     def append_insert(self, point_id: int, point: np.ndarray) -> int:
-        """Durably log an insert; returns the log size after the append."""
-        vector = np.ascontiguousarray(point, dtype="<f8").ravel()
-        payload = (
-            _INSERT_HEAD.pack(_OP_INSERT, int(point_id), vector.shape[0])
-            + vector.tobytes()
-        )
-        return self._append(payload)
+        """Durably log an insert; returns the log size after the fsync."""
+        return self.submit_insert(point_id, point).wait()
 
     def append_delete(self, point_id: int) -> int:
-        """Durably log a delete; returns the log size after the append."""
-        return self._append(_DELETE_HEAD.pack(_OP_DELETE, int(point_id)))
+        """Durably log a delete; returns the log size after the fsync."""
+        return self.submit_delete(point_id).wait()
 
     def append_checkpoint(self, uid: str) -> int:
         """Durably log that snapshot ``uid`` folds all prior records."""
-        return self._append(bytes([_OP_CHECKPOINT]) + uid.encode("utf-8"))
+        return self._submit(_encode_checkpoint(uid)).wait()
 
-    def _append(self, payload: bytes) -> int:
-        if self._file is None:
-            raise WALError(f"{self.path!r}: log is closed")
-        fault = self._armed_fault()
-        if fault == "pre-append":
-            os._exit(9)
-        record = _FRAME.pack(len(payload), crc32(payload)) + payload
-        if fault == "torn":
-            # Half a record, made durable, then death: the exact state
-            # recovery's torn-tail truncation exists for.
-            self._file.write(record[: max(1, len(record) // 2)])
-            self._file.flush()
-            os.fsync(self._file.fileno())
-            os._exit(9)
-        self._file.write(record)
-        self._file.flush()
-        os.fsync(self._file.fileno())
-        self._size += len(record)
-        if fault == "post-fsync":
-            os._exit(9)
-        return self._size
+    def _submit(self, payload: bytes) -> CommitTicket:
+        ticket = CommitTicket()
+        with self._cond:
+            if self._closed or self._file is None:
+                raise WALError(f"{self.path!r}: log is closed")
+            fault = self._next_record_fault()
+            entry = _PendingRecord(payload, ticket, fault)
+            if self._committer is not None:
+                self._pending.append(entry)
+                self._pending_bytes += _FRAME.size + len(payload)
+                if len(self._pending) == 1:
+                    self._first_ts = time.monotonic()
+                self._cond.notify_all()
+                return ticket
+        # Synchronous mode: one write + fsync per append, inline.
+        with self._io_lock:
+            self._commit_group([entry])
+        return ticket
 
-    def _armed_fault(self) -> Optional[str]:
-        nth_append = self._appends
-        self._appends += 1
-        for part in filter(
-            None, os.environ.get("REPRO_WAL_FAULT", "").split(",")
-        ):
-            fields = part.split(":")
-            try:
-                target = int(fields[1]) if len(fields) > 1 else 0
-            except ValueError:
-                continue  # malformed spec: never let a typo crash serving
-            if fields[0] in ("pre-append", "torn", "post-fsync"):
-                if nth_append == target:
-                    return fields[0]
+    def _next_record_fault(self) -> Optional[str]:
+        nth = self._records_submitted
+        self._records_submitted += 1
+        for point, target in _parse_faults():
+            if point in _RECORD_FAULTS and target == nth:
+                return point
         return None
+
+    # -- the committer -------------------------------------------------
+
+    def _committer_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._closed:
+                    self._cond.wait()
+                if not self._pending:
+                    return  # closed and drained
+                if not self._closed and not self._hurry:
+                    deadline = self._first_ts + self.group_window
+                    while (
+                        not self._closed
+                        and not self._hurry
+                        and self._pending_bytes < self.group_bytes
+                    ):
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._cond.wait(remaining)
+                batch = self._pending
+                self._pending = []
+                self._pending_bytes = 0
+                self._flushing = True
+            try:
+                with self._io_lock:
+                    self._commit_group(batch)
+            except Exception:
+                pass  # tickets already failed inside _commit_group
+            finally:
+                with self._cond:
+                    self._flushing = False
+                    self._cond.notify_all()
+
+    def _commit_group(self, batch: List[_PendingRecord]) -> None:
+        """Write + fsync one group, then resolve its tickets.
+
+        Caller holds ``_io_lock``.  The deterministic kill points live
+        here: per-record ``pre-append``/``torn``/``post-fsync`` and the
+        group-level ``mid-group`` (write to the midpoint, fsync, die —
+        a durable prefix nobody was ever acked for).
+        """
+        try:
+            group_ordinal = self._groups
+            mid_at = None
+            if len(batch) and _armed_fault("mid-group", group_ordinal):
+                mid_at = max(1, len(batch) // 2)
+            post_fsync = False
+            written = 0
+            for entry in batch:
+                if entry.fault == "pre-append":
+                    os._exit(9)
+                frame = (
+                    _FRAME.pack(len(entry.payload), crc32(entry.payload))
+                    + entry.payload
+                )
+                self._maybe_rotate(len(frame))
+                if entry.fault == "torn":
+                    # Half a record, made durable, then death: the exact
+                    # state recovery's torn-tail truncation exists for.
+                    self._file.write(frame[: max(1, len(frame) // 2)])
+                    self._file.flush()
+                    self._fsync_file()
+                    os._exit(9)
+                self._file.write(frame)
+                self._seg_size += len(frame)
+                self._seg_records += 1
+                self._size += len(frame)
+                written += 1
+                post_fsync = post_fsync or entry.fault == "post-fsync"
+                if mid_at is not None and written == mid_at:
+                    self._file.flush()
+                    self._fsync_file()
+                    os._exit(9)
+            self._file.flush()
+            self._fsync_file()
+            if post_fsync:
+                os._exit(9)
+            self._groups += 1
+            self._records_committed += len(batch)
+            self._last_group_records = len(batch)
+            size = self._size
+        except BaseException as exc:
+            for entry in batch:
+                entry.ticket._fail(exc)
+            raise
+        for entry in batch:
+            entry.ticket._resolve(size)
+
+    def _fsync_file(self) -> None:
+        delay = _fsync_delay()
+        if delay:
+            time.sleep(delay)
+        os.fsync(self._file.fileno())
+
+    def _maybe_rotate(self, frame_len: int) -> None:
+        """Seal the live segment and open the next when it would overflow.
+
+        A segment always takes at least one record (a single frame larger
+        than ``segment_bytes`` must not rotate forever).  The new
+        segment's header is durable (file and directory fsync'd) before
+        any record lands in it — the ``between-segment`` kill point fires
+        right after that instant.
+        """
+        if (
+            self._seg_records == 0
+            or self._seg_size + frame_len <= self.segment_bytes
+        ):
+            return
+        self._file.flush()
+        self._fsync_file()
+        self._file.close()
+        self._sealed.append((self._ordinal, self._seg_size))
+        rotation = self._rotations
+        self._rotations += 1
+        self._ordinal += 1
+        self._open_live_segment(dict(self._header, segment=self._ordinal))
+        if _armed_fault("between-segment", rotation):
+            os._exit(9)
+
+    def _open_live_segment(self, header: dict) -> None:
+        """Open segment ``header['segment']`` for append, header durable."""
+        seg_path = os.path.join(self.path, _segment_name(header["segment"]))
+        file = open(seg_path, "wb")
+        try:
+            _write_segment_header(file, header)
+            file.flush()
+            os.fsync(file.fileno())
+        except BaseException:
+            file.close()
+            raise
+        _fsync_dir(self.path)
+        self._file = file
+        self._header = header
+        self._seg_size = file.tell()
+        self._seg_records = 0
+        self._size += self._seg_size
+
+    # -- checkpoint roll (compaction) ----------------------------------
+
+    def roll_checkpoint(
+        self,
+        snapshot_uid: str,
+        parent_uid: Optional[str] = None,
+        next_id: int = 0,
+        pending: Sequence[Record] = (),
+    ) -> int:
+        """Rebind the log to ``snapshot_uid`` and drop folded history.
+
+        Seals the live segment, opens a fresh one bound to the new
+        generation whose first record is ``checkpoint(snapshot_uid)``,
+        re-logs ``pending`` (mutations not folded into the snapshot),
+        fsyncs it, and only then deletes every older segment — their
+        contents are checkpointed, and recovery replays from the newest
+        checkpoint-first segment, so a crash at any instant leaves a
+        replayable log (possibly with stale segments :meth:`open`
+        cleans up).  Returns the live byte count afterwards.
+
+        The caller must guarantee no concurrent submits (the server
+        holds its mutation lock with zero in-flight mutations); pending
+        group-commit batches are drained first.
+        """
+        self._drain()
+        with self._io_lock:
+            if self._closed or self._file is None:
+                raise WALError(f"{self.path!r}: log is closed")
+            ckpt_ordinal = self._checkpoints
+            self._checkpoints += 1
+            self._file.flush()
+            self._fsync_file()
+            self._file.close()
+            self._sealed.append((self._ordinal, self._seg_size))
+            self._ordinal += 1
+            header = {
+                "format": WAL_FORMAT,
+                "version": WAL_VERSION,
+                "snapshot_uid": str(snapshot_uid),
+                "parent_uid": None if parent_uid is None else str(parent_uid),
+                "next_id": int(next_id),
+                "segment": self._ordinal,
+            }
+            self._open_live_segment(header)
+            for record in (CheckpointRecord(str(snapshot_uid)), *pending):
+                payload = _encode_record(record)
+                frame = _FRAME.pack(len(payload), crc32(payload)) + payload
+                self._file.write(frame)
+                self._seg_size += len(frame)
+                self._seg_records += 1
+            self._file.flush()
+            self._fsync_file()
+            if _armed_fault("pre-segment-delete", ckpt_ordinal):
+                os._exit(9)
+            for ordinal, _ in self._sealed:
+                os.unlink(os.path.join(self.path, _segment_name(ordinal)))
+            self._sealed = []
+            _fsync_dir(self.path)
+            self._size = self._seg_size
+            return self._size
+
+    def _drain(self) -> None:
+        """Block until every submitted record's group has hit the disk."""
+        if self._committer is None:
+            return
+        with self._cond:
+            self._hurry = True
+            self._cond.notify_all()
+            while self._pending or self._flushing:
+                self._cond.wait(0.05)
+            self._hurry = False
 
     # -- lifecycle -----------------------------------------------------
 
     def close(self) -> None:
-        """Close the underlying file (appends already durable)."""
-        if self._file is not None:
-            try:
-                self._file.close()
-            finally:
-                self._file = None
+        """Flush pending groups, stop the committer, close the segment."""
+        with self._cond:
+            if self._closed:
+                committer = None
+            else:
+                self._closed = True
+                committer = self._committer
+            self._cond.notify_all()
+        if committer is not None:
+            committer.join(timeout=30.0)
+            self._committer = None
+        with self._io_lock:
+            if self._file is not None:
+                try:
+                    self._file.close()
+                finally:
+                    self._file = None
 
     def __enter__(self) -> "WriteAheadLog":
         return self
@@ -365,5 +917,51 @@ class WriteAheadLog:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"WriteAheadLog(path={self.path!r}, "
-            f"snapshot_uid={self.snapshot_uid!r}, bytes={self._size})"
+            f"snapshot_uid={self.snapshot_uid!r}, bytes={self._size}, "
+            f"segments={self.segment_count})"
         )
+
+
+def _write_segment_header(file, header: dict) -> None:
+    blob = json.dumps(header, sort_keys=True).encode("utf-8")
+    file.write(WAL_MAGIC)
+    file.write(_FRAME.pack(len(blob), crc32(blob)))
+    file.write(blob)
+
+
+def _read_segment_header(file, path: str) -> dict:
+    magic = file.read(len(WAL_MAGIC))
+    if magic != WAL_MAGIC:
+        raise WALError(f"{path!r} is not a repro write-ahead log segment")
+    head = file.read(_FRAME.size)
+    if len(head) < _FRAME.size:
+        raise WALError(f"{path!r}: truncated WAL header")
+    length, checksum = _FRAME.unpack(head)
+    blob = file.read(length)
+    if len(blob) < length or crc32(blob) != checksum:
+        # The header is written and fsync'd before any record; a bad
+        # one is corruption, not a torn append.
+        raise WALError(f"{path!r}: corrupt WAL header")
+    header = json.loads(blob.decode("utf-8"))
+    if header.get("format") != WAL_FORMAT:
+        raise WALError(f"{path!r}: unknown WAL format {header.get('format')!r}")
+    if int(header.get("version", -1)) > WAL_VERSION:
+        raise WALError(
+            f"{path!r}: WAL version {header['version']} is newer "
+            f"than supported version {WAL_VERSION}"
+        )
+    return header
+
+
+def _peek_checkpoint(file) -> bool:
+    """True when the next record in ``file`` is a valid checkpoint."""
+    head = file.read(_FRAME.size)
+    if len(head) < _FRAME.size:
+        return False
+    length, checksum = _FRAME.unpack(head)
+    if length > _MAX_RECORD:
+        return False
+    payload = file.read(length)
+    if len(payload) < length or crc32(payload) != checksum:
+        return False
+    return payload[:1] == bytes([_OP_CHECKPOINT])

@@ -267,6 +267,10 @@ class HttpGateway:
         self._started = threading.Event()
         self._startup_error: Optional[BaseException] = None
         self._inflight = 0
+        #: Requests pulled off the queue into a dispatched batch whose
+        #: answers have not landed yet — invisible to queue.qsize(), but
+        #: still in front of anyone told to retry.
+        self._dispatched = 0
         self._draining = False
         #: writer -> last-active loop.time(); event-loop thread only.
         self._connections: Dict[asyncio.StreamWriter, float] = {}
@@ -471,6 +475,7 @@ class HttpGateway:
             budget = max(0.001, max(deadlines) - now)
             call = partial(self.server.query_batch, block, k, timeout=budget)
         started = loop.time()
+        self._dispatched += len(live)
         try:
             results = await loop.run_in_executor(None, call)
         except BaseException as exc:
@@ -479,6 +484,8 @@ class HttpGateway:
                 if not pending.future.done():
                     pending.future.set_exception(exc)
             return
+        finally:
+            self._dispatched -= len(live)
         self.metrics.batch_latency.observe(loop.time() - started)
         offset = 0
         for pending in live:
@@ -617,10 +624,24 @@ class HttpGateway:
             headers[name.strip().lower()] = value.strip()
         else:
             raise _BadRequest(431, "too many headers")
-        if "transfer-encoding" in headers:
-            raise _BadRequest(501, "chunked request bodies are not supported")
         body = b""
-        if method == "POST":
+        transfer_encoding = headers.get("transfer-encoding", "").lower()
+        if transfer_encoding:
+            encodings = [
+                token.strip()
+                for token in transfer_encoding.split(",")
+                if token.strip()
+            ]
+            if encodings != ["chunked"]:
+                raise _BadRequest(
+                    501,
+                    f"unsupported Transfer-Encoding "
+                    f"{headers['transfer-encoding']!r} (only chunked)",
+                )
+            # Transfer-Encoding wins over any Content-Length (RFC 9112
+            # §6.3); the chunked reader enforces the same 413 body cap.
+            body = await self._read_chunked(reader)
+        elif method == "POST":
             if "content-length" not in headers:
                 raise _BadRequest(411, "POST requires Content-Length")
             try:
@@ -638,6 +659,53 @@ class HttpGateway:
             body = await reader.readexactly(length)
         path = target.split("?", 1)[0]
         return method, path, headers, body
+
+    async def _read_chunked(self, reader) -> bytes:
+        """Decode a chunked request body, enforcing the 413 size cap.
+
+        Chunk extensions are ignored; trailers are consumed and
+        discarded.  The running total is checked against
+        ``max_body_bytes`` *before* each chunk is read, so an
+        oversized upload is refused without buffering it.
+        """
+        chunks: List[bytes] = []
+        total = 0
+        while True:
+            try:
+                line = await reader.readline()
+            except (ValueError, asyncio.LimitOverrunError) as exc:
+                raise _BadRequest(400, f"chunk size line too long: {exc}") from exc
+            if not line:
+                raise _BadRequest(400, "connection closed before a chunk size")
+            size_token = line.split(b";", 1)[0].strip()
+            try:
+                size = int(size_token, 16)
+            except ValueError as exc:
+                raise _BadRequest(
+                    400, f"bad chunk size {size_token!r}"
+                ) from exc
+            if size < 0:
+                raise _BadRequest(400, f"negative chunk size {size_token!r}")
+            total += size
+            if total > self.max_body_bytes:
+                raise _BadRequest(
+                    413,
+                    f"chunked body exceeds the "
+                    f"{self.max_body_bytes}-byte limit",
+                )
+            if size == 0:
+                # Trailer section: discard header lines up to the blank.
+                for _ in range(_MAX_HEADERS):
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                else:
+                    raise _BadRequest(431, "too many trailers")
+                return b"".join(chunks)
+            chunks.append(await reader.readexactly(size))
+            terminator = await reader.readexactly(2)
+            if terminator != b"\r\n":
+                raise _BadRequest(400, "chunk data not terminated by CRLF")
 
     async def _respond(
         self,
@@ -755,16 +823,20 @@ class HttpGateway:
     def _retry_after_hint(self) -> int:
         """Seconds until the current backlog plausibly clears.
 
-        Observed p50 seconds per dispatched batch × batches queued in
-        front of a retrier — an estimate of actual drain time, clamped
-        to [1, 60].  Before any batch has been observed (cold gateway)
-        fall back to ten batch windows.
+        Observed p50 seconds per dispatched batch × batches in front of
+        a retrier — an estimate of actual drain time, clamped to
+        [1, 60].  The backlog counts both the admission queue *and* the
+        dispatched-but-unanswered requests (``queue.qsize()`` alone
+        under-estimates under sustained load: a full batch can be in
+        flight and invisible to the queue).  Before any batch has been
+        observed (cold gateway) fall back to ten batch windows.
         """
         assert self._queue is not None
         latency = self.metrics.batch_latency
         if latency.count == 0:
             return max(1, round(self.batch_window * 10))
-        backlog = max(1, math.ceil(self._queue.qsize() / self.max_batch))
+        waiting = self._queue.qsize() + self._dispatched
+        backlog = max(1, math.ceil(waiting / self.max_batch))
         return max(1, min(60, math.ceil(latency.quantile(0.5) * backlog)))
 
     async def _handle_query(
@@ -880,8 +952,14 @@ class HttpGateway:
                 if "point" not in payload:
                     return endpoint, 400, {"error": 'insert requires "point"'}, None
                 point = np.asarray(payload["point"], dtype=np.float64)
+                started = self._loop.time()
                 value = await self._loop.run_in_executor(
                     None, partial(self.server.insert, point)
+                )
+                # Group-commit ack latency: the time a client waited for
+                # its mutation's group fsync, surfaced on /metrics.
+                self.metrics.mutation_ack_latency.observe(
+                    self._loop.time() - started
                 )
                 return endpoint, 200, {"id": int(value)}, None
             if endpoint == "delete":
@@ -889,8 +967,12 @@ class HttpGateway:
                     payload["id"], int
                 ):
                     return endpoint, 400, {"error": 'delete requires an integer "id"'}, None
+                started = self._loop.time()
                 value = await self._loop.run_in_executor(
                     None, partial(self.server.delete, payload["id"])
+                )
+                self.metrics.mutation_ack_latency.observe(
+                    self._loop.time() - started
                 )
                 return endpoint, 200, {"deleted": bool(value)}, None
             value = await self._loop.run_in_executor(None, self.server.compact)

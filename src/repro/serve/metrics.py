@@ -190,11 +190,14 @@ class GatewayMetrics:
     Gateway-wide: total sheds (429 responses from admission control),
     the micro-batch size histogram, the batch *dispatch latency*
     histogram (wall seconds per ``query_batch`` GEMM — the p50 here
-    feeds the computed ``Retry-After``), the resilience counters
-    (deadline hits, connections reaped for idleness or by the
+    feeds the computed ``Retry-After``), the mutation ack-latency
+    histogram (client wait for the group fsync), the resilience
+    counters (deadline hits, connections reaped for idleness or by the
     max-connections cap), the last graceful-drain duration, and live
     queue-depth / open-connections probes sampled at snapshot time
-    (both are properties of live structures, not accumulated series).
+    (both are properties of live structures, not accumulated series —
+    a probe that raises clamps its gauge to zero and bumps
+    ``probe_errors`` instead of publishing a negative sentinel).
 
     >>> m = GatewayMetrics()
     >>> m.observe_request("query", 200, 0.004)
@@ -226,6 +229,15 @@ class GatewayMetrics:
         self.reaped_idle = Counter()
         #: Least-recently-active connections closed by the cap.
         self.reaped_overflow = Counter()
+        #: Wall seconds a mutation client waited for its group fsync ack
+        #: (insert/delete request → WAL durable → response).
+        self.mutation_ack_latency = Histogram(latency_buckets)
+        #: Snapshot-time probes (queue depth, open connections) that
+        #: raised instead of returning a sample.  Gauges stay clamped at
+        #: zero when a probe fails; this counter is the failure signal,
+        #: so dashboards doing arithmetic on the gauges never ingest a
+        #: sentinel like ``-1``.
+        self.probe_errors = Counter()
         self._drain_seconds: Optional[float] = None
         self._queue_depth_probe: Optional[Callable[[], int]] = None
         self._connections_probe: Optional[Callable[[], int]] = None
@@ -294,24 +306,29 @@ class GatewayMetrics:
         depth = 0
         if self._queue_depth_probe is not None:
             try:
-                depth = int(self._queue_depth_probe())
+                depth = max(0, int(self._queue_depth_probe()))
             except Exception:
-                depth = -1  # a dying queue must not take /metrics with it
+                # A dying queue must not take /metrics with it, and a
+                # sentinel such as -1 would poison dashboard arithmetic:
+                # clamp the gauge and count the failure instead.
+                self.probe_errors.add()
         open_connections = 0
         if self._connections_probe is not None:
             try:
-                open_connections = int(self._connections_probe())
+                open_connections = max(0, int(self._connections_probe()))
             except Exception:
-                open_connections = -1
+                self.probe_errors.add()
         return {
             "uptime_seconds": uptime,
             "requests_total": total,
             "qps": total / uptime,
             "queue_depth": depth,
+            "probe_errors_total": self.probe_errors.value,
             "shed_total": self.shed.value,
             "deadline_exceeded_total": self.deadline_hits.value,
             "batch": self.batch_sizes.snapshot(),
             "batch_latency_seconds": self.batch_latency.snapshot(),
+            "mutation_ack_latency_seconds": self.mutation_ack_latency.snapshot(),
             "connections": {
                 "open": open_connections,
                 "reaped_idle": self.reaped_idle.value,

@@ -5,49 +5,60 @@
 ``delete``.  The frozen snapshot generation keeps answering from its
 worker processes untouched; mutations follow the classic LSM discipline:
 
-1. **log** — the mutation is appended to a
+1. **log** — the mutation is submitted to a segmented, group-commit
    :class:`~repro.io.wal.WriteAheadLog` bound to the served snapshot's
-   uid and fsync'd; only then is it acknowledged.  A crash at any
-   instant loses at most un-acked work.
+   uid; the caller blocks (outside the mutation lock, so concurrent
+   mutators share one disk sync) until the group holding the record is
+   fsync'd, and only then is it acknowledged.  A crash at any instant
+   loses at most un-acked work.
 2. **apply** — an insert lands in an in-memory
    :class:`~repro.core.delta.DeltaIndex`; a delete lands in a tombstone
    set.  Queries answer from *snapshot + delta − tombstones*: the base
    answer is over-fetched by the live tombstone count, the delta buffer
    is swept exactly, and :func:`repro.core.plan.merge_live_results`
    folds the three together.
-3. **compact** — once the delta (plus tombstones) crosses
-   ``compact_threshold``, a background thread folds them into a fresh
-   snapshot generation: it rebuilds the index (base rows + folded delta,
-   tombstones applied), writes it atomically with a new ``uid`` whose
-   ``parent_uid`` is the old generation, hot-flips the workers through
-   :meth:`reload` (in-flight queries drain on the generation they
-   checked out), then swaps in a fresh WAL — a checkpoint record
-   followed by the re-logged still-pending mutations — via
-   ``os.replace``.  Queries racing the flip may briefly see a folded row
-   in both the new snapshot and the not-yet-trimmed delta; the merge
-   dedups by id, so the window is harmless.
+3. **compact** — a background thread folds delta + tombstones into a
+   fresh snapshot generation when the **adaptive scheduler** says so:
+   pending mutation count (``compact_threshold``), total WAL bytes
+   (``compact_wal_bytes``), or the measured delta-sweep overhead
+   fraction (``compact_overhead``, an EMA of sweep-time / query-time
+   from live queries) — whichever trips first.  The fold rebuilds the
+   index (base rows + folded delta, tombstones applied), writes it
+   atomically with a new ``uid`` whose ``parent_uid`` is the old
+   generation, hot-flips the workers through :meth:`reload` (in-flight
+   queries drain on the generation they checked out), then **rolls the
+   WAL onto a checkpoint segment**: a fresh segment bound to the new
+   uid whose first record is a checkpoint, the still-pending mutations
+   re-logged, and the fully-checkpointed older segments deleted.
+   Queries racing the flip may briefly see a folded row in both the new
+   snapshot and the not-yet-trimmed delta; the merge dedups by id, so
+   the window is harmless.
 
 Recovery is the mirror image: :meth:`start` reads the snapshot header's
 ``uid``/``parent_uid``/``next_id``, opens the WAL **accepting either
-uid** — a crash between a compaction's snapshot flip and its log swap
-leaves a log bound to the parent — and replays it idempotently: an
+uid** — a crash between a compaction's snapshot flip and its checkpoint
+roll leaves a log bound to the parent — and replays it idempotently: an
 insert whose id is already a snapshot row is skipped, a delete already
 baked into the snapshot's tombstones is skipped, and everything else
 rebuilds the delta buffer and tombstone set exactly as acked.  A log
-replayed through the parent binding is immediately rewritten against the
-live uid, completing the interrupted compaction's log swap.
+replayed through the parent binding is immediately rolled onto a
+checkpoint segment bound to the live uid, completing the interrupted
+compaction.
 
 Fault injection (tests only): ``REPRO_COMPACT_FAULT`` holds
 comma-separated ``<point>[:<nth>]`` specs — points ``pre-snapshot-replace``,
 ``post-snapshot-replace``, ``post-wal-replace``; ``nth`` is the 0-based
 compaction ordinal — each killing the process with ``os._exit(9)`` at
-that point, complementing the WAL-level ``REPRO_WAL_FAULT`` hooks.
+that point, complementing the WAL-level ``REPRO_WAL_FAULT`` hooks
+(which add ``mid-group``, ``between-segment``, and
+``pre-segment-delete`` kill points inside the log itself).
 """
 
 from __future__ import annotations
 
 import os
 import threading
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -60,7 +71,12 @@ from repro.io.snapshot import (
     read_header,
     save_index,
 )
-from repro.io.wal import DeleteRecord, InsertRecord, WriteAheadLog, _fsync_dir
+from repro.io.wal import (
+    DeleteRecord,
+    InsertRecord,
+    WriteAheadLog,
+    wal_present,
+)
 from repro.core.result import QueryResult
 from repro.serve.server import ServerError, SnapshotServer
 from repro.utils.validation import check_queries, check_query
@@ -70,6 +86,14 @@ __all__ = ["MutableSnapshotServer", "ReadOnlyError"]
 _COMPACT_FAULT_POINTS = (
     "pre-snapshot-replace", "post-snapshot-replace", "post-wal-replace",
 )
+
+#: The sweep-overhead trigger never fires below this many pending
+#: mutations: with a near-empty delta the overhead fraction is timer
+#: noise, and compacting a handful of rows buys nothing.
+_OVERHEAD_MIN_PENDING = 64
+
+#: EMA smoothing for the per-query-batch delta-sweep overhead fraction.
+_OVERHEAD_ALPHA = 0.2
 
 
 class ReadOnlyError(ServerError):
@@ -98,23 +122,41 @@ class MutableSnapshotServer(SnapshotServer):
     Parameters (beyond :class:`SnapshotServer`'s)
     ---------------------------------------------
     wal_path:
-        Where the write-ahead log lives; default ``<snapshot>.wal``.  An
-        existing log found at :meth:`start` is recovered (replayed,
-        torn tail truncated); a missing one is created bound to the
-        served snapshot's uid.
+        Where the write-ahead log lives (a directory of segments);
+        default ``<snapshot>.wal``.  An existing log found at
+        :meth:`start` is recovered (replayed, torn tail truncated,
+        legacy single-file logs migrated); a missing one is created
+        bound to the served snapshot's uid.
     compact_threshold:
         Fold the delta buffer and tombstones into a fresh snapshot
         generation once their combined count reaches this; ``0``
-        disables automatic compaction (``compact()`` still works).
+        disables automatic compaction entirely (``compact()`` still
+        works, and the byte/overhead triggers below are inert too).
+    compact_wal_bytes:
+        Also compact once the WAL's live segments exceed this many
+        bytes (``0`` disables the byte trigger).
+    compact_overhead:
+        Also compact once the measured delta-sweep overhead fraction —
+        an EMA of (delta sweep time / whole query_batch time) sampled
+        on live queries — reaches this value (``0`` disables; needs at
+        least ``64`` pending mutations before it can fire, so timer
+        noise on a near-empty delta never triggers a fold).
+    group_commit_ms:
+        Group-commit window: concurrent mutations submitted within this
+        many milliseconds share one WAL fsync.  ``0`` keeps the classic
+        synchronous one-fsync-per-mutation path.
+    group_bytes / segment_bytes:
+        Flush a group early once it holds this many bytes; rotate WAL
+        segments at this size.
     read_only:
         Refuse ``insert``/``delete`` with :class:`ReadOnlyError` and
         never touch (or create) the WAL — a mutable-capable binary
         serving a snapshot it must not change.
 
-    Mutations are acknowledged only after the WAL append has been
-    fsync'd: the id returned by :meth:`insert` (and the ``True`` from
-    :meth:`delete`) is a durability receipt, pinned by the kill-based
-    tests in ``tests/test_serve_mutations.py``.
+    Mutations are acknowledged only after the WAL group holding them
+    has been fsync'd: the id returned by :meth:`insert` (and the
+    ``True`` from :meth:`delete`) is a durability receipt, pinned by
+    the kill-based tests in ``tests/test_serve_mutations.py``.
     """
 
     def __init__(
@@ -123,6 +165,11 @@ class MutableSnapshotServer(SnapshotServer):
         *,
         wal_path: Optional[str] = None,
         compact_threshold: int = 4096,
+        compact_wal_bytes: int = 64 << 20,
+        compact_overhead: float = 0.25,
+        group_commit_ms: float = 2.0,
+        group_bytes: int = 1 << 20,
+        segment_bytes: int = 4 << 20,
         read_only: bool = False,
         **kwargs,
     ) -> None:
@@ -131,14 +178,36 @@ class MutableSnapshotServer(SnapshotServer):
             raise ValueError(
                 f"compact_threshold must be >= 0, got {compact_threshold}"
             )
+        if compact_wal_bytes < 0:
+            raise ValueError(
+                f"compact_wal_bytes must be >= 0, got {compact_wal_bytes}"
+            )
+        if not 0.0 <= compact_overhead < 1.0:
+            raise ValueError(
+                f"compact_overhead must be in [0, 1), got {compact_overhead}"
+            )
+        if group_commit_ms < 0:
+            raise ValueError(
+                f"group_commit_ms must be >= 0, got {group_commit_ms}"
+            )
         self.wal_path = (
             os.fspath(wal_path) if wal_path is not None else self.path + ".wal"
         )
         self.compact_threshold = int(compact_threshold)
+        self.compact_wal_bytes = int(compact_wal_bytes)
+        self.compact_overhead = float(compact_overhead)
+        self.group_commit_ms = float(group_commit_ms)
+        self.group_bytes = int(group_bytes)
+        self.segment_bytes = int(segment_bytes)
         self.read_only = bool(read_only)
         #: Guards every mutable view: delta, tombstones, WAL handle,
         #: id counter, base-generation bookkeeping.
         self._mutation_lock = threading.Lock()
+        #: Signalled when an acked-but-not-yet-applied mutation count
+        #: drops; compaction waits on it so the checkpoint roll never
+        #: drops a mutation that was acked but not yet in the delta.
+        self._inflight_cond = threading.Condition(self._mutation_lock)
+        self._inflight = 0
         #: Serializes compactions (at most one folds at a time).
         self._compact_lock = threading.Lock()
         self._delta: Optional[DeltaIndex] = None
@@ -150,6 +219,10 @@ class MutableSnapshotServer(SnapshotServer):
         self._snapshot_uid: Optional[str] = None
         self._compactions = 0
         self._last_compaction_uid: Optional[str] = None
+        self._last_compaction_trigger: Optional[str] = None
+        self._sweep_overhead_ema = 0.0
+        self._overhead_samples = 0
+        self._pending_trigger: Optional[str] = None
         self._compactor: Optional[threading.Thread] = None
         self._compactor_wake = threading.Event()
         self._compactor_stop = threading.Event()
@@ -207,10 +280,16 @@ class MutableSnapshotServer(SnapshotServer):
         wal: Optional[WriteAheadLog] = None
         rebound = False
         if not self.read_only:
-            if os.path.exists(self.wal_path):
+            wal_kwargs = dict(
+                group_window=self.group_commit_ms / 1000.0,
+                group_bytes=self.group_bytes,
+                segment_bytes=self.segment_bytes,
+            )
+            if wal_present(self.wal_path):
                 wal = WriteAheadLog.open(
                     self.wal_path,
                     accept_uids={uid, header.get("parent_uid")},
+                    **wal_kwargs,
                 )
                 next_id = max(next_id, wal.next_id)
                 for record in wal.recovered:
@@ -234,7 +313,8 @@ class MutableSnapshotServer(SnapshotServer):
                 rebound = wal.snapshot_uid != uid
             else:
                 wal = WriteAheadLog.create(
-                    self.wal_path, snapshot_uid=uid, next_id=next_id
+                    self.wal_path, snapshot_uid=uid, next_id=next_id,
+                    **wal_kwargs,
                 )
 
         with self._mutation_lock:
@@ -247,10 +327,13 @@ class MutableSnapshotServer(SnapshotServer):
             self._snapshot_uid = uid
         if rebound:
             # The crash happened between a compaction's snapshot flip and
-            # its log swap: finish the swap now, so the log binds to the
-            # generation actually on disk.
+            # its checkpoint roll: finish the roll now, so the log binds
+            # to the generation actually on disk.
             with self._mutation_lock:
-                self._swap_wal(parent_uid=header.get("parent_uid"))
+                self._roll_checkpoint(
+                    uid=uid, parent_uid=header.get("parent_uid"),
+                    fold=0, fold_tombs=set(),
+                )
 
     # ------------------------------------------------------------------
     # Mutations
@@ -266,8 +349,11 @@ class MutableSnapshotServer(SnapshotServer):
     def insert(self, point: np.ndarray) -> int:
         """Durably insert one point; returns its permanent id.
 
-        The id is acknowledged only after the WAL record is fsync'd — a
-        crash after the return can never lose the point.
+        The id is acknowledged only after the WAL group holding the
+        record is fsync'd — a crash after the return can never lose the
+        point.  The wait happens *outside* the mutation lock, so
+        concurrent inserts submitted within the group-commit window
+        share a single disk sync.
         """
         self._refuse_read_only("insert")
         point = check_query(np.asarray(point, dtype=np.float64), self.dim)
@@ -277,9 +363,20 @@ class MutableSnapshotServer(SnapshotServer):
                     "server is not serving; call start() before insert()"
                 )
             point_id = self._next_id
-            self._wal.append_insert(point_id, point)  # fsync before ack
-            self._delta.append(point_id, point)
             self._next_id = point_id + 1
+            ticket = self._wal.submit_insert(point_id, point)
+            self._inflight += 1
+        try:
+            ticket.wait()  # group fsync before ack, lock not held
+        except BaseException:
+            with self._inflight_cond:
+                self._inflight -= 1
+                self._inflight_cond.notify_all()
+            raise
+        with self._inflight_cond:
+            self._delta.append(point_id, point)
+            self._inflight -= 1
+            self._inflight_cond.notify_all()
         self._maybe_wake_compactor()
         return point_id
 
@@ -302,8 +399,19 @@ class MutableSnapshotServer(SnapshotServer):
                 )
             if point_id in self._tombstones or point_id in self._baked:
                 return False
-            self._wal.append_delete(point_id)  # fsync before ack
+            ticket = self._wal.submit_delete(point_id)
+            self._inflight += 1
+        try:
+            ticket.wait()  # group fsync before ack, lock not held
+        except BaseException:
+            with self._inflight_cond:
+                self._inflight -= 1
+                self._inflight_cond.notify_all()
+            raise
+        with self._inflight_cond:
             self._tombstones.add(point_id)
+            self._inflight -= 1
+            self._inflight_cond.notify_all()
         self._maybe_wake_compactor()
         return True
 
@@ -328,23 +436,79 @@ class MutableSnapshotServer(SnapshotServer):
         # report (ids below its row count); the merge discards them
         # without the answer shrinking below k.
         base_k = k + sum(1 for t in tombstones if t < base_rows)
+        start = time.perf_counter()
         base = super().query_batch(queries, base_k, timeout=timeout)
+        sweep_start = time.perf_counter()
         delta = delta_view.sweep(queries, k, exclude=tombstones)
+        sweep_end = time.perf_counter()
+        self._observe_sweep_overhead(
+            sweep_end - sweep_start, sweep_end - start
+        )
         return merge_live_batches(base, delta, tombstones, k)
+
+    def _observe_sweep_overhead(self, sweep: float, total: float) -> None:
+        """Fold one query batch's delta-sweep share into the overhead EMA."""
+        if total <= 0.0:
+            return
+        fraction = min(1.0, max(0.0, sweep / total))
+        with self._mutation_lock:
+            if self._overhead_samples == 0:
+                self._sweep_overhead_ema = fraction
+            else:
+                self._sweep_overhead_ema += _OVERHEAD_ALPHA * (
+                    fraction - self._sweep_overhead_ema
+                )
+            self._overhead_samples += 1
+        self._maybe_wake_compactor()
 
     # ------------------------------------------------------------------
     # Compaction
     # ------------------------------------------------------------------
 
+    def _compaction_due(self) -> Optional[str]:
+        """The adaptive scheduler: the trigger that fired, or ``None``.
+
+        Caller holds the mutation lock.  ``compact_threshold == 0`` is
+        the master off-switch (matching the constructor contract); with
+        it enabled, three independent triggers are consulted:
+
+        * ``count`` — pending delta rows + tombstones ≥ threshold (the
+          classic fixed-count trigger);
+        * ``wal-bytes`` — live WAL segments ≥ ``compact_wal_bytes``;
+        * ``sweep-overhead`` — the measured delta-sweep overhead EMA ≥
+          ``compact_overhead`` with enough pending work to matter.
+        """
+        if self.compact_threshold <= 0 or self.read_only:
+            return None
+        pending = (
+            (len(self._delta) if self._delta is not None else 0)
+            + len(self._tombstones)
+        )
+        if pending >= self.compact_threshold:
+            return "count"
+        if (
+            self.compact_wal_bytes > 0
+            and self._wal is not None
+            and self._wal.size_bytes >= self.compact_wal_bytes
+            and pending > 0
+        ):
+            return "wal-bytes"
+        if (
+            self.compact_overhead > 0.0
+            and pending >= _OVERHEAD_MIN_PENDING
+            and self._overhead_samples > 0
+            and self._sweep_overhead_ema >= self.compact_overhead
+        ):
+            return "sweep-overhead"
+        return None
+
     def _maybe_wake_compactor(self) -> None:
         if self.compact_threshold <= 0 or self.read_only:
             return
         with self._mutation_lock:
-            pending = (
-                (len(self._delta) if self._delta is not None else 0)
-                + len(self._tombstones)
-            )
-        if pending >= self.compact_threshold:
+            due = self._compaction_due()
+        if due is not None:
+            self._pending_trigger = due
             self._compactor_wake.set()
 
     def _compactor_loop(self) -> None:
@@ -354,7 +518,7 @@ class MutableSnapshotServer(SnapshotServer):
             if self._compactor_stop.is_set():
                 return
             try:
-                self.compact()
+                self.compact(trigger=self._pending_trigger)
             except Exception as exc:  # pragma: no cover - diagnostics only
                 # A failed background fold must not kill serving: the
                 # delta keeps answering, and the next mutation retries.
@@ -365,11 +529,11 @@ class MutableSnapshotServer(SnapshotServer):
                     file=sys.stderr, flush=True,
                 )
 
-    def compact(self) -> dict:
+    def compact(self, trigger: Optional[str] = None) -> dict:
         """Fold delta + tombstones into a fresh snapshot generation.
 
         Safe to call concurrently with queries and mutations; mutations
-        arriving during the fold stay pending and survive in the swapped
+        arriving during the fold stay pending and survive on the rolled
         log.  No-op (``{"compacted": False}``) when there is nothing to
         fold.  Returns a summary dict either way.
         """
@@ -402,8 +566,8 @@ class MutableSnapshotServer(SnapshotServer):
             if _armed_compact_fault("pre-snapshot-replace", ordinal):
                 os._exit(9)
             # 2. Atomically replace the snapshot: the new generation names
-            #    the old as parent, so a crash before the log swap leaves
-            #    a recoverable (snapshot=new, wal=old-bound) pair.
+            #    the old as parent, so a crash before the checkpoint roll
+            #    leaves a recoverable (snapshot=new, wal=old-bound) pair.
             save_index(
                 index, self.path,
                 uid=new_uid, parent_uid=old_uid, next_id=next_id,
@@ -415,11 +579,16 @@ class MutableSnapshotServer(SnapshotServer):
             #    generation.  Until step 4 swaps the views, queries see the
             #    folded rows in both snapshot and delta — dedup covers it.
             self.reload(self.path)
-            # 4. Swap the WAL and trim the folded state, atomically with
-            #    respect to mutations.
-            with self._mutation_lock:
-                self._swap_wal(
-                    new_uid=new_uid, parent_uid=old_uid,
+            # 4. Roll the WAL onto a checkpoint segment and trim the
+            #    folded state, atomically with respect to mutations.
+            #    Mutations acked (WAL-durable) but not yet applied to the
+            #    delta would be missed by the pending re-log — wait for
+            #    the in-flight count to drain first.
+            with self._inflight_cond:
+                while self._inflight:
+                    self._inflight_cond.wait()
+                self._roll_checkpoint(
+                    uid=new_uid, parent_uid=old_uid,
                     fold=fold, fold_tombs=fold_tombs, ordinal=ordinal,
                 )
                 self._delta.trim(fold)
@@ -429,63 +598,55 @@ class MutableSnapshotServer(SnapshotServer):
                 self._snapshot_uid = new_uid
                 self._compactions += 1
                 self._last_compaction_uid = new_uid
+                self._last_compaction_trigger = trigger or "manual"
+                self._sweep_overhead_ema = 0.0
+                self._overhead_samples = 0
                 wal_bytes = self._wal.size_bytes
             return {
                 "compacted": True,
                 "generation_uid": new_uid,
                 "folded_inserts": fold,
                 "folded_tombstones": len(fold_tombs),
+                "trigger": trigger or "manual",
                 "wal_bytes": wal_bytes,
             }
 
-    def _swap_wal(
+    def _roll_checkpoint(
         self,
-        new_uid: Optional[str] = None,
+        uid: str,
         parent_uid: Optional[str] = None,
         fold: int = 0,
         fold_tombs: Optional[set] = None,
         ordinal: Optional[int] = None,
     ) -> None:
-        """Replace the live WAL with one bound to the current generation.
+        """Roll the live WAL onto a checkpoint segment for ``uid``.
 
-        Caller holds the mutation lock.  The replacement starts with a
-        checkpoint record naming the generation, then re-logs every
-        still-pending mutation (delta rows past ``fold``, tombstones not
-        in ``fold_tombs``), and lands via ``os.replace`` — the old log
-        stays intact and replayable until the very last instant.
+        Caller holds the mutation lock with zero in-flight mutations.
+        The new segment's first record is a checkpoint naming the
+        generation, followed by every still-pending mutation (delta rows
+        past ``fold``, tombstones not in ``fold_tombs``); once that
+        segment is durable the folded older segments are deleted — the
+        old records stay intact and replayable until the very last
+        instant, and recovery cleans up stale segments if the deletes
+        never happen.
         """
-        uid = new_uid if new_uid is not None else self._snapshot_uid
         fold_tombs = fold_tombs or set()
-        tmp = f"{self.wal_path}.tmp.{os.getpid()}"
-        fresh = WriteAheadLog.create(
-            tmp, snapshot_uid=uid, parent_uid=parent_uid,
-            next_id=self._next_id,
+        pending: List = []
+        live = self._delta.view()
+        for pos in range(fold, len(live)):
+            pending.append(
+                InsertRecord(int(live.ids[pos]), np.array(live.points[pos]))
+            )
+        for tomb in sorted(self._tombstones - fold_tombs):
+            pending.append(DeleteRecord(int(tomb)))
+        self._wal.roll_checkpoint(
+            snapshot_uid=uid, parent_uid=parent_uid,
+            next_id=self._next_id, pending=pending,
         )
-        try:
-            fresh.append_checkpoint(uid)
-            pending = self._delta.view()
-            for pos in range(fold, len(pending)):
-                fresh.append_insert(
-                    int(pending.ids[pos]), pending.points[pos]
-                )
-            for tomb in sorted(self._tombstones - fold_tombs):
-                fresh.append_delete(int(tomb))
-        except BaseException:
-            fresh.close()
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
-        fresh.close()
-        os.replace(tmp, self.wal_path)
-        _fsync_dir(os.path.dirname(self.wal_path))
         if ordinal is not None and _armed_compact_fault(
             "post-wal-replace", ordinal
         ):
             os._exit(9)
-        old = self._wal
-        self._wal = WriteAheadLog.open(self.wal_path, accept_uids={uid})
-        if old is not None:
-            old.close()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -498,6 +659,7 @@ class MutableSnapshotServer(SnapshotServer):
             delta_rows = len(self._delta) if self._delta is not None else 0
             tombstones = len(self._tombstones)
             baked = len(self._baked)
+            wal_stats = self._wal.stats() if self._wal is not None else {}
             info.update({
                 "mutable": not self.read_only,
                 "read_only": self.read_only,
@@ -511,8 +673,21 @@ class MutableSnapshotServer(SnapshotServer):
                 "wal_bytes": (
                     self._wal.size_bytes if self._wal is not None else 0
                 ),
+                "wal_segments": wal_stats.get("segments", 0),
+                "wal_groups_committed": wal_stats.get("groups_committed", 0),
+                "wal_mean_group_records": wal_stats.get(
+                    "mean_group_records", 0.0
+                ),
+                "group_commit_ms": self.group_commit_ms,
                 "snapshot_uid": self._snapshot_uid,
                 "compactions": self._compactions,
                 "last_compaction_uid": self._last_compaction_uid,
+                "last_compaction_trigger": self._last_compaction_trigger,
+                "compact_policy": {
+                    "threshold": self.compact_threshold,
+                    "wal_bytes": self.compact_wal_bytes,
+                    "sweep_overhead": self.compact_overhead,
+                },
+                "sweep_overhead_ema": self._sweep_overhead_ema,
             })
         return info

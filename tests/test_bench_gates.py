@@ -74,6 +74,13 @@ GOOD = {
             "killed_with_exitcode": 9,
             "recovered_exactly_acked": True,
         },
+        "group_commit": {
+            "speedup": 7.5,
+            "group_window_ms": 2.0,
+            "fsync_delay_ms": 2.0,
+            "grouped_qps": 3000.0,
+            "ungrouped_qps": 400.0,
+        },
     },
     "BENCH_http.smoke.json": {
         "grid": {
@@ -169,6 +176,12 @@ BREAKS = [
     ("BENCH_mutations.smoke.json",
      lambda r: r["recovery"].update(recovered_exactly_acked=False),
      "lost or invented"),
+    ("BENCH_mutations.smoke.json",
+     lambda r: r["group_commit"].update(speedup=1.2),
+     "only x1.2"),
+    ("BENCH_mutations.smoke.json",
+     lambda r: r["group_commit"].update(group_window_ms=0.5),
+     "0.5ms window"),
     ("BENCH_http.smoke.json",
      lambda r: r["grid"]["2"]["4"].update(matches_inprocess=False),
      "window=2ms clients=4"),

@@ -41,10 +41,13 @@ def test_smoke_sweep_holds_every_invariant(capsys):
         report["scenarios"]
     )
     # The fault hooks actually fired: hangs were killed, deaths were
-    # restarted, the WAL victim died at the armed append.
+    # restarted, and the WAL victim died once at every armed fault
+    # point (smoke covers the whole matrix, group/segment kills
+    # included).
     assert report["counters"]["watchdog_kills"] >= 2  # hang-retry + hang-fail
     assert report["counters"]["supervision_restarts"] >= 1
-    assert report["counters"]["wal_kills"] == 1
+    assert (report["counters"]["wal_kills"]
+            == len(chaos_sweep.WAL_KILL_POINTS))
     # The report is exactly what the CI gate checker expects.
     assert gates.check_chaos(report) == []
 

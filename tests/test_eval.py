@@ -113,6 +113,69 @@ class TestRunner:
         assert results[1].recall > 0.3  # LSH finds most near-duplicates
 
 
+class TestMutableWorkload:
+    def test_trajectory_tracks_the_live_point_set(self, tmp_path):
+        from repro.eval.runner import evaluate_mutable_workload
+        from repro.io import save_index
+        from repro.serve import MutableSnapshotServer
+
+        rng = np.random.default_rng(5)
+        data = gaussian_mixture(300, 8, n_clusters=3, seed=5)
+        inserts = data[rng.choice(300, 60, replace=False)] + rng.normal(
+            scale=0.01, size=(60, 8)
+        )
+        queries = data[rng.choice(300, 6, replace=False)] + 0.01
+        path = str(tmp_path / "snap.npz")
+        save_index(
+            DBLSH(c=1.5, l_spaces=3, k_per_space=6, t=16, seed=0,
+                  auto_initial_radius=True).fit(data),
+            path,
+        )
+        server = MutableSnapshotServer(
+            path, compact_threshold=0, group_commit_ms=2.0
+        )
+        server.start()
+        try:
+            trajectory = evaluate_mutable_workload(
+                server, data, inserts, queries, k=5,
+                phases=3, delete_fraction=0.5, mutation_clients=4, seed=1,
+            )
+        finally:
+            server.close()
+        assert len(trajectory) == 3
+        assert sum(p.inserts for p in trajectory) == 60
+        # live_points follows base + cumulative inserts - deletes exactly.
+        running = 300
+        for p in trajectory:
+            running += p.inserts - p.deletes
+            assert p.live_points == running
+            assert p.deletes == p.inserts // 2
+            assert p.mutation_qps > 0 and p.query_time_ms > 0
+            # Queries sit on live points; the delta sweep is exact, so
+            # the mutated index keeps finding most of them.
+            assert p.recall > 0.3
+            assert np.isfinite(p.ratio) and p.ratio >= 1.0 - 1e-6
+        # compact_threshold=0 disables compaction: the WAL only grows.
+        assert trajectory[-1].wal_bytes > trajectory[0].wal_bytes
+        assert all(p.compactions == 0 for p in trajectory)
+        row = trajectory[0].row()
+        assert set(row) >= {"phase", "inserts", "deletes", "live",
+                            "mut_qps", "recall", "wal_bytes", "trigger"}
+
+    def test_parameter_validation(self, tmp_path):
+        from repro.eval.runner import evaluate_mutable_workload
+
+        data = np.zeros((4, 3))
+        with pytest.raises(ValueError, match="phases"):
+            evaluate_mutable_workload(None, data, data, data, 1, phases=0)
+        with pytest.raises(ValueError, match="delete_fraction"):
+            evaluate_mutable_workload(None, data, data, data, 1,
+                                      delete_fraction=1.5)
+        with pytest.raises(ValueError, match="mutation_clients"):
+            evaluate_mutable_workload(None, data, data, data, 1,
+                                      mutation_clients=0)
+
+
 class TestReport:
     def test_format_table_basic(self):
         rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]

@@ -2,16 +2,26 @@
 
 The contract under test is the durability spine of mutable serving:
 every acked append is fsync'd and CRC-framed, recovery replays exactly
-the durable records, a torn tail is truncated (not fatal), a flipped
-bit is treated as torn tail, and a log refuses to replay onto a
-snapshot generation it was not written against.
+the durable records, a torn tail is truncated (not fatal) — but only in
+the *last* segment — a flipped bit is treated as torn tail, and a log
+refuses to replay onto a snapshot generation it was not written against.
+
+On top of the classic single-segment contract this file pins the
+segmented layout (rotation at ``segment_bytes``, replay across segment
+boundaries, checkpoint rolls deleting folded segments, stale-segment
+cleanup, legacy single-file migration) and the group-commit path
+(concurrent appends sharing one fsync, acks only after the group's
+fsync, the ``mid-group`` and ``between-segment`` kill points).
 """
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import struct
+import threading
+from zlib import crc32
 
 import numpy as np
 import pytest
@@ -22,12 +32,26 @@ from repro.io import (
     InsertRecord,
     WALError,
     WriteAheadLog,
+    wal_present,
 )
 
 
 @pytest.fixture
 def wal_path(tmp_path):
     return str(tmp_path / "mutations.wal")
+
+
+def _segments(wal_path):
+    """Segment file paths inside the log directory, oldest first."""
+    return [
+        os.path.join(wal_path, name)
+        for name in sorted(os.listdir(wal_path))
+        if name.startswith("wal.") and name.endswith(".seg")
+    ]
+
+
+def _last_segment(wal_path):
+    return _segments(wal_path)[-1]
 
 
 class TestRoundtrip:
@@ -72,7 +96,7 @@ class TestRoundtrip:
             sizes = [wal.append_insert(i, rng.standard_normal(4))
                      for i in range(4)]
         assert sizes == sorted(sizes) and len(set(sizes)) == 4
-        assert os.path.getsize(wal_path) == sizes[-1]
+        assert os.path.getsize(_last_segment(wal_path)) == sizes[-1]
 
     def test_parent_uid_travels(self, wal_path):
         WriteAheadLog.create(wal_path, snapshot_uid="child",
@@ -81,53 +105,243 @@ class TestRoundtrip:
             assert wal.parent_uid == "parent"
 
 
-class TestTornTail:
-    def _sizes(self, wal_path, rng, n=4):
-        with WriteAheadLog.create(wal_path, snapshot_uid="gen0") as wal:
-            return [wal.append_insert(i, rng.standard_normal(6))
-                    for i in range(n)]
+class TestGroupCommit:
+    def test_concurrent_appends_share_fsyncs(self, wal_path):
+        """Many mutators inside one window commit with far fewer groups
+        than records, and every one of them is durable afterwards."""
+        wal = WriteAheadLog.create(wal_path, snapshot_uid="gen0",
+                                   group_window=0.005)
+        ids = list(range(48))
 
-    def test_half_written_tail_record_is_truncated(self, wal_path, rng):
-        sizes = self._sizes(wal_path, rng)
-        # Chop the file mid-way through the last record: exactly the
-        # state a kill between write() and fsync() leaves behind.
-        torn = (sizes[-2] + sizes[-1]) // 2
-        with open(wal_path, "r+b") as handle:
-            handle.truncate(torn)
+        def append(i):
+            wal.append_insert(i, np.full(4, float(i)))
+
+        threads = [threading.Thread(target=append, args=(i,)) for i in ids]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = wal.stats()
+        wal.close()
+        assert stats["records_committed"] == len(ids)
+        assert stats["groups_committed"] < len(ids)
+        with WriteAheadLog.open(wal_path) as back:
+            assert sorted(r.id for r in back.recovered) == ids
+
+    def test_ticket_resolves_only_after_group_fsync(self, wal_path):
+        wal = WriteAheadLog.create(wal_path, snapshot_uid="gen0",
+                                   group_window=0.05)
+        ticket = wal.submit_insert(0, np.zeros(4))
+        size = ticket.wait(timeout=5.0)
+        assert ticket.done() and size == wal.size_bytes
+        wal.close()
+
+    def test_group_bytes_flushes_before_the_window(self, wal_path):
+        """A byte-full batch must not sit out a long window."""
+        wal = WriteAheadLog.create(wal_path, snapshot_uid="gen0",
+                                   group_window=30.0, group_bytes=64)
+        ticket = wal.submit_insert(0, np.zeros(16))  # > 64 bytes framed
+        ticket.wait(timeout=5.0)  # would hang for 30 s without the byte trip
+        wal.close()
+
+    def test_close_flushes_pending_groups(self, wal_path):
+        wal = WriteAheadLog.create(wal_path, snapshot_uid="gen0",
+                                   group_window=30.0)
+        tickets = [wal.submit_insert(i, np.zeros(4)) for i in range(3)]
+        wal.close()  # must not wait out the 30 s window
+        assert all(t.done() for t in tickets)
+        with WriteAheadLog.open(wal_path) as back:
+            assert [r.id for r in back.recovered] == [0, 1, 2]
+
+
+class TestSegments:
+    def _filled(self, wal_path, rng, n=24, segment_bytes=400):
+        with WriteAheadLog.create(wal_path, snapshot_uid="gen0",
+                                  segment_bytes=segment_bytes) as wal:
+            for i in range(n):
+                wal.append_insert(i, rng.standard_normal(6))
+            count = wal.segment_count
+        return count
+
+    def test_rotation_splits_and_replay_spans_segments(self, wal_path, rng):
+        count = self._filled(wal_path, rng)
+        assert count > 1
+        assert len(_segments(wal_path)) == count
         with WriteAheadLog.open(wal_path) as wal:
-            assert [r.id for r in wal.recovered] == [0, 1, 2]
-            assert wal.truncated_bytes == torn - sizes[-2]
-        assert os.path.getsize(wal_path) == sizes[-2]
+            assert [r.id for r in wal.recovered] == list(range(24))
+            assert wal.segment_count == count
 
-    def test_bit_flip_truncates_from_the_flip(self, wal_path, rng):
-        sizes = self._sizes(wal_path, rng)
-        # Flip one payload bit inside record 2: its CRC fails, so it and
-        # everything after it are discarded as torn tail.
-        with open(wal_path, "r+b") as handle:
+    def test_appends_resume_in_the_last_segment(self, wal_path, rng):
+        self._filled(wal_path, rng)
+        with WriteAheadLog.open(wal_path) as wal:
+            wal.append_insert(24, rng.standard_normal(6))
+        with WriteAheadLog.open(wal_path) as wal:
+            assert [r.id for r in wal.recovered] == list(range(25))
+
+    def test_torn_tail_in_last_segment_spares_sealed_segments(
+        self, wal_path, rng
+    ):
+        """A crash tears only the segment being appended: every record
+        in the sealed segments before the boundary must survive."""
+        self._filled(wal_path, rng)
+        last = _last_segment(wal_path)
+        with open(last, "r+b") as handle:
+            size = os.fstat(handle.fileno()).st_size
+            handle.truncate(size - 7)  # mid-record chop
+        with WriteAheadLog.open(wal_path) as wal:
+            ids = [r.id for r in wal.recovered]
+            assert wal.truncated_bytes > 0
+            # A contiguous prefix: all sealed-segment records plus the
+            # last segment's still-whole records.
+            assert ids == list(range(len(ids))) and len(ids) >= 1
+
+    def test_torn_record_inside_a_sealed_segment_is_fatal(self, wal_path, rng):
+        """Sealed segments were fsync'd before the next opened: damage
+        there lost acked data and must refuse, not silently truncate."""
+        self._filled(wal_path, rng)
+        sealed = _segments(wal_path)[0]
+        with open(sealed, "r+b") as handle:
+            size = os.fstat(handle.fileno()).st_size
+            handle.truncate(size - 5)
+        with pytest.raises(WALError, match="sealed segment"):
+            WriteAheadLog.open(wal_path)
+
+    def test_bit_flip_in_last_segment_truncates_from_the_flip(
+        self, wal_path, rng
+    ):
+        with WriteAheadLog.create(wal_path, snapshot_uid="gen0") as wal:
+            sizes = [wal.append_insert(i, rng.standard_normal(6))
+                     for i in range(4)]
+        seg = _last_segment(wal_path)
+        with open(seg, "r+b") as handle:
             handle.seek(sizes[1] + 12)
             byte = handle.read(1)
             handle.seek(sizes[1] + 12)
             handle.write(bytes([byte[0] ^ 0x40]))
         with WriteAheadLog.open(wal_path) as wal:
             assert [r.id for r in wal.recovered] == [0, 1]
-        assert os.path.getsize(wal_path) == sizes[1]
+        assert os.path.getsize(seg) == sizes[1]
 
     def test_absurd_length_field_is_torn_tail(self, wal_path, rng):
-        sizes = self._sizes(wal_path, rng)
-        with open(wal_path, "r+b") as handle:
+        with WriteAheadLog.create(wal_path, snapshot_uid="gen0") as wal:
+            sizes = [wal.append_insert(i, rng.standard_normal(6))
+                     for i in range(4)]
+        with open(_last_segment(wal_path), "r+b") as handle:
             handle.seek(sizes[2])
             handle.write(struct.pack("<I", 1 << 30))  # bogus frame length
         with WriteAheadLog.open(wal_path) as wal:
             assert [r.id for r in wal.recovered] == [0, 1, 2]
 
     def test_recovery_is_idempotent(self, wal_path, rng):
-        sizes = self._sizes(wal_path, rng)
-        with open(wal_path, "r+b") as handle:
+        with WriteAheadLog.create(wal_path, snapshot_uid="gen0") as wal:
+            sizes = [wal.append_insert(i, rng.standard_normal(6))
+                     for i in range(4)]
+        with open(_last_segment(wal_path), "r+b") as handle:
             handle.truncate(sizes[-1] - 3)
         WriteAheadLog.open(wal_path).close()
         with WriteAheadLog.open(wal_path) as wal:
             assert wal.truncated_bytes == 0
             assert [r.id for r in wal.recovered] == [0, 1, 2]
+
+
+class TestCheckpointRoll:
+    def test_roll_deletes_folded_segments(self, wal_path, rng):
+        with WriteAheadLog.create(wal_path, snapshot_uid="gen0",
+                                  segment_bytes=400) as wal:
+            for i in range(24):
+                wal.append_insert(i, rng.standard_normal(6))
+            assert wal.segment_count > 1
+            wal.roll_checkpoint(
+                "gen1", parent_uid="gen0", next_id=24,
+                pending=[InsertRecord(23, np.zeros(6)), DeleteRecord(3)],
+            )
+            assert wal.segment_count == 1
+            assert wal.snapshot_uid == "gen1"
+        assert len(_segments(wal_path)) == 1
+        with WriteAheadLog.open(wal_path, accept_uids={"gen1"}) as back:
+            assert back.recovered[0] == CheckpointRecord("gen1")
+            assert [type(r).__name__ for r in back.recovered[1:]] == [
+                "InsertRecord", "DeleteRecord"
+            ]
+            assert back.next_id == 24
+
+    def test_replay_is_idempotent_after_roll(self, wal_path, rng):
+        """Opening (and re-opening) after a roll yields exactly the
+        checkpoint + pending records — folded history never returns."""
+        with WriteAheadLog.create(wal_path, snapshot_uid="gen0") as wal:
+            for i in range(8):
+                wal.append_insert(i, rng.standard_normal(4))
+            wal.roll_checkpoint("gen1", parent_uid="gen0", next_id=8,
+                                pending=[InsertRecord(7, np.zeros(4))])
+        for _ in range(2):
+            with WriteAheadLog.open(wal_path, accept_uids={"gen1"}) as back:
+                ids = [r.id for r in back.recovered
+                       if isinstance(r, InsertRecord)]
+                assert ids == [7]
+
+    def test_stale_pre_checkpoint_segments_are_cleaned_on_open(
+        self, wal_path, rng
+    ):
+        """A crash between the checkpoint fsync and the segment deletes
+        leaves folded segments behind; open() must replay from the
+        checkpoint segment and delete the stale ones."""
+        proc = _spawn(_roll_fault_driver, wal_path)
+        acked = _drain_acks(proc)
+        assert proc.exitcode == 9
+        assert acked == list(range(6))
+        # The folded segment survived the crash next to the checkpoint
+        # segment: recovery must not replay it.
+        assert len(_segments(wal_path)) >= 2
+        with WriteAheadLog.open(wal_path, accept_uids={"gen1"}) as back:
+            inserts = [r.id for r in back.recovered
+                       if isinstance(r, InsertRecord)]
+            assert back.recovered[0] == CheckpointRecord("gen1")
+            assert inserts == [5]
+        assert len(_segments(wal_path)) == 1
+
+
+class TestLegacyMigration:
+    def _write_legacy(self, path, records=((2, 1),)):
+        """A pre-segmentation single-file log: magic + header + records."""
+        frame = struct.Struct("<II")
+        header = json.dumps(
+            {"format": "repro-wal", "version": 1, "snapshot_uid": "old",
+             "parent_uid": None, "next_id": 3},
+            sort_keys=True,
+        ).encode()
+        with open(path, "wb") as handle:
+            handle.write(b"REPROWAL")
+            handle.write(frame.pack(len(header), crc32(header)))
+            handle.write(header)
+            for op, rec_id in records:
+                payload = struct.Struct("<BQ").pack(op, rec_id)
+                handle.write(frame.pack(len(payload), crc32(payload)))
+                handle.write(payload)
+
+    def test_single_file_log_migrates_to_a_directory(self, wal_path):
+        self._write_legacy(wal_path)
+        assert wal_present(wal_path)
+        with WriteAheadLog.open(wal_path, accept_uids={"old"}) as wal:
+            assert os.path.isdir(wal_path)
+            assert wal.recovered == [DeleteRecord(1)]
+            wal.append_insert(3, np.zeros(2))
+        with WriteAheadLog.open(wal_path) as wal:
+            assert [type(r).__name__ for r in wal.recovered] == [
+                "DeleteRecord", "InsertRecord"
+            ]
+
+    def test_interrupted_migration_is_finished_on_open(self, wal_path):
+        """Crash window: file already linked into the staging directory
+        and unlinked, before the final rename."""
+        self._write_legacy(wal_path)
+        staging = wal_path + ".migrating"
+        os.mkdir(staging)
+        os.link(wal_path, os.path.join(staging, "wal.000001.seg"))
+        os.unlink(wal_path)
+        assert wal_present(wal_path)  # mid-migration must not look missing
+        with WriteAheadLog.open(wal_path) as wal:
+            assert wal.recovered == [DeleteRecord(1)]
+        assert os.path.isdir(wal_path) and not os.path.exists(staging)
 
 
 class TestRejection:
@@ -148,7 +362,7 @@ class TestRejection:
 
     def test_corrupt_header_refused(self, wal_path):
         WriteAheadLog.create(wal_path, snapshot_uid="gen0").close()
-        with open(wal_path, "r+b") as handle:
+        with open(_last_segment(wal_path), "r+b") as handle:
             handle.seek(10)
             handle.write(b"\xff")
         with pytest.raises(WALError, match="corrupt WAL header"):
@@ -159,6 +373,11 @@ class TestRejection:
         wal.close()
         with pytest.raises(WALError, match="closed"):
             wal.append_delete(0)
+
+
+# ----------------------------------------------------------------------
+# Kill-point drivers (module-level for spawn picklability)
+# ----------------------------------------------------------------------
 
 
 def _append_under_fault(path, fault, count, conn):
@@ -172,6 +391,69 @@ def _append_under_fault(path, fault, count, conn):
         conn.send(("acked", i))
     conn.send(("done", acked))
     conn.close()
+
+
+def _mid_group_driver(path, conn):
+    """Submit one 4-record group; the armed fault kills the committer
+    after half the group is durable — before ANY ticket resolves."""
+    os.environ["REPRO_WAL_FAULT"] = "mid-group:0"
+    wal = WriteAheadLog.create(path, snapshot_uid="gen0", group_window=0.2)
+    tickets = [wal.submit_insert(i, np.full(4, float(i))) for i in range(4)]
+    for i, ticket in enumerate(tickets):
+        ticket.wait()
+        conn.send(("acked", i))
+    conn.send(("done", None))
+    conn.close()
+
+
+def _between_segment_driver(path, conn):
+    """Append until the first rotation; the armed fault kills right
+    after the new segment's header lands, before its first record."""
+    os.environ["REPRO_WAL_FAULT"] = "between-segment:0"
+    wal = WriteAheadLog.create(path, snapshot_uid="gen0", segment_bytes=300)
+    for i in range(12):
+        wal.append_insert(i, np.full(4, float(i)))
+        conn.send(("acked", i))
+    conn.send(("done", None))
+    conn.close()
+
+
+def _roll_fault_driver(path, conn):
+    """Roll a checkpoint with the pre-segment-delete kill armed: the
+    checkpoint segment is durable, the folded segments never deleted."""
+    os.environ["REPRO_WAL_FAULT"] = "pre-segment-delete:0"
+    wal = WriteAheadLog.create(path, snapshot_uid="gen0")
+    for i in range(6):
+        wal.append_insert(i, np.full(4, float(i)))
+        conn.send(("acked", i))
+    wal.roll_checkpoint("gen1", parent_uid="gen0", next_id=6,
+                        pending=[InsertRecord(5, np.full(4, 5.0))])
+    conn.send(("done", None))
+    conn.close()
+
+
+def _spawn(target, path):
+    ctx = multiprocessing.get_context("spawn")
+    parent, child = ctx.Pipe()
+    proc = ctx.Process(target=target, args=(path, child))
+    proc.start()
+    child.close()
+    proc._test_parent_conn = parent
+    return proc
+
+
+def _drain_acks(proc, timeout=60):
+    parent = proc._test_parent_conn
+    acked = []
+    while True:
+        try:
+            kind, value = parent.recv()
+        except EOFError:
+            break
+        if kind == "acked":
+            acked.append(value)
+    proc.join(timeout)
+    return acked
 
 
 class TestFaultInjection:
@@ -210,3 +492,33 @@ class TestFaultInjection:
         assert len(recovered) <= len(acked) + 1
         if fault.startswith(("pre-append", "torn")):
             assert recovered == acked  # exactly the acked appends
+
+    def test_kill_mid_group_acks_nothing_durable_prefix_tolerated(
+        self, tmp_path
+    ):
+        """A partially-fsynced group: no ticket ever resolved, so no
+        client was acked — recovery may surface the durable prefix, and
+        every acked (= none) mutation survives."""
+        path = str(tmp_path / "group.wal")
+        proc = _spawn(_mid_group_driver, path)
+        acked = _drain_acks(proc)
+        assert proc.exitcode == 9
+        assert acked == []  # the fault fires before any ack
+        with WriteAheadLog.open(path) as wal:
+            recovered = [r.id for r in wal.recovered]
+        # Half of the 4-record group (its written prefix) is durable.
+        assert recovered == [0, 1]
+
+    def test_kill_between_segments_loses_nothing_acked(self, tmp_path):
+        """Death right after a rotation makes the fresh header durable:
+        every record acked before the boundary replays; the empty new
+        segment is a valid (if bare) tail."""
+        path = str(tmp_path / "boundary.wal")
+        proc = _spawn(_between_segment_driver, path)
+        acked = _drain_acks(proc)
+        assert proc.exitcode == 9
+        assert len(acked) >= 1
+        with WriteAheadLog.open(path) as wal:
+            recovered = [r.id for r in wal.recovered]
+            assert recovered == acked  # nothing acked was lost
+            wal.append_insert(len(acked), np.zeros(4))  # appends resume

@@ -462,7 +462,15 @@ class TestMetrics:
         assert c.value == 5
         m = GatewayMetrics()
         m.set_queue_depth_probe(lambda: 1 / 0)
-        assert m.snapshot()["queue_depth"] == -1
+        m.set_connections_probe(lambda: -7)
+        snap = m.snapshot()
+        # A raising probe clamps its gauge and counts the failure; a
+        # negative sample is clamped too — dashboards doing arithmetic
+        # on the gauges must never see a sentinel.
+        assert snap["queue_depth"] == 0
+        assert snap["connections"]["open"] == 0
+        assert snap["probe_errors_total"] == 1
+        assert m.snapshot()["probe_errors_total"] == 2
 
 
 # ----------------------------------------------------------------------
@@ -593,13 +601,63 @@ class TestProtocol:
                 gateway.port, b"POST /query HTTP/1.1\r\nHost: x\r\n\r\n"
             ).split(b"\r\n")[0]
         )
+        # chunked is supported now; anything else stays 501.
         assert (
             b"501"
             in _raw(
                 gateway.port,
-                b"POST /query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                b"POST /query HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n",
             ).split(b"\r\n")[0]
         )
+
+    def test_chunked_request_bodies(self, gateway, workload):
+        _, queries = workload
+        payload = json.dumps({"query": queries[0].tolist(), "k": 2}).encode()
+
+        def chunked(body: bytes, size: int) -> bytes:
+            pieces = [body[i : i + size] for i in range(0, len(body), size)]
+            framed = b"".join(
+                b"%x\r\n%s\r\n" % (len(p), p) for p in pieces
+            )
+            return (
+                b"POST /query HTTP/1.1\r\nHost: x\r\n"
+                b"Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+                + framed
+                + b"0\r\n\r\n"
+            )
+
+        # A body split across many small chunks parses and answers 200.
+        response = _raw(gateway.port, chunked(payload, 7))
+        assert b"200" in response.split(b"\r\n")[0]
+        assert b'"results"' in response
+        # Chunk extensions are tolerated, trailers are discarded.
+        exotic = (
+            b"POST /query HTTP/1.1\r\nHost: x\r\n"
+            b"Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+            + b"%x;ext=1\r\n%s\r\n" % (len(payload), payload)
+            + b"0\r\nX-Trailer: ignored\r\n\r\n"
+        )
+        assert b"200" in _raw(gateway.port, exotic).split(b"\r\n")[0]
+        # Malformed chunk size is a 400, not a hang or a 500.
+        garbage = (
+            b"POST /query HTTP/1.1\r\nHost: x\r\n"
+            b"Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+            b"zz\r\n"
+        )
+        assert b"400" in _raw(gateway.port, garbage).split(b"\r\n")[0]
+
+    def test_chunked_body_hits_the_413_cap_without_buffering(
+        self, workload, server
+    ):
+        with HttpGateway(server, batch_window=0.0, max_body_bytes=64) as gateway:
+            # Declared chunk sizes alone trip the cap: the data bytes for
+            # the oversized chunk are never sent, yet the refusal arrives.
+            request = (
+                b"POST /query HTTP/1.1\r\nHost: x\r\n"
+                b"Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+                b"1000\r\n"
+            )
+            assert b"413" in _raw(gateway.port, request).split(b"\r\n")[0]
 
     def test_oversized_body_is_413(self, workload, server):
         _, queries = workload
@@ -732,6 +790,11 @@ class TestDeadlines:
                 gateway.metrics.batch_latency.observe(2.0)
             # p50 ~ 1.75s (bucket interpolation), one batch of backlog.
             assert gateway._retry_after_hint() == 2
+            # Dispatched-but-unanswered requests count as backlog even
+            # though they are invisible to queue.qsize().
+            gateway._dispatched = 16
+            assert gateway._retry_after_hint() == 4  # 2 batches x ~1.75s
+            gateway._dispatched = 0
             for _ in range(50):
                 gateway.metrics.batch_latency.observe(100.0)
             # Saturated histogram still clamps into [1, 60].
@@ -898,6 +961,12 @@ class TestMutableHttp:
             status, body, _ = _post(gateway.port, "/compact", {})
             assert status == 200
             assert body["compacted"] is True
+
+            # Each acked mutation recorded its group-fsync wait time.
+            snap = _get(gateway.port, "/metrics")[1]
+            ack = snap["mutation_ack_latency_seconds"]
+            assert ack["count"] == 3  # 1 insert + 2 deletes
+            assert ack["sum"] > 0
 
     def test_mutation_validation_errors(self, mutable_setup):
         _, server = mutable_setup

@@ -283,7 +283,13 @@ class TestRecoveryGuards:
             assert info["tombstones"] == 1
             assert info["live_points"] == N + 2 - 1
             assert info["next_id"] == N + 2
-            assert info["wal_bytes"] == os.path.getsize(wal)
+            wal_disk_bytes = sum(
+                os.path.getsize(os.path.join(wal, name))
+                for name in os.listdir(wal)
+                if name.startswith("wal.") and name.endswith(".seg")
+            )
+            assert info["wal_bytes"] == wal_disk_bytes
+            assert info["wal_segments"] >= 1
             assert info["compactions"] == 0
             out = server.compact()
             info = server.status()
@@ -293,6 +299,57 @@ class TestRecoveryGuards:
             assert info["live_points"] == N + 1
         finally:
             server.close()
+
+    def test_concurrent_inserts_share_group_fsyncs_and_recover(
+        self, snapshot, tmp_path
+    ):
+        """Concurrent mutators inside the group-commit window amortize
+        fsyncs (groups < records) and every acked insert survives a
+        clean restart bit-exactly."""
+        import threading
+
+        wal = str(tmp_path / "m.wal")
+        server = MutableSnapshotServer(
+            snapshot, wal_path=wal, compact_threshold=0,
+            group_commit_ms=5.0, mp_context="fork",
+        )
+        server.start()
+        points = {i: np.full(DIM, 80.0 + 3.0 * i) for i in range(24)}
+        acked = {}
+        lock = threading.Lock()
+
+        def insert(i):
+            pid = server.insert(points[i])
+            with lock:
+                acked[pid] = points[i]
+
+        try:
+            threads = [
+                threading.Thread(target=insert, args=(i,)) for i in points
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert sorted(acked) == list(range(N, N + 24))
+            info = server.status()
+            assert info["wal_groups_committed"] < 24  # fsyncs were shared
+            assert info["wal_mean_group_records"] > 1.0
+        finally:
+            server.close()
+        # Restart: every concurrently-acked insert is served exactly.
+        back = MutableSnapshotServer(
+            snapshot, wal_path=wal, compact_threshold=0, mp_context="fork",
+        )
+        back.start()
+        try:
+            assert back.status()["delta_rows"] == 24
+            for pid, point in acked.items():
+                result = back.query(point, k=1)
+                assert result.ids == [pid]
+                assert result.distances[0] == pytest.approx(0.0)
+        finally:
+            back.close()
 
     def test_auto_compaction_triggers_at_threshold(self, snapshot, tmp_path,
                                                    workload):
@@ -317,5 +374,92 @@ class TestRecoveryGuards:
             # The folded inserts still answer exactly.
             result = server.query(data[0] + 50.0, k=1)
             assert result.ids == [N]
+        finally:
+            server.close()
+
+
+class TestAdaptiveCompaction:
+    """The overhead/bytes-driven scheduler replacing the fixed count."""
+
+    def test_wal_bytes_trigger_fires_and_is_reported(self, snapshot, tmp_path,
+                                                     workload):
+        data, _ = workload
+        wal = str(tmp_path / "m.wal")
+        # Count trigger far away; the byte budget trips after a few
+        # ~120-byte insert records.
+        server = MutableSnapshotServer(
+            snapshot, wal_path=wal, compact_threshold=100_000,
+            compact_wal_bytes=700, compact_overhead=0.0,
+            mp_context="fork",
+        )
+        server.start()
+        try:
+            for i in range(8):
+                server.insert(data[i] + 50.0 + i)
+            import time
+
+            waited = 0.0
+            while server.status()["compactions"] == 0 and waited < 30.0:
+                time.sleep(0.1)
+                waited += 0.1
+            info = server.status()
+            assert info["compactions"] >= 1
+            assert info["last_compaction_trigger"] == "wal-bytes"
+            assert info["wal_bytes"] < 700 + 200  # rolled onto a checkpoint
+        finally:
+            server.close()
+
+    def test_sweep_overhead_policy(self, snapshot, tmp_path, workload):
+        """The policy function itself: the overhead trigger needs both a
+        hot EMA and enough pending work; count stays the first resort."""
+        data, _ = workload
+        wal = str(tmp_path / "m.wal")
+        server = MutableSnapshotServer(
+            snapshot, wal_path=wal, compact_threshold=100_000,
+            compact_wal_bytes=0, compact_overhead=0.5,
+            group_commit_ms=0.0, mp_context="fork",
+        )
+        server.start()
+        try:
+            with server._mutation_lock:
+                assert server._compaction_due() is None
+            # A hot EMA with too little pending work must not fire.
+            with server._mutation_lock:
+                server._sweep_overhead_ema = 0.9
+                server._overhead_samples = 10
+                assert server._compaction_due() is None
+            for i in range(64):
+                server.insert(data[i % len(data)] + 70.0 + i)
+            with server._mutation_lock:
+                server._sweep_overhead_ema = 0.9
+                server._overhead_samples = 10
+                assert server._compaction_due() == "sweep-overhead"
+                # A cool EMA never fires regardless of pending count.
+                server._sweep_overhead_ema = 0.1
+                assert server._compaction_due() is None
+            # Live queries actually feed the EMA.
+            server.query_batch(data[:4], k=2)
+            assert server.status()["sweep_overhead_ema"] >= 0.0
+            assert server._overhead_samples >= 1
+        finally:
+            server.close()
+
+    def test_compact_threshold_zero_disables_every_trigger(
+        self, snapshot, tmp_path, workload
+    ):
+        data, _ = workload
+        wal = str(tmp_path / "m.wal")
+        server = MutableSnapshotServer(
+            snapshot, wal_path=wal, compact_threshold=0,
+            compact_wal_bytes=1, compact_overhead=0.01,
+            group_commit_ms=0.0, mp_context="fork",
+        )
+        server.start()
+        try:
+            for i in range(6):
+                server.insert(data[i] + 90.0)
+            with server._mutation_lock:
+                assert server._compaction_due() is None
+            assert server.status()["compactions"] == 0
         finally:
             server.close()

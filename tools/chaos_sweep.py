@@ -36,9 +36,11 @@ hang-fail       same hang under ``hang_policy="fail"`` with a
 queue-expire    a slow worker holds FIFO dispatch while short-deadline
                 requests wait: they must fail typed *in the queue*
 wal-kill        a child process serving ``--mutable`` is killed at a
-                seeded WAL append point (pre-append / torn /
-                post-fsync); every *acked* mutation must survive
-                recovery
+                seeded WAL fault point (pre-append / torn / post-fsync
+                on a record, mid-group with a partially fsynced commit
+                group, between-segment right after a rotation seals a
+                segment); every *acked* mutation must survive recovery
+                — unacked ones may or may not, which is the contract
 ==============  =====================================================
 
 Usage::
@@ -85,6 +87,19 @@ SCENARIOS = (
 #: hang-fail must answer its typed error within this multiple of the
 #: request budget — the watchdog bound the whole layer advertises.
 DEADLINE_SLACK = 2.0
+
+#: WAL fault points the wal-kill scenario draws from.  The first three
+#: kill around one record's append; mid-group dies with only a prefix
+#: of a commit group fsynced (no ticket in the group was acked);
+#: between-segment dies right after rotation makes the fresh segment
+#: header durable.  Smoke mode runs every point once.
+WAL_KILL_POINTS = (
+    "pre-append",
+    "torn",
+    "post-fsync",
+    "mid-group",
+    "between-segment",
+)
 
 
 def _alive(pid: int) -> bool:
@@ -144,6 +159,9 @@ class _Sweep:
         self.deadline_hits = 0
         self.restarts = 0
         self.wal_kills = 0
+        #: Smoke mode flips this on: wal-kill then covers every fault
+        #: point in one iteration instead of sampling one.
+        self.all_wal_points = False
 
     # -- plumbing ----------------------------------------------------
 
@@ -300,11 +318,23 @@ class _Sweep:
                     f"{tag}: a request thread never terminated")
 
     def _run_wal_kill(self, tag: str) -> None:
-        """Kill a mutable serve mid-append; acked rows must survive."""
+        """Kill a mutable serve at a WAL fault; acked rows must survive.
+
+        Full mode draws one point per iteration; smoke mode (the
+        deterministic one-pass sweep) runs every point once so the
+        group-commit and rotation crash windows are always covered.
+        """
+        points = (
+            WAL_KILL_POINTS if self.all_wal_points
+            else (self.rng.choice(WAL_KILL_POINTS),)
+        )
+        for point in points:
+            self._run_wal_kill_point(f"{tag}:{point}", point,
+                                     self.rng.randrange(2, 5))
+
+    def _run_wal_kill_point(self, tag: str, point: str, nth: int) -> None:
         from repro.serve import MutableSnapshotServer
 
-        point = self.rng.choice(("pre-append", "torn", "post-fsync"))
-        nth = self.rng.randrange(2, 5)
         self.wal_kills += 1
         with tempfile.TemporaryDirectory(prefix="repro-chaos-wal-") as tmp:
             wal = os.path.join(tmp, "chaos.wal")
@@ -364,17 +394,54 @@ class _Sweep:
 
 def _wal_victim(snapshot, wal, conn, fault_spec, mp_context) -> None:
     """Child: insert far-away points, acking each, until the WAL fault
-    hook (armed via the inherited environment) kills the process."""
+    hook (armed via the inherited environment) kills the process.
+
+    ``mid-group`` inserts from concurrent threads under a wide commit
+    window so the dying flush group really holds several records;
+    ``between-segment`` shrinks the segment size so the faulted
+    rotation happens within a handful of inserts.  Either way an ack
+    is sent only after the server acked the insert, so the parent's
+    ledger is exactly the durable-contract set.
+    """
     from repro.serve import MutableSnapshotServer
 
     os.environ["REPRO_WAL_FAULT"] = fault_spec
+    point = fault_spec.split(":", 1)[0]
     rng = np.random.default_rng(int(fault_spec.rsplit(":", 1)[-1]))
+    kwargs = {}
+    if point == "between-segment":
+        kwargs["segment_bytes"] = 256  # rotate every record or two
+    if point == "mid-group":
+        kwargs["group_commit_ms"] = 25.0  # wide window: real groups
     with MutableSnapshotServer(snapshot, wal_path=wal,
-                               mp_context=mp_context) as server:
-        for i in range(8):
-            vector = rng.normal(100.0 + 10.0 * i, 0.01, size=12)
-            uid = server.insert(vector)
-            conn.send((uid, vector.tolist()))
+                               mp_context=mp_context, **kwargs) as server:
+        if point == "mid-group":
+            lock = threading.Lock()
+
+            def writer(worker: int) -> None:
+                # Per-thread generator: np.random.Generator is not
+                # thread-safe, and the vectors only need to be far apart.
+                wrng = np.random.default_rng(1000 + worker)
+                for i in range(16):
+                    vector = wrng.normal(100.0 + 1000.0 * worker + 10.0 * i,
+                                         0.01, size=12)
+                    uid = server.insert(vector)
+                    with lock:
+                        conn.send((uid, vector.tolist()))
+
+            threads = [
+                threading.Thread(target=writer, args=(worker,), daemon=True)
+                for worker in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        else:
+            for i in range(32):
+                vector = rng.normal(100.0 + 10.0 * i, 0.01, size=12)
+                uid = server.insert(vector)
+                conn.send((uid, vector.tolist()))
     os._exit(7)  # the fault never fired: wrong exitcode fails the gate
 
 
@@ -384,6 +451,7 @@ def run_sweep(iterations: int, seed: int, mp_context: str, smoke: bool) -> dict:
     with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
         path, _, queries, expected = _build_environment(tmp, seed=seed)
         sweep = _Sweep(path, queries, expected, mp_context, rng)
+        sweep.all_wal_points = smoke
         if smoke:
             # One deterministic pass over every scenario: cheap, covers
             # each fault class once.
